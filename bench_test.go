@@ -1,0 +1,162 @@
+// Benchmarks regenerating every table and figure of the paper, one
+// testing.B target per artifact. Each iteration runs the corresponding
+// experiment end-to-end on a laptop-sized configuration; the printed metrics
+// (via b.ReportMetric) expose the headline numbers so `go test -bench=.`
+// doubles as a compact reproduction report. cmd/experiments runs the same
+// harness at full scale with paper-style formatted output.
+package cirstag_test
+
+import (
+	"testing"
+
+	"cirstag/internal/bench"
+	"cirstag/internal/circuit"
+	"cirstag/internal/core"
+	"cirstag/internal/timing"
+)
+
+func caseACfg() bench.CaseAConfig {
+	return bench.CaseAConfig{
+		Benchmarks: []string{"ss_pcm"},
+		Seed:       1,
+		Timing:     timing.Config{Epochs: 300, Hidden: 32},
+	}
+}
+
+// BenchmarkTableI regenerates Table I (relative PO arrival change when
+// perturbing unstable vs stable nodes, across scale factors and perturbation
+// percentages).
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunTableI(caseACfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sepSum float64
+		for _, r := range rows {
+			sepSum += r.UnstableMean / r.StableMean
+		}
+		b.ReportMetric(sepSum/float64(len(rows)), "unstable/stable-ratio")
+		b.ReportMetric(rows[0].R2, "gnn-R2")
+	}
+}
+
+// BenchmarkFig3 regenerates the Fig. 3 distribution (per-PO relative changes
+// with dimension reduction, top/bottom 10% at 10x).
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := bench.RunDistribution("ss_pcm", caseACfg(), 10, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(meanOf(d.Unstable)/meanOf(d.Stable), "unstable/stable-ratio")
+	}
+}
+
+// BenchmarkFig4 regenerates the Fig. 4 ablation (no dimension reduction);
+// compare its ratio against BenchmarkFig3's.
+func BenchmarkFig4(b *testing.B) {
+	cfg := caseACfg()
+	cfg.SkipDimReduction = true
+	for i := 0; i < b.N; i++ {
+		d, err := bench.RunDistribution("ss_pcm", cfg, 10, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(meanOf(d.Unstable)/meanOf(d.Stable), "unstable/stable-ratio")
+	}
+}
+
+// BenchmarkFig5 regenerates the runtime-scalability sweep over the five
+// smallest standard benchmarks and reports the fitted log-log exponent
+// (1.0 = linear).
+func BenchmarkFig5(b *testing.B) {
+	var names []string
+	for _, s := range circuit.StandardBenchmarks()[:5] {
+		names = append(names, s.Name)
+	}
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunFig5(bench.Fig5Config{Seed: 1, Benchmarks: names})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(bench.LinearityFit(rows), "scaling-exponent")
+	}
+}
+
+// BenchmarkTableII regenerates the Case Study B topology-perturbation table
+// (embedding cosine and macro-F1, unstable vs stable gates).
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunTableII(bench.CaseBConfig{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.StableCos-last.UnstableCos, "cosine-gap")
+		b.ReportMetric(last.StableF1-last.UnstableF1, "f1-gap")
+	}
+}
+
+// BenchmarkAblationSparsify regenerates the Phase-2 design-choice ablation:
+// η-pruned manifolds vs dense kNN manifolds.
+func BenchmarkAblationSparsify(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		row, err := bench.RunSparsifyAblation("ss_pcm", 1, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(row.RankCorrelation, "rank-spearman")
+		b.ReportMetric(float64(row.DenseEdgesX)/float64(row.SparseEdgesX), "edge-reduction")
+	}
+}
+
+// BenchmarkAblationDims sweeps the embedding/score dimensions (M, s) and
+// reports the best separation found.
+func BenchmarkAblationDims(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunDimsAblation("ss_pcm", 1, []int{8, 16}, []int{8}, caseACfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		best := 0.0
+		for _, r := range rows {
+			if r.Separation > best {
+				best = r.Separation
+			}
+		}
+		b.ReportMetric(best, "best-separation")
+	}
+}
+
+// BenchmarkCirSTAGCore measures one bare CirSTAG invocation (no GNN
+// training) on a mid-size design — the number Fig. 5 plots per benchmark.
+func BenchmarkCirSTAGCore(b *testing.B) {
+	nl, err := circuit.BenchmarkByName("sasc", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows, err := bench.RunFig5(bench.Fig5Config{Seed: 1, Benchmarks: []string{"sasc"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = rows
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunFig5(bench.Fig5Config{Seed: 1, Benchmarks: []string{"sasc"}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(nl.NumPins()), "pins")
+}
+
+func meanOf(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}

@@ -1,0 +1,97 @@
+// Command benchgen generates the synthetic benchmark netlists and writes
+// them in the repository's text netlist format.
+//
+// Usage:
+//
+//	benchgen -name sasc -seed 1 -o sasc.net
+//	benchgen -list
+//	benchgen -custom -inputs 32 -outputs 16 -layers 10 -width 80 -o my.net
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"cirstag/internal/circuit"
+	"cirstag/internal/sta"
+)
+
+func main() {
+	var (
+		name    = flag.String("name", "", "standard benchmark name to generate")
+		list    = flag.Bool("list", false, "list standard benchmarks and exit")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		out     = flag.String("o", "", "output file (default stdout)")
+		stats   = flag.Bool("stats", false, "print design statistics instead of the netlist")
+		custom  = flag.Bool("custom", false, "generate a custom design from the size flags")
+		inputs  = flag.Int("inputs", 32, "custom: primary inputs")
+		outputs = flag.Int("outputs", 16, "custom: primary outputs")
+		layers  = flag.Int("layers", 10, "custom: logic depth")
+		width   = flag.Int("width", 60, "custom: gates per layer")
+		wirecap = flag.Float64("wirecap", 1.2, "custom: mean wire capacitance (fF)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-12s %8s %8s %8s %8s\n", "name", "inputs", "outputs", "layers", "width")
+		for _, s := range circuit.StandardBenchmarks() {
+			fmt.Printf("%-12s %8d %8d %8d %8d\n", s.Name, s.Inputs, s.Outputs, s.Layers, s.Width)
+		}
+		return
+	}
+
+	var nl *circuit.Netlist
+	switch {
+	case *custom:
+		spec := circuit.Spec{
+			Name: "custom", Inputs: *inputs, Outputs: *outputs,
+			Layers: *layers, Width: *width, LocalBias: 0.65, WireCap: *wirecap,
+		}
+		nl = circuit.Generate(spec, rand.New(rand.NewSource(*seed)))
+	case *name != "":
+		var err error
+		nl, err = circuit.BenchmarkByName(*name, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "benchgen: need -name, -custom or -list (see -h)")
+		os.Exit(2)
+	}
+
+	if *stats {
+		res, err := sta.Analyze(nl)
+		if err != nil {
+			fatal(err)
+		}
+		g := nl.PinGraph()
+		fmt.Printf("design:   %s\n", nl.Name)
+		fmt.Printf("gates:    %d\n", nl.NumGates())
+		fmt.Printf("pins:     %d\n", nl.NumPins())
+		fmt.Printf("nets:     %d\n", len(nl.Nets))
+		fmt.Printf("PIs/POs:  %d/%d\n", len(nl.PrimaryInputs), len(nl.PrimaryOutputs))
+		fmt.Printf("graph:    |V|=%d |E|=%d\n", g.N(), g.M())
+		fmt.Printf("max delay: %.1f ps (critical PO pin %d)\n", res.MaxDelay, res.CriticalPO)
+		return
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := circuit.Write(w, nl); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,114 @@
+// Command cirstag runs the full stability analysis on a netlist file: it
+// trains (or quickly fits) the timing GNN for the design, runs CirSTAG, and
+// prints the ranked node stability scores.
+//
+// Usage:
+//
+//	cirstag -netlist design.net [-top 20] [-seed 1] [-epochs 300]
+//	benchgen -name sasc -o sasc.net && cirstag -netlist sasc.net
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cirstag/internal/circuit"
+	"cirstag/internal/core"
+	"cirstag/internal/perturb"
+	"cirstag/internal/timing"
+)
+
+func main() {
+	var (
+		netlistPath = flag.String("netlist", "", "path to a text netlist (see cmd/benchgen)")
+		benchName   = flag.String("bench", "", "or: a standard benchmark name to generate on the fly")
+		top         = flag.Int("top", 20, "how many most-unstable nodes to print")
+		seed        = flag.Int64("seed", 1, "random seed")
+		epochs      = flag.Int("epochs", 300, "timing-GNN training epochs")
+		hidden      = flag.Int("hidden", 32, "timing-GNN hidden width")
+		embedDims   = flag.Int("embed-dims", 16, "spectral embedding dimension M")
+		scoreDims   = flag.Int("score-dims", 8, "stability score dimension s")
+		edges       = flag.Bool("edges", false, "also print the most-distorted manifold edges")
+	)
+	flag.Parse()
+
+	var nl *circuit.Netlist
+	switch {
+	case *netlistPath != "":
+		f, err := os.Open(*netlistPath)
+		if err != nil {
+			fatal(err)
+		}
+		nl, err = circuit.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	case *benchName != "":
+		var err error
+		nl, err = circuit.BenchmarkByName(*benchName, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "cirstag: need -netlist or -bench (see -h)")
+		os.Exit(2)
+	}
+
+	fmt.Fprintf(os.Stderr, "training timing GNN on %s (%d pins)...\n", nl.Name, nl.NumPins())
+	model, err := timing.New(nl, timing.Config{Epochs: *epochs, Hidden: *hidden, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	pred := model.Predict(nl)
+
+	fmt.Fprintln(os.Stderr, "running CirSTAG...")
+	res, err := core.Run(core.Input{
+		Graph:    nl.PinGraph(),
+		Output:   pred.Embeddings,
+		Features: nl.Features(),
+	}, core.Options{
+		Seed: *seed, EmbedDims: *embedDims, ScoreDims: *scoreDims, FeatureAlpha: 1,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ranking := core.Rank(res.NodeScores, perturb.PrimaryOutputPinSet(nl))
+	n := *top
+	if n > len(ranking.Order) {
+		n = len(ranking.Order)
+	}
+	fmt.Printf("# most unstable nodes of %s (pin id, score, cell, gate type, pin dir)\n", nl.Name)
+	for i := 0; i < n; i++ {
+		p := ranking.Order[i]
+		pin := nl.Pins[p]
+		cell := nl.Cells[pin.Cell]
+		dir := "in"
+		if pin.Dir == circuit.DirOut {
+			dir = "out"
+		}
+		fmt.Printf("%6d  %12.6g  cell=%d  %-6s %s\n", p, ranking.Scores[i], pin.Cell, cell.Type, dir)
+	}
+	if *edges {
+		fmt.Printf("\n# most distorted manifold edges (u, v, score)\n")
+		es := res.EdgeScores
+		// Top n by score.
+		for i := 0; i < n && i < len(es); i++ {
+			best := i
+			for j := i + 1; j < len(es); j++ {
+				if es[j].Score > es[best].Score {
+					best = j
+				}
+			}
+			es[i], es[best] = es[best], es[i]
+			fmt.Printf("%6d %6d  %12.6g\n", es[i].U, es[i].V, es[i].Score)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "cirstag: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,174 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic substrate and prints paper-style rows.
+//
+// Usage:
+//
+//	experiments -exp table1 [-benchmarks ss_pcm,usb_phy] [-seed 1] [-epochs 300]
+//	experiments -exp fig3|fig4|fig5|table2|ablation-sparsify|ablation-dims|all
+//
+// Table I and the figures of Case Study A train a timing GNN per design, so
+// the full nine-benchmark sweep takes a while on the larger designs; the
+// default benchmark subset keeps runs interactive.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cirstag/internal/bench"
+	"cirstag/internal/circuit"
+	"cirstag/internal/core"
+	"cirstag/internal/timing"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment: table1, fig3, fig4, fig5, table2, sizing, ablation-sparsify, ablation-output, ablation-dims, all")
+		benchmarks = flag.String("benchmarks", "", "comma-separated benchmark names (default: first three; 'all' for all nine)")
+		seed       = flag.Int64("seed", 1, "master random seed")
+		epochs     = flag.Int("epochs", 300, "GNN training epochs for Case Study A")
+		hidden     = flag.Int("hidden", 32, "GNN hidden width")
+		embedDims  = flag.Int("embed-dims", 16, "CirSTAG spectral embedding dimension M")
+		scoreDims  = flag.Int("score-dims", 8, "CirSTAG score dimension s")
+	)
+	flag.Parse()
+
+	names := parseBenchmarks(*benchmarks)
+	caseA := bench.CaseAConfig{
+		Benchmarks: names,
+		Seed:       *seed,
+		Timing:     timing.Config{Epochs: *epochs, Hidden: *hidden},
+		Cirstag:    core.Options{EmbedDims: *embedDims, ScoreDims: *scoreDims},
+	}
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("table1", func() error {
+		rows, err := bench.RunTableI(caseA)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTableI(rows))
+		fmt.Println()
+		return nil
+	})
+	run("fig3", func() error {
+		d, err := bench.RunDistribution(firstName(names), caseA, 10, 10)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatDistribution(d, "Fig 3 (with dimension reduction)"))
+		fmt.Println()
+		return nil
+	})
+	run("fig4", func() error {
+		cfg := caseA
+		cfg.SkipDimReduction = true
+		d, err := bench.RunDistribution(firstName(names), cfg, 10, 10)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatDistribution(d, "Fig 4 (ablation: no dimension reduction)"))
+		fmt.Println()
+		return nil
+	})
+	run("fig5", func() error {
+		cfg := bench.Fig5Config{Seed: *seed, Cirstag: caseA.Cirstag}
+		if *benchmarks == "all" || *exp == "fig5" {
+			// Fig 5 needs the size sweep; default to all nine.
+			cfg.Benchmarks = nil
+		} else {
+			cfg.Benchmarks = names
+		}
+		rows, err := bench.RunFig5(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatFig5(rows))
+		fmt.Println()
+		return nil
+	})
+	run("table2", func() error {
+		rows, err := bench.RunTableII(bench.CaseBConfig{Seed: *seed, Cirstag: core.Options{EmbedDims: *embedDims, ScoreDims: *scoreDims}})
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTableII(rows))
+		fmt.Println()
+		return nil
+	})
+	run("ablation-sparsify", func() error {
+		row, err := bench.RunSparsifyAblation(firstName(names), *seed, caseA.Cirstag)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatSparsifyAblation(row))
+		fmt.Println()
+		return nil
+	})
+	run("sizing", func() error {
+		row, err := bench.RunSizing(firstName(names), caseA, 30, 2)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatSizing(row))
+		fmt.Println()
+		return nil
+	})
+	run("ablation-output", func() error {
+		row, err := bench.RunOutputManifoldAblation(firstName(names), caseA)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatOutputManifoldAblation(row))
+		fmt.Println()
+		return nil
+	})
+	run("ablation-dims", func() error {
+		rows, err := bench.RunDimsAblation(firstName(names), *seed,
+			[]int{4, 16, 32}, []int{4, 8, 16}, caseA)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatDimsAblation(rows))
+		fmt.Println()
+		return nil
+	})
+}
+
+func parseBenchmarks(s string) []string {
+	if s == "" {
+		return nil
+	}
+	if s == "all" {
+		var names []string
+		for _, spec := range circuit.StandardBenchmarks() {
+			names = append(names, spec.Name)
+		}
+		return names
+	}
+	var out []string
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func firstName(names []string) string {
+	if len(names) > 0 {
+		return names[0]
+	}
+	return circuit.StandardBenchmarks()[0].Name
+}

@@ -1,0 +1,8 @@
+// Package cirstag is a from-scratch Go reproduction of "CirSTAG: Circuit
+// Stability Analysis on Graph-based Manifolds" (DAC 2025). The public entry
+// points live in the internal packages (notably internal/core for the
+// CirSTAG pipeline, internal/circuit + internal/sta for the circuit
+// substrate, and internal/bench for the experiment harness); the cmd/
+// binaries and examples/ programs show end-to-end usage. See README.md for
+// an architecture overview and EXPERIMENTS.md for paper-vs-measured results.
+package cirstag

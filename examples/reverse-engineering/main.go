@@ -1,0 +1,63 @@
+// Reverse-engineering walks through Case Study B: a GAT classifier labels
+// every gate of an interconnected design with the sub-circuit it belongs to
+// (adder, mux, comparator, decoder, parity, shifter); CirSTAG then ranks the
+// gates by topology-stability, and targeted edge rewires at unstable vs
+// stable gates show the predicted difference in embedding drift and
+// classification quality.
+//
+// Run with: go run ./examples/reverse-engineering
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"cirstag/internal/bench"
+	"cirstag/internal/core"
+	"cirstag/internal/revnet"
+)
+
+func main() {
+	// Inspect the dataset first.
+	rng := rand.New(rand.NewSource(1))
+	design := revnet.GenerateDesign(3, 4, rng)
+	fmt.Printf("interconnected design: %d gates, %d edges, %d sub-circuit classes\n",
+		design.NumGates(), design.Graph.M(), int(revnet.NumBlockTypes))
+	perClass := make([]int, revnet.NumBlockTypes)
+	for _, l := range design.Labels {
+		perClass[l]++
+	}
+	for c, n := range perClass {
+		fmt.Printf("  %-12s %4d gates\n", revnet.BlockType(c), n)
+	}
+	fmt.Println()
+
+	// Train the classifier (the paper's [4] reports 98.87% accuracy on its
+	// interconnected dataset).
+	clf := revnet.TrainClassifier(design, revnet.ClassifierConfig{Seed: 1})
+	inf := clf.Predict(nil)
+	fmt.Printf("GAT classifier: accuracy %.4f, test macro-F1 %.4f\n\n",
+		clf.OverallAccuracy(inf), clf.TestF1(inf))
+
+	// CirSTAG gate ranking from (gate graph, GAT embeddings).
+	res, err := core.Run(core.Input{Graph: design.Graph, Output: inf.Embeddings}, core.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ranking := core.Rank(res.NodeScores, nil)
+	fmt.Println("five most topology-sensitive gates (id, score, gate, block):")
+	for i := 0; i < 5; i++ {
+		g := ranking.Order[i]
+		fmt.Printf("  %5d  %10.4g  %-6s %s\n",
+			g, ranking.Scores[i], design.Gates[g], revnet.BlockType(design.Labels[g]))
+	}
+	fmt.Println()
+
+	// Full Table II-style sweep.
+	rows, err := bench.RunTableII(bench.CaseBConfig{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.FormatTableII(rows))
+}

@@ -1,0 +1,33 @@
+// Scalability reproduces the Fig. 5 runtime sweep: CirSTAG is run on each of
+// the nine standard benchmarks (sizes spanning ~300 to ~12k gates) and the
+// wall-clock time is reported together with a log-log scaling-exponent fit.
+// Near-linear behaviour shows as an exponent close to 1.
+//
+// Run with: go run ./examples/scalability [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cirstag/internal/bench"
+	"cirstag/internal/circuit"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "only the five smallest benchmarks")
+	flag.Parse()
+
+	cfg := bench.Fig5Config{Seed: 1}
+	if *quick {
+		for _, s := range circuit.StandardBenchmarks()[:5] {
+			cfg.Benchmarks = append(cfg.Benchmarks, s.Name)
+		}
+	}
+	rows, err := bench.RunFig5(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.FormatFig5(rows))
+}

@@ -1,0 +1,3 @@
+module cirstag
+
+go 1.22

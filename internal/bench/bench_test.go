@@ -1,0 +1,297 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"cirstag/internal/timing"
+)
+
+// fastCaseA keeps the Case Study A integration tests laptop-quick: smallest
+// benchmark, reduced training schedule.
+func fastCaseA() CaseAConfig {
+	return CaseAConfig{
+		Benchmarks: []string{"ss_pcm"},
+		Seed:       1,
+		Timing:     timing.Config{Epochs: 300, Hidden: 32},
+	}
+}
+
+func TestTableIShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	rows, err := RunTableI(fastCaseA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // 2 scales × 3 pcts
+		t.Fatalf("expected 6 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		// Core claim of Table I: perturbing CirSTAG-unstable nodes moves the
+		// predicted PO arrivals more than perturbing stable nodes.
+		if r.UnstableMean <= r.StableMean {
+			t.Errorf("%s scale=%v pct=%v: unstable mean %v <= stable mean %v",
+				r.Design, r.Scale, r.Pct, r.UnstableMean, r.StableMean)
+		}
+		if r.R2 < 0.9 {
+			t.Errorf("GNN fidelity too low: R² = %v", r.R2)
+		}
+		if r.UnstableMean <= 0 || r.UnstableMax < r.UnstableMean {
+			t.Errorf("inconsistent row %+v", r)
+		}
+	}
+	// Doubling the scale factor should roughly double the unstable change
+	// (paper: "increasing the scaling factor from 5 to 10 nearly doubles the
+	// relative change"). Accept a generous band.
+	byKey := map[[2]float64]TableIRow{}
+	for _, r := range rows {
+		byKey[[2]float64{r.Scale, r.Pct}] = r
+	}
+	for _, pct := range []float64{5, 10, 15} {
+		r5 := byKey[[2]float64{5, pct}]
+		r10 := byKey[[2]float64{10, pct}]
+		ratio := r10.UnstableMean / r5.UnstableMean
+		if ratio < 1.3 || ratio > 4 {
+			t.Errorf("pct=%v: scale 5→10 ratio %v outside [1.3, 4]", pct, ratio)
+		}
+	}
+	// Raising pct 5→15 should increase the change sub-cubically (the most
+	// unstable nodes dominate, so tripling the set must not triple-plus the
+	// effect beyond a generous factor).
+	r5 := byKey[[2]float64{10, 5}]
+	r15 := byKey[[2]float64{10, 15}]
+	if r15.UnstableMean < r5.UnstableMean {
+		t.Error("larger perturbation set should not reduce the change")
+	}
+	// Ground-truth STA confirms the GNN-measured separation.
+	var staU, staS float64
+	for _, r := range rows {
+		staU += r.STAUnstableMean
+		staS += r.STAStableMean
+	}
+	if staU <= staS {
+		t.Errorf("STA oracle disagrees with separation: unstable %v <= stable %v", staU, staS)
+	}
+}
+
+func TestDistributionFig3VsFig4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	cfg := fastCaseA()
+	fig3, err := RunDistribution("ss_pcm", cfg, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3u, m3s := mean(fig3.Unstable), mean(fig3.Stable)
+	if m3u <= m3s {
+		t.Fatalf("Fig 3: unstable mean %v <= stable mean %v", m3u, m3s)
+	}
+	if len(fig3.UnstableCounts) != 20 || len(fig3.Edges) != 21 {
+		t.Fatal("histogram shape wrong")
+	}
+	// Counts conserve the number of primary outputs.
+	tot := 0
+	for _, c := range fig3.UnstableCounts {
+		tot += c
+	}
+	if tot != len(fig3.Unstable) {
+		t.Fatal("histogram lost outputs")
+	}
+	// Fig 4 ablation (no dimensionality reduction) must weaken the
+	// separation ratio.
+	cfg4 := cfg
+	cfg4.SkipDimReduction = true
+	fig4, err := RunDistribution("ss_pcm", cfg4, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sep3 := m3u / m3s
+	sep4 := mean(fig4.Unstable) / mean(fig4.Stable)
+	if sep4 >= sep3 {
+		t.Errorf("ablation did not weaken separation: with=%v without=%v", sep3, sep4)
+	}
+}
+
+func TestFig5NearLinearRuntime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	cfg := Fig5Config{Seed: 1}
+	// First five benchmarks keep the test quick while spanning ~8x in size.
+	for _, s := range []string{"ss_pcm", "usb_phy", "sasc", "simple_spi", "i2c"} {
+		cfg.Benchmarks = append(cfg.Benchmarks, s)
+	}
+	rows, err := RunFig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("expected 5 rows, got %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Nodes <= rows[i-1].Nodes {
+			t.Fatal("benchmarks not increasing in size")
+		}
+	}
+	// Near-linear: the log-log scaling exponent should be close to 1 and
+	// certainly well below quadratic.
+	b := LinearityFit(rows)
+	if b > 1.8 {
+		t.Errorf("runtime scaling exponent %v suggests superlinear behaviour", b)
+	}
+	if RuntimeCorrelation(rows) < 0.5 {
+		t.Error("runtime does not grow with size")
+	}
+}
+
+func TestTableIIShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	rows, err := RunTableII(CaseBConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("expected 3 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.BaseF1 < 0.85 || r.BaseAccuracy < 0.9 {
+			t.Fatalf("classifier too weak: F1=%v acc=%v", r.BaseF1, r.BaseAccuracy)
+		}
+		// Shape: perturbing unstable gates hurts embeddings and F1 more.
+		if r.UnstableCos >= r.StableCos {
+			t.Errorf("pct=%v: unstable cosine %v >= stable %v", r.Pct, r.UnstableCos, r.StableCos)
+		}
+		if r.UnstableF1 >= r.StableF1+1e-9 {
+			t.Errorf("pct=%v: unstable F1 %v >= stable F1 %v", r.Pct, r.UnstableF1, r.StableF1)
+		}
+		if r.UnstableF1 > r.BaseF1+1e-9 {
+			t.Error("perturbation should not improve F1")
+		}
+	}
+	// The cosine gap should grow with the perturbation percentage.
+	gapFirst := rows[0].StableCos - rows[0].UnstableCos
+	gapLast := rows[len(rows)-1].StableCos - rows[len(rows)-1].UnstableCos
+	if gapLast < gapFirst {
+		t.Error("cosine gap should not shrink as more gates are perturbed")
+	}
+}
+
+func TestSparsifyAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	row, err := RunSparsifyAblation("ss_pcm", 1, CaseAConfig{}.withDefaults().Cirstag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.SparseEdgesX >= row.DenseEdgesX {
+		t.Fatalf("sparsifier did not reduce edges: %d vs %d", row.SparseEdgesX, row.DenseEdgesX)
+	}
+	// The cheap sparsified manifold must preserve the instability ranking.
+	if row.RankCorrelation < 0.6 {
+		t.Fatalf("sparsification destroyed the ranking: Spearman %v", row.RankCorrelation)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	rows := []TableIRow{{Design: "x", R2: 0.97, Scale: 5, Pct: 10, UnstableMean: 0.1, UnstableMax: 0.5, StableMean: 0.01, StableMax: 0.05}}
+	out := FormatTableI(rows)
+	if !strings.Contains(out, "Table I") || !strings.Contains(out, "x") {
+		t.Fatal("Table I format wrong")
+	}
+	d := &DistributionData{Design: "x", Unstable: []float64{0.1}, Stable: []float64{0.2},
+		Edges: []float64{0, 0.5, 1}, UnstableCounts: []int{1, 0}, StableCounts: []int{0, 1}}
+	if !strings.Contains(FormatDistribution(d, "Fig 3"), "Fig 3") {
+		t.Fatal("distribution format wrong")
+	}
+	f5 := []Fig5Row{{Design: "a", Nodes: 10, Edges: 20, Seconds: 0.1}, {Design: "b", Nodes: 100, Edges: 200, Seconds: 1}}
+	if !strings.Contains(FormatFig5(f5), "exponent") {
+		t.Fatal("Fig5 format wrong")
+	}
+	t2 := []TableIIRow{{Pct: 5, BaseF1: 0.95, UnstableCos: 0.9, StableCos: 0.99, UnstableF1: 0.8, StableF1: 0.9}}
+	if !strings.Contains(FormatTableII(t2), "Table II") {
+		t.Fatal("Table II format wrong")
+	}
+	sr := &SparsifyAblationRow{Design: "x", SparseEdgesX: 5, DenseEdgesX: 10, RankCorrelation: 0.9}
+	if !strings.Contains(FormatSparsifyAblation(sr), "Spearman") {
+		t.Fatal("sparsify format wrong")
+	}
+	da := []DimsAblationRow{{EmbedDims: 8, ScoreDims: 4, Separation: 2}}
+	if !strings.Contains(FormatDimsAblation(da), "separation") {
+		t.Fatal("dims format wrong")
+	}
+}
+
+func TestOutputManifoldAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	row, err := RunOutputManifoldAblation("ss_pcm", fastCaseA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The prediction-output manifold must separate unstable from stable
+	// nodes (> 1) and beat the hidden-state manifold (the design choice this
+	// ablation documents).
+	if row.OutputsSeparation <= 1 {
+		t.Fatalf("prediction-output manifold separation %v <= 1", row.OutputsSeparation)
+	}
+	if row.OutputsSeparation <= row.HiddenSeparation {
+		t.Fatalf("prediction-output manifold (%v) should beat hidden states (%v)",
+			row.OutputsSeparation, row.HiddenSeparation)
+	}
+}
+
+func TestSizingExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	row, err := RunSizing("usb_phy", fastCaseA(), 30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.BaseDelay <= 0 || row.CandidatePoolSize == 0 {
+		t.Fatalf("degenerate sizing row: %+v", row)
+	}
+	// CirSTAG-guided sizing should beat both baselines and actually improve
+	// the critical delay.
+	if row.UnstableGain <= 0 {
+		t.Fatalf("CirSTAG-guided sizing gained %v ps", row.UnstableGain)
+	}
+	if row.UnstableGain <= row.StableGain {
+		t.Fatalf("unstable pick (%v) should beat stable pick (%v)", row.UnstableGain, row.StableGain)
+	}
+	if row.UnstableGain <= row.RandomGain {
+		t.Fatalf("unstable pick (%v) should beat random pick (%v)", row.UnstableGain, row.RandomGain)
+	}
+}
+
+func TestArchitectureAgnosticism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	// The paper claims CirSTAG is agnostic to the GNN architecture. Train a
+	// GCN-based and a SAGE-based timing model on the same design and check
+	// both produce unstable/stable separation.
+	for _, arch := range []timing.Arch{timing.ArchGCN, timing.ArchSAGE} {
+		cfg := fastCaseA()
+		cfg.Timing.Arch = arch
+		p, err := NewCaseAPipeline("usb_phy", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.R2 < 0.9 {
+			t.Fatalf("arch %v: R² = %v", arch, p.R2)
+		}
+		um, _, _, _ := p.perturbSet(p.Ranking.TopPercent(10), 10)
+		sm, _, _, _ := p.perturbSet(p.Ranking.BottomPercent(10), 10)
+		if um <= sm {
+			t.Errorf("arch %v: unstable %v <= stable %v", arch, um, sm)
+		}
+	}
+}

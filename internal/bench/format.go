@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatTableI renders Table-I rows in the paper's layout: one line per
+// design × scale × pct with unstable/stable mean and max relative changes.
+func FormatTableI(rows []TableIRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I: circuit stability analysis (relative PO arrival change, unstable/stable)\n")
+	fmt.Fprintf(&b, "%-12s %-8s %5s %6s  %18s  %18s\n", "design", "R2", "scale", "pct", "mean (unst/st)", "max (unst/st)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-8.4f %4.0fx %5.0f%%  %8.4f/%-9.4f  %8.4f/%-9.4f\n",
+			r.Design, r.R2, r.Scale, r.Pct,
+			r.UnstableMean, r.StableMean, r.UnstableMax, r.StableMax)
+	}
+	return b.String()
+}
+
+// FormatDistribution renders the Fig. 3 / Fig. 4 histograms as aligned text
+// series (bin center, unstable count, stable count).
+func FormatDistribution(d *DistributionData, title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (per-PO relative arrival change)\n", title, d.Design)
+	fmt.Fprintf(&b, "%12s  %9s  %9s\n", "bin center", "unstable", "stable")
+	for i := 0; i < len(d.UnstableCounts); i++ {
+		center := (d.Edges[i] + d.Edges[i+1]) / 2
+		fmt.Fprintf(&b, "%12.4f  %9d  %9d\n", center, d.UnstableCounts[i], d.StableCounts[i])
+	}
+	fmt.Fprintf(&b, "unstable: n=%d mean=%.4f   stable: n=%d mean=%.4f\n",
+		len(d.Unstable), mean(d.Unstable), len(d.Stable), mean(d.Stable))
+	return b.String()
+}
+
+// FormatFig5 renders the scalability rows plus the fitted scaling exponent.
+func FormatFig5(rows []Fig5Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 5: CirSTAG runtime scalability\n")
+	fmt.Fprintf(&b, "%-12s %9s %9s %10s\n", "design", "|V|", "|E|", "seconds")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %9d %9d %10.3f\n", r.Design, r.Nodes, r.Edges, r.Seconds)
+	}
+	fmt.Fprintf(&b, "log-log scaling exponent: %.3f (1.0 = linear)\n", LinearityFit(rows))
+	fmt.Fprintf(&b, "size-runtime Pearson correlation: %.3f\n", RuntimeCorrelation(rows))
+	return b.String()
+}
+
+// FormatTableII renders the Case Study B rows.
+func FormatTableII(rows []TableIIRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table II: topology-perturbation stability (GAT sub-circuit classifier)\n")
+	if len(rows) > 0 {
+		fmt.Fprintf(&b, "baseline: macro-F1=%.4f accuracy=%.4f\n", rows[0].BaseF1, rows[0].BaseAccuracy)
+	}
+	fmt.Fprintf(&b, "%6s  %22s  %22s\n", "pct", "cosine (unst/st)", "macro-F1 (unst/st)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%5.0f%%  %10.4f/%-11.4f  %10.4f/%-11.4f\n",
+			r.Pct, r.UnstableCos, r.StableCos, r.UnstableF1, r.StableF1)
+	}
+	return b.String()
+}
+
+// FormatSparsifyAblation renders the sparsification ablation.
+func FormatSparsifyAblation(r *SparsifyAblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sparsification ablation — %s\n", r.Design)
+	fmt.Fprintf(&b, "  sparsified: %6d input-manifold edges, %.3fs\n", r.SparseEdgesX, r.SparseSeconds)
+	fmt.Fprintf(&b, "  dense kNN:  %6d input-manifold edges, %.3fs\n", r.DenseEdgesX, r.DenseSeconds)
+	fmt.Fprintf(&b, "  score rank correlation (Spearman): %.4f\n", r.RankCorrelation)
+	return b.String()
+}
+
+// FormatDimsAblation renders the (M, s) sweep.
+func FormatDimsAblation(rows []DimsAblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Dimension ablation (unstable/stable separation at 10%% / 10x)\n")
+	fmt.Fprintf(&b, "%8s %8s %12s\n", "M", "s", "separation")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d %8d %12.2f\n", r.EmbedDims, r.ScoreDims, r.Separation)
+	}
+	return b.String()
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// FormatSizing renders the gate-sizing optimization result.
+func FormatSizing(r *SizingRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Gate sizing — %s (base delay %.1f ps, %d gates upsized %gx from a pool of %d)\n",
+		r.Design, r.BaseDelay, r.Budget, r.Factor, r.CandidatePoolSize)
+	fmt.Fprintf(&b, "  CirSTAG-unstable pick: %8.1f ps improvement\n", r.UnstableGain)
+	fmt.Fprintf(&b, "  random pick:           %8.1f ps\n", r.RandomGain)
+	fmt.Fprintf(&b, "  CirSTAG-stable pick:   %8.1f ps\n", r.StableGain)
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"cirstag/internal/circuit"
+	"cirstag/internal/core"
+	"cirstag/internal/gnn"
+	"cirstag/internal/mat"
+	"cirstag/internal/metrics"
+	"cirstag/internal/nn"
+)
+
+// Fig5Row records the runtime of one CirSTAG invocation against design size
+// (Fig. 5: near-linear scaling over the nine benchmarks).
+type Fig5Row struct {
+	Design  string
+	Nodes   int
+	Edges   int
+	Seconds float64
+}
+
+// Fig5Config parameterizes the scalability sweep.
+type Fig5Config struct {
+	// Benchmarks selects designs (default: all nine standard benchmarks).
+	Benchmarks []string
+	Seed       int64
+	Cirstag    core.Options
+}
+
+// RunFig5 measures end-to-end CirSTAG runtime per benchmark. The GNN output
+// is produced by an untrained GCN forward pass: CirSTAG's runtime depends
+// only on graph and embedding sizes, so skipping training isolates the cost
+// the figure reports.
+func RunFig5(cfg Fig5Config) ([]Fig5Row, error) {
+	if len(cfg.Benchmarks) == 0 {
+		for _, s := range circuit.StandardBenchmarks() {
+			cfg.Benchmarks = append(cfg.Benchmarks, s.Name)
+		}
+	}
+	var rows []Fig5Row
+	for _, name := range cfg.Benchmarks {
+		nl, err := circuit.BenchmarkByName(name, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		g := nl.PinGraph()
+		y := untrainedEmbeddings(nl, cfg.Seed)
+		opts := cfg.Cirstag
+		opts.Seed = cfg.Seed
+		start := time.Now()
+		if _, err := core.Run(core.Input{Graph: g, Output: y, Features: nl.Features()}, opts); err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig5Row{
+			Design: name, Nodes: g.N(), Edges: g.M(),
+			Seconds: time.Since(start).Seconds(),
+		})
+	}
+	return rows, nil
+}
+
+// untrainedEmbeddings produces GNN node embeddings from a randomly
+// initialized two-layer GCN — structurally realistic output data at zero
+// training cost.
+func untrainedEmbeddings(nl *circuit.Netlist, seed int64) *mat.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	g := nl.PinGraph()
+	adj := gnn.NormalizedAdjacency(g)
+	feat := nl.Features()
+	l1 := gnn.NewGCNLayer(adj, feat.Cols, 16, rng)
+	act := &nn.Tanh{}
+	l2 := gnn.NewGCNLayer(adj, 16, 16, rng)
+	return l2.Forward(act.Forward(l1.Forward(feat)))
+}
+
+// LinearityFit summarizes how close the runtime scaling is to linear: it
+// fits log(seconds) = a + b·log(nodes+edges) and reports the exponent b
+// (b ≈ 1 means linear).
+func LinearityFit(rows []Fig5Row) float64 {
+	if len(rows) < 2 {
+		return 0
+	}
+	x := make(mat.Vec, len(rows))
+	y := make(mat.Vec, len(rows))
+	for i, r := range rows {
+		x[i] = logf(float64(r.Nodes + r.Edges))
+		y[i] = logf(r.Seconds)
+	}
+	// Least squares slope.
+	mx, my := mat.Mean(x), mat.Mean(y)
+	var num, den float64
+	for i := range x {
+		num += (x[i] - mx) * (y[i] - my)
+		den += (x[i] - mx) * (x[i] - mx)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// RuntimeCorrelation reports the Pearson correlation between size and
+// runtime (a second near-linearity signal for the harness output).
+func RuntimeCorrelation(rows []Fig5Row) float64 {
+	x := make(mat.Vec, len(rows))
+	y := make(mat.Vec, len(rows))
+	for i, r := range rows {
+		x[i] = float64(r.Nodes + r.Edges)
+		y[i] = r.Seconds
+	}
+	return metrics.Pearson(x, y)
+}
+
+func logf(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Log(x)
+}

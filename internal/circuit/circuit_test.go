@@ -1,0 +1,425 @@
+package circuit
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// tinyCircuit builds by hand: two PIs -> NAND2 -> INV -> PO.
+func tinyCircuit(t *testing.T) *Netlist {
+	t.Helper()
+	nl := &Netlist{Name: "tiny"}
+	addCell := func(typ GateType) int {
+		id := len(nl.Cells)
+		nl.Cells = append(nl.Cells, Cell{ID: id, Type: typ, OutPin: -1})
+		return id
+	}
+	addPin := func(cell int, dir PinDir, cap float64) int {
+		id := len(nl.Pins)
+		nl.Pins = append(nl.Pins, Pin{ID: id, Cell: cell, Dir: dir, Cap: cap, Net: -1})
+		return id
+	}
+	pi1 := addCell(PortIn)
+	pi1Out := addPin(pi1, DirOut, 0)
+	nl.Cells[pi1].OutPin = pi1Out
+	pi2 := addCell(PortIn)
+	pi2Out := addPin(pi2, DirOut, 0)
+	nl.Cells[pi2].OutPin = pi2Out
+	nand := addCell(Nand2)
+	na := addPin(nand, DirIn, Library[Nand2].InputCap)
+	nb := addPin(nand, DirIn, Library[Nand2].InputCap)
+	nOut := addPin(nand, DirOut, 0)
+	nl.Cells[nand].InPins = []int{na, nb}
+	nl.Cells[nand].OutPin = nOut
+	inv := addCell(Inv)
+	ia := addPin(inv, DirIn, Library[Inv].InputCap)
+	iOut := addPin(inv, DirOut, 0)
+	nl.Cells[inv].InPins = []int{ia}
+	nl.Cells[inv].OutPin = iOut
+	po := addCell(PortOut)
+	poIn := addPin(po, DirIn, Library[PortOut].InputCap)
+	nl.Cells[po].InPins = []int{poIn}
+	nl.PrimaryInputs = []int{pi1, pi2}
+	nl.PrimaryOutputs = []int{po}
+	addNet := func(driver int, sinks ...int) {
+		id := len(nl.Nets)
+		nl.Nets = append(nl.Nets, Net{ID: id, Driver: driver, Sinks: sinks})
+		nl.Pins[driver].Net = id
+		for _, s := range sinks {
+			nl.Pins[s].Net = id
+		}
+	}
+	addNet(pi1Out, na)
+	addNet(pi2Out, nb)
+	addNet(nOut, ia)
+	addNet(iOut, poIn)
+	if err := nl.Validate(); err != nil {
+		t.Fatalf("tiny circuit invalid: %v", err)
+	}
+	return nl
+}
+
+func TestTinyCircuitStructure(t *testing.T) {
+	nl := tinyCircuit(t)
+	if nl.NumPins() != 8 || nl.NumGates() != 2 {
+		t.Fatalf("pins=%d gates=%d", nl.NumPins(), nl.NumGates())
+	}
+	// Load of the NAND output = INV input cap.
+	if got := nl.LoadCap(nl.Cells[2].OutPin); got != Library[Inv].InputCap {
+		t.Fatalf("NAND load %v", got)
+	}
+	pos := nl.PrimaryOutputPins()
+	if len(pos) != 1 {
+		t.Fatal("PO pins wrong")
+	}
+	pis := nl.PrimaryInputPins()
+	if len(pis) != 2 {
+		t.Fatal("PI pins wrong")
+	}
+}
+
+func TestTopologicalPins(t *testing.T) {
+	nl := tinyCircuit(t)
+	order, err := nl.TopologicalPins()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, nl.NumPins())
+	for i, p := range order {
+		pos[p] = i
+	}
+	// Every timing arc must go forward in the order.
+	for _, net := range nl.Nets {
+		for _, s := range net.Sinks {
+			if pos[net.Driver] > pos[s] {
+				t.Fatal("net arc violates topological order")
+			}
+		}
+	}
+	for _, c := range nl.Cells {
+		if c.OutPin < 0 || c.Type == PortIn {
+			continue
+		}
+		for _, in := range c.InPins {
+			if pos[in] > pos[c.OutPin] {
+				t.Fatal("cell arc violates topological order")
+			}
+		}
+	}
+}
+
+func TestPinDepths(t *testing.T) {
+	nl := tinyCircuit(t)
+	d := nl.PinDepths()
+	poPin := nl.PrimaryOutputPins()[0]
+	// PI out(0) -> nand in(1) -> nand out(2) -> inv in(3) -> inv out(4) -> po(5)
+	if d[poPin] != 5 {
+		t.Fatalf("PO depth %d, want 5", d[poPin])
+	}
+	for _, p := range nl.PrimaryInputPins() {
+		if d[p] != 0 {
+			t.Fatal("PI depth must be 0")
+		}
+	}
+}
+
+func TestPinGraphShape(t *testing.T) {
+	nl := tinyCircuit(t)
+	g := nl.PinGraph()
+	if g.N() != nl.NumPins() {
+		t.Fatal("pin graph node count")
+	}
+	// 4 net arcs + 3 cell arcs = 7 undirected edges.
+	if g.M() != 7 {
+		t.Fatalf("pin graph has %d edges, want 7", g.M())
+	}
+	if !g.IsConnected() {
+		t.Fatal("tiny pin graph should be connected")
+	}
+}
+
+func TestGenerateValidates(t *testing.T) {
+	for _, spec := range StandardBenchmarks()[:4] {
+		nl := Generate(spec, rand.New(rand.NewSource(1)))
+		if err := nl.Validate(); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if nl.Name != spec.Name {
+			t.Fatal("name not propagated")
+		}
+		if len(nl.PrimaryInputs) != spec.Inputs {
+			t.Fatalf("%s: PIs %d want %d", spec.Name, len(nl.PrimaryInputs), spec.Inputs)
+		}
+		if len(nl.PrimaryOutputs) < spec.Outputs {
+			t.Fatalf("%s: POs %d want >= %d", spec.Name, len(nl.PrimaryOutputs), spec.Outputs)
+		}
+		if nl.NumGates() != spec.Layers*spec.Width {
+			t.Fatalf("%s: gates %d want %d", spec.Name, nl.NumGates(), spec.Layers*spec.Width)
+		}
+		// All logic observable: no dangling gate outputs.
+		for _, c := range nl.Cells {
+			if c.Type == PortOut || c.OutPin < 0 {
+				continue
+			}
+			if nl.Pins[c.OutPin].Net == -1 {
+				t.Fatalf("%s: cell %d output dangling", spec.Name, c.ID)
+			}
+		}
+		// Pin graph connected (single design block).
+		if !nl.PinGraph().IsConnected() {
+			t.Fatalf("%s: pin graph disconnected", spec.Name)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := StandardBenchmarks()[0]
+	a := Generate(spec, rand.New(rand.NewSource(7)))
+	b := Generate(spec, rand.New(rand.NewSource(7)))
+	if a.NumPins() != b.NumPins() || len(a.Nets) != len(b.Nets) {
+		t.Fatal("generation not deterministic")
+	}
+	for i := range a.Pins {
+		if a.Pins[i] != b.Pins[i] {
+			t.Fatal("pin mismatch between identical seeds")
+		}
+	}
+	for i := range a.Nets {
+		if a.Nets[i].Driver != b.Nets[i].Driver || a.Nets[i].WireCap != b.Nets[i].WireCap {
+			t.Fatal("net mismatch between identical seeds")
+		}
+	}
+}
+
+func TestBenchmarkByName(t *testing.T) {
+	nl, err := BenchmarkByName("sasc", 3)
+	if err != nil || nl.Name != "sasc" {
+		t.Fatalf("BenchmarkByName: %v", err)
+	}
+	if _, err := BenchmarkByName("nonexistent", 0); err == nil {
+		t.Fatal("unknown name should error")
+	}
+}
+
+func TestStandardBenchmarksIncreaseInSize(t *testing.T) {
+	specs := StandardBenchmarks()
+	prev := 0
+	for _, s := range specs {
+		size := s.Layers * s.Width
+		if size <= prev {
+			t.Fatalf("benchmark %s not larger than predecessor", s.Name)
+		}
+		prev = size
+	}
+}
+
+func TestFeatures(t *testing.T) {
+	nl := tinyCircuit(t)
+	f := nl.Features()
+	if f.Rows != nl.NumPins() || f.Cols != 8+NumGateTypes {
+		t.Fatalf("feature dims %dx%d", f.Rows, f.Cols)
+	}
+	// Column 0 is capacitance.
+	for p, pin := range nl.Pins {
+		if f.At(p, 0) != pin.Cap {
+			t.Fatal("cap feature wrong")
+		}
+	}
+	// One-hot gate type sums to 1 per pin.
+	for p := 0; p < f.Rows; p++ {
+		var s float64
+		for c := 8; c < f.Cols; c++ {
+			s += f.At(p, c)
+		}
+		if s != 1 {
+			t.Fatalf("one-hot sum %v at pin %d", s, p)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	nl := tinyCircuit(t)
+	c := nl.Clone()
+	c.Pins[2].Cap = 99
+	if nl.Pins[2].Cap == 99 {
+		t.Fatal("clone shares pin storage")
+	}
+	c.Nets[0].Sinks[0] = 0
+	if nl.Nets[0].Sinks[0] == 0 && nl.Nets[0].Sinks[0] != c.Nets[0].Sinks[0] {
+		t.Fatal("clone shares net storage")
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal("original damaged by clone mutation")
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	nl := Generate(StandardBenchmarks()[0], rand.New(rand.NewSource(9)))
+	var buf bytes.Buffer
+	if err := Write(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != nl.Name || back.NumPins() != nl.NumPins() || len(back.Nets) != len(nl.Nets) {
+		t.Fatal("roundtrip changed structure")
+	}
+	for i := range nl.Pins {
+		if nl.Pins[i] != back.Pins[i] {
+			t.Fatalf("pin %d differs after roundtrip", i)
+		}
+	}
+	for i := range nl.Cells {
+		if nl.Cells[i].Type != back.Cells[i].Type || nl.Cells[i].OutPin != back.Cells[i].OutPin {
+			t.Fatalf("cell %d differs after roundtrip", i)
+		}
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"cell 0 BOGUS\n",
+		"pin 0 0 in 1.0\n",                       // pin references unknown cell
+		"cell 0 INV\npin 5 0 in 1\n",             // non-dense pin id
+		"frobnicate\n",                           // unknown directive
+		"cell 0 INV\ncell 1 INV\nnet 0 99 0 1\n", // driver out of range
+	}
+	for i, c := range cases {
+		if _, err := Read(bytes.NewBufferString(c)); err == nil {
+			t.Fatalf("case %d should fail to parse", i)
+		}
+	}
+}
+
+func TestGateTypeStringParse(t *testing.T) {
+	for _, typ := range append([]GateType{PortIn, PortOut}, CombinationalTypes...) {
+		back, err := ParseGateType(typ.String())
+		if err != nil || back != typ {
+			t.Fatalf("roundtrip failed for %v", typ)
+		}
+	}
+	if _, err := ParseGateType("NOPE"); err == nil {
+		t.Fatal("unknown type should error")
+	}
+	if GateType(200).String() == "" {
+		t.Fatal("out-of-range String should not be empty")
+	}
+}
+
+func TestValidateCatchesCycle(t *testing.T) {
+	// Build a 2-inverter loop.
+	nl := &Netlist{Name: "loop"}
+	nl.Cells = []Cell{
+		{ID: 0, Type: Inv, InPins: []int{0}, OutPin: 1},
+		{ID: 1, Type: Inv, InPins: []int{2}, OutPin: 3},
+	}
+	nl.Pins = []Pin{
+		{ID: 0, Cell: 0, Dir: DirIn, Cap: 1, Net: 1},
+		{ID: 1, Cell: 0, Dir: DirOut, Net: 0},
+		{ID: 2, Cell: 1, Dir: DirIn, Cap: 1, Net: 0},
+		{ID: 3, Cell: 1, Dir: DirOut, Net: 1},
+	}
+	nl.Nets = []Net{
+		{ID: 0, Driver: 1, Sinks: []int{2}},
+		{ID: 1, Driver: 3, Sinks: []int{0}},
+	}
+	if err := nl.Validate(); err == nil {
+		t.Fatal("cycle should be rejected")
+	}
+}
+
+func TestFaninFanoutCounts(t *testing.T) {
+	nl := tinyCircuit(t)
+	fi := nl.FaninCount()
+	fo := nl.FanoutCount()
+	nandOut := nl.Cells[2].OutPin
+	if fi[nandOut] != 2 {
+		t.Fatalf("NAND output fanin %d, want 2", fi[nandOut])
+	}
+	for _, p := range nl.PrimaryInputPins() {
+		if fi[p] != 0 || fo[p] != 1 {
+			t.Fatal("PI pin arc counts wrong")
+		}
+	}
+}
+
+func TestResizeSemantics(t *testing.T) {
+	nl := tinyCircuit(t)
+	nand := 2 // the NAND2 cell
+	up := nl.Resize(nand, 2)
+	if up.SizeOf(nand) != 2 || nl.SizeOf(nand) != 1 {
+		t.Fatal("size bookkeeping wrong")
+	}
+	// Input pins of the resized cell present 2x capacitance.
+	for _, p := range up.Cells[nand].InPins {
+		if up.Pins[p].Cap != 2*nl.Pins[p].Cap {
+			t.Fatal("input caps not scaled")
+		}
+	}
+	// Other cells untouched.
+	inv := 3
+	for _, p := range up.Cells[inv].InPins {
+		if up.Pins[p].Cap != nl.Pins[p].Cap {
+			t.Fatal("unrelated cell caps changed")
+		}
+	}
+	// Resizing back down restores the caps.
+	down := up.Resize(nand, 1)
+	for _, p := range down.Cells[nand].InPins {
+		if mathAbs(down.Pins[p].Cap-nl.Pins[p].Cap) > 1e-12 {
+			t.Fatal("resize not invertible")
+		}
+	}
+	if err := up.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResizeRejectsPortsAndBadFactor(t *testing.T) {
+	nl := tinyCircuit(t)
+	mustPanic(t, func() { nl.Resize(0, 2) })  // PI port
+	mustPanic(t, func() { nl.Resize(2, 0) })  // zero factor
+	mustPanic(t, func() { nl.Resize(2, -1) }) // negative factor
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func mathAbs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestSerializePreservesSizing(t *testing.T) {
+	nl := tinyCircuit(t)
+	sized := nl.Resize(2, 2.5)
+	var buf bytes.Buffer
+	if err := Write(&buf, sized); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SizeOf(2) != 2.5 || back.SizeOf(3) != 1 {
+		t.Fatalf("sizing lost in roundtrip: %v", back.CellSize)
+	}
+	// Caps roundtrip with the sizing applied.
+	for _, p := range sized.Cells[2].InPins {
+		if back.Pins[p].Cap != sized.Pins[p].Cap {
+			t.Fatal("sized caps not preserved")
+		}
+	}
+}

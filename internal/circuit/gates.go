@@ -1,0 +1,104 @@
+// Package circuit models gate-level netlists: a small standard-cell library,
+// cells, pins, and nets, plus synthetic benchmark generation and extraction
+// of the pin-level timing graph that both the STA engine and the GNN
+// substrate consume. Following the pre-routing timing-prediction setup the
+// paper evaluates on, graph nodes are cell pins and edges are net connections
+// and internal cell arcs.
+package circuit
+
+import "fmt"
+
+// GateType enumerates the cell library plus the two port pseudo-cells.
+type GateType int
+
+const (
+	// PortIn is a primary-input port: a single output pin, no inputs.
+	PortIn GateType = iota
+	// PortOut is a primary-output port: a single input pin, no outputs.
+	PortOut
+	// Inv is an inverter.
+	Inv
+	// Buf is a buffer.
+	Buf
+	// Nand2 is a 2-input NAND.
+	Nand2
+	// Nor2 is a 2-input NOR.
+	Nor2
+	// And2 is a 2-input AND.
+	And2
+	// Or2 is a 2-input OR.
+	Or2
+	// Xor2 is a 2-input XOR.
+	Xor2
+	// Xnor2 is a 2-input XNOR.
+	Xnor2
+	// Aoi21 is a 2-1 AND-OR-invert (3 inputs).
+	Aoi21
+	// Oai21 is a 2-1 OR-AND-invert (3 inputs).
+	Oai21
+	// Maj3 is a 3-input majority gate.
+	Maj3
+	numGateTypes
+)
+
+// NumGateTypes is the number of distinct gate types (including ports),
+// useful for one-hot feature encoding.
+const NumGateTypes = int(numGateTypes)
+
+var gateNames = [...]string{
+	PortIn: "IN", PortOut: "OUT", Inv: "INV", Buf: "BUF",
+	Nand2: "NAND2", Nor2: "NOR2", And2: "AND2", Or2: "OR2",
+	Xor2: "XOR2", Xnor2: "XNOR2", Aoi21: "AOI21", Oai21: "OAI21", Maj3: "MAJ3",
+}
+
+// String returns the library name of the gate type.
+func (t GateType) String() string {
+	if t < 0 || int(t) >= len(gateNames) {
+		return fmt.Sprintf("GateType(%d)", int(t))
+	}
+	return gateNames[t]
+}
+
+// ParseGateType inverts String. It returns an error for unknown names.
+func ParseGateType(s string) (GateType, error) {
+	for t, n := range gateNames {
+		if n == s {
+			return GateType(t), nil
+		}
+	}
+	return 0, fmt.Errorf("circuit: unknown gate type %q", s)
+}
+
+// CellSpec is the electrical/timing characterization of a library cell,
+// using a linear delay model: arcDelay = Intrinsic + Drive·loadCap.
+type CellSpec struct {
+	Inputs    int     // number of input pins
+	InputCap  float64 // capacitance of each input pin (fF)
+	Intrinsic float64 // intrinsic arc delay (ps)
+	Drive     float64 // delay slope (ps per fF of load)
+}
+
+// Library maps each gate type to its characterization. The values are
+// loosely modeled on a generic 45 nm standard-cell library: inverters are
+// fast with strong drive, complex gates are slower with higher input load.
+var Library = [NumGateTypes]CellSpec{
+	PortIn:  {Inputs: 0, InputCap: 0, Intrinsic: 0, Drive: 2.0},
+	PortOut: {Inputs: 1, InputCap: 2.0, Intrinsic: 0, Drive: 0},
+	Inv:     {Inputs: 1, InputCap: 1.6, Intrinsic: 12, Drive: 3.0},
+	Buf:     {Inputs: 1, InputCap: 1.4, Intrinsic: 22, Drive: 2.2},
+	Nand2:   {Inputs: 2, InputCap: 1.8, Intrinsic: 16, Drive: 3.6},
+	Nor2:    {Inputs: 2, InputCap: 1.9, Intrinsic: 19, Drive: 4.4},
+	And2:    {Inputs: 2, InputCap: 1.7, Intrinsic: 28, Drive: 3.1},
+	Or2:     {Inputs: 2, InputCap: 1.7, Intrinsic: 30, Drive: 3.3},
+	Xor2:    {Inputs: 2, InputCap: 2.4, Intrinsic: 34, Drive: 4.8},
+	Xnor2:   {Inputs: 2, InputCap: 2.4, Intrinsic: 35, Drive: 4.9},
+	Aoi21:   {Inputs: 3, InputCap: 2.1, Intrinsic: 24, Drive: 5.2},
+	Oai21:   {Inputs: 3, InputCap: 2.1, Intrinsic: 25, Drive: 5.3},
+	Maj3:    {Inputs: 3, InputCap: 2.6, Intrinsic: 40, Drive: 5.6},
+}
+
+// CombinationalTypes lists the gate types the generator instantiates
+// (everything except the port pseudo-cells).
+var CombinationalTypes = []GateType{
+	Inv, Buf, Nand2, Nor2, And2, Or2, Xor2, Xnor2, Aoi21, Oai21, Maj3,
+}

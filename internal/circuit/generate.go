@@ -1,0 +1,246 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Spec parameterizes the synthetic benchmark generator. The generator emits
+// layered combinational DAGs whose shape (logic depth, fanout distribution,
+// reconvergence) mimics the pre-routing netlists of the timing-prediction
+// benchmarks the paper evaluates on.
+type Spec struct {
+	Name    string
+	Inputs  int // primary inputs
+	Outputs int // primary outputs requested (dangling gate outputs add more)
+	Layers  int // logic depth in gate levels
+	Width   int // gates per layer
+	// LocalBias in [0,1): probability that a gate input connects to the
+	// immediately preceding layer rather than a uniformly random earlier
+	// driver. Higher values produce deeper, more path-like circuits.
+	LocalBias float64
+	// WireCap is the mean additional wire capacitance per net (fF). Per-net
+	// values are drawn from a heavy-tailed lognormal around this mean, so a
+	// small fraction of nets are much slower than typical — giving designs
+	// the sparse critical paths and abundant slack of real netlists.
+	WireCap float64
+	// WireCapSigma is the lognormal spread (default 1.3 when WireCap > 0).
+	WireCapSigma float64
+	// Window is the columnar locality of connections: a gate at position j
+	// draws its inputs from drivers within ±Window positions of the aligned
+	// position in the source layer, mimicking the bit-sliced structure of
+	// real datapaths (narrow fanout cones, so a node's influence does not
+	// blanket every primary output). Zero selects max(2, Width/16).
+	Window int
+	// MaxFanout caps the number of sinks per net, mirroring the fanout
+	// limits synthesis tools enforce via buffering. Zero selects 6.
+	MaxFanout int
+}
+
+type builder struct {
+	nl  *Netlist
+	rng *rand.Rand
+	// sinksOf accumulates net sinks per driver pin before nets are built.
+	sinksOf map[int][]int
+}
+
+func (b *builder) newPin(cell int, dir PinDir, cap float64) int {
+	id := len(b.nl.Pins)
+	b.nl.Pins = append(b.nl.Pins, Pin{ID: id, Cell: cell, Dir: dir, Cap: cap, Net: -1})
+	return id
+}
+
+func (b *builder) newCell(t GateType) *Cell {
+	id := len(b.nl.Cells)
+	b.nl.Cells = append(b.nl.Cells, Cell{ID: id, Type: t, OutPin: -1})
+	return &b.nl.Cells[id]
+}
+
+func (b *builder) connect(driver, sink int) {
+	b.sinksOf[driver] = append(b.sinksOf[driver], sink)
+}
+
+// Generate builds a synthetic benchmark from spec, deterministically for a
+// given rng state. The result always validates.
+func Generate(spec Spec, rng *rand.Rand) *Netlist {
+	if spec.Inputs < 1 || spec.Layers < 1 || spec.Width < 1 {
+		panic(fmt.Sprintf("circuit: invalid spec %+v", spec))
+	}
+	if spec.Outputs < 1 {
+		spec.Outputs = 1
+	}
+	b := &builder{
+		nl:      &Netlist{Name: spec.Name},
+		rng:     rng,
+		sinksOf: map[int][]int{},
+	}
+	// Primary inputs.
+	var layers [][]int // driver pins per layer; layer 0 = PIs
+	piPins := make([]int, 0, spec.Inputs)
+	for i := 0; i < spec.Inputs; i++ {
+		c := b.newCell(PortIn)
+		p := b.newPin(c.ID, DirOut, 0)
+		c.OutPin = p
+		b.nl.PrimaryInputs = append(b.nl.PrimaryInputs, c.ID)
+		piPins = append(piPins, p)
+	}
+	layers = append(layers, piPins)
+
+	// Gate layers. Connections are columnar: each gate sits at a position
+	// and wires to drivers near the aligned position of the source layer,
+	// giving narrow, bit-slice-like fanout cones.
+	window := spec.Window
+	if window <= 0 {
+		window = spec.Width / 16
+		if window < 2 {
+			window = 2
+		}
+	}
+	maxFanout := spec.MaxFanout
+	if maxFanout <= 0 {
+		maxFanout = 6
+	}
+	pickNear := func(srcLayer []int, pos, curWidth int) int {
+		js := pos * len(srcLayer) / curWidth
+		candidate := -1
+		// A few attempts to respect the fanout cap; the final attempt is
+		// accepted regardless so generation always succeeds.
+		for attempt := 0; attempt < 8; attempt++ {
+			off := rng.Intn(2*window+1) - window
+			j := js + off
+			if j < 0 {
+				j = 0
+			}
+			if j >= len(srcLayer) {
+				j = len(srcLayer) - 1
+			}
+			candidate = srcLayer[j]
+			if len(b.sinksOf[candidate]) < maxFanout {
+				return candidate
+			}
+		}
+		return candidate
+	}
+	for l := 1; l <= spec.Layers; l++ {
+		layer := make([]int, 0, spec.Width)
+		for g := 0; g < spec.Width; g++ {
+			t := CombinationalTypes[rng.Intn(len(CombinationalTypes))]
+			spec2 := Library[t]
+			c := b.newCell(t)
+			cid := c.ID
+			inPins := make([]int, spec2.Inputs)
+			for k := range inPins {
+				inPins[k] = b.newPin(cid, DirIn, spec2.InputCap)
+			}
+			outPin := b.newPin(cid, DirOut, 0)
+			cc := &b.nl.Cells[cid]
+			cc.InPins = inPins
+			cc.OutPin = outPin
+			// Wire inputs to earlier drivers near this column.
+			for _, ip := range inPins {
+				var src int
+				if rng.Float64() < spec.LocalBias || l == 1 {
+					src = pickNear(layers[l-1], g, spec.Width)
+				} else {
+					ll := rng.Intn(l) // any earlier layer
+					src = pickNear(layers[ll], g, spec.Width)
+				}
+				b.connect(src, ip)
+			}
+			layer = append(layer, outPin)
+		}
+		layers = append(layers, layer)
+	}
+
+	// Primary outputs: prefer last-layer drivers, then any dangling output.
+	poTargets := make([]int, 0, spec.Outputs)
+	last := layers[len(layers)-1]
+	for i := 0; i < spec.Outputs && i < len(last); i++ {
+		poTargets = append(poTargets, last[i])
+	}
+	// Attach every remaining dangling driver to a PO so all logic is
+	// observable.
+	attached := map[int]bool{}
+	for _, p := range poTargets {
+		attached[p] = true
+	}
+	for _, layer := range layers[1:] {
+		for _, p := range layer {
+			if len(b.sinksOf[p]) == 0 && !attached[p] {
+				poTargets = append(poTargets, p)
+				attached[p] = true
+			}
+		}
+	}
+	for _, driver := range poTargets {
+		c := b.newCell(PortOut)
+		cid := c.ID
+		ip := b.newPin(cid, DirIn, Library[PortOut].InputCap)
+		b.nl.Cells[cid].InPins = []int{ip}
+		b.nl.PrimaryOutputs = append(b.nl.PrimaryOutputs, cid)
+		b.connect(driver, ip)
+	}
+
+	// Materialize nets in ascending driver order so generation is fully
+	// deterministic (map iteration order would not be).
+	drivers := make([]int, 0, len(b.sinksOf))
+	for driver := range b.sinksOf {
+		drivers = append(drivers, driver)
+	}
+	sort.Ints(drivers)
+	for _, driver := range drivers {
+		sinks := b.sinksOf[driver]
+		if len(sinks) == 0 {
+			continue
+		}
+		id := len(b.nl.Nets)
+		wc := 0.0
+		if spec.WireCap > 0 {
+			sigma := spec.WireCapSigma
+			if sigma <= 0 {
+				sigma = 1.3
+			}
+			// Lognormal with mean spec.WireCap: μ = −σ²/2 keeps E[e^X] = 1.
+			wc = spec.WireCap * math.Exp(rng.NormFloat64()*sigma-sigma*sigma/2)
+			if limit := spec.WireCap * 50; wc > limit {
+				wc = limit
+			}
+		}
+		b.nl.Nets = append(b.nl.Nets, Net{ID: id, Driver: driver, Sinks: sinks, WireCap: wc})
+		b.nl.Pins[driver].Net = id
+		for _, s := range sinks {
+			b.nl.Pins[s].Net = id
+		}
+	}
+	return b.nl
+}
+
+// StandardBenchmarks returns the nine synthetic designs used throughout the
+// experiment harness, ordered by size. They stand in for the nine
+// highest-R² benchmark circuits of the paper's Table I.
+func StandardBenchmarks() []Spec {
+	return []Spec{
+		{Name: "ss_pcm", Inputs: 24, Outputs: 16, Layers: 8, Width: 40, LocalBias: 0.6, WireCap: 1.0},
+		{Name: "usb_phy", Inputs: 32, Outputs: 24, Layers: 10, Width: 60, LocalBias: 0.6, WireCap: 1.0},
+		{Name: "sasc", Inputs: 40, Outputs: 32, Layers: 10, Width: 90, LocalBias: 0.6, WireCap: 1.2},
+		{Name: "simple_spi", Inputs: 48, Outputs: 32, Layers: 12, Width: 120, LocalBias: 0.65, WireCap: 1.2},
+		{Name: "i2c", Inputs: 48, Outputs: 40, Layers: 12, Width: 170, LocalBias: 0.65, WireCap: 1.2},
+		{Name: "pci_spoci", Inputs: 64, Outputs: 48, Layers: 14, Width: 230, LocalBias: 0.7, WireCap: 1.4},
+		{Name: "des_area", Inputs: 96, Outputs: 64, Layers: 16, Width: 330, LocalBias: 0.7, WireCap: 1.4},
+		{Name: "spi", Inputs: 96, Outputs: 72, Layers: 18, Width: 450, LocalBias: 0.7, WireCap: 1.5},
+		{Name: "systemcdes", Inputs: 128, Outputs: 96, Layers: 20, Width: 620, LocalBias: 0.75, WireCap: 1.5},
+	}
+}
+
+// BenchmarkByName generates one of the standard benchmarks by name with the
+// given seed.
+func BenchmarkByName(name string, seed int64) (*Netlist, error) {
+	for _, s := range StandardBenchmarks() {
+		if s.Name == name {
+			return Generate(s, rand.New(rand.NewSource(seed))), nil
+		}
+	}
+	return nil, fmt.Errorf("circuit: unknown benchmark %q", name)
+}

@@ -1,0 +1,186 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text netlist format is line oriented:
+//
+//	circuit <name>
+//	cell <id> <type>
+//	pin <id> <cell> <in|out> <cap>
+//	net <id> <driver> <wirecap> <sink> [<sink> ...]
+//	pi <cell> / po <cell>
+//	size <cell> <factor>          (omitted for unit-size cells)
+//
+// Lines starting with '#' and blank lines are ignored. Ordering of sections
+// is free, but ids must be dense and ascending within each section.
+
+// Write serializes nl in the text netlist format.
+func Write(w io.Writer, nl *Netlist) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "circuit %s\n", nl.Name)
+	for _, c := range nl.Cells {
+		fmt.Fprintf(bw, "cell %d %s\n", c.ID, c.Type)
+	}
+	for _, p := range nl.Pins {
+		dir := "in"
+		if p.Dir == DirOut {
+			dir = "out"
+		}
+		fmt.Fprintf(bw, "pin %d %d %s %g\n", p.ID, p.Cell, dir, p.Cap)
+	}
+	for _, n := range nl.Nets {
+		fmt.Fprintf(bw, "net %d %d %g", n.ID, n.Driver, n.WireCap)
+		for _, s := range n.Sinks {
+			fmt.Fprintf(bw, " %d", s)
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, c := range nl.PrimaryInputs {
+		fmt.Fprintf(bw, "pi %d\n", c)
+	}
+	for _, c := range nl.PrimaryOutputs {
+		fmt.Fprintf(bw, "po %d\n", c)
+	}
+	for c := range nl.Cells {
+		if s := nl.SizeOf(c); s != 1 {
+			fmt.Fprintf(bw, "size %d %g\n", c, s)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the text netlist format and validates the result.
+func Read(r io.Reader) (*Netlist, error) {
+	nl := &Netlist{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "circuit":
+			if len(fields) >= 2 {
+				nl.Name = fields[1]
+			}
+		case "cell":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("circuit: line %d: cell wants 2 args", lineNo)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil || id != len(nl.Cells) {
+				return nil, fmt.Errorf("circuit: line %d: bad cell id %q", lineNo, fields[1])
+			}
+			t, err := ParseGateType(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("circuit: line %d: %v", lineNo, err)
+			}
+			nl.Cells = append(nl.Cells, Cell{ID: id, Type: t, OutPin: -1})
+		case "pin":
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("circuit: line %d: pin wants 4 args", lineNo)
+			}
+			id, err1 := strconv.Atoi(fields[1])
+			cell, err2 := strconv.Atoi(fields[2])
+			cap, err3 := strconv.ParseFloat(fields[4], 64)
+			if err1 != nil || err2 != nil || err3 != nil || id != len(nl.Pins) {
+				return nil, fmt.Errorf("circuit: line %d: malformed pin", lineNo)
+			}
+			var dir PinDir
+			switch fields[3] {
+			case "in":
+				dir = DirIn
+			case "out":
+				dir = DirOut
+			default:
+				return nil, fmt.Errorf("circuit: line %d: bad pin direction %q", lineNo, fields[3])
+			}
+			if cell < 0 || cell >= len(nl.Cells) {
+				return nil, fmt.Errorf("circuit: line %d: pin references unknown cell %d", lineNo, cell)
+			}
+			nl.Pins = append(nl.Pins, Pin{ID: id, Cell: cell, Dir: dir, Cap: cap, Net: -1})
+			c := &nl.Cells[cell]
+			if dir == DirIn {
+				c.InPins = append(c.InPins, id)
+			} else {
+				c.OutPin = id
+			}
+		case "net":
+			if len(fields) < 5 {
+				return nil, fmt.Errorf("circuit: line %d: net wants driver, wirecap and at least one sink", lineNo)
+			}
+			id, err1 := strconv.Atoi(fields[1])
+			driver, err2 := strconv.Atoi(fields[2])
+			wc, err3 := strconv.ParseFloat(fields[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil || id != len(nl.Nets) {
+				return nil, fmt.Errorf("circuit: line %d: malformed net", lineNo)
+			}
+			net := Net{ID: id, Driver: driver, WireCap: wc}
+			for _, f := range fields[4:] {
+				s, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, fmt.Errorf("circuit: line %d: bad sink %q", lineNo, f)
+				}
+				net.Sinks = append(net.Sinks, s)
+			}
+			if driver < 0 || driver >= len(nl.Pins) {
+				return nil, fmt.Errorf("circuit: line %d: net driver %d out of range", lineNo, driver)
+			}
+			nl.Pins[driver].Net = id
+			for _, s := range net.Sinks {
+				if s < 0 || s >= len(nl.Pins) {
+					return nil, fmt.Errorf("circuit: line %d: net sink %d out of range", lineNo, s)
+				}
+				nl.Pins[s].Net = id
+			}
+			nl.Nets = append(nl.Nets, net)
+		case "pi":
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("circuit: line %d: bad pi", lineNo)
+			}
+			nl.PrimaryInputs = append(nl.PrimaryInputs, id)
+		case "po":
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("circuit: line %d: bad po", lineNo)
+			}
+			nl.PrimaryOutputs = append(nl.PrimaryOutputs, id)
+		case "size":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("circuit: line %d: size wants cell and factor", lineNo)
+			}
+			id, err1 := strconv.Atoi(fields[1])
+			f, err2 := strconv.ParseFloat(fields[2], 64)
+			if err1 != nil || err2 != nil || id < 0 || id >= len(nl.Cells) || f <= 0 {
+				return nil, fmt.Errorf("circuit: line %d: malformed size directive", lineNo)
+			}
+			if nl.CellSize == nil {
+				nl.CellSize = make([]float64, len(nl.Cells))
+				for i := range nl.CellSize {
+					nl.CellSize[i] = 1
+				}
+			}
+			nl.CellSize[id] = f
+		default:
+			return nil, fmt.Errorf("circuit: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	return nl, nil
+}

@@ -1,0 +1,161 @@
+// Package coarsen implements multilevel graph coarsening via heavy-edge
+// matching, the machinery behind the fast multilevel eigensolver the paper
+// relies on for near-linear spectral embedding (reference [31]). A hierarchy
+// of successively smaller graphs is built by contracting matched edges;
+// spectral problems are solved on the coarsest level and interpolated back
+// with Rayleigh–Ritz refinement at every level.
+package coarsen
+
+import (
+	"math/rand"
+	"sort"
+
+	"cirstag/internal/graph"
+)
+
+// Level is one step of the coarsening hierarchy.
+type Level struct {
+	Graph *graph.Graph
+	// Map assigns each node of the finer level to its coarse aggregate.
+	// Level 0's Map refers from the original graph into Level 0's Graph.
+	Map []int
+}
+
+// Hierarchy is a sequence of coarser and coarser graphs.
+type Hierarchy struct {
+	Original *graph.Graph
+	Levels   []Level // Levels[0] is one step coarser than Original
+}
+
+// Options controls hierarchy construction.
+type Options struct {
+	// MinNodes stops coarsening once a level has at most this many nodes.
+	// Default 64.
+	MinNodes int
+	// MaxLevels caps the hierarchy depth. Default 20.
+	MaxLevels int
+	// MinShrink aborts when a level shrinks by less than this factor
+	// (guards against matching stall on star-like graphs). Default 0.9
+	// (must shrink to ≤ 90% of the previous size).
+	MinShrink float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinNodes <= 0 {
+		o.MinNodes = 64
+	}
+	if o.MaxLevels <= 0 {
+		o.MaxLevels = 20
+	}
+	if o.MinShrink <= 0 || o.MinShrink >= 1 {
+		o.MinShrink = 0.9
+	}
+	return o
+}
+
+// Build constructs a coarsening hierarchy of g.
+func Build(g *graph.Graph, rng *rand.Rand, opts Options) *Hierarchy {
+	opts = opts.withDefaults()
+	h := &Hierarchy{Original: g}
+	cur := g
+	for level := 0; level < opts.MaxLevels && cur.N() > opts.MinNodes; level++ {
+		coarse, mapping := CoarsenOnce(cur, rng)
+		if float64(coarse.N()) > opts.MinShrink*float64(cur.N()) {
+			break
+		}
+		h.Levels = append(h.Levels, Level{Graph: coarse, Map: mapping})
+		cur = coarse
+	}
+	return h
+}
+
+// Coarsest returns the smallest graph of the hierarchy (the original when no
+// coarsening happened).
+func (h *Hierarchy) Coarsest() *graph.Graph {
+	if len(h.Levels) == 0 {
+		return h.Original
+	}
+	return h.Levels[len(h.Levels)-1].Graph
+}
+
+// CoarsenOnce performs one round of heavy-edge matching: every node is
+// matched with its heaviest unmatched neighbour (visited in random order for
+// tie diversity), matched pairs are contracted into one coarse node, and
+// edge weights between aggregates are summed. Unmatched nodes are copied.
+func CoarsenOnce(g *graph.Graph, rng *rand.Rand) (*graph.Graph, []int) {
+	n := g.N()
+	mapping := make([]int, n)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	order := rng.Perm(n)
+	next := 0
+	for _, u := range order {
+		if mapping[u] != -1 {
+			continue
+		}
+		// Heaviest unmatched neighbour.
+		best := -1
+		var bestW float64
+		for _, v := range g.SortedNeighbors(u) {
+			if mapping[v] != -1 {
+				continue
+			}
+			if w := g.EdgeWeight(u, v); w > bestW {
+				bestW = w
+				best = v
+			}
+		}
+		mapping[u] = next
+		if best != -1 {
+			mapping[best] = next
+		}
+		next++
+	}
+	// Aggregate edges.
+	type key struct{ a, b int }
+	agg := make(map[key]float64)
+	for _, e := range g.Edges() {
+		a, b := mapping[e.U], mapping[e.V]
+		if a == b {
+			continue // contracted edge disappears
+		}
+		if a > b {
+			a, b = b, a
+		}
+		agg[key{a, b}] += e.W
+	}
+	keys := make([]key, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	coarse := graph.New(next)
+	for _, k := range keys {
+		coarse.AddEdge(k.a, k.b, agg[k])
+	}
+	return coarse, mapping
+}
+
+// ProlongMap composes the hierarchy's mappings so that the returned slice
+// maps each original node directly to its aggregate at the given level
+// (0-based into Levels).
+func (h *Hierarchy) ProlongMap(level int) []int {
+	n := h.Original.N()
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	for l := 0; l <= level && l < len(h.Levels); l++ {
+		m := h.Levels[l].Map
+		for i := range out {
+			out[i] = m[out[i]]
+		}
+	}
+	return out
+}

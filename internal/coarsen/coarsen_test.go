@@ -1,0 +1,164 @@
+package coarsen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cirstag/internal/graph"
+	"cirstag/internal/mat"
+)
+
+func randomConnectedGraph(rng *rand.Rand, n, extra int) *graph.Graph {
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(i, rng.Intn(i), 0.1+rng.Float64())
+	}
+	for k := 0; k < extra; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.AddEdge(u, v, 0.1+rng.Float64())
+		}
+	}
+	return g
+}
+
+func TestCoarsenOnceShrinksAndConserves(t *testing.T) {
+	rng := rand.New(rand.NewSource(170))
+	g := randomConnectedGraph(rng, 100, 200)
+	coarse, mapping := CoarsenOnce(g, rng)
+	if coarse.N() >= g.N() {
+		t.Fatalf("no shrink: %d -> %d", g.N(), coarse.N())
+	}
+	if coarse.N() < g.N()/2 {
+		t.Fatalf("matching contracted more than pairs: %d -> %d", g.N(), coarse.N())
+	}
+	// Valid mapping.
+	for v, m := range mapping {
+		if m < 0 || m >= coarse.N() {
+			t.Fatalf("node %d maps to %d out of range", v, m)
+		}
+	}
+	// Aggregates have at most 2 members (pair matching).
+	count := make([]int, coarse.N())
+	for _, m := range mapping {
+		count[m]++
+	}
+	for a, c := range count {
+		if c < 1 || c > 2 {
+			t.Fatalf("aggregate %d has %d members", a, c)
+		}
+	}
+	// Total edge weight conserved minus contracted intra-pair edges.
+	var intra float64
+	for _, e := range g.Edges() {
+		if mapping[e.U] == mapping[e.V] {
+			intra += e.W
+		}
+	}
+	if math.Abs(coarse.TotalWeight()-(g.TotalWeight()-intra)) > 1e-9 {
+		t.Fatal("edge weight not conserved under contraction")
+	}
+	// Connectivity preserved.
+	if !coarse.IsConnected() {
+		t.Fatal("coarse graph disconnected")
+	}
+}
+
+func TestBuildHierarchyReachesMinNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(171))
+	g := randomConnectedGraph(rng, 600, 1200)
+	h := Build(g, rng, Options{MinNodes: 50})
+	if len(h.Levels) == 0 {
+		t.Fatal("no levels built")
+	}
+	if h.Coarsest().N() > 100 {
+		t.Fatalf("coarsest still has %d nodes", h.Coarsest().N())
+	}
+	// Strictly decreasing sizes.
+	prev := g.N()
+	for _, l := range h.Levels {
+		if l.Graph.N() >= prev {
+			t.Fatal("level did not shrink")
+		}
+		prev = l.Graph.N()
+	}
+}
+
+func TestProlongMapComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(172))
+	g := randomConnectedGraph(rng, 200, 300)
+	h := Build(g, rng, Options{MinNodes: 20})
+	if len(h.Levels) < 2 {
+		t.Skip("hierarchy too shallow for composition test")
+	}
+	last := len(h.Levels) - 1
+	pm := h.ProlongMap(last)
+	if len(pm) != g.N() {
+		t.Fatal("prolong map length wrong")
+	}
+	for v, a := range pm {
+		if a < 0 || a >= h.Coarsest().N() {
+			t.Fatalf("node %d maps to %d outside coarsest graph", v, a)
+		}
+	}
+	// Manual composition agrees.
+	manual := h.Levels[0].Map[5]
+	for l := 1; l <= last; l++ {
+		manual = h.Levels[l].Map[manual]
+	}
+	if pm[5] != manual {
+		t.Fatal("ProlongMap disagrees with manual composition")
+	}
+}
+
+func TestMultilevelEigenpairsMatchDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(173))
+	g := randomConnectedGraph(rng, 300, 600)
+	h := Build(g, rng, Options{MinNodes: 40})
+	k := 6
+	vals, vecs := SmallestEigenpairs(h, k, rng)
+	exact, _ := mat.SymEig(g.NormalizedLaplacian().ToDense())
+	// The multilevel estimates should track the true smallest eigenvalues
+	// closely (few-percent Ritz accuracy).
+	for j := 0; j < k; j++ {
+		if math.Abs(vals[j]-exact[j]) > 0.05*(exact[j]+0.05) {
+			t.Fatalf("eigenvalue %d: multilevel %v vs exact %v", j, vals[j], exact[j])
+		}
+	}
+	// Vectors orthonormal.
+	if !vecs.MulT(vecs).Equalish(mat.Eye(k), 1e-8) {
+		t.Fatal("multilevel eigenvectors not orthonormal")
+	}
+	// First Ritz vector ~ trivial eigenvector: Rayleigh quotient near 0.
+	if vals[0] > 0.02 {
+		t.Fatalf("smallest Ritz value %v too large", vals[0])
+	}
+}
+
+func TestMultilevelOnSmallGraphFallsBack(t *testing.T) {
+	// Graph below MinNodes: hierarchy has no levels; solve happens directly
+	// on the original graph.
+	rng := rand.New(rand.NewSource(174))
+	g := randomConnectedGraph(rng, 30, 50)
+	h := Build(g, rng, Options{MinNodes: 64})
+	if len(h.Levels) != 0 {
+		t.Fatal("should not coarsen below MinNodes")
+	}
+	vals, vecs := SmallestEigenpairs(h, 4, rng)
+	if vecs.Rows != 30 || len(vals) != 4 {
+		t.Fatal("fallback dimensions wrong")
+	}
+	exact, _ := mat.SymEig(g.NormalizedLaplacian().ToDense())
+	for j := 0; j < 4; j++ {
+		if math.Abs(vals[j]-exact[j]) > 1e-6 {
+			t.Fatalf("direct solve inaccurate: %v vs %v", vals[j], exact[j])
+		}
+	}
+}
+
+func TestEigenvalueError(t *testing.T) {
+	if e := EigenvalueError(mat.Vec{1.1}, mat.Vec{1.0}); math.Abs(e-0.1) > 1e-12 {
+		t.Fatalf("EigenvalueError = %v", e)
+	}
+}

@@ -1,0 +1,138 @@
+package coarsen
+
+import (
+	"math"
+	"math/rand"
+
+	"cirstag/internal/eig"
+	"cirstag/internal/mat"
+	"cirstag/internal/sparse"
+)
+
+// SmallestEigenpairs approximates the k smallest eigenpairs of the
+// normalized Laplacian of the hierarchy's original graph with a classic
+// multilevel V-cycle:
+//
+//  1. solve the problem exactly (dense or Lanczos) on the coarsest graph,
+//  2. interpolate the eigenvectors up one level (piecewise-constant
+//     prolongation),
+//  3. refine with a few block inverse-power smoothing steps followed by a
+//     Rayleigh–Ritz projection,
+//  4. repeat until the original graph is reached.
+//
+// Accuracy is within a few percent of a direct solve at a fraction of the
+// fine-level iterations — the trade the paper's reference [31] makes for
+// near-linear overall runtime.
+func SmallestEigenpairs(h *Hierarchy, k int, rng *rand.Rand) (mat.Vec, *mat.Dense) {
+	coarse := h.Coarsest()
+	// Work on a buffered block: the trailing vectors of a smoothed block
+	// converge slowest, so refine extra vectors and truncate at the end.
+	buffer := k / 2
+	if buffer < 4 {
+		buffer = 4
+	}
+	kc := k + buffer
+	if kc > coarse.N() {
+		kc = coarse.N()
+	}
+	// Coarsest solve (dense for small, Lanczos otherwise).
+	lnC := coarse.NormalizedLaplacian()
+	var vecs *mat.Dense
+	if coarse.N() <= 400 {
+		allVals, allVecs := mat.SymEig(lnC.ToDense())
+		_ = allVals
+		vecs = mat.NewDense(coarse.N(), kc)
+		for j := 0; j < kc; j++ {
+			vecs.SetCol(j, allVecs.Col(j))
+		}
+	} else {
+		_, vecs = eig.SmallestNormalizedLaplacian(lnC, kc, rng, eig.Options{})
+	}
+
+	// Walk the hierarchy upwards (coarse → fine).
+	for l := len(h.Levels) - 1; l >= 0; l-- {
+		var fineGraph = h.Original
+		if l > 0 {
+			fineGraph = h.Levels[l-1].Graph
+		}
+		mapping := h.Levels[l].Map
+		ln := fineGraph.NormalizedLaplacian()
+		// Prolongate: fine node inherits its aggregate's values.
+		lift := mat.NewDense(fineGraph.N(), vecs.Cols)
+		for i := 0; i < fineGraph.N(); i++ {
+			copy(lift.Data[i*lift.Cols:(i+1)*lift.Cols], vecs.Data[mapping[i]*vecs.Cols:(mapping[i]+1)*vecs.Cols])
+		}
+		vecs = refine(ln, lift)
+	}
+	// Truncate the buffer and compute final Ritz values on the original
+	// graph (refine sorts columns by ascending Ritz value).
+	if vecs.Cols > k {
+		trunc := mat.NewDense(vecs.Rows, k)
+		for j := 0; j < k; j++ {
+			trunc.SetCol(j, vecs.Col(j))
+		}
+		vecs = trunc
+	}
+	lnF := h.Original.NormalizedLaplacian()
+	vals := make(mat.Vec, vecs.Cols)
+	for j := 0; j < vecs.Cols; j++ {
+		v := vecs.Col(j)
+		vals[j] = mat.Dot(v, lnF.MulVec(v))
+	}
+	return vals, vecs
+}
+
+// refine improves a block of approximate eigenvectors of the normalized
+// Laplacian ln: a few smoothing steps with the shifted operator 2I − L
+// (power iteration toward the low end of the spectrum) followed by
+// Rayleigh–Ritz in the refined subspace.
+func refine(ln *sparse.CSR, basis *mat.Dense) *mat.Dense {
+	n, k := basis.Rows, basis.Cols
+	const smoothSteps = 15
+	cur := basis.Clone()
+	tmp := make(mat.Vec, n)
+	for step := 0; step < smoothSteps; step++ {
+		for j := 0; j < k; j++ {
+			v := cur.Col(j)
+			ln.MulVecTo(tmp, v)
+			for i := range v {
+				v[i] = 2*v[i] - tmp[i]
+			}
+			mat.Normalize(v)
+			cur.SetCol(j, v)
+		}
+		mat.Orthonormalize(cur)
+	}
+	// Rayleigh–Ritz: diagonalize the k x k projection Bᵀ L B.
+	lb := ln.MulDense(cur)
+	small := cur.MulT(lb)
+	// Symmetrize against round-off.
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			s := (small.At(i, j) + small.At(j, i)) / 2
+			small.Set(i, j, s)
+			small.Set(j, i, s)
+		}
+	}
+	_, rot := mat.SymEig(small)
+	out := cur.Mul(rot)
+	for j := 0; j < k; j++ {
+		v := out.Col(j)
+		mat.Normalize(v)
+		out.SetCol(j, v)
+	}
+	return out
+}
+
+// EigenvalueError reports the maximum relative eigenvalue discrepancy
+// between the multilevel estimates and reference values (test helper).
+func EigenvalueError(approx, exact mat.Vec) float64 {
+	var worst float64
+	for i := range approx {
+		denom := math.Max(math.Abs(exact[i]), 1e-3)
+		if d := math.Abs(approx[i]-exact[i]) / denom; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

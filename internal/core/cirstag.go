@@ -1,0 +1,287 @@
+// Package core implements the CirSTAG pipeline (Algorithm 1 of the paper):
+// given a circuit graph and the node embeddings produced by a pre-trained
+// GNN, it quantifies the stability of every node and edge by measuring the
+// distance-mapping distortion (DMD) between an input manifold built from a
+// spectral embedding of the circuit graph and an output manifold built from
+// the GNN embeddings.
+//
+// The three phases are:
+//
+//  1. Embedding — weighted spectral embedding U_M of the input graph
+//     (package embed) and the GNN output matrix Y.
+//  2. Manifolds — kNN graphs over U_M and Y, spectrally sparsified into
+//     probabilistic graphical models (package pgm).
+//  3. Stability — top-s generalized eigenpairs of L_Y⁺·L_X give the weighted
+//     eigensubspace V_s = [v_i·√ζ_i]; the stability of edge (p,q) is
+//     ‖V_sᵀ·e_pq‖² and a node's score is the mean over its manifold
+//     neighbours (paper eq. 9), a surrogate for the local Lipschitz
+//     constant of the GNN at that node.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"cirstag/internal/eig"
+	"cirstag/internal/embed"
+	"cirstag/internal/graph"
+	"cirstag/internal/mat"
+	"cirstag/internal/pgm"
+)
+
+// Options configures a CirSTAG run. The zero value gives sensible defaults.
+type Options struct {
+	// EmbedDims is the spectral-embedding dimension M (Phase 1). Default 16.
+	EmbedDims int
+	// ScoreDims is the number s of generalized eigenpairs used for scores
+	// (Phase 3). Default 8.
+	ScoreDims int
+	// KNN is the neighbourhood size for manifold construction. Default 10.
+	KNN int
+	// AvgDegree is the target average degree of the sparsified manifolds.
+	// Default 6.
+	AvgDegree int
+	// SkipDimReduction bypasses Phase 1 and uses the raw input graph as the
+	// input manifold (the Fig. 4 ablation). The output manifold is still
+	// built from Y.
+	SkipDimReduction bool
+	// FeatureAlpha, when positive and Features is non-nil in the input,
+	// appends standardized node features (scaled by this factor) to the
+	// spectral embedding before manifold construction.
+	FeatureAlpha float64
+	// Multilevel uses the coarsening-based eigensolver for the Phase-1
+	// spectral embedding on large graphs (paper ref. [31]).
+	Multilevel bool
+	// Seed drives every stochastic component (Lanczos start vectors, JL
+	// sketches, tree sampling). Runs with equal seeds are identical.
+	Seed int64
+	// Eig forwards tuning parameters to the eigensolvers.
+	Eig eig.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.EmbedDims <= 0 {
+		o.EmbedDims = 16
+	}
+	if o.ScoreDims <= 0 {
+		o.ScoreDims = 8
+	}
+	if o.KNN <= 0 {
+		o.KNN = 10
+	}
+	if o.AvgDegree <= 0 {
+		o.AvgDegree = 6
+	}
+	return o
+}
+
+// Input bundles what CirSTAG consumes: the circuit graph, the GNN's node
+// embedding matrix (one row per node), and optional raw node features.
+type Input struct {
+	Graph    *graph.Graph
+	Output   *mat.Dense // n x d GNN node embeddings (Y)
+	Features *mat.Dense // optional n x f raw node features
+}
+
+// EdgeScore is the stability score of one input-manifold edge.
+type EdgeScore struct {
+	U, V  int
+	Score float64 // ‖V_sᵀ e_uv‖²
+}
+
+// Result is the full output of a CirSTAG run.
+type Result struct {
+	// NodeScores[p] is the stability score of node p (eq. 9). Larger means
+	// less stable (larger local Lipschitz constant).
+	NodeScores mat.Vec
+	// EdgeScores lists the per-edge DMD scores on the input manifold.
+	EdgeScores []EdgeScore
+	// InputManifold and OutputManifold are the learned PGMs G_X and G_Y.
+	InputManifold  *graph.Graph
+	OutputManifold *graph.Graph
+	// Eigenvalues are the top-s generalized eigenvalues ζ₁ ≥ … ≥ ζ_s of
+	// L_Y⁺·L_X.
+	Eigenvalues mat.Vec
+	// Embedding is the Phase-1 spectral embedding actually used (nil when
+	// SkipDimReduction is set).
+	Embedding *mat.Dense
+}
+
+// Run executes the CirSTAG pipeline.
+func Run(in Input, opts Options) (*Result, error) {
+	if in.Graph == nil || in.Output == nil {
+		return nil, fmt.Errorf("core: input graph and output embeddings are required")
+	}
+	n := in.Graph.N()
+	if in.Output.Rows != n {
+		return nil, fmt.Errorf("core: graph has %d nodes but output has %d rows", n, in.Output.Rows)
+	}
+	if n < 3 {
+		return nil, fmt.Errorf("core: need at least 3 nodes, got %d", n)
+	}
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Phase 1 + 2a: input manifold.
+	var gx *graph.Graph
+	var embedding *mat.Dense
+	if opts.SkipDimReduction {
+		gx = pgm.FromGraph(in.Graph, rng, pgm.Options{AvgDegree: opts.AvgDegree, SkipSparsify: true})
+	} else {
+		sp := embed.Spectral(in.Graph, rng, embed.Options{Dims: opts.EmbedDims, Multilevel: opts.Multilevel, Eig: opts.Eig})
+		embedding = sp.U
+		if opts.FeatureAlpha > 0 && in.Features != nil {
+			embedding = embed.FeatureAugmented(sp.U, in.Features, opts.FeatureAlpha)
+		}
+		gx = pgm.Build(embedding, rng, pgm.Options{K: opts.KNN, AvgDegree: opts.AvgDegree})
+	}
+
+	// Phase 2b: output manifold from GNN embeddings.
+	gy := pgm.Build(in.Output, rng, pgm.Options{K: opts.KNN, AvgDegree: opts.AvgDegree})
+
+	// The generalized eigenproblem needs both Laplacians to share a single
+	// nontrivial kernel; bridge any stray components with weak edges.
+	gx = ensureConnected(gx)
+	gy = ensureConnected(gy)
+
+	// Phase 3: top-s generalized eigenpairs of L_Y⁺ L_X.
+	s := opts.ScoreDims
+	if s > n-1 {
+		s = n - 1
+	}
+	pairs := eig.GeneralizedTopK(gx.Laplacian(), gy.Laplacian(), s, rng, opts.Eig)
+
+	// Weighted eigensubspace V_s = [v_i √ζ_i].
+	vs := mat.NewDense(n, len(pairs))
+	eigenvalues := make(mat.Vec, len(pairs))
+	for j, p := range pairs {
+		eigenvalues[j] = p.Value
+		col := p.Vector.Clone()
+		w := p.Value
+		if w < 0 {
+			w = 0
+		}
+		mat.Scale(math.Sqrt(w), col)
+		vs.SetCol(j, col)
+	}
+
+	// Edge scores ‖V_sᵀ e_pq‖² on the input manifold, node scores as the
+	// neighbour mean (eq. 9).
+	edges := gx.Edges()
+	edgeScores := make([]EdgeScore, len(edges))
+	nodeSum := make(mat.Vec, n)
+	nodeCnt := make([]int, n)
+	for i, e := range edges {
+		var sc float64
+		ru := vs.Row(e.U)
+		rv := vs.Row(e.V)
+		for c := range ru {
+			d := ru[c] - rv[c]
+			sc += d * d
+		}
+		edgeScores[i] = EdgeScore{U: e.U, V: e.V, Score: sc}
+		nodeSum[e.U] += sc
+		nodeSum[e.V] += sc
+		nodeCnt[e.U]++
+		nodeCnt[e.V]++
+	}
+	nodeScores := make(mat.Vec, n)
+	for p := 0; p < n; p++ {
+		if nodeCnt[p] > 0 {
+			nodeScores[p] = nodeSum[p] / float64(nodeCnt[p])
+		}
+	}
+
+	return &Result{
+		NodeScores:     nodeScores,
+		EdgeScores:     edgeScores,
+		InputManifold:  gx,
+		OutputManifold: gy,
+		Eigenvalues:    eigenvalues,
+		Embedding:      embedding,
+	}, nil
+}
+
+// ensureConnected returns g if connected; otherwise it returns a copy with
+// weak bridging edges (1e-3 × the mean edge weight) between consecutive
+// component representatives, which keeps the Laplacian kernel
+// one-dimensional without materially distorting the spectrum.
+func ensureConnected(g *graph.Graph) *graph.Graph {
+	comp, nc := g.ConnectedComponents()
+	if nc <= 1 {
+		return g
+	}
+	rep := make([]int, nc)
+	for i := range rep {
+		rep[i] = -1
+	}
+	for v, c := range comp {
+		if rep[c] == -1 {
+			rep[c] = v
+		}
+	}
+	w := 1e-3
+	if m := g.M(); m > 0 {
+		w = 1e-3 * g.TotalWeight() / float64(m)
+	}
+	out := g.Clone()
+	for c := 1; c < nc; c++ {
+		out.AddEdge(rep[0], rep[c], w)
+	}
+	return out
+}
+
+// Ranking orders nodes by descending stability score (most unstable first).
+type Ranking struct {
+	Order  []int   // node ids, most unstable first
+	Scores mat.Vec // scores in the same order
+}
+
+// Rank builds a stability ranking from node scores, excluding any node id in
+// the exclude set (pass nil to keep all). Ties break by node id for
+// determinism.
+func Rank(scores mat.Vec, exclude map[int]bool) *Ranking {
+	order := make([]int, 0, len(scores))
+	for p := range scores {
+		if exclude != nil && exclude[p] {
+			continue
+		}
+		order = append(order, p)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if scores[order[a]] != scores[order[b]] {
+			return scores[order[a]] > scores[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	out := &Ranking{Order: order, Scores: make(mat.Vec, len(order))}
+	for i, p := range order {
+		out.Scores[i] = scores[p]
+	}
+	return out
+}
+
+// TopPercent returns the most-unstable pct% of ranked nodes (at least one).
+func (r *Ranking) TopPercent(pct float64) []int {
+	k := count(len(r.Order), pct)
+	return append([]int(nil), r.Order[:k]...)
+}
+
+// BottomPercent returns the most-stable pct% of ranked nodes (at least one).
+func (r *Ranking) BottomPercent(pct float64) []int {
+	k := count(len(r.Order), pct)
+	return append([]int(nil), r.Order[len(r.Order)-k:]...)
+}
+
+func count(n int, pct float64) int {
+	k := int(float64(n) * pct / 100)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"cirstag/internal/effres"
+	"cirstag/internal/graph"
+	"cirstag/internal/solver"
+)
+
+// DMDCalculator evaluates pairwise distance-mapping distortions (paper
+// eq. 1) between the input and output manifolds using effective-resistance
+// distances: δ(p,q) = d_Y(p,q) / d_X(p,q).
+type DMDCalculator struct {
+	sx, sy *solver.Laplacian
+}
+
+// NewDMDCalculator prepares resistance solvers on both manifolds of a
+// CirSTAG result.
+func NewDMDCalculator(res *Result) *DMDCalculator {
+	return &DMDCalculator{
+		sx: solver.NewLaplacian(res.InputManifold, solver.Options{}),
+		sy: solver.NewLaplacian(res.OutputManifold, solver.Options{}),
+	}
+}
+
+// NewDMDCalculatorFromGraphs builds the calculator from explicit manifolds.
+func NewDMDCalculatorFromGraphs(gx, gy *graph.Graph) *DMDCalculator {
+	if gx.N() != gy.N() {
+		panic(fmt.Sprintf("core: manifold sizes differ: %d vs %d", gx.N(), gy.N()))
+	}
+	return &DMDCalculator{
+		sx: solver.NewLaplacian(gx, solver.Options{}),
+		sy: solver.NewLaplacian(gy, solver.Options{}),
+	}
+}
+
+// DMD returns δ(p,q) = Reff_Y(p,q) / Reff_X(p,q). It returns 0 when p == q
+// and +Inf when the input distance vanishes while the output distance does
+// not (an infinite distortion).
+func (d *DMDCalculator) DMD(p, q int) float64 {
+	if p == q {
+		return 0
+	}
+	dx := effres.Exact(d.sx, p, q)
+	dy := effres.Exact(d.sy, p, q)
+	if dx == 0 {
+		if dy == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return dy / dx
+}
+
+// InputDistance returns the effective-resistance distance on G_X.
+func (d *DMDCalculator) InputDistance(p, q int) float64 { return effres.Exact(d.sx, p, q) }
+
+// OutputDistance returns the effective-resistance distance on G_Y.
+func (d *DMDCalculator) OutputDistance(p, q int) float64 { return effres.Exact(d.sy, p, q) }

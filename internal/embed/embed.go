@@ -1,0 +1,144 @@
+// Package embed implements Phase 1 of CirSTAG: nonlinear dimensionality
+// reduction of the input circuit graph via weighted spectral embedding.
+// Following paper eq. (4), the embedding matrix is
+//
+//	U_M = [ √|1−λ̃₁|·ũ₁, …, √|1−λ̃_M|·ũ_M ],
+//
+// where λ̃ᵢ, ũᵢ are the M smallest eigenpairs of the symmetric normalized
+// Laplacian L_norm = I − D^{−1/2}AD^{−1/2}. The √|1−λ̃ᵢ| column weighting
+// emphasizes smooth (low-frequency) structure, so Euclidean distances between
+// embedded nodes reflect diffusion proximity on the circuit graph.
+package embed
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cirstag/internal/coarsen"
+	"cirstag/internal/eig"
+	"cirstag/internal/graph"
+	"cirstag/internal/mat"
+)
+
+// Options configures the spectral embedding.
+type Options struct {
+	// Dims is the embedding dimension M. Default 16 (clamped to n−1).
+	Dims int
+	// Multilevel enables the coarsening-based eigensolver (paper ref. [31])
+	// instead of plain Lanczos for graphs above the dense cutoff. Slightly
+	// less accurate, asymptotically cheaper.
+	Multilevel bool
+	// DropTrivial removes the first (trivial, λ≈0) eigenvector from the
+	// embedding. The trivial eigenvector of L_norm is D^{1/2}·1, which is
+	// non-constant on weighted graphs and carries degree information, so it
+	// is kept by default.
+	DropTrivial bool
+	// Eig forwards options to the Lanczos solver.
+	Eig eig.Options
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.Dims <= 0 {
+		o.Dims = 16
+	}
+	if o.Dims > n-1 && n > 1 {
+		o.Dims = n - 1
+	}
+	if n == 1 {
+		o.Dims = 1
+	}
+	return o
+}
+
+// Result carries the spectral embedding and its eigenvalues.
+type Result struct {
+	U      *mat.Dense // n x M weighted spectral embedding (eq. 4)
+	Values mat.Vec    // the M smallest eigenvalues of L_norm, ascending
+}
+
+// Spectral computes the weighted spectral embedding of g.
+func Spectral(g *graph.Graph, rng *rand.Rand, opts Options) *Result {
+	n := g.N()
+	if n == 0 {
+		return &Result{U: mat.NewDense(0, 0), Values: nil}
+	}
+	opts = opts.withDefaults(n)
+	k := opts.Dims
+	if opts.DropTrivial {
+		k++
+		if k > n {
+			k = n
+		}
+	}
+	ln := g.NormalizedLaplacian()
+	var vals mat.Vec
+	var vecs *mat.Dense
+	switch {
+	case n <= 200:
+		// Small graphs: dense eigensolve is both faster and more robust.
+		all, allVecs := mat.SymEig(ln.ToDense())
+		vals = all[:k]
+		vecs = mat.NewDense(n, k)
+		for j := 0; j < k; j++ {
+			vecs.SetCol(j, allVecs.Col(j))
+		}
+	case opts.Multilevel:
+		h := coarsen.Build(g, rng, coarsen.Options{})
+		vals, vecs = coarsen.SmallestEigenpairs(h, k, rng)
+	default:
+		vals, vecs = eig.SmallestNormalizedLaplacian(ln, k, rng, opts.Eig)
+	}
+	start := 0
+	if opts.DropTrivial && k > 1 {
+		start = 1
+	}
+	m := k - start
+	u := mat.NewDense(n, m)
+	values := make(mat.Vec, m)
+	for j := 0; j < m; j++ {
+		lam := vals[start+j]
+		values[j] = lam
+		w := math.Sqrt(math.Abs(1 - lam))
+		col := vecs.Col(start + j)
+		mat.Scale(w, col)
+		u.SetCol(j, col)
+	}
+	return &Result{U: u, Values: values}
+}
+
+// FeatureAugmented appends (column-normalized) node features to a spectral
+// embedding, letting the input manifold reflect both topology and features.
+// Each feature column is standardized to zero mean and unit variance, then
+// scaled by alpha relative to the spectral part.
+func FeatureAugmented(spectral *mat.Dense, features *mat.Dense, alpha float64) *mat.Dense {
+	if features == nil || features.Cols == 0 {
+		return spectral.Clone()
+	}
+	if spectral.Rows != features.Rows {
+		panic(fmt.Sprintf("embed: spectral rows %d, feature rows %d", spectral.Rows, features.Rows))
+	}
+	n := spectral.Rows
+	out := mat.NewDense(n, spectral.Cols+features.Cols)
+	for i := 0; i < n; i++ {
+		copy(out.Data[i*out.Cols:], spectral.Data[i*spectral.Cols:(i+1)*spectral.Cols])
+	}
+	for j := 0; j < features.Cols; j++ {
+		col := features.Col(j)
+		mean := mat.Mean(col)
+		var variance float64
+		for _, x := range col {
+			d := x - mean
+			variance += d * d
+		}
+		variance /= math.Max(1, float64(n-1))
+		sd := math.Sqrt(variance)
+		if sd == 0 {
+			sd = 1
+		}
+		for i := 0; i < n; i++ {
+			out.Set(i, spectral.Cols+j, alpha*(col[i]-mean)/sd)
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+// Package gnn provides graph neural network layers — graph convolution (GCN)
+// and multi-head graph attention (GAT) — with exact reverse-mode gradients,
+// built on the nn substrate. These are the model families used by the
+// paper's two case studies: a timing-prediction GNN (GCN-style message
+// passing) and a sub-circuit classifier (GAT).
+//
+// Layers are bound to a fixed graph at construction: the graph defines the
+// message-passing structure while Forward/Backward stream feature matrices
+// through it.
+package gnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cirstag/internal/graph"
+	"cirstag/internal/mat"
+	"cirstag/internal/nn"
+	"cirstag/internal/sparse"
+)
+
+// NormalizedAdjacency returns Â = D̃^{−1/2}·(A+I)·D̃^{−1/2}, the
+// renormalized propagation matrix of Kipf-Welling GCNs, where D̃ is the
+// degree matrix of A+I.
+func NormalizedAdjacency(g *graph.Graph) *sparse.CSR {
+	n := g.N()
+	deg := make([]float64, n)
+	for u := 0; u < n; u++ {
+		deg[u] = g.WeightedDegree(u) + 1 // self-loop
+	}
+	inv := make([]float64, n)
+	for u := range inv {
+		inv[u] = 1 / math.Sqrt(deg[u])
+	}
+	entries := make([]sparse.Entry, 0, 2*g.M()+n)
+	for u := 0; u < n; u++ {
+		entries = append(entries, sparse.Entry{Row: u, Col: u, Val: inv[u] * inv[u]})
+	}
+	for _, e := range g.Edges() {
+		v := e.W * inv[e.U] * inv[e.V]
+		entries = append(entries,
+			sparse.Entry{Row: e.U, Col: e.V, Val: v},
+			sparse.Entry{Row: e.V, Col: e.U, Val: v})
+	}
+	return sparse.NewCSR(n, n, entries)
+}
+
+// GCNLayer computes H' = Â·H·W + b over a fixed propagation matrix Â.
+type GCNLayer struct {
+	In, Out int
+	Weight  *nn.Param
+	Bias    *nn.Param
+	adj     *sparse.CSR // symmetric propagation matrix
+	xCache  *mat.Dense
+}
+
+// NewGCNLayer builds a GCN layer bound to the propagation matrix adj
+// (typically from NormalizedAdjacency).
+func NewGCNLayer(adj *sparse.CSR, in, out int, rng *rand.Rand) *GCNLayer {
+	l := &GCNLayer{In: in, Out: out, Weight: nn.NewParam(in, out), Bias: nn.NewParam(1, out), adj: adj}
+	l.Weight.GlorotInit(in, out, rng)
+	return l
+}
+
+// Forward computes Â·(x·W) + b.
+func (l *GCNLayer) Forward(x *mat.Dense) *mat.Dense {
+	if x.Cols != l.In {
+		panic(fmt.Sprintf("gnn: GCN input %d features, want %d", x.Cols, l.In))
+	}
+	if x.Rows != l.adj.Rows {
+		panic(fmt.Sprintf("gnn: GCN input %d rows, graph has %d nodes", x.Rows, l.adj.Rows))
+	}
+	l.xCache = x
+	xw := x.Mul(l.Weight.W)
+	y := l.adj.MulDense(xw)
+	for i := 0; i < y.Rows; i++ {
+		row := y.Data[i*y.Cols : (i+1)*y.Cols]
+		for j := range row {
+			row[j] += l.Bias.W.Data[j]
+		}
+	}
+	return y
+}
+
+// Backward propagates gradients through the aggregation: with Â symmetric,
+// ∂L/∂W = Xᵀ·(Â·G) and ∂L/∂X = (Â·G)·Wᵀ.
+func (l *GCNLayer) Backward(grad *mat.Dense) *mat.Dense {
+	ag := l.adj.MulDense(grad) // Âᵀ G = Â G
+	l.Weight.Grad.Add(l.xCache.MulT(ag))
+	for i := 0; i < grad.Rows; i++ {
+		row := grad.Data[i*grad.Cols : (i+1)*grad.Cols]
+		for j := range row {
+			l.Bias.Grad.Data[j] += row[j]
+		}
+	}
+	return ag.Mul(l.Weight.W.T())
+}
+
+// Params returns the trainable weight and bias.
+func (l *GCNLayer) Params() []*nn.Param { return []*nn.Param{l.Weight, l.Bias} }
+
+// Rebind returns a new layer sharing this layer's parameters but operating
+// on a different propagation matrix — used to re-run a trained model on a
+// perturbed topology (Case Study B).
+func (l *GCNLayer) Rebind(adj *sparse.CSR) *GCNLayer {
+	return &GCNLayer{In: l.In, Out: l.Out, Weight: l.Weight, Bias: l.Bias, adj: adj}
+}

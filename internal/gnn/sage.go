@@ -1,0 +1,102 @@
+package gnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cirstag/internal/graph"
+	"cirstag/internal/mat"
+	"cirstag/internal/nn"
+	"cirstag/internal/sparse"
+)
+
+// SAGELayer is a GraphSAGE layer with mean aggregation:
+//
+//	h'_i = W_self·x_i + W_nbr·mean_{j∈N(i)} x_j + b.
+//
+// Unlike GCN it keeps separate transforms for the node itself and its
+// neighbourhood, which often trains better on heterogeneous features. It is
+// used to demonstrate CirSTAG's architecture-agnosticism (the paper's claim
+// that the framework is "compatible with various GNN architectures due to
+// its data-centric nature").
+type SAGELayer struct {
+	In, Out int
+	WSelf   *nn.Param
+	WNbr    *nn.Param
+	Bias    *nn.Param
+	mean    *sparse.CSR // row-normalized adjacency (no self-loops)
+	xCache  *mat.Dense
+}
+
+// MeanAdjacency returns the row-stochastic adjacency matrix (each row of A
+// divided by the node's degree; zero rows for isolated nodes).
+func MeanAdjacency(g *graph.Graph) *sparse.CSR {
+	n := g.N()
+	entries := make([]sparse.Entry, 0, 2*g.M())
+	for _, e := range g.Edges() {
+		if du := g.WeightedDegree(e.U); du > 0 {
+			entries = append(entries, sparse.Entry{Row: e.U, Col: e.V, Val: e.W / du})
+		}
+		if dv := g.WeightedDegree(e.V); dv > 0 {
+			entries = append(entries, sparse.Entry{Row: e.V, Col: e.U, Val: e.W / dv})
+		}
+	}
+	return sparse.NewCSR(n, n, entries)
+}
+
+// NewSAGELayer builds a GraphSAGE layer bound to graph g.
+func NewSAGELayer(g *graph.Graph, in, out int, rng *rand.Rand) *SAGELayer {
+	l := &SAGELayer{
+		In: in, Out: out,
+		WSelf: nn.NewParam(in, out),
+		WNbr:  nn.NewParam(in, out),
+		Bias:  nn.NewParam(1, out),
+		mean:  MeanAdjacency(g),
+	}
+	l.WSelf.GlorotInit(in, out, rng)
+	l.WNbr.GlorotInit(in, out, rng)
+	return l
+}
+
+// Forward computes X·W_self + (M·X)·W_nbr + b where M is the mean-aggregation
+// matrix.
+func (l *SAGELayer) Forward(x *mat.Dense) *mat.Dense {
+	if x.Cols != l.In {
+		panic(fmt.Sprintf("gnn: SAGE input %d features, want %d", x.Cols, l.In))
+	}
+	if x.Rows != l.mean.Rows {
+		panic(fmt.Sprintf("gnn: SAGE input %d rows, graph has %d nodes", x.Rows, l.mean.Rows))
+	}
+	l.xCache = x
+	y := x.Mul(l.WSelf.W)
+	mx := l.mean.MulDense(x)
+	y.Add(mx.Mul(l.WNbr.W))
+	for i := 0; i < y.Rows; i++ {
+		row := y.Data[i*y.Cols : (i+1)*y.Cols]
+		for j := range row {
+			row[j] += l.Bias.W.Data[j]
+		}
+	}
+	return y
+}
+
+// Backward accumulates gradients for both transforms; note M is not
+// symmetric (row-normalized), so the input gradient uses Mᵀ.
+func (l *SAGELayer) Backward(grad *mat.Dense) *mat.Dense {
+	l.WSelf.Grad.Add(l.xCache.MulT(grad))
+	mx := l.mean.MulDense(l.xCache)
+	l.WNbr.Grad.Add(mx.MulT(grad))
+	for i := 0; i < grad.Rows; i++ {
+		row := grad.Data[i*grad.Cols : (i+1)*grad.Cols]
+		for j := range row {
+			l.Bias.Grad.Data[j] += row[j]
+		}
+	}
+	dx := grad.Mul(l.WSelf.W.T())
+	gn := grad.Mul(l.WNbr.W.T())
+	dx.Add(l.mean.T().MulDense(gn))
+	return dx
+}
+
+// Params returns the self/neighbour transforms and bias.
+func (l *SAGELayer) Params() []*nn.Param { return []*nn.Param{l.WSelf, l.WNbr, l.Bias} }

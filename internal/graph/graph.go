@@ -1,0 +1,266 @@
+// Package graph provides the weighted undirected graph type shared by every
+// stage of the CirSTAG pipeline, together with Laplacian assembly (plain and
+// symmetric-normalized), traversal utilities, and connectivity queries.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cirstag/internal/mat"
+	"cirstag/internal/sparse"
+)
+
+// Edge is a weighted undirected edge between nodes U < V is not required but
+// duplicates (U,V)/(V,U) are merged by Graph.
+type Edge struct {
+	U, V int
+	W    float64
+}
+
+// Graph is a weighted undirected graph on nodes 0..N-1. Self-loops are
+// rejected, parallel edges are merged by summing weights.
+type Graph struct {
+	n     int
+	adj   [][]halfEdge // adjacency lists, each edge appears in both endpoints
+	edges []Edge       // canonical edge list with U < V
+	index map[[2]int]int
+}
+
+type halfEdge struct {
+	to  int
+	eid int // index into edges
+}
+
+// New returns an empty graph on n nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Graph{n: n, adj: make([][]halfEdge, n), index: make(map[[2]int]int)}
+}
+
+// FromEdges builds a graph on n nodes from an edge list.
+func FromEdges(n int, edges []Edge) *Graph {
+	g := New(n)
+	for _, e := range edges {
+		g.AddEdge(e.U, e.V, e.W)
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of (merged) edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// AddEdge adds an undirected edge (u, v) with weight w. Adding an edge that
+// already exists sums the weights. Self-loops panic; non-positive weights
+// panic, since every algorithm here assumes w > 0.
+func (g *Graph) AddEdge(u, v int, w float64) {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at node %d", u))
+	}
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range n=%d", u, v, g.n))
+	}
+	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		panic(fmt.Sprintf("graph: edge (%d,%d) has invalid weight %v", u, v, w))
+	}
+	a, b := u, v
+	if a > b {
+		a, b = b, a
+	}
+	if id, ok := g.index[[2]int{a, b}]; ok {
+		g.edges[id].W += w
+		return
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, Edge{U: a, V: b, W: w})
+	g.index[[2]int{a, b}] = id
+	g.adj[u] = append(g.adj[u], halfEdge{to: v, eid: id})
+	g.adj[v] = append(g.adj[v], halfEdge{to: u, eid: id})
+}
+
+// HasEdge reports whether the undirected edge (u, v) exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	a, b := u, v
+	if a > b {
+		a, b = b, a
+	}
+	_, ok := g.index[[2]int{a, b}]
+	return ok
+}
+
+// EdgeWeight returns the weight of edge (u, v), or 0 if absent.
+func (g *Graph) EdgeWeight(u, v int) float64 {
+	a, b := u, v
+	if a > b {
+		a, b = b, a
+	}
+	if id, ok := g.index[[2]int{a, b}]; ok {
+		return g.edges[id].W
+	}
+	return 0
+}
+
+// Edges returns a copy of the canonical edge list (U < V).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// Neighbors returns the neighbor node ids of u (copy).
+func (g *Graph) Neighbors(u int) []int {
+	out := make([]int, len(g.adj[u]))
+	for i, he := range g.adj[u] {
+		out[i] = he.to
+	}
+	return out
+}
+
+// Degree returns the number of incident edges of u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// WeightedDegree returns the sum of incident edge weights of u.
+func (g *Graph) WeightedDegree(u int) float64 {
+	var s float64
+	for _, he := range g.adj[u] {
+		s += g.edges[he.eid].W
+	}
+	return s
+}
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() float64 {
+	var s float64
+	for _, e := range g.edges {
+		s += e.W
+	}
+	return s
+}
+
+// Adjacency returns the weighted adjacency matrix as CSR.
+func (g *Graph) Adjacency() *sparse.CSR {
+	entries := make([]sparse.Entry, 0, 2*len(g.edges))
+	for _, e := range g.edges {
+		entries = append(entries,
+			sparse.Entry{Row: e.U, Col: e.V, Val: e.W},
+			sparse.Entry{Row: e.V, Col: e.U, Val: e.W})
+	}
+	return sparse.NewCSR(g.n, g.n, entries)
+}
+
+// Laplacian returns the combinatorial Laplacian L = D - A as CSR.
+func (g *Graph) Laplacian() *sparse.CSR {
+	entries := make([]sparse.Entry, 0, 4*len(g.edges))
+	for _, e := range g.edges {
+		entries = append(entries,
+			sparse.Entry{Row: e.U, Col: e.V, Val: -e.W},
+			sparse.Entry{Row: e.V, Col: e.U, Val: -e.W},
+			sparse.Entry{Row: e.U, Col: e.U, Val: e.W},
+			sparse.Entry{Row: e.V, Col: e.V, Val: e.W})
+	}
+	return sparse.NewCSR(g.n, g.n, entries)
+}
+
+// NormalizedLaplacian returns L_norm = I - D^{-1/2} A D^{-1/2} as CSR.
+// Isolated nodes contribute a bare identity row (diagonal 1, no
+// off-diagonals). All eigenvalues lie in [0, 2].
+func (g *Graph) NormalizedLaplacian() *sparse.CSR {
+	invSqrtDeg := make(mat.Vec, g.n)
+	for u := 0; u < g.n; u++ {
+		d := g.WeightedDegree(u)
+		if d > 0 {
+			invSqrtDeg[u] = 1 / math.Sqrt(d)
+		}
+	}
+	entries := make([]sparse.Entry, 0, 2*len(g.edges)+g.n)
+	for u := 0; u < g.n; u++ {
+		entries = append(entries, sparse.Entry{Row: u, Col: u, Val: 1})
+	}
+	for _, e := range g.edges {
+		v := -e.W * invSqrtDeg[e.U] * invSqrtDeg[e.V]
+		entries = append(entries,
+			sparse.Entry{Row: e.U, Col: e.V, Val: v},
+			sparse.Entry{Row: e.V, Col: e.U, Val: v})
+	}
+	return sparse.NewCSR(g.n, g.n, entries)
+}
+
+// ConnectedComponents labels each node with a component id (0-based, by
+// discovery order) and returns the labels plus the component count.
+func (g *Graph) ConnectedComponents() ([]int, int) {
+	comp := make([]int, g.n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	queue := make([]int, 0, g.n)
+	for s := 0; s < g.n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = next
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, he := range g.adj[u] {
+				if comp[he.to] == -1 {
+					comp[he.to] = next
+					queue = append(queue, he.to)
+				}
+			}
+		}
+		next++
+	}
+	return comp, next
+}
+
+// IsConnected reports whether the graph has exactly one connected component
+// (true for the empty and single-node graph).
+func (g *Graph) IsConnected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	_, c := g.ConnectedComponents()
+	return c == 1
+}
+
+// BFSDistances returns hop distances from src (-1 for unreachable nodes).
+func (g *Graph) BFSDistances(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, he := range g.adj[u] {
+			if dist[he.to] == -1 {
+				dist[he.to] = dist[u] + 1
+				queue = append(queue, he.to)
+			}
+		}
+	}
+	return dist
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	return FromEdges(g.n, g.edges)
+}
+
+// SortedNeighbors returns the neighbors of u in ascending id order; useful
+// for deterministic iteration in tests and score aggregation.
+func (g *Graph) SortedNeighbors(u int) []int {
+	ns := g.Neighbors(u)
+	sort.Ints(ns)
+	return ns
+}

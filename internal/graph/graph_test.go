@@ -1,0 +1,230 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cirstag/internal/mat"
+)
+
+// pathGraph returns the path 0-1-2-...-(n-1) with unit weights.
+func pathGraph(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	return g
+}
+
+func randomConnectedGraph(rng *rand.Rand, n, extraEdges int) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(i, rng.Intn(i), 0.1+rng.Float64())
+	}
+	for k := 0; k < extraEdges; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.AddEdge(u, v, 0.1+rng.Float64())
+		}
+	}
+	return g
+}
+
+func TestAddEdgeMergesParallel(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 0, 2)
+	if g.M() != 1 || g.EdgeWeight(0, 1) != 3 {
+		t.Fatalf("parallel merge failed: M=%d w=%v", g.M(), g.EdgeWeight(0, 1))
+	}
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on self-loop")
+		}
+	}()
+	New(2).AddEdge(1, 1, 1)
+}
+
+func TestBadWeightPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-positive weight")
+		}
+	}()
+	New(2).AddEdge(0, 1, 0)
+}
+
+func TestDegreesAndNeighbors(t *testing.T) {
+	g := pathGraph(4)
+	if g.Degree(0) != 1 || g.Degree(1) != 2 {
+		t.Fatal("degrees wrong")
+	}
+	if g.WeightedDegree(2) != 2 {
+		t.Fatal("weighted degree wrong")
+	}
+	ns := g.SortedNeighbors(1)
+	if len(ns) != 2 || ns[0] != 0 || ns[1] != 2 {
+		t.Fatalf("neighbors of 1 = %v", ns)
+	}
+	if g.TotalWeight() != 3 {
+		t.Fatal("total weight wrong")
+	}
+}
+
+func TestLaplacianRowSumsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	g := randomConnectedGraph(rng, 40, 60)
+	l := g.Laplacian()
+	ones := make(mat.Vec, g.N())
+	ones.Fill(1)
+	if mat.NormInf(l.MulVec(ones)) > 1e-12 {
+		t.Fatal("Laplacian rows do not sum to zero")
+	}
+	if !l.IsSymmetric(1e-12) {
+		t.Fatal("Laplacian not symmetric")
+	}
+}
+
+func TestLaplacianQuadFormIsEnergy(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := randomConnectedGraph(rng, 25, 30)
+	l := g.Laplacian()
+	x := make(mat.Vec, g.N())
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	// xᵀLx == Σ w_uv (x_u - x_v)².
+	var want float64
+	for _, e := range g.Edges() {
+		d := x[e.U] - x[e.V]
+		want += e.W * d * d
+	}
+	got := l.QuadForm(x)
+	if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+		t.Fatalf("quadform %v != energy %v", got, want)
+	}
+	if got < -1e-12 {
+		t.Fatal("Laplacian quadratic form negative (not PSD)")
+	}
+}
+
+func TestNormalizedLaplacianEigRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	g := randomConnectedGraph(rng, 20, 25)
+	ln := g.NormalizedLaplacian()
+	if !ln.IsSymmetric(1e-12) {
+		t.Fatal("normalized Laplacian not symmetric")
+	}
+	vals, _ := mat.SymEig(ln.ToDense())
+	if vals[0] < -1e-9 || vals[len(vals)-1] > 2+1e-9 {
+		t.Fatalf("normalized Laplacian eigenvalues out of [0,2]: [%v, %v]", vals[0], vals[len(vals)-1])
+	}
+	// Smallest eigenvalue ~ 0 for a connected graph.
+	if math.Abs(vals[0]) > 1e-8 {
+		t.Fatalf("smallest normalized eigenvalue %v != 0", vals[0])
+	}
+	// Second smallest > 0 iff connected.
+	if vals[1] < 1e-10 {
+		t.Fatal("algebraic connectivity vanished on connected graph")
+	}
+}
+
+func TestNormalizedLaplacianNullVector(t *testing.T) {
+	// D^{1/2}·1 is the kernel of L_norm for a connected graph.
+	g := pathGraph(6)
+	ln := g.NormalizedLaplacian()
+	v := make(mat.Vec, 6)
+	for i := 0; i < 6; i++ {
+		v[i] = math.Sqrt(g.WeightedDegree(i))
+	}
+	if mat.NormInf(ln.MulVec(v)) > 1e-12 {
+		t.Fatal("D^{1/2}1 is not in the kernel of L_norm")
+	}
+}
+
+func TestIsolatedNodeNormalizedLaplacian(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	ln := g.NormalizedLaplacian()
+	if ln.At(2, 2) != 1 {
+		t.Fatal("isolated node should have identity row")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(3, 4, 1)
+	comp, c := g.ConnectedComponents()
+	if c != 3 {
+		t.Fatalf("components = %d, want 3", c)
+	}
+	if comp[0] != comp[2] || comp[3] != comp[4] || comp[0] == comp[3] || comp[5] == comp[0] {
+		t.Fatalf("component labels wrong: %v", comp)
+	}
+	if g.IsConnected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if !pathGraph(5).IsConnected() {
+		t.Fatal("path graph reported disconnected")
+	}
+	if !New(0).IsConnected() || !New(1).IsConnected() {
+		t.Fatal("trivial graphs should be connected")
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := pathGraph(5)
+	d := g.BFSDistances(0)
+	for i := 0; i < 5; i++ {
+		if d[i] != i {
+			t.Fatalf("BFS distances %v", d)
+		}
+	}
+	h := New(3)
+	h.AddEdge(0, 1, 1)
+	d2 := h.BFSDistances(0)
+	if d2[2] != -1 {
+		t.Fatal("unreachable node should be -1")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := pathGraph(3)
+	c := g.Clone()
+	c.AddEdge(0, 2, 1)
+	if g.HasEdge(0, 2) {
+		t.Fatal("Clone shares state with original")
+	}
+	if c.M() != 3 || g.M() != 2 {
+		t.Fatal("clone edge counts wrong")
+	}
+}
+
+func TestAdjacencySymmetricMatchesWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	g := randomConnectedGraph(rng, 15, 20)
+	a := g.Adjacency()
+	if !a.IsSymmetric(0) {
+		t.Fatal("adjacency not symmetric")
+	}
+	for _, e := range g.Edges() {
+		if a.At(e.U, e.V) != e.W {
+			t.Fatal("adjacency weight mismatch")
+		}
+	}
+	// Row sums equal weighted degrees.
+	ones := make(mat.Vec, g.N())
+	ones.Fill(1)
+	rs := a.MulVec(ones)
+	for u := 0; u < g.N(); u++ {
+		if math.Abs(rs[u]-g.WeightedDegree(u)) > 1e-12 {
+			t.Fatal("adjacency row sum != weighted degree")
+		}
+	}
+}

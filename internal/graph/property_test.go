@@ -1,0 +1,134 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cirstag/internal/mat"
+)
+
+// graphFromSeed deterministically builds an arbitrary graph from a seed,
+// serving as the generator for quick-check properties.
+func graphFromSeed(seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(40)
+	g := New(n)
+	m := rng.Intn(4 * n)
+	for i := 0; i < m; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v, 0.01+rng.Float64()*10)
+		}
+	}
+	return g
+}
+
+// Property: the Laplacian quadratic form is non-negative for any vector
+// (positive semidefiniteness), and rows always sum to zero.
+func TestQuickLaplacianPSD(t *testing.T) {
+	f := func(seed int64, probe int64) bool {
+		g := graphFromSeed(seed)
+		l := g.Laplacian()
+		rng := rand.New(rand.NewSource(probe))
+		x := make(mat.Vec, g.N())
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+		}
+		if l.QuadForm(x) < -1e-9 {
+			return false
+		}
+		ones := make(mat.Vec, g.N())
+		ones.Fill(1)
+		return mat.NormInf(l.MulVec(ones)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total weight equals half the sum of weighted degrees
+// (handshake lemma).
+func TestQuickHandshakeLemma(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graphFromSeed(seed)
+		var degSum float64
+		for u := 0; u < g.N(); u++ {
+			degSum += g.WeightedDegree(u)
+		}
+		diff := degSum/2 - g.TotalWeight()
+		return diff < 1e-9 && diff > -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the number of connected components plus the rank of the spanning
+// forest equals the node count (components = n − forestEdges).
+func TestQuickComponentsRankIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graphFromSeed(seed)
+		_, nc := g.ConnectedComponents()
+		// Count forest edges via BFS tree sizes: each component of size s
+		// contributes s−1 tree edges.
+		comp, _ := g.ConnectedComponents()
+		sizes := map[int]int{}
+		for _, c := range comp {
+			sizes[c]++
+		}
+		forest := 0
+		for _, s := range sizes {
+			forest += s - 1
+		}
+		return nc+forest == g.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BFS distances satisfy the edge relaxation inequality
+// |d(u) − d(v)| ≤ 1 across every edge (both reachable).
+func TestQuickBFSLipschitz(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graphFromSeed(seed)
+		d := g.BFSDistances(0)
+		for _, e := range g.Edges() {
+			if d[e.U] == -1 || d[e.V] == -1 {
+				if d[e.U] != d[e.V] {
+					return false // one endpoint reachable, the other not
+				}
+				continue
+			}
+			diff := d[e.U] - d[e.V]
+			if diff > 1 || diff < -1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: normalized Laplacian eigenvalue bounds — the quadratic form
+// never exceeds 2·‖x‖² (spectrum within [0, 2]).
+func TestQuickNormalizedLaplacianBound(t *testing.T) {
+	f := func(seed int64, probe int64) bool {
+		g := graphFromSeed(seed)
+		ln := g.NormalizedLaplacian()
+		rng := rand.New(rand.NewSource(probe))
+		x := make(mat.Vec, g.N())
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		q := ln.QuadForm(x)
+		n2 := mat.Dot(x, x)
+		return q >= -1e-9 && q <= 2*n2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

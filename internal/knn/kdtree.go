@@ -1,0 +1,300 @@
+// Package knn builds k-nearest-neighbor graphs over low-dimensional
+// embeddings, the first step of CirSTAG's Phase-2 manifold construction.
+// Neighbor search uses a k-d tree, giving O(n log n) construction on the
+// low-dimensional (M ≈ 10–50) spectral embeddings CirSTAG produces.
+package knn
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"cirstag/internal/mat"
+)
+
+// KDTree is a static k-d tree over the rows of a point matrix.
+type KDTree struct {
+	pts  *mat.Dense
+	idx  []int // point indices in tree order
+	dims int
+}
+
+// kdNode ranges are encoded implicitly: the tree is stored as a median-split
+// ordering of idx, with node boundaries recomputed during descent. This keeps
+// the structure allocation-free beyond the index slice.
+
+// NewKDTree builds a k-d tree over the rows of pts.
+func NewKDTree(pts *mat.Dense) *KDTree {
+	t := &KDTree{pts: pts, idx: make([]int, pts.Rows), dims: pts.Cols}
+	for i := range t.idx {
+		t.idx[i] = i
+	}
+	t.build(0, pts.Rows, 0)
+	return t
+}
+
+func (t *KDTree) build(lo, hi, depth int) {
+	if hi-lo <= 1 {
+		return
+	}
+	axis := depth % t.dims
+	mid := (lo + hi) / 2
+	t.nthElement(lo, hi, mid, axis)
+	t.build(lo, mid, depth+1)
+	t.build(mid+1, hi, depth+1)
+}
+
+// nthElement partially sorts idx[lo:hi] so that idx[n] holds the element of
+// rank n−lo by the given axis (quickselect with median-of-three pivots).
+func (t *KDTree) nthElement(lo, hi, n, axis int) {
+	coord := func(i int) float64 { return t.pts.At(t.idx[i], axis) }
+	for hi-lo > 2 {
+		// Median-of-three pivot.
+		m := (lo + hi) / 2
+		if coord(m) < coord(lo) {
+			t.idx[m], t.idx[lo] = t.idx[lo], t.idx[m]
+		}
+		if coord(hi-1) < coord(lo) {
+			t.idx[hi-1], t.idx[lo] = t.idx[lo], t.idx[hi-1]
+		}
+		if coord(hi-1) < coord(m) {
+			t.idx[hi-1], t.idx[m] = t.idx[m], t.idx[hi-1]
+		}
+		pivot := coord(m)
+		i, j := lo, hi-1
+		for i <= j {
+			for coord(i) < pivot {
+				i++
+			}
+			for coord(j) > pivot {
+				j--
+			}
+			if i <= j {
+				t.idx[i], t.idx[j] = t.idx[j], t.idx[i]
+				i++
+				j--
+			}
+		}
+		if n <= j {
+			hi = j + 1
+		} else if n >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
+	// Tiny range: insertion sort.
+	sub := t.idx[lo:hi]
+	sort.Slice(sub, func(a, b int) bool {
+		return t.pts.At(sub[a], axis) < t.pts.At(sub[b], axis)
+	})
+}
+
+// Neighbor is a kNN query result: a point index and its squared distance.
+type Neighbor struct {
+	ID    int
+	Dist2 float64
+}
+
+type maxHeap []Neighbor
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i].Dist2 > h[j].Dist2 }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Query returns the k nearest neighbors of the query point q (excluding any
+// point at index skip; pass -1 to keep all), sorted by ascending distance.
+func (t *KDTree) Query(q mat.Vec, k, skip int) []Neighbor {
+	if len(q) != t.dims {
+		panic(fmt.Sprintf("knn: query dim %d, tree dim %d", len(q), t.dims))
+	}
+	h := make(maxHeap, 0, k+1)
+	t.search(0, len(t.idx), 0, q, k, skip, &h)
+	out := make([]Neighbor, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(Neighbor)
+	}
+	return out
+}
+
+func (t *KDTree) search(lo, hi, depth int, q mat.Vec, k, skip int, h *maxHeap) {
+	if hi <= lo {
+		return
+	}
+	if hi-lo == 1 {
+		t.consider(t.idx[lo], q, k, skip, h)
+		return
+	}
+	axis := depth % t.dims
+	mid := (lo + hi) / 2
+	p := t.idx[mid]
+	t.consider(p, q, k, skip, h)
+	diff := q[axis] - t.pts.At(p, axis)
+	var near, far [2]int
+	if diff < 0 {
+		near = [2]int{lo, mid}
+		far = [2]int{mid + 1, hi}
+	} else {
+		near = [2]int{mid + 1, hi}
+		far = [2]int{lo, mid}
+	}
+	t.search(near[0], near[1], depth+1, q, k, skip, h)
+	// Prune the far side when the splitting plane is beyond the current kth
+	// distance.
+	if len(*h) < k || diff*diff <= (*h)[0].Dist2 {
+		t.search(far[0], far[1], depth+1, q, k, skip, h)
+	}
+}
+
+func (t *KDTree) consider(p int, q mat.Vec, k, skip int, h *maxHeap) {
+	if p == skip {
+		return
+	}
+	row := t.pts.Row(p)
+	var d2 float64
+	for i, x := range q {
+		d := x - row[i]
+		d2 += d * d
+	}
+	if len(*h) < k {
+		heap.Push(h, Neighbor{ID: p, Dist2: d2})
+	} else if d2 < (*h)[0].Dist2 {
+		(*h)[0] = Neighbor{ID: p, Dist2: d2}
+		heap.Fix(h, 0)
+	}
+}
+
+// BruteForce returns the k nearest neighbors of row i by exhaustive scan;
+// used as a test oracle and for very small inputs.
+func BruteForce(pts *mat.Dense, i, k int) []Neighbor {
+	q := pts.Row(i)
+	all := make([]Neighbor, 0, pts.Rows-1)
+	for j := 0; j < pts.Rows; j++ {
+		if j == i {
+			continue
+		}
+		row := pts.Row(j)
+		var d2 float64
+		for c, x := range q {
+			d := x - row[c]
+			d2 += d * d
+		}
+		all = append(all, Neighbor{ID: j, Dist2: d2})
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].Dist2 < all[b].Dist2 })
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+// minDistance2Floor is the smallest squared distance used when two embedded
+// points coincide; it keeps kNN edge weights finite.
+const minDistance2Floor = 1e-12
+
+// Graph builds a symmetric kNN graph over the rows of pts: each node is
+// connected to its k nearest neighbors with weight w = 1/d², matching the
+// PGM convention D_data = 1/w of CirSTAG eq. (7). Mutual edges discovered
+// from both endpoints are merged (weight kept, not doubled).
+type Graph struct {
+	N     int
+	Edges []WeightedEdge
+}
+
+// WeightedEdge is an undirected weighted edge with U < V.
+type WeightedEdge struct {
+	U, V int
+	W    float64
+	D2   float64 // squared Euclidean distance in the embedding
+}
+
+// BuildGraph constructs the kNN graph of the rows of pts.
+func BuildGraph(pts *mat.Dense, k int) *Graph {
+	n := pts.Rows
+	if k <= 0 {
+		panic("knn: k must be positive")
+	}
+	if k >= n {
+		k = n - 1
+	}
+	tree := NewKDTree(pts)
+	seen := make(map[[2]int]float64, n*k)
+	for i := 0; i < n; i++ {
+		for _, nb := range tree.Query(pts.Row(i), k, i) {
+			a, b := i, nb.ID
+			if a > b {
+				a, b = b, a
+			}
+			key := [2]int{a, b}
+			if _, ok := seen[key]; !ok {
+				seen[key] = nb.Dist2
+			}
+		}
+	}
+	// Clamp the squared distances to a bounded dynamic range around the
+	// median so the 1/d² edge weights keep the manifold Laplacian reasonably
+	// conditioned (coincident points would otherwise produce near-infinite
+	// weights and cripple the iterative solvers downstream).
+	d2s := make([]float64, 0, len(seen))
+	for _, d2 := range seen {
+		d2s = append(d2s, d2)
+	}
+	sort.Float64s(d2s)
+	floor := minDistance2Floor
+	if len(d2s) > 0 {
+		if m := d2s[len(d2s)/2] * 1e-9; m > floor {
+			floor = m
+		}
+	}
+	g := &Graph{N: n, Edges: make([]WeightedEdge, 0, len(seen))}
+	for key, d2 := range seen {
+		dd := d2
+		if dd < floor {
+			dd = floor
+		}
+		g.Edges = append(g.Edges, WeightedEdge{U: key[0], V: key[1], W: 1 / dd, D2: d2})
+	}
+	// Deterministic order for reproducibility.
+	sort.Slice(g.Edges, func(a, b int) bool {
+		if g.Edges[a].U != g.Edges[b].U {
+			return g.Edges[a].U < g.Edges[b].U
+		}
+		return g.Edges[a].V < g.Edges[b].V
+	})
+	return g
+}
+
+// GaussianWeights rescales the graph's weights in place to the heat-kernel
+// form w = exp(−d²/(2σ²)), with σ set to the median neighbor distance when
+// sigma <= 0. This alternative weighting is used in the ablation benches.
+func (g *Graph) GaussianWeights(sigma float64) {
+	if sigma <= 0 {
+		d := make([]float64, len(g.Edges))
+		for i, e := range g.Edges {
+			d[i] = math.Sqrt(e.D2)
+		}
+		sort.Float64s(d)
+		if len(d) == 0 {
+			return
+		}
+		sigma = d[len(d)/2]
+		if sigma == 0 {
+			sigma = 1
+		}
+	}
+	for i := range g.Edges {
+		g.Edges[i].W = math.Exp(-g.Edges[i].D2 / (2 * sigma * sigma))
+		if g.Edges[i].W < 1e-12 {
+			g.Edges[i].W = 1e-12
+		}
+	}
+}

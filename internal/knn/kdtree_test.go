@@ -1,0 +1,209 @@
+package knn
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cirstag/internal/graph"
+	"cirstag/internal/mat"
+)
+
+func randPoints(rng *rand.Rand, n, d int) *mat.Dense {
+	pts := mat.NewDense(n, d)
+	for i := range pts.Data {
+		pts.Data[i] = rng.NormFloat64()
+	}
+	return pts
+}
+
+func TestQueryMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	for _, dims := range []int{1, 2, 3, 8} {
+		pts := randPoints(rng, 200, dims)
+		tree := NewKDTree(pts)
+		for trial := 0; trial < 25; trial++ {
+			i := rng.Intn(200)
+			k := 1 + rng.Intn(10)
+			got := tree.Query(pts.Row(i), k, i)
+			want := BruteForce(pts, i, k)
+			if len(got) != len(want) {
+				t.Fatalf("dims=%d: got %d neighbors, want %d", dims, len(got), len(want))
+			}
+			for j := range got {
+				// Distances must match exactly (ties may swap ids).
+				if math.Abs(got[j].Dist2-want[j].Dist2) > 1e-12 {
+					t.Fatalf("dims=%d neighbor %d: dist %v vs %v", dims, j, got[j].Dist2, want[j].Dist2)
+				}
+			}
+		}
+	}
+}
+
+func TestQuerySortedAscending(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	pts := randPoints(rng, 100, 4)
+	tree := NewKDTree(pts)
+	res := tree.Query(pts.Row(0), 10, 0)
+	for i := 1; i < len(res); i++ {
+		if res[i].Dist2 < res[i-1].Dist2 {
+			t.Fatal("results not sorted by distance")
+		}
+	}
+}
+
+func TestQuerySkipExcludesSelf(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	pts := randPoints(rng, 50, 3)
+	tree := NewKDTree(pts)
+	for _, nb := range tree.Query(pts.Row(7), 5, 7) {
+		if nb.ID == 7 {
+			t.Fatal("skip index returned")
+		}
+	}
+	// Without skip, the query point itself is the nearest (distance 0).
+	res := tree.Query(pts.Row(7), 1, -1)
+	if res[0].ID != 7 || res[0].Dist2 != 0 {
+		t.Fatal("self should be nearest without skip")
+	}
+}
+
+func TestQueryDuplicatePoints(t *testing.T) {
+	// All points identical: distances are all zero, no crash.
+	pts := mat.NewDense(10, 2)
+	tree := NewKDTree(pts)
+	res := tree.Query(pts.Row(0), 3, 0)
+	if len(res) != 3 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for _, nb := range res {
+		if nb.Dist2 != 0 {
+			t.Fatal("duplicate points should have distance 0")
+		}
+	}
+}
+
+func TestQueryKLargerThanN(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	pts := randPoints(rng, 5, 2)
+	tree := NewKDTree(pts)
+	res := tree.Query(pts.Row(0), 100, 0)
+	if len(res) != 4 {
+		t.Fatalf("expected 4 neighbors, got %d", len(res))
+	}
+}
+
+func TestBuildGraphBasicInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	pts := randPoints(rng, 120, 5)
+	k := 6
+	g := BuildGraph(pts, k)
+	if g.N != 120 {
+		t.Fatal("node count wrong")
+	}
+	// Every node has degree >= k (its own k neighbors, possibly more from
+	// reverse edges).
+	deg := make([]int, g.N)
+	for _, e := range g.Edges {
+		if e.U >= e.V {
+			t.Fatal("edge not canonical U < V")
+		}
+		deg[e.U]++
+		deg[e.V]++
+		if e.W <= 0 {
+			t.Fatal("non-positive weight")
+		}
+		// w = 1/d² convention.
+		want := 1 / math.Max(e.D2, 1e-12)
+		if math.Abs(e.W-want) > 1e-9*want {
+			t.Fatal("weight does not follow 1/d²")
+		}
+	}
+	for i, d := range deg {
+		if d < k {
+			t.Fatalf("node %d degree %d < k=%d", i, d, k)
+		}
+	}
+	// No duplicate edges.
+	seen := map[[2]int]bool{}
+	for _, e := range g.Edges {
+		key := [2]int{e.U, e.V}
+		if seen[key] {
+			t.Fatal("duplicate edge")
+		}
+		seen[key] = true
+	}
+}
+
+func TestBuildGraphDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	pts := randPoints(rng, 60, 3)
+	g1 := BuildGraph(pts, 4)
+	g2 := BuildGraph(pts, 4)
+	if len(g1.Edges) != len(g2.Edges) {
+		t.Fatal("edge counts differ")
+	}
+	for i := range g1.Edges {
+		if g1.Edges[i] != g2.Edges[i] {
+			t.Fatal("graphs differ between runs")
+		}
+	}
+}
+
+func TestBuildGraphConnectsClusters(t *testing.T) {
+	// Two well-separated clusters of 20 points each, k=25 forces bridges so
+	// the graph must be connected; with k=3 it must split into 2 components.
+	rng := rand.New(rand.NewSource(76))
+	pts := mat.NewDense(40, 2)
+	for i := 0; i < 20; i++ {
+		pts.Set(i, 0, rng.NormFloat64()*0.1)
+		pts.Set(i, 1, rng.NormFloat64()*0.1)
+		pts.Set(20+i, 0, 100+rng.NormFloat64()*0.1)
+		pts.Set(20+i, 1, rng.NormFloat64()*0.1)
+	}
+	toGraph := func(kg *Graph) *graph.Graph {
+		g := graph.New(kg.N)
+		for _, e := range kg.Edges {
+			g.AddEdge(e.U, e.V, e.W)
+		}
+		return g
+	}
+	gSmall := toGraph(BuildGraph(pts, 3))
+	if _, c := gSmall.ConnectedComponents(); c != 2 {
+		t.Fatalf("k=3 should give 2 components, got %d", c)
+	}
+	gBig := toGraph(BuildGraph(pts, 25))
+	if !gBig.IsConnected() {
+		t.Fatal("k=25 should connect the clusters")
+	}
+}
+
+func TestGaussianWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	pts := randPoints(rng, 30, 3)
+	g := BuildGraph(pts, 4)
+	g.GaussianWeights(0) // median sigma
+	for _, e := range g.Edges {
+		if e.W <= 0 || e.W > 1 {
+			t.Fatalf("Gaussian weight %v out of (0,1]", e.W)
+		}
+	}
+	// Closer pairs must have larger weights.
+	es := append([]WeightedEdge(nil), g.Edges...)
+	sort.Slice(es, func(a, b int) bool { return es[a].D2 < es[b].D2 })
+	for i := 1; i < len(es); i++ {
+		if es[i].W > es[i-1].W+1e-12 {
+			t.Fatal("Gaussian weights not monotone in distance")
+		}
+	}
+}
+
+func TestBuildGraphKClamp(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	pts := randPoints(rng, 5, 2)
+	g := BuildGraph(pts, 50) // clamps to n-1=4: complete graph
+	if len(g.Edges) != 10 {
+		t.Fatalf("expected complete graph with 10 edges, got %d", len(g.Edges))
+	}
+}

@@ -1,0 +1,88 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input matrix is not
+// (numerically) symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("mat: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular factor L with a = L·Lᵀ. Only the
+// lower triangle of a is read.
+func Cholesky(a *Dense) (*Dense, error) {
+	n := a.Rows
+	if a.Cols != n {
+		panic(fmt.Sprintf("mat: Cholesky needs square matrix, got %dx%d", a.Rows, a.Cols))
+	}
+	l := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if s <= 0 || math.IsNaN(s) {
+					return nil, ErrNotPositiveDefinite
+				}
+				l.Set(i, i, math.Sqrt(s))
+			} else {
+				l.Set(i, j, s/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// CholSolve solves a·x = b given the Cholesky factor l of a (a = L·Lᵀ).
+func CholSolve(l *Dense, b Vec) Vec {
+	n := l.Rows
+	if len(b) != n {
+		panic(fmt.Sprintf("mat: CholSolve dims %d vs %d", n, len(b)))
+	}
+	// Forward: L y = b.
+	y := make(Vec, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Backward: Lᵀ x = y.
+	x := make(Vec, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// SolveSPD solves a·x = b for symmetric positive definite a.
+func SolveSPD(a *Dense, b Vec) (Vec, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return CholSolve(l, b), nil
+}
+
+// LogDetSPD returns log(det(a)) for symmetric positive definite a, computed
+// stably from the Cholesky factor as 2·Σ log L_ii.
+func LogDetSPD(a *Dense) (float64, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return 0, err
+	}
+	var s float64
+	for i := 0; i < l.Rows; i++ {
+		s += math.Log(l.At(i, i))
+	}
+	return 2 * s, nil
+}

@@ -1,0 +1,135 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randDense(rng *rand.Rand, r, c int) *Dense {
+	m := NewDense(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestDenseAtSetRowCol(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatal("At/Set roundtrip failed")
+	}
+	m.Set(0, 1, 5)
+	r := m.Row(0)
+	if r[1] != 5 {
+		t.Fatal("Row view wrong")
+	}
+	c := m.Col(2)
+	if c[1] != 7 || c[0] != 0 {
+		t.Fatalf("Col = %v", c)
+	}
+	m.SetCol(0, Vec{9, 8})
+	if m.At(0, 0) != 9 || m.At(1, 0) != 8 {
+		t.Fatal("SetCol failed")
+	}
+}
+
+func TestFromRowsAndTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	mt := m.T()
+	if mt.Rows != 2 || mt.Cols != 3 {
+		t.Fatalf("T dims %dx%d", mt.Rows, mt.Cols)
+	}
+	if mt.At(0, 2) != 5 || mt.At(1, 0) != 2 {
+		t.Fatal("T values wrong")
+	}
+	if !m.T().T().Equalish(m, 0) {
+		t.Fatal("double transpose not identity")
+	}
+}
+
+func TestMulAgainstHand(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !c.Equalish(want, 1e-12) {
+		t.Fatalf("Mul = %+v", c)
+	}
+}
+
+func TestMulVecConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randDense(rng, 7, 5)
+	v := make(Vec, 5)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	// a.MulVec(v) must equal a.Mul(v-as-column).
+	col := NewDense(5, 1)
+	col.SetCol(0, v)
+	got := a.MulVec(v)
+	want := a.Mul(col).Col(0)
+	if MaxAbsDiff(got, want) > 1e-12 {
+		t.Fatal("MulVec inconsistent with Mul")
+	}
+}
+
+func TestMulVecTConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randDense(rng, 6, 4)
+	v := make(Vec, 6)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	got := a.MulVecT(v)
+	want := a.T().MulVec(v)
+	if MaxAbsDiff(got, want) > 1e-12 {
+		t.Fatal("MulVecT inconsistent with T().MulVec")
+	}
+}
+
+func TestMulTConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randDense(rng, 8, 3)
+	b := randDense(rng, 8, 5)
+	got := a.MulT(b)
+	want := a.T().Mul(b)
+	if !got.Equalish(want, 1e-12) {
+		t.Fatal("MulT inconsistent with T().Mul")
+	}
+}
+
+func TestAddAxpyScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{10, 20}})
+	a.Add(b)
+	if a.At(0, 1) != 22 {
+		t.Fatal("Add failed")
+	}
+	a.AxpyMat(0.5, b)
+	if a.At(0, 0) != 16 {
+		t.Fatal("AxpyMat failed")
+	}
+	a.ScaleMat(2)
+	if a.At(0, 1) != 64 {
+		t.Fatal("ScaleMat failed")
+	}
+}
+
+func TestEye(t *testing.T) {
+	e := Eye(3)
+	v := Vec{1, 2, 3}
+	if MaxAbsDiff(e.MulVec(v), v) != 0 {
+		t.Fatal("Eye*v != v")
+	}
+}
+
+func TestMulDimsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected dim-mismatch panic")
+		}
+	}()
+	NewDense(2, 3).Mul(NewDense(2, 3))
+}

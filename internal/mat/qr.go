@@ -1,0 +1,92 @@
+package mat
+
+import "fmt"
+
+// QR holds a thin QR factorization A = Q·R with Q (m x n) having orthonormal
+// columns and R (n x n) upper triangular.
+type QR struct {
+	Q *Dense
+	R *Dense
+}
+
+// QRFactor computes a thin QR factorization of a (m x n, m >= n) using
+// modified Gram-Schmidt with one reorthogonalization pass, which is
+// numerically adequate for the narrow matrices (n <= a few hundred) used in
+// the spectral pipeline. Rank-deficient columns yield zero columns in Q and
+// zero diagonal entries in R.
+func QRFactor(a *Dense) *QR {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic(fmt.Sprintf("mat: QRFactor requires rows >= cols, got %dx%d", m, n))
+	}
+	q := a.Clone()
+	r := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		v := q.Col(j)
+		// Two MGS passes against previously finished columns.
+		for pass := 0; pass < 2; pass++ {
+			for k := 0; k < j; k++ {
+				qk := q.Col(k)
+				c := Dot(qk, v)
+				r.Set(k, j, r.At(k, j)+c)
+				Axpy(-c, qk, v)
+			}
+		}
+		nrm := Norm2(v)
+		r.Set(j, j, nrm)
+		if nrm > 0 {
+			Scale(1/nrm, v)
+		}
+		q.SetCol(j, v)
+	}
+	return &QR{Q: q, R: r}
+}
+
+// Orthonormalize replaces the columns of a with an orthonormal basis of their
+// span (in place) and returns the numerical rank (number of nonzero columns).
+func Orthonormalize(a *Dense) int {
+	f := QRFactor(a)
+	rank := 0
+	for j := 0; j < a.Cols; j++ {
+		if f.R.At(j, j) > 1e-12 {
+			rank++
+		}
+	}
+	copy(a.Data, f.Q.Data)
+	return rank
+}
+
+// SolveUpperTriangular solves R x = b for upper triangular R via back
+// substitution. Zero (or tiny) diagonal entries yield zero solution
+// components, giving a minimum-norm-flavoured fallback for rank-deficient R.
+func SolveUpperTriangular(r *Dense, b Vec) Vec {
+	n := r.Rows
+	if r.Cols != n || len(b) != n {
+		panic(fmt.Sprintf("mat: SolveUpperTriangular dims %dx%d, b %d", r.Rows, r.Cols, len(b)))
+	}
+	x := make(Vec, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		row := r.Data[i*n : (i+1)*n]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		d := row[i]
+		if d > -1e-300 && d < 1e-300 {
+			x[i] = 0
+			continue
+		}
+		x[i] = s / d
+	}
+	return x
+}
+
+// LeastSquares solves min ||a·x - b||₂ via thin QR.
+func LeastSquares(a *Dense, b Vec) Vec {
+	if len(b) != a.Rows {
+		panic(fmt.Sprintf("mat: LeastSquares dims %dx%d, b %d", a.Rows, a.Cols, len(b)))
+	}
+	f := QRFactor(a)
+	qtb := f.Q.MulVecT(b)
+	return SolveUpperTriangular(f.R, qtb)
+}

@@ -1,0 +1,191 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SymEig computes all eigenvalues and eigenvectors of the dense symmetric
+// matrix a using the cyclic Jacobi rotation method. It returns eigenvalues in
+// ascending order and the matching eigenvectors as the columns of the second
+// result. Only the lower triangle of a is read. The cost is O(n³) per sweep,
+// which is fine for the small dense problems (Rayleigh–Ritz blocks, test
+// oracles) this package serves.
+func SymEig(a *Dense) (Vec, *Dense) {
+	n := a.Rows
+	if a.Cols != n {
+		panic(fmt.Sprintf("mat: SymEig needs square matrix, got %dx%d", a.Rows, a.Cols))
+	}
+	// Work on a symmetrized copy.
+	w := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := a.At(i, j)
+			w.Set(i, j, v)
+			w.Set(j, i, v)
+		}
+	}
+	v := Eye(n)
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off < 1e-24*float64(n*n) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// Apply rotation J(p,q,θ)ᵀ W J(p,q,θ).
+				for k := 0; k < n; k++ {
+					wkp := w.At(k, p)
+					wkq := w.At(k, q)
+					w.Set(k, p, c*wkp-s*wkq)
+					w.Set(k, q, s*wkp+c*wkq)
+				}
+				for k := 0; k < n; k++ {
+					wpk := w.At(p, k)
+					wqk := w.At(q, k)
+					w.Set(p, k, c*wpk-s*wqk)
+					w.Set(q, k, s*wpk+c*wqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp := v.At(k, p)
+					vkq := v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	vals := make(Vec, n)
+	for i := 0; i < n; i++ {
+		vals[i] = w.At(i, i)
+	}
+	// Sort ascending, permuting eigenvector columns alongside.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] < vals[idx[j]] })
+	sortedVals := make(Vec, n)
+	sortedVecs := NewDense(n, n)
+	for newJ, oldJ := range idx {
+		sortedVals[newJ] = vals[oldJ]
+		for i := 0; i < n; i++ {
+			sortedVecs.Set(i, newJ, v.At(i, oldJ))
+		}
+	}
+	return sortedVals, sortedVecs
+}
+
+// TridiagEig computes all eigenvalues and eigenvectors of the symmetric
+// tridiagonal matrix with diagonal d (length n) and off-diagonal e (length
+// n-1) using the implicit QL algorithm with Wilkinson shifts. Eigenvalues are
+// returned ascending; eigenvectors are the columns of the returned matrix.
+// This is the workhorse behind the Lanczos eigensolvers.
+func TridiagEig(d, e Vec) (Vec, *Dense) {
+	n := len(d)
+	if len(e) != n-1 && !(n == 0 && len(e) == 0) && !(n == 1 && len(e) == 0) {
+		panic(fmt.Sprintf("mat: TridiagEig d has %d entries, e has %d (want %d)", n, len(e), n-1))
+	}
+	dd := d.Clone()
+	// Pad e to length n with trailing zero for the classic algorithm layout.
+	ee := make(Vec, n)
+	copy(ee, e)
+	z := Eye(n)
+	for l := 0; l < n; l++ {
+		iter := 0
+		for {
+			// Find small subdiagonal element to split.
+			m := l
+			for ; m < n-1; m++ {
+				dd1 := math.Abs(dd[m]) + math.Abs(dd[m+1])
+				if math.Abs(ee[m]) <= 1e-16*dd1 {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			iter++
+			if iter > 50 {
+				// Give up on further refinement of this eigenvalue; accept
+				// the current estimate rather than looping forever.
+				break
+			}
+			g := (dd[l+1] - dd[l]) / (2 * ee[l])
+			r := math.Hypot(g, 1)
+			sg := r
+			if g < 0 {
+				sg = -r
+			}
+			g = dd[m] - dd[l] + ee[l]/(g+sg)
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * ee[i]
+				b := c * ee[i]
+				r = math.Hypot(f, g)
+				ee[i+1] = r
+				if r == 0 {
+					dd[i+1] -= p
+					ee[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = dd[i+1] - p
+				r = (dd[i]-g)*s + 2*c*b
+				p = s * r
+				dd[i+1] = g + p
+				g = c*r - b
+				for k := 0; k < n; k++ {
+					f := z.At(k, i+1)
+					z.Set(k, i+1, s*z.At(k, i)+c*f)
+					z.Set(k, i, c*z.At(k, i)-s*f)
+				}
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			dd[l] -= p
+			ee[l] = g
+			ee[m] = 0
+		}
+	}
+	// Sort ascending.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return dd[idx[i]] < dd[idx[j]] })
+	vals := make(Vec, n)
+	vecs := NewDense(n, n)
+	for newJ, oldJ := range idx {
+		vals[newJ] = dd[oldJ]
+		for i := 0; i < n; i++ {
+			vecs.Set(i, newJ, z.At(i, oldJ))
+		}
+	}
+	return vals, vecs
+}

@@ -1,0 +1,309 @@
+// Package metrics collects the evaluation statistics used by the experiment
+// harness: R², macro-F1, cosine similarity, rank correlations, histograms,
+// and summary statistics.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cirstag/internal/mat"
+)
+
+// R2 returns the coefficient of determination of predictions against
+// targets: 1 − SS_res/SS_tot. A constant target yields R² = 0 by convention
+// unless predictions match exactly (then 1).
+func R2(pred, target mat.Vec) float64 {
+	if len(pred) != len(target) {
+		panic(fmt.Sprintf("metrics: R2 lengths %d vs %d", len(pred), len(target)))
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	mean := mat.Mean(target)
+	var ssRes, ssTot float64
+	for i := range pred {
+		d := pred[i] - target[i]
+		ssRes += d * d
+		dt := target[i] - mean
+		ssTot += dt * dt
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// CosineSimilarity returns the cosine of the angle between two vectors
+// (0 when either is the zero vector).
+func CosineSimilarity(a, b mat.Vec) float64 {
+	na, nb := mat.Norm2(a), mat.Norm2(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return mat.Dot(a, b) / (na * nb)
+}
+
+// MeanRowCosine returns the average cosine similarity between corresponding
+// rows of two matrices — the embedding-similarity metric of Case Study B.
+func MeanRowCosine(a, b *mat.Dense) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("metrics: MeanRowCosine shapes %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if a.Rows == 0 {
+		return 0
+	}
+	var s float64
+	for i := 0; i < a.Rows; i++ {
+		s += CosineSimilarity(a.Row(i), b.Row(i))
+	}
+	return s / float64(a.Rows)
+}
+
+// F1Macro computes the macro-averaged F1 score over numClasses classes.
+// Rows with trueLabel < 0 are ignored. Classes absent from both predictions
+// and ground truth contribute F1 = 0 only if they appear in ground truth;
+// classes never seen in ground truth are skipped.
+func F1Macro(pred, truth []int, numClasses int) float64 {
+	if len(pred) != len(truth) {
+		panic(fmt.Sprintf("metrics: F1Macro lengths %d vs %d", len(pred), len(truth)))
+	}
+	tp := make([]float64, numClasses)
+	fp := make([]float64, numClasses)
+	fn := make([]float64, numClasses)
+	seen := make([]bool, numClasses)
+	for i := range pred {
+		t := truth[i]
+		if t < 0 {
+			continue
+		}
+		p := pred[i]
+		seen[t] = true
+		if p == t {
+			tp[t]++
+		} else {
+			fn[t]++
+			if p >= 0 && p < numClasses {
+				fp[p]++
+			}
+		}
+	}
+	var sum float64
+	var cnt int
+	for c := 0; c < numClasses; c++ {
+		if !seen[c] {
+			continue
+		}
+		cnt++
+		denom := 2*tp[c] + fp[c] + fn[c]
+		if denom == 0 {
+			continue
+		}
+		sum += 2 * tp[c] / denom
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}
+
+// Accuracy returns the fraction of matching labels (ignoring truth < 0).
+func Accuracy(pred, truth []int) float64 {
+	var hit, tot int
+	for i := range pred {
+		if truth[i] < 0 {
+			continue
+		}
+		tot++
+		if pred[i] == truth[i] {
+			hit++
+		}
+	}
+	if tot == 0 {
+		return 0
+	}
+	return float64(hit) / float64(tot)
+}
+
+// ranks assigns average ranks to the values (ties share the mean rank).
+func ranks(v mat.Vec) mat.Vec {
+	n := len(v)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return v[idx[a]] < v[idx[b]] })
+	r := make(mat.Vec, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && v[idx[j+1]] == v[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			r[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return r
+}
+
+// Spearman returns the Spearman rank correlation between x and y.
+func Spearman(x, y mat.Vec) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("metrics: Spearman lengths %d vs %d", len(x), len(y)))
+	}
+	if len(x) < 2 {
+		return 0
+	}
+	return Pearson(ranks(x), ranks(y))
+}
+
+// Pearson returns the Pearson correlation coefficient.
+func Pearson(x, y mat.Vec) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("metrics: Pearson lengths %d vs %d", len(x), len(y)))
+	}
+	n := float64(len(x))
+	if n < 2 {
+		return 0
+	}
+	mx, my := mat.Mean(x), mat.Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx := x[i] - mx
+		dy := y[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// KendallTau returns Kendall's τ-a rank correlation (O(n²); for the modest
+// vector lengths used in rank-quality ablations).
+func KendallTau(x, y mat.Vec) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("metrics: KendallTau lengths %d vs %d", len(x), len(y)))
+	}
+	n := len(x)
+	if n < 2 {
+		return 0
+	}
+	var concordant, discordant float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sx := sign(x[i] - x[j])
+			sy := sign(y[i] - y[j])
+			p := sx * sy
+			if p > 0 {
+				concordant++
+			} else if p < 0 {
+				discordant++
+			}
+		}
+	}
+	total := float64(n*(n-1)) / 2
+	return (concordant - discordant) / total
+}
+
+func sign(x float64) float64 {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	}
+	return 0
+}
+
+// Summary holds basic distribution statistics.
+type Summary struct {
+	N                int
+	Mean, Std        float64
+	Min, Max, Median float64
+	P90, P99         float64
+}
+
+// Summarize computes summary statistics of v.
+func Summarize(v mat.Vec) Summary {
+	n := len(v)
+	if n == 0 {
+		return Summary{}
+	}
+	s := Summary{N: n, Mean: mat.Mean(v)}
+	sorted := v.Clone()
+	sort.Float64s(sorted)
+	s.Min = sorted[0]
+	s.Max = sorted[n-1]
+	s.Median = quantileSorted(sorted, 0.5)
+	s.P90 = quantileSorted(sorted, 0.9)
+	s.P99 = quantileSorted(sorted, 0.99)
+	var varAcc float64
+	for _, x := range v {
+		d := x - s.Mean
+		varAcc += d * d
+	}
+	if n > 1 {
+		s.Std = math.Sqrt(varAcc / float64(n-1))
+	}
+	return s
+}
+
+func quantileSorted(sorted mat.Vec, q float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	if lo >= n-1 {
+		return sorted[n-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Histogram bins values into nbins equal-width buckets over [min, max] and
+// returns the bucket edges (nbins+1) and counts (nbins).
+func Histogram(v mat.Vec, nbins int) (edges mat.Vec, counts []int) {
+	if nbins < 1 {
+		panic("metrics: Histogram needs at least one bin")
+	}
+	counts = make([]int, nbins)
+	edges = make(mat.Vec, nbins+1)
+	if len(v) == 0 {
+		return edges, counts
+	}
+	lo, hi := v[0], v[0]
+	for _, x := range v {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	w := (hi - lo) / float64(nbins)
+	for i := range edges {
+		edges[i] = lo + float64(i)*w
+	}
+	for _, x := range v {
+		b := int((x - lo) / w)
+		if b >= nbins {
+			b = nbins - 1
+		}
+		counts[b]++
+	}
+	return edges, counts
+}

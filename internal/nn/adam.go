@@ -1,0 +1,68 @@
+package nn
+
+import "math"
+
+// Adam implements the Adam optimizer with decoupled parameter lists.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Eps     float64
+	Decay   float64 // L2 weight decay applied to gradients
+	t       int
+	targets []*Param
+}
+
+// NewAdam builds an optimizer over the given parameters with standard
+// defaults (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+func NewAdam(lr float64, params []*Param) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, targets: params}
+}
+
+// ZeroGrad clears every parameter gradient.
+func (a *Adam) ZeroGrad() {
+	for _, p := range a.targets {
+		p.ZeroGrad()
+	}
+}
+
+// Step applies one Adam update using the accumulated gradients.
+func (a *Adam) Step() {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range a.targets {
+		for i := range p.W.Data {
+			g := p.Grad.Data[i]
+			if a.Decay > 0 {
+				g += a.Decay * p.W.Data[i]
+			}
+			p.m.Data[i] = a.Beta1*p.m.Data[i] + (1-a.Beta1)*g
+			p.v.Data[i] = a.Beta2*p.v.Data[i] + (1-a.Beta2)*g*g
+			mh := p.m.Data[i] / bc1
+			vh := p.v.Data[i] / bc2
+			p.W.Data[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+	}
+}
+
+// GradClip scales all gradients down so their global L2 norm does not exceed
+// maxNorm. Returns the pre-clip norm.
+func (a *Adam) GradClip(maxNorm float64) float64 {
+	var ss float64
+	for _, p := range a.targets {
+		for _, g := range p.Grad.Data {
+			ss += g * g
+		}
+	}
+	norm := math.Sqrt(ss)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range a.targets {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] *= scale
+			}
+		}
+	}
+	return norm
+}

@@ -1,0 +1,317 @@
+// Package revnet implements the functional reverse-engineering substrate of
+// Case Study B: a library of gate-level sub-circuit generators (adders,
+// multiplexers, comparators, decoders, parity trees, shifters), a stitcher
+// that interconnects them into larger designs, and a GAT node classifier that
+// labels each gate with the sub-circuit it belongs to. Node features encode
+// "surrounding gate information" — the Boolean functionality of gates in the
+// local neighbourhood — following the GNN-RE / ReIGNN line of work the paper
+// evaluates with.
+package revnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cirstag/internal/circuit"
+	"cirstag/internal/graph"
+	"cirstag/internal/mat"
+)
+
+// BlockType labels the sub-circuit classes of the classification task.
+type BlockType int
+
+const (
+	// BlockAdder is a ripple-carry adder slice chain.
+	BlockAdder BlockType = iota
+	// BlockMux is a multiplexer tree.
+	BlockMux
+	// BlockComparator is an equality comparator.
+	BlockComparator
+	// BlockDecoder is an address decoder.
+	BlockDecoder
+	// BlockParity is a parity (XOR) tree.
+	BlockParity
+	// BlockShifter is a shift/rotate stage built from muxes and buffers.
+	BlockShifter
+	// NumBlockTypes is the class count.
+	NumBlockTypes
+)
+
+var blockNames = [...]string{
+	BlockAdder: "adder", BlockMux: "mux", BlockComparator: "comparator",
+	BlockDecoder: "decoder", BlockParity: "parity", BlockShifter: "shifter",
+}
+
+// String returns the block's class name.
+func (b BlockType) String() string {
+	if b < 0 || int(b) >= len(blockNames) {
+		return fmt.Sprintf("BlockType(%d)", int(b))
+	}
+	return blockNames[b]
+}
+
+// Design is a gate-level design with per-gate sub-circuit labels: the
+// dataset unit of Case Study B. Gate i has type Gates[i] and ground-truth
+// class Labels[i]; Graph holds undirected gate-to-gate connectivity.
+type Design struct {
+	Gates  []circuit.GateType
+	Labels []int
+	Graph  *graph.Graph
+	// Ports lists, per stitched block, a few representative gate ids used as
+	// connection points by the stitcher.
+	Ports [][]int
+}
+
+// blockBuilder accumulates one design.
+type blockBuilder struct {
+	gates  []circuit.GateType
+	labels []int
+	edges  []graph.Edge
+}
+
+func (b *blockBuilder) addGate(t circuit.GateType, label int) int {
+	id := len(b.gates)
+	b.gates = append(b.gates, t)
+	b.labels = append(b.labels, label)
+	return id
+}
+
+func (b *blockBuilder) connect(u, v int) {
+	if u != v {
+		b.edges = append(b.edges, graph.Edge{U: u, V: v, W: 1})
+	}
+}
+
+// emitBlock instantiates one sub-circuit of the given type and size class,
+// returning its port gates (inputs first, then outputs).
+func (b *blockBuilder) emitBlock(t BlockType, bits int, rng *rand.Rand) []int {
+	label := int(t)
+	switch t {
+	case BlockAdder:
+		// Ripple-carry: per bit, two XORs, two ANDs, one OR; carry chains.
+		var carry = -1
+		ports := []int{}
+		for i := 0; i < bits; i++ {
+			x1 := b.addGate(circuit.Xor2, label)
+			x2 := b.addGate(circuit.Xor2, label)
+			a1 := b.addGate(circuit.And2, label)
+			a2 := b.addGate(circuit.And2, label)
+			or := b.addGate(circuit.Or2, label)
+			b.connect(x1, x2)
+			b.connect(x1, a2)
+			b.connect(a1, or)
+			b.connect(a2, or)
+			if carry >= 0 {
+				b.connect(carry, x2)
+				b.connect(carry, a2)
+			}
+			carry = or
+			ports = append(ports, x1, x2)
+		}
+		ports = append(ports, carry)
+		return ports
+	case BlockMux:
+		// Mux tree: leaves are AND pairs into ORs, selector inverters.
+		sel := b.addGate(circuit.Inv, label)
+		var level []int
+		for i := 0; i < bits*2; i++ {
+			g := b.addGate(circuit.And2, label)
+			b.connect(sel, g)
+			level = append(level, g)
+		}
+		for len(level) > 1 {
+			var next []int
+			for i := 0; i+1 < len(level); i += 2 {
+				or := b.addGate(circuit.Or2, label)
+				b.connect(level[i], or)
+				b.connect(level[i+1], or)
+				next = append(next, or)
+			}
+			if len(level)%2 == 1 {
+				next = append(next, level[len(level)-1])
+			}
+			level = next
+		}
+		return append([]int{sel}, level...)
+	case BlockComparator:
+		// Equality: XNOR per bit, AND reduction tree.
+		var xnors []int
+		for i := 0; i < bits; i++ {
+			xnors = append(xnors, b.addGate(circuit.Xnor2, label))
+		}
+		level := xnors
+		for len(level) > 1 {
+			var next []int
+			for i := 0; i+1 < len(level); i += 2 {
+				and := b.addGate(circuit.And2, label)
+				b.connect(level[i], and)
+				b.connect(level[i+1], and)
+				next = append(next, and)
+			}
+			if len(level)%2 == 1 {
+				next = append(next, level[len(level)-1])
+			}
+			level = next
+		}
+		return append(xnors[:min(2, len(xnors)):min(2, len(xnors))], level[0])
+	case BlockDecoder:
+		// Address decoder: inverters per address bit, AND per output line.
+		var invs []int
+		for i := 0; i < bits; i++ {
+			invs = append(invs, b.addGate(circuit.Inv, label))
+		}
+		var outs []int
+		lines := 1 << uint(min(bits, 4))
+		for o := 0; o < lines; o++ {
+			and := b.addGate(circuit.And2, label)
+			// Each line taps two pseudo-random address inverters.
+			b.connect(invs[o%len(invs)], and)
+			b.connect(invs[(o/2)%len(invs)], and)
+			outs = append(outs, and)
+		}
+		return append(invs[:1:1], outs[:min(3, len(outs))]...)
+	case BlockParity:
+		// XOR reduction tree over 2^k leaves.
+		var level []int
+		for i := 0; i < bits*2; i++ {
+			level = append(level, b.addGate(circuit.Xor2, label))
+		}
+		leaves := append([]int(nil), level...)
+		for len(level) > 1 {
+			var next []int
+			for i := 0; i+1 < len(level); i += 2 {
+				x := b.addGate(circuit.Xor2, label)
+				b.connect(level[i], x)
+				b.connect(level[i+1], x)
+				next = append(next, x)
+			}
+			if len(level)%2 == 1 {
+				next = append(next, level[len(level)-1])
+			}
+			level = next
+		}
+		return append(leaves[:min(2, len(leaves)):min(2, len(leaves))], level[0])
+	case BlockShifter:
+		// Shift stage: buffer line with mux (AND/OR/INV) taps.
+		var bufs []int
+		for i := 0; i < bits; i++ {
+			bufs = append(bufs, b.addGate(circuit.Buf, label))
+		}
+		var outs []int
+		for i := 0; i < bits; i++ {
+			a1 := b.addGate(circuit.And2, label)
+			a2 := b.addGate(circuit.And2, label)
+			or := b.addGate(circuit.Or2, label)
+			b.connect(bufs[i], a1)
+			b.connect(bufs[(i+1)%bits], a2)
+			b.connect(a1, or)
+			b.connect(a2, or)
+			outs = append(outs, or)
+		}
+		return append(bufs[:1:1], outs[:min(3, len(outs))]...)
+	default:
+		panic(fmt.Sprintf("revnet: unknown block type %v", t))
+	}
+}
+
+// GenerateDesign stitches blocksPerType instances of every block type into a
+// connected interconnected design, mirroring the "interconnected dataset" of
+// the reverse-engineering case study. bits controls block sizes; glue edges
+// between block ports plus a few random long-range wires make the
+// classification non-trivial at block boundaries.
+func GenerateDesign(blocksPerType, bits int, rng *rand.Rand) *Design {
+	if blocksPerType < 1 || bits < 2 {
+		panic("revnet: need at least one block per type and 2 bits")
+	}
+	b := &blockBuilder{}
+	var ports [][]int
+	for t := BlockType(0); t < NumBlockTypes; t++ {
+		for k := 0; k < blocksPerType; k++ {
+			sz := bits + rng.Intn(bits)
+			ports = append(ports, b.emitBlock(t, sz, rng))
+		}
+	}
+	// Stitch: connect each block's port to a port of the next block (ring),
+	// then add sparse random glue.
+	nb := len(ports)
+	for i := 0; i < nb; i++ {
+		p1 := ports[i][rng.Intn(len(ports[i]))]
+		p2 := ports[(i+1)%nb][rng.Intn(len(ports[(i+1)%nb]))]
+		if p1 != p2 {
+			b.connect(p1, p2)
+		}
+	}
+	extra := nb * 2
+	for k := 0; k < extra; k++ {
+		i, j := rng.Intn(nb), rng.Intn(nb)
+		p1 := ports[i][rng.Intn(len(ports[i]))]
+		p2 := ports[j][rng.Intn(len(ports[j]))]
+		if p1 != p2 {
+			b.connect(p1, p2)
+		}
+	}
+	g := graph.FromEdges(len(b.gates), b.edges)
+	d := &Design{Gates: b.gates, Labels: b.labels, Graph: g, Ports: ports}
+	d.ensureConnected(rng)
+	return d
+}
+
+// ensureConnected adds bridge edges between components (rare, but possible
+// when random glue repeats edges).
+func (d *Design) ensureConnected(rng *rand.Rand) {
+	comp, nc := d.Graph.ConnectedComponents()
+	if nc <= 1 {
+		return
+	}
+	rep := make([]int, nc)
+	for i := range rep {
+		rep[i] = -1
+	}
+	for v, c := range comp {
+		if rep[c] == -1 {
+			rep[c] = v
+		}
+	}
+	for c := 1; c < nc; c++ {
+		d.Graph.AddEdge(rep[0], rep[c], 1)
+	}
+}
+
+// Features builds per-gate features: gate-type one-hot, normalized degree,
+// and the 1-hop neighbourhood gate-type histogram (the "surrounding gate
+// information" of the paper's reference model).
+func (d *Design) Features() *mat.Dense {
+	n := len(d.Gates)
+	tc := circuit.NumGateTypes
+	f := mat.NewDense(n, tc+1+tc)
+	maxDeg := 1.0
+	for v := 0; v < n; v++ {
+		if deg := float64(d.Graph.Degree(v)); deg > maxDeg {
+			maxDeg = deg
+		}
+	}
+	for v := 0; v < n; v++ {
+		f.Set(v, int(d.Gates[v]), 1)
+		f.Set(v, tc, float64(d.Graph.Degree(v))/maxDeg)
+		ns := d.Graph.Neighbors(v)
+		if len(ns) == 0 {
+			continue
+		}
+		inv := 1 / float64(len(ns))
+		for _, u := range ns {
+			idx := tc + 1 + int(d.Gates[u])
+			f.Set(v, idx, f.At(v, idx)+inv)
+		}
+	}
+	return f
+}
+
+// NumGates returns the design size.
+func (d *Design) NumGates() int { return len(d.Gates) }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,161 @@
+package revnet
+
+import (
+	"math/rand"
+
+	"cirstag/internal/gnn"
+	"cirstag/internal/graph"
+	"cirstag/internal/mat"
+	"cirstag/internal/metrics"
+	"cirstag/internal/nn"
+)
+
+// ClassifierConfig sets the GAT architecture and training schedule.
+type ClassifierConfig struct {
+	Hidden int     // per-head width (default 16)
+	Heads  int     // attention heads (default 4)
+	Epochs int     // training steps (default 200)
+	LR     float64 // Adam learning rate (default 0.01)
+	Seed   int64
+}
+
+func (c ClassifierConfig) withDefaults() ClassifierConfig {
+	if c.Hidden <= 0 {
+		c.Hidden = 16
+	}
+	if c.Heads <= 0 {
+		c.Heads = 4
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 200
+	}
+	if c.LR <= 0 {
+		c.LR = 0.01
+	}
+	return c
+}
+
+// Classifier is a trained two-layer GAT node classifier for sub-circuit
+// identification.
+type Classifier struct {
+	cfg    ClassifierConfig
+	design *Design
+
+	gat1 *gnn.GATLayer
+	act1 *nn.LeakyReLU
+	gat2 *gnn.GATLayer
+	act2 *nn.LeakyReLU
+	head *nn.Linear
+
+	TrainMask []bool // nodes used for training; the rest are the test split
+}
+
+// TrainClassifier fits a GAT on the design with a deterministic 60/40
+// train/test node split.
+func TrainClassifier(d *Design, cfg ClassifierConfig) *Classifier {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := d.NumGates()
+	feat := d.Features()
+
+	c := &Classifier{cfg: cfg, design: d}
+	c.gat1 = gnn.NewGATLayer(d.Graph, feat.Cols, cfg.Hidden, cfg.Heads, rng)
+	c.act1 = &nn.LeakyReLU{Alpha: 0.1}
+	c.gat2 = gnn.NewGATLayer(d.Graph, cfg.Hidden*cfg.Heads, cfg.Hidden, cfg.Heads, rng)
+	c.act2 = &nn.LeakyReLU{Alpha: 0.1}
+	c.head = nn.NewLinear(cfg.Hidden*cfg.Heads, int(NumBlockTypes), rng)
+
+	c.TrainMask = make([]bool, n)
+	perm := rng.Perm(n)
+	for _, v := range perm[:n*6/10] {
+		c.TrainMask[v] = true
+	}
+	// Labels with non-train nodes masked out for the loss.
+	trainLabels := make([]int, n)
+	for v := 0; v < n; v++ {
+		if c.TrainMask[v] {
+			trainLabels[v] = d.Labels[v]
+		} else {
+			trainLabels[v] = -1
+		}
+	}
+
+	var params []*nn.Param
+	params = append(params, c.gat1.Params()...)
+	params = append(params, c.gat2.Params()...)
+	params = append(params, c.head.Params()...)
+	opt := nn.NewAdam(cfg.LR, params)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		opt.ZeroGrad()
+		logits, _ := c.forward(feat, nil)
+		_, g := nn.SoftmaxCrossEntropy(logits, trainLabels)
+		c.backward(g)
+		opt.GradClip(5)
+		opt.Step()
+	}
+	return c
+}
+
+// forward runs the model; if g is non-nil the layers are rebound to that
+// graph (used for topology-perturbation inference).
+func (c *Classifier) forward(feat *mat.Dense, g *graph.Graph) (logits, embeddings *mat.Dense) {
+	l1, l2 := c.gat1, c.gat2
+	if g != nil {
+		l1 = c.gat1.Rebind(g)
+		l2 = c.gat2.Rebind(g)
+	}
+	h := c.act1.Forward(l1.Forward(feat))
+	h = c.act2.Forward(l2.Forward(h))
+	return c.head.Forward(h), h
+}
+
+func (c *Classifier) backward(grad *mat.Dense) {
+	g := c.head.Backward(grad)
+	g = c.act2.Backward(g)
+	g = c.gat2.Backward(g)
+	g = c.act1.Backward(g)
+	c.gat1.Backward(g)
+}
+
+// Inference is one forward pass of the classifier.
+type Inference struct {
+	Logits     *mat.Dense
+	Embeddings *mat.Dense // n x Hidden·Heads (CirSTAG's Y)
+	Predicted  []int
+}
+
+// Predict classifies every gate of the training design (pass nil) or of a
+// perturbed variant graph over the same gates.
+func (c *Classifier) Predict(g *graph.Graph) *Inference {
+	feat := c.design.Features()
+	var d2 *Design
+	if g != nil {
+		// Features depend on the topology (degree, neighbour histogram), so
+		// rebuild them for the perturbed graph.
+		d2 = &Design{Gates: c.design.Gates, Labels: c.design.Labels, Graph: g}
+		feat = d2.Features()
+	}
+	logits, emb := c.forward(feat, g)
+	return &Inference{Logits: logits, Embeddings: emb, Predicted: nn.Argmax(logits)}
+}
+
+// TestF1 returns the macro-F1 of inf restricted to the held-out test nodes.
+func (c *Classifier) TestF1(inf *Inference) float64 {
+	truth := make([]int, len(c.design.Labels))
+	for v, lab := range c.design.Labels {
+		if c.TrainMask[v] {
+			truth[v] = -1
+		} else {
+			truth[v] = lab
+		}
+	}
+	return metrics.F1Macro(inf.Predicted, truth, int(NumBlockTypes))
+}
+
+// OverallAccuracy returns accuracy over all gates.
+func (c *Classifier) OverallAccuracy(inf *Inference) float64 {
+	return metrics.Accuracy(inf.Predicted, c.design.Labels)
+}
+
+// Design returns the training design.
+func (c *Classifier) Design() *Design { return c.design }

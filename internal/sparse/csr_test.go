@@ -1,0 +1,166 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cirstag/internal/mat"
+)
+
+func randCSR(rng *rand.Rand, rows, cols, nnz int) *CSR {
+	entries := make([]Entry, nnz)
+	for i := range entries {
+		entries[i] = Entry{Row: rng.Intn(rows), Col: rng.Intn(cols), Val: rng.NormFloat64()}
+	}
+	return NewCSR(rows, cols, entries)
+}
+
+func TestNewCSRSumsDuplicates(t *testing.T) {
+	m := NewCSR(2, 2, []Entry{{0, 1, 2}, {0, 1, 3}, {1, 0, -1}})
+	if m.At(0, 1) != 5 {
+		t.Fatalf("duplicate sum = %v, want 5", m.At(0, 1))
+	}
+	if m.At(1, 0) != -1 || m.At(0, 0) != 0 {
+		t.Fatal("CSR values wrong")
+	}
+	if m.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", m.NNZ())
+	}
+}
+
+func TestCSROutOfBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCSR(2, 2, []Entry{{2, 0, 1}})
+}
+
+func TestMulVecAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	m := randCSR(rng, 15, 9, 40)
+	d := m.ToDense()
+	x := make(mat.Vec, 9)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	if mat.MaxAbsDiff(m.MulVec(x), d.MulVec(x)) > 1e-12 {
+		t.Fatal("sparse MulVec disagrees with dense")
+	}
+}
+
+func TestMulDenseAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m := randCSR(rng, 10, 7, 25)
+	b := mat.NewDense(7, 3)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	got := m.MulDense(b)
+	want := m.ToDense().Mul(b)
+	if !got.Equalish(want, 1e-12) {
+		t.Fatal("sparse MulDense disagrees with dense")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	m := randCSR(rng, 8, 12, 30)
+	tt := m.T().T()
+	if !tt.ToDense().Equalish(m.ToDense(), 0) {
+		t.Fatal("transpose not involutive")
+	}
+	if !m.T().ToDense().Equalish(m.ToDense().T(), 0) {
+		t.Fatal("transpose disagrees with dense transpose")
+	}
+}
+
+func TestDiagPruneScale(t *testing.T) {
+	m := NewCSR(3, 3, []Entry{{0, 0, 1e-15}, {1, 1, 2}, {2, 0, 5}})
+	if d := m.Diag(); d[1] != 2 || d[2] != 0 {
+		t.Fatalf("Diag = %v", d)
+	}
+	p := m.Prune(1e-12)
+	if p.NNZ() != 2 || p.At(0, 0) != 0 {
+		t.Fatal("Prune failed")
+	}
+	s := m.Scale(2)
+	if s.At(1, 1) != 4 || m.At(1, 1) != 2 {
+		t.Fatal("Scale failed or mutated source")
+	}
+}
+
+func TestAddAndAddDiag(t *testing.T) {
+	a := NewCSR(2, 2, []Entry{{0, 0, 1}, {0, 1, 2}})
+	b := NewCSR(2, 2, []Entry{{0, 1, 3}, {1, 1, 4}})
+	c := a.Add(b)
+	if c.At(0, 0) != 1 || c.At(0, 1) != 5 || c.At(1, 1) != 4 {
+		t.Fatal("Add failed")
+	}
+	d := a.AddDiag(mat.Vec{10, 20})
+	if d.At(0, 0) != 11 || d.At(1, 1) != 20 {
+		t.Fatal("AddDiag failed")
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	sym := NewCSR(2, 2, []Entry{{0, 1, 3}, {1, 0, 3}, {0, 0, 1}})
+	if !sym.IsSymmetric(0) {
+		t.Fatal("symmetric matrix not detected")
+	}
+	asym := NewCSR(2, 2, []Entry{{0, 1, 3}})
+	if asym.IsSymmetric(1e-12) {
+		t.Fatal("asymmetric matrix passed")
+	}
+	rect := NewCSR(2, 3, nil)
+	if rect.IsSymmetric(0) {
+		t.Fatal("rectangular matrix passed symmetry check")
+	}
+}
+
+func TestQuadForm(t *testing.T) {
+	m := NewCSR(2, 2, []Entry{{0, 0, 2}, {1, 1, 3}})
+	x := mat.Vec{1, 2}
+	if got := m.QuadForm(x); got != 14 {
+		t.Fatalf("QuadForm = %v, want 14", got)
+	}
+}
+
+// Property: (A + B)x == Ax + Bx for random sparse matrices.
+func TestAddLinearityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randCSR(r, 6, 6, 12)
+		b := randCSR(r, 6, 6, 12)
+		x := make(mat.Vec, 6)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		lhs := a.Add(b).MulVec(x)
+		rhs := a.MulVec(x)
+		mat.Axpy(1, b.MulVec(x), rhs)
+		return mat.MaxAbsDiff(lhs, rhs) < 1e-10
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulVecToReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	m := randCSR(rng, 5, 5, 10)
+	x := make(mat.Vec, 5)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := make(mat.Vec, 5)
+	y.Fill(99) // must be fully overwritten
+	m.MulVecTo(y, x)
+	if mat.MaxAbsDiff(y, m.MulVec(x)) != 0 {
+		t.Fatal("MulVecTo differs from MulVec")
+	}
+}

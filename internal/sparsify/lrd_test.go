@@ -1,0 +1,123 @@
+package sparsify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cirstag/internal/graph"
+)
+
+func TestLRDDecompositionCoversAllOffTreeEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(160))
+	g := randomConnectedGraph(rng, 50, 120)
+	tree := MaxWeightSpanningTree(g)
+	res := LRDDecomposition(g, tree, 0)
+	if len(res.Cycles)+len(res.LongEdges)+len(tree) != g.M() {
+		t.Fatalf("decomposition lost edges: %d cycles + %d long + %d tree != %d",
+			len(res.Cycles), len(res.LongEdges), len(tree), g.M())
+	}
+	// Every short cycle respects the threshold.
+	for _, c := range res.Cycles {
+		if c.Resistance > res.Threshold+1e-12 {
+			t.Fatalf("cycle %d resistance %v exceeds threshold %v", c.EdgeID, c.Resistance, res.Threshold)
+		}
+	}
+	if res.MaxCycle > res.Threshold {
+		t.Fatal("MaxCycle exceeds threshold")
+	}
+	if res.MeanCycle <= 0 || res.MeanCycle > res.MaxCycle {
+		t.Fatalf("MeanCycle %v inconsistent with MaxCycle %v", res.MeanCycle, res.MaxCycle)
+	}
+}
+
+func TestLRDCyclePathsAreValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(161))
+	g := randomConnectedGraph(rng, 30, 60)
+	tree := MaxWeightSpanningTree(g)
+	inTree := map[[2]int]bool{}
+	edges := g.Edges()
+	for _, id := range tree {
+		inTree[[2]int{edges[id].U, edges[id].V}] = true
+	}
+	res := LRDDecomposition(g, tree, 0)
+	for _, c := range res.Cycles {
+		e := edges[c.EdgeID]
+		// Path connects the edge's endpoints.
+		if c.Path[0] != e.U || c.Path[len(c.Path)-1] != e.V {
+			t.Fatalf("cycle path endpoints %d..%d, edge (%d,%d)",
+				c.Path[0], c.Path[len(c.Path)-1], e.U, e.V)
+		}
+		// Consecutive path nodes are tree edges, and the path resistance plus
+		// the edge resistance equals the recorded cycle resistance.
+		var pr float64
+		for i := 1; i < len(c.Path); i++ {
+			a, b := c.Path[i-1], c.Path[i]
+			if a > b {
+				a, b = b, a
+			}
+			if !inTree[[2]int{a, b}] {
+				t.Fatalf("path step (%d,%d) is not a tree edge", a, b)
+			}
+			pr += 1 / g.EdgeWeight(a, b)
+		}
+		want := pr + 1/e.W
+		if math.Abs(want-c.Resistance) > 1e-9 {
+			t.Fatalf("cycle resistance %v, recomputed %v", c.Resistance, want)
+		}
+	}
+}
+
+func TestLRDThresholdSplitsLongCycles(t *testing.T) {
+	// A ring with one heavy chord: the chord's fundamental cycle is long
+	// when the threshold is small.
+	n := 30
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	g.AddEdge(0, n-1, 1) // closes the ring: cycle resistance = n
+	g.AddEdge(5, 7, 1)   // small chord: cycle resistance = 3
+	tree := MaxWeightSpanningTree(g)
+	res := LRDDecomposition(g, tree, 5)
+	if len(res.Cycles) != 1 || len(res.LongEdges) != 1 {
+		t.Fatalf("want 1 short + 1 long, got %d short %d long", len(res.Cycles), len(res.LongEdges))
+	}
+	if res.Cycles[0].Resistance > 5 {
+		t.Fatal("short cycle misclassified")
+	}
+}
+
+func TestLRDDisconnectedForest(t *testing.T) {
+	g := graph.New(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 2, 1) // cycle in component A
+	g.AddEdge(3, 4, 1)
+	g.AddEdge(4, 5, 1)
+	tree := MaxWeightSpanningTree(g)
+	res := LRDDecomposition(g, tree, 100)
+	if len(res.Cycles) != 1 {
+		t.Fatalf("want exactly one cycle, got %d", len(res.Cycles))
+	}
+}
+
+func TestPathNodesSymmetricEndpoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(162))
+	g := randomConnectedGraph(rng, 20, 0)
+	tree := MaxWeightSpanningTree(g)
+	tp := NewTreePaths(g, tree)
+	p1 := tp.PathNodes(3, 15)
+	p2 := tp.PathNodes(15, 3)
+	if len(p1) != len(p2) {
+		t.Fatal("path lengths differ by direction")
+	}
+	for i := range p1 {
+		if p1[i] != p2[len(p2)-1-i] {
+			t.Fatal("paths not reverses of each other")
+		}
+	}
+	if got := tp.PathNodes(4, 4); len(got) != 1 || got[0] != 4 {
+		t.Fatalf("self path = %v", got)
+	}
+}

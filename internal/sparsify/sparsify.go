@@ -1,0 +1,151 @@
+package sparsify
+
+import (
+	"math/rand"
+	"sort"
+
+	"cirstag/internal/graph"
+)
+
+// Options controls spectral sparsification.
+type Options struct {
+	// TargetEdges is the edge budget of the sparsifier. The spanning forest
+	// is always kept, so the effective budget is max(TargetEdges, n−1).
+	// Zero selects 2·(n−1) (about average degree 4).
+	TargetEdges int
+	// ResistanceThreshold bounds the LRD cycle resistance: off-tree edges
+	// whose fundamental-cycle resistance exceeds the threshold are treated
+	// as spectrally critical and kept regardless of budget. Zero disables.
+	ResistanceThreshold float64
+	// UseTreeResistance, when true, approximates each off-tree edge's
+	// effective resistance by its tree-path resistance (an upper bound that
+	// avoids Laplacian solves). When false the caller supplies resistances.
+	UseTreeResistance bool
+}
+
+// Result describes a sparsified graph.
+type Result struct {
+	Graph     *graph.Graph
+	TreeEdges []int     // indices into the input graph's edge list
+	KeptEdges []int     // all kept edge indices, ascending
+	Eta       []float64 // spectral distortion η per input edge (w·R̂eff)
+}
+
+// Sparsify prunes non-critical edges of g following CirSTAG's Phase-2 rule:
+// edges with small spectral distortion η_pq = w_pq·R̂eff(p,q) (eq. 8) are
+// removed first, because they contribute little to F₁ = log det Θ while
+// keeping them costs F₂ budget. A low-stretch spanning forest is always
+// preserved so the manifold stays connected (per component of g).
+//
+// reff optionally supplies per-edge effective resistances (indexed like
+// g.Edges()); pass nil with opts.UseTreeResistance to use tree-path upper
+// bounds, which is the fast path used by the main pipeline.
+func Sparsify(g *graph.Graph, reff []float64, rng *rand.Rand, opts Options) *Result {
+	n := g.N()
+	edges := g.Edges()
+	m := len(edges)
+	if opts.TargetEdges <= 0 {
+		opts.TargetEdges = 2 * (n - 1)
+	}
+	tree := LowStretchTree(g, rng)
+	inTree := make([]bool, m)
+	for _, id := range tree {
+		inTree[id] = true
+	}
+	// Resistance estimate for every edge.
+	eta := make([]float64, m)
+	var tp *TreePaths
+	if reff == nil || opts.UseTreeResistance {
+		tp = NewTreePaths(g, tree)
+	}
+	cycleRes := make([]float64, m) // fundamental-cycle resistance of off-tree edges
+	for id, e := range edges {
+		var r float64
+		switch {
+		case reff != nil && !opts.UseTreeResistance:
+			r = reff[id]
+		case inTree[id]:
+			r = 1 / e.W // tree edges: path resistance is the edge itself
+		default:
+			// Tree-path resistance is an upper bound on Reff; combined with
+			// the edge in parallel it gives the LRD cycle resistance.
+			ptr := tp.PathResistance(e.U, e.V)
+			if ptr < 0 {
+				ptr = 1 / e.W
+			}
+			r = ptr
+		}
+		eta[id] = e.W * r
+		if !inTree[id] {
+			// Cycle resistance: edge resistance + tree path resistance.
+			var ptr float64
+			if tp != nil {
+				ptr = tp.PathResistance(e.U, e.V)
+				if ptr < 0 {
+					ptr = 0
+				}
+			}
+			cycleRes[id] = 1/e.W + ptr
+		}
+	}
+	// Rank off-tree edges by descending η; keep the top ones within budget,
+	// plus any whose LRD cycle resistance exceeds the threshold.
+	offTree := make([]int, 0, m)
+	for id := range edges {
+		if !inTree[id] {
+			offTree = append(offTree, id)
+		}
+	}
+	sort.Slice(offTree, func(a, b int) bool {
+		if eta[offTree[a]] != eta[offTree[b]] {
+			return eta[offTree[a]] > eta[offTree[b]]
+		}
+		return offTree[a] < offTree[b]
+	})
+	budget := opts.TargetEdges - len(tree)
+	kept := append([]int(nil), tree...)
+	for rank, id := range offTree {
+		critical := opts.ResistanceThreshold > 0 && cycleRes[id] > opts.ResistanceThreshold
+		if rank < budget || critical {
+			kept = append(kept, id)
+		}
+	}
+	sort.Ints(kept)
+	out := graph.New(n)
+	for _, id := range kept {
+		e := edges[id]
+		out.AddEdge(e.U, e.V, e.W)
+	}
+	return &Result{Graph: out, TreeEdges: tree, KeptEdges: kept, Eta: eta}
+}
+
+// QuadFormDistortion estimates the spectral similarity of g and its
+// sparsifier h by comparing Laplacian quadratic forms on random probe
+// vectors: it returns the maximum over probes of
+// |xᵀL_H x − xᵀL_G x| / xᵀL_G x. Small values mean H ≈ G spectrally
+// (Lemma 1 of the paper).
+func QuadFormDistortion(g, h *graph.Graph, probes int, rng *rand.Rand) float64 {
+	lg := g.Laplacian()
+	lh := h.Laplacian()
+	n := g.N()
+	var worst float64
+	for p := 0; p < probes; p++ {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		qg := lg.QuadForm(x)
+		qh := lh.QuadForm(x)
+		if qg <= 0 {
+			continue
+		}
+		d := (qh - qg) / qg
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

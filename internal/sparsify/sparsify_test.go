@@ -1,0 +1,237 @@
+package sparsify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cirstag/internal/effres"
+	"cirstag/internal/graph"
+	"cirstag/internal/solver"
+)
+
+func randomConnectedGraph(rng *rand.Rand, n, extra int) *graph.Graph {
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(i, rng.Intn(i), 0.1+rng.Float64())
+	}
+	for k := 0; k < extra; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.AddEdge(u, v, 0.1+rng.Float64())
+		}
+	}
+	return g
+}
+
+func TestMaxWeightSpanningTreeIsSpanning(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	g := randomConnectedGraph(rng, 50, 100)
+	tree := MaxWeightSpanningTree(g)
+	if len(tree) != 49 {
+		t.Fatalf("tree has %d edges, want 49", len(tree))
+	}
+	edges := g.Edges()
+	h := graph.New(50)
+	for _, id := range tree {
+		h.AddEdge(edges[id].U, edges[id].V, edges[id].W)
+	}
+	if !h.IsConnected() {
+		t.Fatal("spanning tree not connected")
+	}
+}
+
+func TestMaxWeightSpanningTreeMaximizesWeight(t *testing.T) {
+	// Triangle with weights 1, 2, 3: max spanning tree takes edges 2 and 3.
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(0, 2, 3)
+	tree := MaxWeightSpanningTree(g)
+	edges := g.Edges()
+	var w float64
+	for _, id := range tree {
+		w += edges[id].W
+	}
+	if w != 5 {
+		t.Fatalf("tree weight %v, want 5", w)
+	}
+}
+
+func TestShortestPathTreeCoversForest(t *testing.T) {
+	// Disconnected graph: SPT from one side must still span both components.
+	g := graph.New(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(3, 4, 1)
+	g.AddEdge(4, 5, 1)
+	g.AddEdge(3, 5, 1)
+	tree := ShortestPathTree(g, 0)
+	if len(tree) != 4 {
+		t.Fatalf("forest has %d edges, want 4", len(tree))
+	}
+}
+
+func TestTreePathsAgainstEffres(t *testing.T) {
+	// On the tree itself, tree-path resistance equals effective resistance.
+	rng := rand.New(rand.NewSource(81))
+	g := randomConnectedGraph(rng, 30, 0) // tree already
+	tree := MaxWeightSpanningTree(g)
+	tp := NewTreePaths(g, tree)
+	s := solver.NewLaplacian(g, solver.Options{Tol: 1e-12})
+	for trial := 0; trial < 20; trial++ {
+		u, v := rng.Intn(30), rng.Intn(30)
+		want := effres.Exact(s, u, v)
+		got := tp.PathResistance(u, v)
+		if math.Abs(got-want) > 1e-7 {
+			t.Fatalf("tree path resistance (%d,%d) = %v, want %v", u, v, got, want)
+		}
+	}
+}
+
+func TestTreePathsDisconnected(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	tree := MaxWeightSpanningTree(g)
+	tp := NewTreePaths(g, tree)
+	if tp.PathResistance(0, 2) != -1 {
+		t.Fatal("cross-component path should be -1")
+	}
+	if tp.PathResistance(0, 1) != 1 {
+		t.Fatal("tree edge resistance wrong")
+	}
+	if tp.PathResistance(2, 2) != 0 {
+		t.Fatal("self path should be 0")
+	}
+}
+
+func TestTreePathUpperBoundsEffectiveResistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	g := randomConnectedGraph(rng, 25, 40)
+	tree := LowStretchTree(g, rng)
+	tp := NewTreePaths(g, tree)
+	s := solver.NewLaplacian(g, solver.Options{Tol: 1e-11})
+	for _, e := range g.Edges() {
+		exact := effres.Exact(s, e.U, e.V)
+		bound := tp.PathResistance(e.U, e.V)
+		if bound < exact-1e-7 {
+			t.Fatalf("tree path resistance %v below exact Reff %v", bound, exact)
+		}
+	}
+}
+
+func TestLowStretchTreeNotWorseThanMaxWeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	g := randomConnectedGraph(rng, 40, 120)
+	lst := LowStretchTree(g, rng)
+	mwt := MaxWeightSpanningTree(g)
+	if TotalStretch(g, lst) > TotalStretch(g, mwt)+1e-9 {
+		t.Fatal("LowStretchTree worse than max-weight tree")
+	}
+}
+
+func TestSparsifyKeepsConnectivityAndBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	g := randomConnectedGraph(rng, 60, 400)
+	target := 100
+	res := Sparsify(g, nil, rng, Options{TargetEdges: target, UseTreeResistance: true})
+	if !res.Graph.IsConnected() {
+		t.Fatal("sparsifier disconnected the graph")
+	}
+	if res.Graph.M() > target {
+		t.Fatalf("sparsifier kept %d edges, budget %d", res.Graph.M(), target)
+	}
+	if res.Graph.M() < 59 {
+		t.Fatal("sparsifier lost the spanning tree")
+	}
+}
+
+func TestSparsifyPrunesLowEtaFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	g := randomConnectedGraph(rng, 40, 200)
+	res := Sparsify(g, nil, rng, Options{TargetEdges: 60, UseTreeResistance: true})
+	kept := make(map[int]bool)
+	for _, id := range res.KeptEdges {
+		kept[id] = true
+	}
+	inTree := make(map[int]bool)
+	for _, id := range res.TreeEdges {
+		inTree[id] = true
+	}
+	// Every pruned off-tree edge must have η <= every kept off-tree edge's η.
+	minKept := math.Inf(1)
+	for id := range kept {
+		if !inTree[id] && res.Eta[id] < minKept {
+			minKept = res.Eta[id]
+		}
+	}
+	for id := range res.Eta {
+		if !kept[id] && res.Eta[id] > minKept+1e-12 {
+			t.Fatalf("pruned edge with η=%v while kept edge has η=%v", res.Eta[id], minKept)
+		}
+	}
+}
+
+func TestSparsifyPreservesQuadForms(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	g := randomConnectedGraph(rng, 80, 600)
+	// Keep half the edges: quadratic forms should stay within a moderate
+	// factor (this is a smoke bound, not the tight (1±ε) guarantee).
+	res := Sparsify(g, nil, rng, Options{TargetEdges: g.M() / 2, UseTreeResistance: true})
+	d := QuadFormDistortion(g, res.Graph, 20, rng)
+	if d > 1.0 {
+		t.Fatalf("quadratic form distortion %v too large", d)
+	}
+}
+
+func TestSparsifyWithExactResistances(t *testing.T) {
+	rng := rand.New(rand.NewSource(87))
+	g := randomConnectedGraph(rng, 30, 120)
+	reff := effres.ExactAllEdges(g, solver.Options{Tol: 1e-10})
+	res := Sparsify(g, reff, rng, Options{TargetEdges: 45})
+	if !res.Graph.IsConnected() {
+		t.Fatal("disconnected with exact resistances")
+	}
+	// η must equal w·Reff for off-tree edges when exact resistances are given.
+	inTree := make(map[int]bool)
+	for _, id := range res.TreeEdges {
+		inTree[id] = true
+	}
+	for id, e := range g.Edges() {
+		if math.Abs(res.Eta[id]-e.W*reff[id]) > 1e-9 {
+			t.Fatalf("eta[%d] = %v, want %v", id, res.Eta[id], e.W*reff[id])
+		}
+	}
+}
+
+func TestSparsifyResistanceThresholdKeepsCriticalEdges(t *testing.T) {
+	// A long cycle: the chord closing it has huge cycle resistance and must
+	// be kept even with a tree-only budget when the threshold is small.
+	n := 20
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	g.AddEdge(0, n-1, 1) // closes the cycle
+	rng := rand.New(rand.NewSource(88))
+	res := Sparsify(g, nil, rng, Options{TargetEdges: n - 1, UseTreeResistance: true, ResistanceThreshold: 5})
+	// Budget allows only the tree, but the off-tree chord has cycle
+	// resistance ~n > 5, so it must be kept.
+	if res.Graph.M() != n {
+		t.Fatalf("critical chord dropped: M=%d want %d", res.Graph.M(), n)
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	u := newUnionFind(5)
+	if !u.union(0, 1) || !u.union(1, 2) {
+		t.Fatal("union failed")
+	}
+	if u.union(0, 2) {
+		t.Fatal("union of same set should return false")
+	}
+	if u.find(0) != u.find(2) || u.find(3) == u.find(0) {
+		t.Fatal("find wrong")
+	}
+}

@@ -1,0 +1,165 @@
+package sta
+
+import (
+	"fmt"
+
+	"cirstag/internal/circuit"
+	"cirstag/internal/mat"
+)
+
+// SlackResult extends an STA pass with required arrival times and slacks,
+// computed backwards from the primary outputs against a target clock period.
+// Slack(p) = required(p) − arrival(p); negative slack marks timing
+// violations, zero slack marks the critical path(s).
+type SlackResult struct {
+	*Result
+	Required mat.Vec // required arrival time per pin
+	Slack    mat.Vec // required − arrival
+	Period   float64 // the constraint used at the primary outputs
+}
+
+// AnalyzeSlack runs full STA plus the backward required-time pass. A
+// non-positive period constrains every primary output at the critical delay
+// (so the worst path has exactly zero slack).
+func AnalyzeSlack(nl *circuit.Netlist, period float64) (*SlackResult, error) {
+	fwd, err := Analyze(nl)
+	if err != nil {
+		return nil, err
+	}
+	if period <= 0 {
+		period = fwd.MaxDelay
+	}
+	order, err := nl.TopologicalPins()
+	if err != nil {
+		return nil, err
+	}
+	n := nl.NumPins()
+	const inf = 1e308
+	req := make(mat.Vec, n)
+	for i := range req {
+		req[i] = inf
+	}
+	for _, p := range nl.PrimaryOutputPins() {
+		req[p] = period
+	}
+	// Rebuild the forward arc set with delays (mirror of Analyze).
+	type arc struct {
+		from, to int
+		delay    float64
+	}
+	var arcs []arc
+	for _, net := range nl.Nets {
+		for _, s := range net.Sinks {
+			arcs = append(arcs, arc{from: net.Driver, to: s})
+		}
+	}
+	for _, c := range nl.Cells {
+		if c.Type == circuit.PortIn || c.Type == circuit.PortOut || c.OutPin < 0 {
+			continue
+		}
+		spec := circuit.Library[c.Type]
+		d := spec.Intrinsic + spec.Drive/nl.SizeOf(c.ID)*nl.LoadCap(c.OutPin)
+		for _, in := range c.InPins {
+			arcs = append(arcs, arc{from: in, to: c.OutPin, delay: d})
+		}
+	}
+	// Backward pass in reverse topological order:
+	// required(from) = min over arcs of required(to) − delay.
+	incoming := make([][]arc, n) // arcs grouped by source for the sweep
+	for _, a := range arcs {
+		incoming[a.from] = append(incoming[a.from], a)
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		for _, a := range incoming[u] {
+			if r := req[a.to] - a.delay; r < req[u] {
+				req[u] = r
+			}
+		}
+	}
+	slack := make(mat.Vec, n)
+	for p := 0; p < n; p++ {
+		if req[p] >= inf {
+			// Pin drives nothing observable: unconstrained.
+			req[p] = period
+		}
+		slack[p] = req[p] - fwd.Arrival[p]
+	}
+	return &SlackResult{Result: fwd, Required: req, Slack: slack, Period: period}, nil
+}
+
+// CriticalPath returns the pin sequence of the most critical path: it starts
+// from the critical primary output and walks backwards choosing, at each
+// step, the predecessor whose arrival + arc delay equals the pin's arrival.
+func (r *SlackResult) CriticalPath(nl *circuit.Netlist) ([]int, error) {
+	if r.CriticalPO < 0 {
+		return nil, fmt.Errorf("sta: design has no primary outputs")
+	}
+	// Predecessor arcs per pin.
+	type arc struct {
+		from  int
+		delay float64
+	}
+	n := nl.NumPins()
+	pred := make([][]arc, n)
+	for _, net := range nl.Nets {
+		for _, s := range net.Sinks {
+			pred[s] = append(pred[s], arc{from: net.Driver})
+		}
+	}
+	for _, c := range nl.Cells {
+		if c.Type == circuit.PortIn || c.Type == circuit.PortOut || c.OutPin < 0 {
+			continue
+		}
+		spec := circuit.Library[c.Type]
+		d := spec.Intrinsic + spec.Drive/nl.SizeOf(c.ID)*nl.LoadCap(c.OutPin)
+		for _, in := range c.InPins {
+			pred[c.OutPin] = append(pred[c.OutPin], arc{from: in, delay: d})
+		}
+	}
+	path := []int{r.CriticalPO}
+	cur := r.CriticalPO
+	const eps = 1e-9
+	for {
+		var next = -1
+		for _, a := range pred[cur] {
+			if diff := r.Arrival[cur] - (r.Arrival[a.from] + a.delay); diff > -eps && diff < eps {
+				next = a.from
+				break
+			}
+		}
+		if next == -1 {
+			break
+		}
+		path = append(path, next)
+		cur = next
+	}
+	// Reverse to source→sink order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, nil
+}
+
+// WorstSlack returns the minimum slack and the pin where it occurs.
+func (r *SlackResult) WorstSlack() (float64, int) {
+	worst, at := 1e308, -1
+	for p, s := range r.Slack {
+		if s < worst {
+			worst = s
+			at = p
+		}
+	}
+	return worst, at
+}
+
+// NegativeSlackCount counts pins with slack below −tol.
+func (r *SlackResult) NegativeSlackCount(tol float64) int {
+	cnt := 0
+	for _, s := range r.Slack {
+		if s < -tol {
+			cnt++
+		}
+	}
+	return cnt
+}

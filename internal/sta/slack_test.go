@@ -1,0 +1,187 @@
+package sta
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cirstag/internal/circuit"
+)
+
+func TestSlackZeroOnCriticalPath(t *testing.T) {
+	nl := circuit.Generate(circuit.StandardBenchmarks()[0], rand.New(rand.NewSource(30)))
+	res, err := AnalyzeSlack(nl, 0) // period = critical delay
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, at := res.WorstSlack()
+	if math.Abs(worst) > 1e-6 {
+		t.Fatalf("worst slack %v at pin %d, want 0 at critical-path pins", worst, at)
+	}
+	// No negative slack when constrained at the critical delay.
+	if res.NegativeSlackCount(1e-6) != 0 {
+		t.Fatal("negative slack under exact constraint")
+	}
+	// The critical PO has zero slack.
+	if math.Abs(res.Slack[res.CriticalPO]) > 1e-6 {
+		t.Fatal("critical PO slack nonzero")
+	}
+}
+
+func TestSlackTighterPeriodGoesNegative(t *testing.T) {
+	nl := circuit.Generate(circuit.StandardBenchmarks()[0], rand.New(rand.NewSource(31)))
+	full, _ := AnalyzeSlack(nl, 0)
+	tight, err := AnalyzeSlack(nl, full.MaxDelay*0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.NegativeSlackCount(1e-9) == 0 {
+		t.Fatal("tighter clock should violate timing somewhere")
+	}
+	worst, _ := tight.WorstSlack()
+	if math.Abs(worst-(-0.2*full.MaxDelay)) > 1e-6 {
+		t.Fatalf("worst slack %v, want %v", worst, -0.2*full.MaxDelay)
+	}
+}
+
+func TestSlackLooserPeriodAllPositive(t *testing.T) {
+	nl := circuit.Generate(circuit.StandardBenchmarks()[0], rand.New(rand.NewSource(32)))
+	full, _ := AnalyzeSlack(nl, 0)
+	loose, _ := AnalyzeSlack(nl, full.MaxDelay*1.5)
+	if loose.NegativeSlackCount(0) != 0 {
+		t.Fatal("relaxed clock should meet timing everywhere")
+	}
+	worst, _ := loose.WorstSlack()
+	if math.Abs(worst-0.5*full.MaxDelay) > 1e-6 {
+		t.Fatalf("worst slack %v, want %v", worst, 0.5*full.MaxDelay)
+	}
+}
+
+func TestRequiredNeverBelowArrivalMinusPeriodGap(t *testing.T) {
+	// Consistency: slack = required − arrival by construction; required at
+	// POs equals the period.
+	nl := circuit.Generate(circuit.StandardBenchmarks()[1], rand.New(rand.NewSource(33)))
+	res, _ := AnalyzeSlack(nl, 0)
+	for _, p := range nl.PrimaryOutputPins() {
+		if math.Abs(res.Required[p]-res.Period) > 1e-9 {
+			t.Fatal("PO required time != period")
+		}
+	}
+	for p := range res.Slack {
+		if math.Abs(res.Slack[p]-(res.Required[p]-res.Arrival[p])) > 1e-9 {
+			t.Fatal("slack identity violated")
+		}
+	}
+}
+
+func TestCriticalPathProperties(t *testing.T) {
+	nl := circuit.Generate(circuit.StandardBenchmarks()[0], rand.New(rand.NewSource(34)))
+	res, _ := AnalyzeSlack(nl, 0)
+	path, err := res.CriticalPath(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) < 3 {
+		t.Fatalf("critical path too short: %v", path)
+	}
+	// Ends at the critical PO.
+	if path[len(path)-1] != res.CriticalPO {
+		t.Fatal("path does not end at the critical PO")
+	}
+	// Starts at a primary-input pin (arrival includes the port drive delay,
+	// so the first pin has no predecessor).
+	start := path[0]
+	isPI := false
+	for _, p := range nl.PrimaryInputPins() {
+		if p == start {
+			isPI = true
+		}
+	}
+	if !isPI {
+		t.Fatalf("critical path starts at pin %d which is not a PI pin", start)
+	}
+	// Arrival times strictly non-decreasing along the path, and every pin on
+	// the path has ~zero slack.
+	for i := 1; i < len(path); i++ {
+		if res.Arrival[path[i]] < res.Arrival[path[i-1]]-1e-9 {
+			t.Fatal("arrival decreases along critical path")
+		}
+	}
+	for _, p := range path {
+		if math.Abs(res.Slack[p]) > 1e-6 {
+			t.Fatalf("pin %d on critical path has slack %v", p, res.Slack[p])
+		}
+	}
+}
+
+func TestSlackDistributionHeterogeneous(t *testing.T) {
+	// The benchmark generator's lognormal wire caps should produce abundant
+	// slack away from the critical path: the median pin slack should be a
+	// sizable fraction of the period.
+	nl := circuit.Generate(circuit.StandardBenchmarks()[2], rand.New(rand.NewSource(35)))
+	res, _ := AnalyzeSlack(nl, 0)
+	var above int
+	for _, s := range res.Slack {
+		if s > 0.1*res.Period {
+			above++
+		}
+	}
+	frac := float64(above) / float64(len(res.Slack))
+	if frac < 0.3 {
+		t.Fatalf("only %.2f of pins have >10%% slack; criticality not sparse", frac)
+	}
+}
+
+func TestUpsizingCriticalCellReducesDelay(t *testing.T) {
+	nl := circuit.Generate(circuit.StandardBenchmarks()[0], rand.New(rand.NewSource(36)))
+	base, err := AnalyzeSlack(nl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := base.CriticalPath(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Upsize the gate cells along the critical path by 2x.
+	sized := nl
+	seen := map[int]bool{}
+	for _, p := range path {
+		c := nl.Pins[p].Cell
+		typ := nl.Cells[c].Type
+		if typ == circuit.PortIn || typ == circuit.PortOut || seen[c] {
+			continue
+		}
+		seen[c] = true
+		sized = sized.Resize(c, 2)
+	}
+	after, err := Analyze(sized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.MaxDelay >= base.MaxDelay {
+		t.Fatalf("upsizing critical path did not help: %v -> %v", base.MaxDelay, after.MaxDelay)
+	}
+}
+
+func TestUpsizingOffPathCellHurtsOrNeutral(t *testing.T) {
+	// Upsizing a cell with large slack adds load to its driver without
+	// helping any critical path: max delay must not improve.
+	nl := circuit.Generate(circuit.StandardBenchmarks()[0], rand.New(rand.NewSource(37)))
+	base, _ := AnalyzeSlack(nl, 0)
+	// Most-slack gate cell.
+	bestCell, bestSlack := -1, -1.0
+	for _, c := range nl.Cells {
+		if c.Type == circuit.PortIn || c.Type == circuit.PortOut || c.OutPin < 0 {
+			continue
+		}
+		if s := base.Slack[c.OutPin]; s > bestSlack {
+			bestSlack = s
+			bestCell = c.ID
+		}
+	}
+	sized := nl.Resize(bestCell, 4)
+	after, _ := Analyze(sized)
+	if after.MaxDelay < base.MaxDelay-1e-9 {
+		t.Fatal("upsizing a deep-slack cell should not improve the critical delay")
+	}
+}

@@ -1,0 +1,123 @@
+// Package sta is a static timing analysis engine over pin-level timing
+// graphs. It propagates signal arrival times from primary inputs to primary
+// outputs in topological order using the library's linear delay model
+// (arcDelay = Intrinsic + Drive·loadCap), providing the ground truth that the
+// timing-prediction GNN is trained against and the oracle for CirSTAG's
+// perturbation experiments.
+package sta
+
+import (
+	"fmt"
+	"math"
+
+	"cirstag/internal/circuit"
+	"cirstag/internal/mat"
+)
+
+// Result holds a full STA pass.
+type Result struct {
+	// Arrival[p] is the arrival time (ps) at pin p.
+	Arrival mat.Vec
+	// CriticalPO is the primary-output pin with the largest arrival time,
+	// −1 if the design has no outputs.
+	CriticalPO int
+	// MaxDelay is the arrival time at CriticalPO.
+	MaxDelay float64
+}
+
+// Analyze runs STA on the netlist. Net (interconnect) delay is modeled as
+// part of the driving arc: an output pin's arrival already includes the
+// load-dependent term, and net arcs add the PortIn drive delay for primary
+// inputs so heavily loaded input ports see realistic delays.
+func Analyze(nl *circuit.Netlist) (*Result, error) {
+	order, err := nl.TopologicalPins()
+	if err != nil {
+		return nil, err
+	}
+	n := nl.NumPins()
+	arr := make(mat.Vec, n)
+
+	// Precompute per-pin data.
+	type arc struct {
+		to    int
+		delay float64
+	}
+	adj := make([][]arc, n)
+	for _, net := range nl.Nets {
+		// Net arcs: driver output pin → each sink. Delay 0: wire delay is
+		// folded into the driver's load-dependent gate delay.
+		for _, s := range net.Sinks {
+			adj[net.Driver] = append(adj[net.Driver], arc{to: s, delay: 0})
+		}
+	}
+	for _, c := range nl.Cells {
+		if c.Type == circuit.PortOut || c.OutPin < 0 {
+			continue
+		}
+		spec := circuit.Library[c.Type]
+		load := nl.LoadCap(c.OutPin)
+		// Gate sizing: a size-s cell drives s× harder (slope Drive/s).
+		d := spec.Intrinsic + spec.Drive/nl.SizeOf(c.ID)*load
+		if c.Type == circuit.PortIn {
+			// Input ports: arrival at the port pin is the drive delay of the
+			// external driver into the port's load.
+			arr[c.OutPin] = d
+			continue
+		}
+		for _, in := range c.InPins {
+			adj[in] = append(adj[in], arc{to: c.OutPin, delay: d})
+		}
+	}
+	for _, u := range order {
+		for _, a := range adj[u] {
+			if t := arr[u] + a.delay; t > arr[a.to] {
+				arr[a.to] = t
+			}
+		}
+	}
+	res := &Result{Arrival: arr, CriticalPO: -1}
+	for _, p := range nl.PrimaryOutputPins() {
+		if arr[p] > res.MaxDelay || res.CriticalPO == -1 {
+			res.MaxDelay = arr[p]
+			res.CriticalPO = p
+		}
+	}
+	return res, nil
+}
+
+// POArrivals returns the arrival times at the primary-output pins, in the
+// order of nl.PrimaryOutputPins().
+func (r *Result) POArrivals(nl *circuit.Netlist) mat.Vec {
+	pins := nl.PrimaryOutputPins()
+	out := make(mat.Vec, len(pins))
+	for i, p := range pins {
+		out[i] = r.Arrival[p]
+	}
+	return out
+}
+
+// RelativeChange compares primary-output arrivals before and after a
+// perturbation: it returns the mean and max of |t'−t|/t over outputs.
+// Outputs with zero baseline arrival are skipped.
+func RelativeChange(base, perturbed mat.Vec) (mean, max float64) {
+	if len(base) != len(perturbed) {
+		panic(fmt.Sprintf("sta: RelativeChange lengths %d vs %d", len(base), len(perturbed)))
+	}
+	var sum float64
+	var cnt int
+	for i := range base {
+		if base[i] == 0 {
+			continue
+		}
+		rc := math.Abs(perturbed[i]-base[i]) / math.Abs(base[i])
+		sum += rc
+		if rc > max {
+			max = rc
+		}
+		cnt++
+	}
+	if cnt > 0 {
+		mean = sum / float64(cnt)
+	}
+	return mean, max
+}

@@ -1,0 +1,106 @@
+package timing
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"cirstag/internal/circuit"
+	"cirstag/internal/gnn"
+	"cirstag/internal/mat"
+	"cirstag/internal/nn"
+)
+
+// modelSnapshot is the gob-encoded persistent form of a trained Model. The
+// netlist itself is not stored — models are bound to a design's structure,
+// so Load re-attaches to a netlist provided by the caller and verifies a
+// structural fingerprint. Parameters are stored positionally in the order
+// enc1.Params(), enc2.Params(), delayHead.Params().
+type modelSnapshot struct {
+	Config      Config
+	Fingerprint string
+	Scale       float64
+	FeatMean    []float64
+	FeatStd     []float64
+	Blocks      [][]float64
+}
+
+// fingerprint summarizes the design structure a model is bound to; it is
+// intentionally cheap (counts, not a cryptographic hash) and catches the
+// realistic failure mode of loading a model against the wrong design.
+func fingerprint(nl *circuit.Netlist) string {
+	return fmt.Sprintf("%s/%d/%d/%d/%d/%d",
+		nl.Name, nl.NumPins(), len(nl.Cells), len(nl.Nets),
+		len(nl.PrimaryInputs), len(nl.PrimaryOutputs))
+}
+
+func (m *Model) allParams() []*nn.Param {
+	var out []*nn.Param
+	out = append(out, m.enc1.Params()...)
+	out = append(out, m.enc2.Params()...)
+	out = append(out, m.delayHead.Params()...)
+	return out
+}
+
+// Save writes the trained model weights to w.
+func (m *Model) Save(w io.Writer) error {
+	snap := modelSnapshot{
+		Config:      m.cfg,
+		Fingerprint: fingerprint(m.nl),
+		Scale:       m.scale,
+		FeatMean:    m.featMean,
+		FeatStd:     m.featStd,
+	}
+	for _, p := range m.allParams() {
+		snap.Blocks = append(snap.Blocks, append([]float64(nil), p.W.Data...))
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// Load reads a model saved with Save and re-binds it to nl, which must be
+// structurally identical to the design the model was trained on.
+func Load(r io.Reader, nl *circuit.Netlist) (*Model, error) {
+	var snap modelSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("timing: decoding model: %w", err)
+	}
+	if got := fingerprint(nl); got != snap.Fingerprint {
+		return nil, fmt.Errorf("timing: model fingerprint %q does not match design %q", snap.Fingerprint, got)
+	}
+	cfg := snap.Config.withDefaults()
+	m := &Model{cfg: snap.Config, nl: nl, scale: snap.Scale}
+	m.featMean = mat.Vec(snap.FeatMean)
+	m.featStd = mat.Vec(snap.FeatStd)
+	f := len(snap.FeatMean)
+	h := cfg.Hidden
+	rng := zeroRand()
+	pinGraph := nl.PinGraph()
+	if cfg.Arch == ArchSAGE {
+		m.enc1 = gnn.NewSAGELayer(pinGraph, f, h, rng)
+		m.enc2 = gnn.NewSAGELayer(pinGraph, h, h, rng)
+	} else {
+		adj := gnn.NormalizedAdjacency(pinGraph)
+		m.enc1 = gnn.NewGCNLayer(adj, f, h, rng)
+		m.enc2 = gnn.NewGCNLayer(adj, h, h, rng)
+	}
+	m.act1 = &nn.Tanh{}
+	m.act2 = &nn.Tanh{}
+	m.delayHead = nn.NewLinear(h, 1, rng)
+	m.dag = newDAGProp(nl)
+	m.params = m.allParams()
+	if len(snap.Blocks) != len(m.params) {
+		return nil, fmt.Errorf("timing: snapshot has %d parameter blocks, model wants %d", len(snap.Blocks), len(m.params))
+	}
+	for i, p := range m.params {
+		if len(snap.Blocks[i]) != len(p.W.Data) {
+			return nil, fmt.Errorf("timing: parameter block %d has %d values, want %d", i, len(snap.Blocks[i]), len(p.W.Data))
+		}
+		copy(p.W.Data, snap.Blocks[i])
+	}
+	return m, nil
+}
+
+// zeroRand returns a deterministic rand.Rand used only to satisfy layer
+// constructors whose weights are immediately overwritten by Load.
+func zeroRand() *rand.Rand { return rand.New(rand.NewSource(0)) }

@@ -1,0 +1,50 @@
+package timing
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"cirstag/internal/circuit"
+	"cirstag/internal/mat"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m, nl := trainSmallModel(t, 11)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf, nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predictions must be bit-identical.
+	p1 := m.Predict(nl)
+	p2 := back.Predict(nl)
+	if mat.MaxAbsDiff(p1.Arrival, p2.Arrival) != 0 {
+		t.Fatal("loaded model predicts differently")
+	}
+	if !p1.Embeddings.Equalish(p2.Embeddings, 0) {
+		t.Fatal("loaded model embeds differently")
+	}
+}
+
+func TestLoadRejectsWrongDesign(t *testing.T) {
+	m, _ := trainSmallModel(t, 12)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := circuit.Generate(circuit.Spec{Name: "other", Inputs: 4, Outputs: 2, Layers: 2, Width: 4, LocalBias: 0.5}, rand.New(rand.NewSource(1)))
+	if _, err := Load(&buf, other); err == nil {
+		t.Fatal("expected fingerprint mismatch error")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	nl := circuit.Generate(circuit.Spec{Name: "g", Inputs: 4, Outputs: 2, Layers: 2, Width: 4, LocalBias: 0.5}, rand.New(rand.NewSource(2)))
+	if _, err := Load(bytes.NewBufferString("not a gob stream"), nl); err == nil {
+		t.Fatal("expected decode error")
+	}
+}

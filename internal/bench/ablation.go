@@ -88,8 +88,8 @@ func RunDimsAblation(name string, seed int64, embedDims, scoreDims []int, tcfg C
 			if err != nil {
 				return nil, err
 			}
-			um, _, _, _ := p.perturbSet(p.Ranking.TopPercent(10), 10)
-			sm, _, _, _ := p.perturbSet(p.Ranking.BottomPercent(10), 10)
+			um, _, _, _ := p.perturbSet(p.Model, p.Ranking.TopPercent(10), 10)
+			sm, _, _, _ := p.perturbSet(p.Model, p.Ranking.BottomPercent(10), 10)
 			sep := um / maxFloat(sm, 1e-9)
 			rows = append(rows, DimsAblationRow{EmbedDims: m, ScoreDims: s, Separation: sep})
 		}
@@ -135,8 +135,8 @@ func RunOutputManifoldAblation(name string, cfg CaseAConfig) (*OutputManifoldAbl
 	if err != nil {
 		return nil, err
 	}
-	um, _, _, _ := p.perturbSet(p.Ranking.TopPercent(10), 10)
-	sm, _, _, _ := p.perturbSet(p.Ranking.BottomPercent(10), 10)
+	um, _, _, _ := p.perturbSet(p.Model, p.Ranking.TopPercent(10), 10)
+	sm, _, _, _ := p.perturbSet(p.Model, p.Ranking.BottomPercent(10), 10)
 	row := &OutputManifoldAblationRow{
 		Design:            name,
 		OutputsSeparation: um / maxFloat(sm, 1e-12),
@@ -162,8 +162,8 @@ func RunOutputManifoldAblation(name string, cfg CaseAConfig) (*OutputManifoldAbl
 	altRank := core.Rank(res.NodeScores, exclude)
 	saved := p.Ranking
 	p.Ranking = altRank
-	um2, _, _, _ := p.perturbSet(p.Ranking.TopPercent(10), 10)
-	sm2, _, _, _ := p.perturbSet(p.Ranking.BottomPercent(10), 10)
+	um2, _, _, _ := p.perturbSet(p.Model, p.Ranking.TopPercent(10), 10)
+	sm2, _, _, _ := p.perturbSet(p.Model, p.Ranking.BottomPercent(10), 10)
 	p.Ranking = saved
 	row.HiddenSeparation = um2 / maxFloat(sm2, 1e-12)
 	return row, nil

@@ -13,6 +13,7 @@ import (
 	"cirstag/internal/circuit"
 	"cirstag/internal/core"
 	"cirstag/internal/mat"
+	"cirstag/internal/parallel"
 	"cirstag/internal/perturb"
 	"cirstag/internal/sta"
 	"cirstag/internal/timing"
@@ -143,11 +144,12 @@ func NewCaseAPipeline(name string, cfg CaseAConfig) (*CaseAPipeline, error) {
 
 // perturbSet scales the caps of the input pins within the given ranked node
 // subset and returns the GNN-predicted relative PO change plus the STA
-// ground truth.
-func (p *CaseAPipeline) perturbSet(nodes []int, scale float64) (gnnMean, gnnMax, staMean, staMax float64) {
+// ground truth. The model is passed explicitly so concurrent callers can
+// supply independent inference forks of p.Model.
+func (p *CaseAPipeline) perturbSet(model *timing.Model, nodes []int, scale float64) (gnnMean, gnnMax, staMean, staMax float64) {
 	pins := perturb.InputPinsOnly(p.Netlist, nodes)
 	variant := perturb.ScaleCaps(p.Netlist, pins, scale)
-	pred := p.Model.Predict(variant)
+	pred := model.Predict(variant)
 	gnnMean, gnnMax = sta.RelativeChange(p.base.POArrivals(p.Netlist), pred.POArrivals(p.Netlist))
 	if staRes, err := sta.Analyze(variant); err == nil {
 		staMean, staMax = sta.RelativeChange(p.baseSTA.POArrivals(p.Netlist), staRes.POArrivals(p.Netlist))
@@ -155,38 +157,57 @@ func (p *CaseAPipeline) perturbSet(nodes []int, scale float64) (gnnMean, gnnMax,
 	return gnnMean, gnnMax, staMean, staMax
 }
 
-// Rows evaluates the full scale × pct grid for this design.
+// Rows evaluates the full scale × pct grid for this design. The grid cells
+// are independent re-simulations, so they fan out across the worker pool,
+// each with its own inference fork of the trained model.
 func (p *CaseAPipeline) Rows(cfg CaseAConfig) []TableIRow {
 	cfg = cfg.withDefaults()
-	var rows []TableIRow
+	type cell struct{ scale, pct float64 }
+	var cells []cell
 	for _, scale := range cfg.Scales {
 		for _, pct := range cfg.Pcts {
-			unstable := p.Ranking.TopPercent(pct)
-			stable := p.Ranking.BottomPercent(pct)
-			um, ux, usm, _ := p.perturbSet(unstable, scale)
-			sm, sx, ssm, _ := p.perturbSet(stable, scale)
-			rows = append(rows, TableIRow{
-				Design: p.Netlist.Name, R2: p.R2,
-				Scale: scale, Pct: pct,
-				UnstableMean: um, UnstableMax: ux,
-				StableMean: sm, StableMax: sx,
-				STAUnstableMean: usm, STAStableMean: ssm,
-			})
+			cells = append(cells, cell{scale, pct})
 		}
 	}
-	return rows
+	return parallel.Map(len(cells), 1, func(i int) TableIRow {
+		c := cells[i]
+		model := p.Model.Fork()
+		unstable := p.Ranking.TopPercent(c.pct)
+		stable := p.Ranking.BottomPercent(c.pct)
+		um, ux, usm, _ := p.perturbSet(model, unstable, c.scale)
+		sm, sx, ssm, _ := p.perturbSet(model, stable, c.scale)
+		return TableIRow{
+			Design: p.Netlist.Name, R2: p.R2,
+			Scale: c.scale, Pct: c.pct,
+			UnstableMean: um, UnstableMax: ux,
+			StableMean: sm, StableMax: sx,
+			STAUnstableMean: usm, STAStableMean: ssm,
+		}
+	})
 }
 
-// RunTableI reproduces Table I over the configured benchmarks.
+// RunTableI reproduces Table I over the configured benchmarks. Designs are
+// fully independent (generation, training, ranking, perturbation), so they
+// run concurrently; rows keep the configured benchmark order.
 func RunTableI(cfg CaseAConfig) ([]TableIRow, error) {
 	cfg = cfg.withDefaults()
-	var rows []TableIRow
-	for _, name := range cfg.Benchmarks {
-		p, err := NewCaseAPipeline(name, cfg)
+	type result struct {
+		rows []TableIRow
+		err  error
+	}
+	results := parallel.Map(len(cfg.Benchmarks), 1, func(i int) result {
+		p, err := NewCaseAPipeline(cfg.Benchmarks[i], cfg)
 		if err != nil {
-			return nil, fmt.Errorf("bench: %s: %w", name, err)
+			return result{err: fmt.Errorf("bench: %s: %w", cfg.Benchmarks[i], err)}
 		}
-		rows = append(rows, p.Rows(cfg)...)
+		return result{rows: p.Rows(cfg)}
+	})
+	var rows []TableIRow
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		rows = append(rows, r.rows...)
 	}
 	return rows, nil
 }
@@ -212,10 +233,10 @@ func RunDistribution(name string, cfg CaseAConfig, pct, scale float64) (*Distrib
 	if err != nil {
 		return nil, err
 	}
-	perPO := func(nodes []int) mat.Vec {
+	perPO := func(model *timing.Model, nodes []int) mat.Vec {
 		pins := perturb.InputPinsOnly(p.Netlist, nodes)
 		variant := perturb.ScaleCaps(p.Netlist, pins, scale)
-		pred := p.Model.Predict(variant)
+		pred := model.Predict(variant)
 		basePO := p.base.POArrivals(p.Netlist)
 		newPO := pred.POArrivals(p.Netlist)
 		out := make(mat.Vec, len(basePO))
@@ -231,8 +252,12 @@ func RunDistribution(name string, cfg CaseAConfig, pct, scale float64) (*Distrib
 		return out
 	}
 	d := &DistributionData{Design: name}
-	d.Unstable = perPO(p.Ranking.TopPercent(pct))
-	d.Stable = perPO(p.Ranking.BottomPercent(pct))
+	// The unstable and stable re-simulations are independent; run them
+	// concurrently on separate inference forks.
+	parallel.Do(
+		func() { d.Unstable = perPO(p.Model.Fork(), p.Ranking.TopPercent(pct)) },
+		func() { d.Stable = perPO(p.Model.Fork(), p.Ranking.BottomPercent(pct)) },
+	)
 	all := append(d.Unstable.Clone(), d.Stable...)
 	var edges mat.Vec
 	edges, _ = histEdges(all, 20)

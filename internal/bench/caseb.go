@@ -5,6 +5,7 @@ import (
 
 	"cirstag/internal/core"
 	"cirstag/internal/metrics"
+	"cirstag/internal/parallel"
 	"cirstag/internal/perturb"
 	"cirstag/internal/revnet"
 )
@@ -106,11 +107,18 @@ func RunTableII(cfg CaseBConfig) ([]TableIIRow, error) {
 		return metrics.MeanRowCosine(base.Embeddings, inf.Embeddings), clf.TestF1(inf)
 	}
 
+	// Trials are independent rewiring draws (each owns its PRNG, and Predict
+	// on a variant graph uses a private forward stack), so they fan out
+	// across the worker pool; summation stays in trial order.
 	average := func(nodes []int, seedBase int64) (cos, f1 float64) {
-		for trial := 0; trial < cfg.Trials; trial++ {
+		type trialResult struct{ cos, f1 float64 }
+		results := parallel.Map(cfg.Trials, 1, func(trial int) trialResult {
 			c, f := evaluate(nodes, seedBase+int64(trial)*7919)
-			cos += c
-			f1 += f
+			return trialResult{cos: c, f1: f}
+		})
+		for _, r := range results {
+			cos += r.cos
+			f1 += r.f1
 		}
 		return cos / float64(cfg.Trials), f1 / float64(cfg.Trials)
 	}

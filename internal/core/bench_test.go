@@ -1,0 +1,53 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"cirstag/internal/parallel"
+)
+
+// BenchmarkCoreRun measures the end-to-end pipeline on a ~5k-node synthetic
+// circuit and reports the parallel speedup over a single-worker run (the
+// "speedup" metric is ~1 on single-core hosts; the determinism contract
+// guarantees the results are bit-identical either way).
+func BenchmarkCoreRun(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	in := syntheticInput(rng, 5000, map[int]bool{17: true, 512: true, 4096: true})
+	opts := Options{Seed: 3}
+	b.Run("serial", func(b *testing.B) {
+		parallel.SetWorkers(1)
+		defer parallel.SetWorkers(0)
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(in, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		parallel.SetWorkers(1)
+		t0 := time.Now()
+		if _, err := Run(in, opts); err != nil {
+			b.Fatal(err)
+		}
+		serial := time.Since(t0).Seconds()
+		parallel.SetWorkers(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(in, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		t0 = time.Now()
+		if _, err := Run(in, opts); err != nil {
+			b.Fatal(err)
+		}
+		par := time.Since(t0).Seconds()
+		if par > 0 {
+			b.ReportMetric(serial/par, "speedup")
+		}
+		b.ReportMetric(float64(parallel.Workers()), "workers")
+	})
+}

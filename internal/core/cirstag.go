@@ -21,13 +21,13 @@ package core
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 
 	"cirstag/internal/eig"
 	"cirstag/internal/embed"
 	"cirstag/internal/graph"
 	"cirstag/internal/mat"
+	"cirstag/internal/parallel"
 	"cirstag/internal/pgm"
 )
 
@@ -122,24 +122,37 @@ func Run(in Input, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("core: need at least 3 nodes, got %d", n)
 	}
 	opts = opts.withDefaults()
-	rng := rand.New(rand.NewSource(opts.Seed))
+	// Every stochastic stage owns an RNG stream forked from Options.Seed
+	// (rather than sharing one sequential source), so the input- and
+	// output-manifold builds can overlap without their random sequences
+	// depending on scheduling: same seed, same Result, any worker count.
+	rngEmbed := parallel.NewRNG(opts.Seed, 0)
+	rngGX := parallel.NewRNG(opts.Seed, 1)
+	rngGY := parallel.NewRNG(opts.Seed, 2)
+	rngEig := parallel.NewRNG(opts.Seed, 3)
 
-	// Phase 1 + 2a: input manifold.
-	var gx *graph.Graph
+	// Phases 1 + 2: the input manifold G_X (spectral embedding + PGM) and the
+	// output manifold G_Y (PGM over the GNN embeddings) share no state, so
+	// they build concurrently.
+	var gx, gy *graph.Graph
 	var embedding *mat.Dense
-	if opts.SkipDimReduction {
-		gx = pgm.FromGraph(in.Graph, rng, pgm.Options{AvgDegree: opts.AvgDegree, SkipSparsify: true})
-	} else {
-		sp := embed.Spectral(in.Graph, rng, embed.Options{Dims: opts.EmbedDims, Multilevel: opts.Multilevel, Eig: opts.Eig})
-		embedding = sp.U
-		if opts.FeatureAlpha > 0 && in.Features != nil {
-			embedding = embed.FeatureAugmented(sp.U, in.Features, opts.FeatureAlpha)
-		}
-		gx = pgm.Build(embedding, rng, pgm.Options{K: opts.KNN, AvgDegree: opts.AvgDegree})
-	}
-
-	// Phase 2b: output manifold from GNN embeddings.
-	gy := pgm.Build(in.Output, rng, pgm.Options{K: opts.KNN, AvgDegree: opts.AvgDegree})
+	parallel.Do(
+		func() {
+			if opts.SkipDimReduction {
+				gx = pgm.FromGraph(in.Graph, rngGX, pgm.Options{AvgDegree: opts.AvgDegree, SkipSparsify: true})
+				return
+			}
+			sp := embed.Spectral(in.Graph, rngEmbed, embed.Options{Dims: opts.EmbedDims, Multilevel: opts.Multilevel, Eig: opts.Eig})
+			embedding = sp.U
+			if opts.FeatureAlpha > 0 && in.Features != nil {
+				embedding = embed.FeatureAugmented(sp.U, in.Features, opts.FeatureAlpha)
+			}
+			gx = pgm.Build(embedding, rngGX, pgm.Options{K: opts.KNN, AvgDegree: opts.AvgDegree})
+		},
+		func() {
+			gy = pgm.Build(in.Output, rngGY, pgm.Options{K: opts.KNN, AvgDegree: opts.AvgDegree})
+		},
+	)
 
 	// The generalized eigenproblem needs both Laplacians to share a single
 	// nontrivial kernel; bridge any stray components with weak edges.
@@ -151,7 +164,7 @@ func Run(in Input, opts Options) (*Result, error) {
 	if s > n-1 {
 		s = n - 1
 	}
-	pairs := eig.GeneralizedTopK(gx.Laplacian(), gy.Laplacian(), s, rng, opts.Eig)
+	pairs := eig.GeneralizedTopK(gx.Laplacian(), gy.Laplacian(), s, rngEig, opts.Eig)
 
 	// Weighted eigensubspace V_s = [v_i √ζ_i].
 	vs := mat.NewDense(n, len(pairs))
@@ -171,9 +184,8 @@ func Run(in Input, opts Options) (*Result, error) {
 	// neighbour mean (eq. 9).
 	edges := gx.Edges()
 	edgeScores := make([]EdgeScore, len(edges))
-	nodeSum := make(mat.Vec, n)
-	nodeCnt := make([]int, n)
-	for i, e := range edges {
+	parallel.ForEach(len(edges), 0, func(i int) {
+		e := edges[i]
 		var sc float64
 		ru := vs.Row(e.U)
 		rv := vs.Row(e.V)
@@ -182,10 +194,17 @@ func Run(in Input, opts Options) (*Result, error) {
 			sc += d * d
 		}
 		edgeScores[i] = EdgeScore{U: e.U, V: e.V, Score: sc}
-		nodeSum[e.U] += sc
-		nodeSum[e.V] += sc
-		nodeCnt[e.U]++
-		nodeCnt[e.V]++
+	})
+	// Node accumulation stays serial in edge order: edges sharing an endpoint
+	// would race, and a fixed summation order keeps scores bit-identical
+	// across worker counts.
+	nodeSum := make(mat.Vec, n)
+	nodeCnt := make([]int, n)
+	for _, es := range edgeScores {
+		nodeSum[es.U] += es.Score
+		nodeSum[es.V] += es.Score
+		nodeCnt[es.U]++
+		nodeCnt[es.V]++
 	}
 	nodeScores := make(mat.Vec, n)
 	for p := 0; p < n; p++ {

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cirstag/internal/parallel"
+)
+
+// TestRunWorkerCountEquivalence is the determinism contract of the parallel
+// layer: the same seed must produce bit-identical results at any worker
+// count. Chunk boundaries are a pure function of problem size, RNG streams
+// are forked per stage, and cross-chunk reductions run serially in fixed
+// order, so nothing may drift — not even in the last ulp.
+func TestRunWorkerCountEquivalence(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	rng := rand.New(rand.NewSource(7))
+	in := syntheticInput(rng, 500, map[int]bool{3: true, 77: true, 401: true})
+
+	type snapshot struct {
+		nodes  []uint64
+		edges  []EdgeScore
+		eigs   []uint64
+		layout []int
+	}
+	run := func(workers int) snapshot {
+		parallel.SetWorkers(workers)
+		res, err := Run(in, Options{Seed: 99})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		s := snapshot{}
+		for _, v := range res.NodeScores {
+			s.nodes = append(s.nodes, math.Float64bits(v))
+		}
+		s.edges = res.EdgeScores
+		for _, v := range res.Eigenvalues {
+			s.eigs = append(s.eigs, math.Float64bits(v))
+		}
+		s.layout = []int{res.InputManifold.M(), res.OutputManifold.M()}
+		return s
+	}
+
+	ref := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		if len(got.nodes) != len(ref.nodes) {
+			t.Fatalf("workers=%d: %d node scores, want %d", workers, len(got.nodes), len(ref.nodes))
+		}
+		for i := range ref.nodes {
+			if got.nodes[i] != ref.nodes[i] {
+				t.Fatalf("workers=%d: NodeScores[%d] = %x, serial run gave %x",
+					workers, i, got.nodes[i], ref.nodes[i])
+			}
+		}
+		if len(got.edges) != len(ref.edges) {
+			t.Fatalf("workers=%d: %d edge scores, want %d", workers, len(got.edges), len(ref.edges))
+		}
+		for i := range ref.edges {
+			if got.edges[i].U != ref.edges[i].U || got.edges[i].V != ref.edges[i].V ||
+				math.Float64bits(got.edges[i].Score) != math.Float64bits(ref.edges[i].Score) {
+				t.Fatalf("workers=%d: EdgeScores[%d] = %+v, serial run gave %+v",
+					workers, i, got.edges[i], ref.edges[i])
+			}
+		}
+		for i := range ref.eigs {
+			if got.eigs[i] != ref.eigs[i] {
+				t.Fatalf("workers=%d: Eigenvalues[%d] differs from serial run", workers, i)
+			}
+		}
+		if got.layout[0] != ref.layout[0] || got.layout[1] != ref.layout[1] {
+			t.Fatalf("workers=%d: manifold edge counts %v, want %v", workers, got.layout, ref.layout)
+		}
+	}
+}
+
+// TestRunSeedStreamsIndependent checks that distinct seeds still produce
+// distinct results under the forked-stream scheme (i.e. the splitmix64
+// forking did not collapse the seed space).
+func TestRunSeedStreamsIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := syntheticInput(rng, 120, map[int]bool{3: true})
+	a, err := Run(in, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(in, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.NodeScores {
+		if a.NodeScores[i] != b.NodeScores[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical node scores")
+	}
+}

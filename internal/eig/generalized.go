@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"cirstag/internal/mat"
+	"cirstag/internal/parallel"
 	"cirstag/internal/solver"
 	"cirstag/internal/sparse"
 )
@@ -105,15 +106,9 @@ func GeneralizedTopK(lx, ly *sparse.CSR, k int, rng *rand.Rand, opts Options) []
 		if j > 0 {
 			mat.Axpy(-beta[j-1], q[j-1], w)
 		}
-		// Full reorthogonalization in the B inner product (cached L_Y·qᵢ).
-		for pass := 0; pass < 2; pass++ {
-			for i := range q {
-				c := mat.Dot(w, lq[i])
-				if c != 0 {
-					mat.Axpy(-c, q[i], w)
-				}
-			}
-		}
+		// Full reorthogonalization in the B inner product (cached L_Y·qᵢ),
+		// two-pass classical Gram-Schmidt sharded across the worker pool.
+		orthogonalize(w, q, lq)
 		if j+1 >= opts.MaxIter {
 			break
 		}
@@ -158,25 +153,27 @@ func GeneralizedTopK(lx, ly *sparse.CSR, k int, rng *rand.Rand, opts Options) []
 		k = m
 	}
 	out := make([]GeneralizedPair, k)
-	tmp := make(mat.Vec, n)
-	dotB := func(u, v mat.Vec) float64 {
-		ly.MulVecTo(tmp, v)
-		return mat.Dot(u, tmp)
-	}
-	for c := 0; c < k; c++ {
+	// Each generalized Ritz pair assembles and B-normalizes independently;
+	// fan out across the worker pool with a private scratch vector per pair.
+	parallel.ForEach(k, 1, func(c int) {
 		ii := m - 1 - c // descending
 		x := make(mat.Vec, len(q0))
 		for j := 0; j < m; j++ {
 			mat.Axpy(vecs.At(j, ii), q[j], x)
 		}
 		deflate(x)
+		tmp := make(mat.Vec, n)
+		dotB := func(u, v mat.Vec) float64 {
+			ly.MulVecTo(tmp, v)
+			return mat.Dot(u, tmp)
+		}
 		normalizeB(x, dotB)
 		val := vals[ii]
 		if val < 0 && val > -1e-10 {
 			val = 0
 		}
 		out[c] = GeneralizedPair{Value: val, Vector: x}
-	}
+	})
 	return out
 }
 

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"cirstag/internal/mat"
+	"cirstag/internal/parallel"
 	"cirstag/internal/solver"
 	"cirstag/internal/sparse"
 )
@@ -86,19 +87,13 @@ func Lanczos(a solver.Op, k int, which Which, rng *rand.Rand, opts Options) (mat
 		if ab := math.Abs(aj); ab > scale {
 			scale = ab
 		}
-		// w -= alpha_j q_j + beta_{j-1} q_{j-1}, then full reorthogonalization.
+		// w -= alpha_j q_j + beta_{j-1} q_{j-1}, then full reorthogonalization
+		// (two-pass classical Gram-Schmidt; parallel across the basis).
 		mat.Axpy(-aj, q[j], w)
 		if j > 0 {
 			mat.Axpy(-beta[j-1], q[j-1], w)
 		}
-		for pass := 0; pass < 2; pass++ {
-			for _, qi := range q {
-				c := mat.Dot(w, qi)
-				if c != 0 {
-					mat.Axpy(-c, qi, w)
-				}
-			}
-		}
+		orthogonalize(w, q, q)
 		bj := mat.Norm2(w)
 		if j+1 >= opts.MaxIter {
 			break
@@ -146,7 +141,10 @@ func Lanczos(a solver.Op, k int, which Which, rng *rand.Rand, opts Options) (mat
 	}
 	outVals := make(mat.Vec, k)
 	outVecs := mat.NewDense(n, k)
-	for c, ii := range idx {
+	// Each Ritz vector is an independent combination of the basis; assemble
+	// them across the worker pool (disjoint output columns).
+	parallel.ForEach(k, 1, func(c int) {
+		ii := idx[c]
 		outVals[c] = vals[ii]
 		// Ritz vector: x = Q y.
 		x := make(mat.Vec, n)
@@ -155,7 +153,7 @@ func Lanczos(a solver.Op, k int, which Which, rng *rand.Rand, opts Options) (mat
 		}
 		mat.Normalize(x)
 		outVecs.SetCol(c, x)
-	}
+	})
 	return outVals, outVecs
 }
 

@@ -1,0 +1,56 @@
+package eig
+
+import (
+	"cirstag/internal/mat"
+	"cirstag/internal/parallel"
+)
+
+// parallelOrthoFlops gates when a reorthogonalization sweep is worth sharding
+// across the worker pool. Below it the identical arithmetic runs inline —
+// a scheduling choice only, so results match the parallel path bit-for-bit.
+const parallelOrthoFlops = 1 << 15
+
+// orthogonalize removes from w its components along the basis, with
+// coefficients measured against dual: w -= Σ_i (w·dual_i)·basis_i. For the
+// Euclidean inner product pass the basis itself as dual; the generalized
+// iteration passes the cached L_Y·q_i vectors.
+//
+// Two passes of classical Gram-Schmidt ("twice is enough") replace the
+// original modified Gram-Schmidt sweep: CGS measures every coefficient
+// against the *same* w, which turns the sweep into independent dot products
+// plus one fused update — both parallelizable. The update loops basis vectors
+// in index order inside each coordinate shard, so every w[x] sees the same
+// floating-point accumulation order regardless of worker count.
+func orthogonalize(w mat.Vec, basis, dual []mat.Vec) {
+	if len(basis) == 0 {
+		return
+	}
+	work := len(basis) * len(w)
+	for pass := 0; pass < 2; pass++ {
+		var c []float64
+		if work >= parallelOrthoFlops {
+			c = parallel.Map(len(basis), 1, func(i int) float64 { return mat.Dot(w, dual[i]) })
+		} else {
+			c = make([]float64, len(basis))
+			for i := range basis {
+				c[i] = mat.Dot(w, dual[i])
+			}
+		}
+		sub := func(lo, hi int) {
+			for i, bi := range basis {
+				ci := c[i]
+				if ci == 0 {
+					continue
+				}
+				for x := lo; x < hi; x++ {
+					w[x] -= ci * bi[x]
+				}
+			}
+		}
+		if work >= parallelOrthoFlops {
+			parallel.For(len(w), 0, sub)
+		} else {
+			sub(0, len(w))
+		}
+	}
+}

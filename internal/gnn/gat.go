@@ -8,6 +8,7 @@ import (
 	"cirstag/internal/graph"
 	"cirstag/internal/mat"
 	"cirstag/internal/nn"
+	"cirstag/internal/parallel"
 )
 
 // GATLayer is a multi-head graph attention layer (Veličković et al.) with
@@ -80,7 +81,10 @@ func (l *GATLayer) Forward(x *mat.Dense) *mat.Dense {
 		s := z.MulVec(l.AL[h].W.Col(0)) // n
 		t := z.MulVec(l.AR[h].W.Col(0)) // n
 		alphas := make([]mat.Vec, n)
-		for i := 0; i < n; i++ {
+		// Each node's softmax and aggregation touch only alphas[i] and its own
+		// output-row segment, so the per-node loop fans out across the worker
+		// pool (z, s, t are read-only here).
+		parallel.ForEach(n, 0, func(i int) {
 			ns := l.nbr[i]
 			e := make(mat.Vec, len(ns))
 			mx := math.Inf(-1)
@@ -112,7 +116,7 @@ func (l *GATLayer) Forward(x *mat.Dense) *mat.Dense {
 					orow[c] += a * v
 				}
 			}
-		}
+		})
 		l.alpha[h] = alphas
 	}
 	return out
@@ -211,5 +215,16 @@ func (l *GATLayer) Rebind(g *graph.Graph) *GATLayer {
 	return &GATLayer{
 		In: l.In, Out: l.Out, Heads: l.Heads, NegSlope: l.NegSlope,
 		W: l.W, AL: l.AL, AR: l.AR, nbr: nbr,
+	}
+}
+
+// Clone returns a layer sharing this layer's parameters and graph binding but
+// owning its forward caches, so clones can run Forward concurrently (for
+// inference fan-out; gradients still accumulate into the shared params, so
+// concurrent Backward is not safe).
+func (l *GATLayer) Clone() *GATLayer {
+	return &GATLayer{
+		In: l.In, Out: l.Out, Heads: l.Heads, NegSlope: l.NegSlope,
+		W: l.W, AL: l.AL, AR: l.AR, nbr: l.nbr,
 	}
 }

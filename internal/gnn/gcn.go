@@ -106,3 +106,8 @@ func (l *GCNLayer) Params() []*nn.Param { return []*nn.Param{l.Weight, l.Bias} }
 func (l *GCNLayer) Rebind(adj *sparse.CSR) *GCNLayer {
 	return &GCNLayer{In: l.In, Out: l.Out, Weight: l.Weight, Bias: l.Bias, adj: adj}
 }
+
+// Clone returns a layer sharing this layer's parameters and propagation
+// matrix but owning its forward cache, so clones can run Forward concurrently
+// (inference fan-out only; Backward still writes the shared gradients).
+func (l *GCNLayer) Clone() *GCNLayer { return l.Rebind(l.adj) }

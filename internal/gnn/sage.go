@@ -100,3 +100,13 @@ func (l *SAGELayer) Backward(grad *mat.Dense) *mat.Dense {
 
 // Params returns the self/neighbour transforms and bias.
 func (l *SAGELayer) Params() []*nn.Param { return []*nn.Param{l.WSelf, l.WNbr, l.Bias} }
+
+// Clone returns a layer sharing this layer's parameters and aggregation
+// matrix but owning its forward cache, so clones can run Forward concurrently
+// (inference fan-out only; Backward still writes the shared gradients).
+func (l *SAGELayer) Clone() *SAGELayer {
+	return &SAGELayer{
+		In: l.In, Out: l.Out,
+		WSelf: l.WSelf, WNbr: l.WNbr, Bias: l.Bias, mean: l.mean,
+	}
+}

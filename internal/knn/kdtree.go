@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"cirstag/internal/mat"
+	"cirstag/internal/parallel"
 )
 
 // KDTree is a static k-d tree over the rows of a point matrix.
@@ -47,9 +48,15 @@ func (t *KDTree) build(lo, hi, depth int) {
 
 // nthElement partially sorts idx[lo:hi] so that idx[n] holds the element of
 // rank n−lo by the given axis (quickselect with median-of-three pivots).
+// Ranges of size <= 2 are finished by direct sort — the base case that keeps
+// duplicate-heavy inputs (all-identical points from degenerate embeddings of
+// tiny circuits) out of the quickselect loop — and any partition step that
+// fails to shrink the active range falls back to a full sort of what remains,
+// bounding the worst case at O(m log m) instead of quadratic.
 func (t *KDTree) nthElement(lo, hi, n, axis int) {
 	coord := func(i int) float64 { return t.pts.At(t.idx[i], axis) }
 	for hi-lo > 2 {
+		prevLo, prevHi := lo, hi
 		// Median-of-three pivot.
 		m := (lo + hi) / 2
 		if coord(m) < coord(lo) {
@@ -83,8 +90,13 @@ func (t *KDTree) nthElement(lo, hi, n, axis int) {
 		} else {
 			return
 		}
+		if lo == prevLo && hi == prevHi {
+			// No progress (possible only on duplicate-saturated ranges):
+			// finish by sorting instead of spinning.
+			break
+		}
 	}
-	// Tiny range: insertion sort.
+	// Base case (hi-lo <= 2) or stalled partition: direct sort.
 	sub := t.idx[lo:hi]
 	sort.Slice(sub, func(a, b int) bool {
 		return t.pts.At(sub[a], axis) < t.pts.At(sub[b], axis)
@@ -210,6 +222,12 @@ type Graph struct {
 	Edges []WeightedEdge
 }
 
+// directedEdge is one pre-merge kNN hit, already normalized to U < V.
+type directedEdge struct {
+	u, v int
+	d2   float64
+}
+
 // WeightedEdge is an undirected weighted edge with U < V.
 type WeightedEdge struct {
 	U, V int
@@ -217,7 +235,11 @@ type WeightedEdge struct {
 	D2   float64 // squared Euclidean distance in the embedding
 }
 
-// BuildGraph constructs the kNN graph of the rows of pts.
+// BuildGraph constructs the kNN graph of the rows of pts. The per-point tree
+// queries fan out across the worker pool (the tree is immutable after
+// construction and every point writes its own neighbor buffer), and the
+// buffers are merged by a sorted scan, so the edge list is identical for any
+// worker count.
 func BuildGraph(pts *mat.Dense, k int) *Graph {
 	n := pts.Rows
 	if k <= 0 {
@@ -227,26 +249,53 @@ func BuildGraph(pts *mat.Dense, k int) *Graph {
 		k = n - 1
 	}
 	tree := NewKDTree(pts)
-	seen := make(map[[2]int]float64, n*k)
-	for i := 0; i < n; i++ {
-		for _, nb := range tree.Query(pts.Row(i), k, i) {
-			a, b := i, nb.ID
-			if a > b {
-				a, b = b, a
+	nbrs := parallel.Map(n, 0, func(i int) []Neighbor {
+		return tree.Query(pts.Row(i), k, i)
+	})
+	// Deterministic merge: normalize every directed hit to U < V, sort, and
+	// collapse duplicates. A mutual edge is discovered from both endpoints
+	// with the same d² (the squared-difference sum is symmetric), but the
+	// merge keeps min(d²) explicitly so the kept distance is well-defined by
+	// construction rather than by discovery order.
+	all := make([]directedEdge, 0, n*k)
+	for i, ns := range nbrs {
+		for _, nb := range ns {
+			u, v := i, nb.ID
+			if u > v {
+				u, v = v, u
 			}
-			key := [2]int{a, b}
-			if _, ok := seen[key]; !ok {
-				seen[key] = nb.Dist2
+			all = append(all, directedEdge{u: u, v: v, d2: nb.Dist2})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].u != all[b].u {
+			return all[a].u < all[b].u
+		}
+		if all[a].v != all[b].v {
+			return all[a].v < all[b].v
+		}
+		return all[a].d2 < all[b].d2
+	})
+	merged := all[:0]
+	for _, e := range all {
+		if len(merged) > 0 {
+			last := &merged[len(merged)-1]
+			if last.u == e.u && last.v == e.v {
+				if e.d2 < last.d2 {
+					last.d2 = e.d2
+				}
+				continue
 			}
 		}
+		merged = append(merged, e)
 	}
 	// Clamp the squared distances to a bounded dynamic range around the
 	// median so the 1/d² edge weights keep the manifold Laplacian reasonably
 	// conditioned (coincident points would otherwise produce near-infinite
 	// weights and cripple the iterative solvers downstream).
-	d2s := make([]float64, 0, len(seen))
-	for _, d2 := range seen {
-		d2s = append(d2s, d2)
+	d2s := make([]float64, len(merged))
+	for i, e := range merged {
+		d2s[i] = e.d2
 	}
 	sort.Float64s(d2s)
 	floor := minDistance2Floor
@@ -255,21 +304,14 @@ func BuildGraph(pts *mat.Dense, k int) *Graph {
 			floor = m
 		}
 	}
-	g := &Graph{N: n, Edges: make([]WeightedEdge, 0, len(seen))}
-	for key, d2 := range seen {
-		dd := d2
+	g := &Graph{N: n, Edges: make([]WeightedEdge, len(merged))}
+	for i, e := range merged {
+		dd := e.d2
 		if dd < floor {
 			dd = floor
 		}
-		g.Edges = append(g.Edges, WeightedEdge{U: key[0], V: key[1], W: 1 / dd, D2: d2})
+		g.Edges[i] = WeightedEdge{U: e.u, V: e.v, W: 1 / dd, D2: e.d2}
 	}
-	// Deterministic order for reproducibility.
-	sort.Slice(g.Edges, func(a, b int) bool {
-		if g.Edges[a].U != g.Edges[b].U {
-			return g.Edges[a].U < g.Edges[b].U
-		}
-		return g.Edges[a].V < g.Edges[b].V
-	})
 	return g
 }
 

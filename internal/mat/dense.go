@@ -3,6 +3,8 @@ package mat
 import (
 	"fmt"
 	"math"
+
+	"cirstag/internal/parallel"
 )
 
 // Dense is a row-major dense matrix.
@@ -118,6 +120,11 @@ func (m *Dense) MulVecT(v Vec) Vec {
 	return out
 }
 
+// parallelMulFlops is the flop count above which Mul shards its row range
+// across the worker pool; smaller products run inline to avoid scheduling
+// overhead. Output rows are disjoint, so sharding never changes the result.
+const parallelMulFlops = 1 << 17
+
 // Mul returns m*b.
 func (m *Dense) Mul(b *Dense) *Dense {
 	if m.Cols != b.Rows {
@@ -125,18 +132,25 @@ func (m *Dense) Mul(b *Dense) *Dense {
 	}
 	out := NewDense(m.Rows, b.Cols)
 	// ikj loop order: stream over b's rows for cache friendliness.
-	for i := 0; i < m.Rows; i++ {
-		arow := m.Data[i*m.Cols : (i+1)*m.Cols]
-		orow := out.Data[i*b.Cols : (i+1)*b.Cols]
-		for k, a := range arow {
-			if a == 0 {
-				continue
-			}
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, x := range brow {
-				orow[j] += a * x
+	mulRange := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := m.Data[i*m.Cols : (i+1)*m.Cols]
+			orow := out.Data[i*b.Cols : (i+1)*b.Cols]
+			for k, a := range arow {
+				if a == 0 {
+					continue
+				}
+				brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+				for j, x := range brow {
+					orow[j] += a * x
+				}
 			}
 		}
+	}
+	if m.Rows*m.Cols*b.Cols >= parallelMulFlops {
+		parallel.For(m.Rows, 0, mulRange)
+	} else {
+		mulRange(0, m.Rows)
 	}
 	return out
 }

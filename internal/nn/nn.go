@@ -15,6 +15,7 @@ import (
 	"math/rand"
 
 	"cirstag/internal/mat"
+	"cirstag/internal/parallel"
 )
 
 // Param is a trainable tensor with its gradient accumulator and Adam state.
@@ -107,6 +108,13 @@ func (l *Linear) Backward(grad *mat.Dense) *mat.Dense {
 // Params returns the weight and bias.
 func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
 
+// Clone returns a layer sharing this layer's weight and bias but owning its
+// forward cache, so clones can run Forward concurrently (inference fan-out
+// only; Backward still accumulates into the shared gradients).
+func (l *Linear) Clone() *Linear {
+	return &Linear{In: l.In, Out: l.Out, Weight: l.Weight, Bias: l.Bias}
+}
+
 // ReLU is the rectified linear activation.
 type ReLU struct{ mask []bool }
 
@@ -183,11 +191,22 @@ func (r *LeakyReLU) Params() []*Param { return nil }
 // Tanh activation.
 type Tanh struct{ yCache *mat.Dense }
 
+// parallelTanhLen gates when the elementwise tanh is worth sharding across
+// the worker pool; below it the identical loop runs inline.
+const parallelTanhLen = 1 << 14
+
 // Forward applies tanh elementwise.
 func (t *Tanh) Forward(x *mat.Dense) *mat.Dense {
 	y := x.Clone()
-	for i, v := range y.Data {
-		y.Data[i] = math.Tanh(v)
+	apply := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y.Data[i] = math.Tanh(y.Data[i])
+		}
+	}
+	if len(y.Data) >= parallelTanhLen {
+		parallel.For(len(y.Data), 0, apply)
+	} else {
+		apply(0, len(y.Data))
 	}
 	t.yCache = y
 	return y

@@ -1,0 +1,227 @@
+// Package parallel is the shared concurrency layer of the CirSTAG pipeline:
+// a bounded worker pool with deterministic work decomposition, plus seed
+// splitting for forking independent RNG streams.
+//
+// # Determinism contract
+//
+// Every helper in this package guarantees that results are bit-identical for
+// any worker count (including the serial workers=1 case) as long as the
+// supplied closures follow one rule: a closure may only write state that is
+// private to its index range. The pool only changes *when* a chunk runs,
+// never *what* a chunk computes:
+//
+//   - For splits [0, n) into chunks whose boundaries are a pure function of
+//     (n, grain) — never of the worker count — so per-chunk floating-point
+//     reduction order is fixed.
+//   - Workers claim chunks off an atomic counter; since chunks touch disjoint
+//     output slots, claim order is irrelevant to the result.
+//   - SplitSeed/NewRNG derive statistically independent child streams from a
+//     single root seed, so concurrent pipeline stages each own a private RNG
+//     whose sequence does not depend on scheduling.
+//
+// Cross-chunk reductions (e.g. summing per-edge scores into per-node
+// accumulators) must be done by the caller after the parallel section, in a
+// fixed order.
+//
+// # Sizing
+//
+// The pool size defaults to GOMAXPROCS, can be pinned for a whole process
+// with the CIRSTAG_WORKERS environment variable, and can be overridden
+// programmatically (typically by benchmarks) with SetWorkers.
+package parallel
+
+import (
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// override is the SetWorkers value; 0 means "no override".
+var override atomic.Int32
+
+// envWorkers caches the CIRSTAG_WORKERS environment override, read once at
+// startup so Workers stays allocation- and syscall-free on hot paths.
+var envWorkers = func() int {
+	if s := os.Getenv("CIRSTAG_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 0
+}()
+
+// Workers returns the current pool size: the SetWorkers override if set,
+// else CIRSTAG_WORKERS if set, else GOMAXPROCS.
+func Workers() int {
+	if n := override.Load(); n > 0 {
+		return int(n)
+	}
+	if envWorkers > 0 {
+		return envWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers pins the pool size for the whole process; n <= 0 restores the
+// default (CIRSTAG_WORKERS / GOMAXPROCS). Safe for concurrent use; intended
+// for benchmarks and the serial-vs-parallel equivalence tests.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	override.Store(int32(n))
+}
+
+// autoChunks is the fixed chunk count used when the caller passes grain <= 0.
+// Keeping it a constant (rather than deriving it from the worker count) makes
+// chunk boundaries a pure function of n, which is what lets callers do
+// per-chunk reductions without losing cross-worker-count determinism. 128
+// chunks load-balance well up to large core counts while keeping per-chunk
+// scheduling overhead negligible.
+const autoChunks = 128
+
+func grainFor(n, grain int) int {
+	if grain > 0 {
+		return grain
+	}
+	g := (n + autoChunks - 1) / autoChunks
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// For runs fn over [0, n) split into chunks of the given grain (grain <= 0
+// selects an automatic grain of ~n/128). fn(lo, hi) processes indices
+// [lo, hi) and must only write state private to that range. Chunks run on up
+// to Workers() goroutines; with one worker everything runs inline on the
+// calling goroutine. A panic inside fn is re-raised on the caller.
+func For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	grain = grainFor(n, grain)
+	chunks := (n + grain - 1) / grain
+	w := Workers()
+	if w > chunks {
+		w = chunks
+	}
+	if w <= 1 {
+		for c := 0; c < chunks; c++ {
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+		return
+	}
+	var next atomic.Int64
+	var panicOnce sync.Once
+	var panicked any
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo := c * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// ForEach runs fn(i) for every i in [0, n) on the worker pool; a convenience
+// wrapper over For for per-item closures. fn must only write state private to
+// its index.
+func ForEach(n, grain int, fn func(i int)) {
+	For(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// Map evaluates fn(i) for every i in [0, n) on the worker pool and returns
+// the results in index order. fn must not depend on evaluation order.
+func Map[T any](n, grain int, fn func(i int) T) []T {
+	out := make([]T, n)
+	For(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = fn(i)
+		}
+	})
+	return out
+}
+
+// Do runs the given independent tasks concurrently and waits for all of them;
+// with one worker they run serially in argument order. Used to overlap
+// pipeline stages with no data dependency (e.g. the G_X and G_Y manifold
+// builds). A panic inside a task is re-raised on the caller.
+func Do(fns ...func()) {
+	if len(fns) <= 1 || Workers() <= 1 {
+		for _, fn := range fns {
+			fn()
+		}
+		return
+	}
+	var panicOnce sync.Once
+	var panicked any
+	var wg sync.WaitGroup
+	for _, fn := range fns {
+		wg.Add(1)
+		go func(fn func()) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			fn()
+		}(fn)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// SplitSeed derives the seed of child stream `stream` from a root seed using
+// a splitmix64 finalizer. Distinct streams of the same root are statistically
+// independent, and the mapping is a pure function — the foundation of the
+// pipeline's "same Options.Seed, same Result, any worker count" guarantee.
+func SplitSeed(seed int64, stream uint64) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*(stream+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// NewRNG returns a fresh RNG on child stream `stream` of the root seed.
+// Each concurrent pipeline stage forks its own stream so its random sequence
+// is independent of when (or whether) sibling stages consume randomness.
+func NewRNG(seed int64, stream uint64) *rand.Rand {
+	return rand.New(rand.NewSource(SplitSeed(seed, stream)))
+}

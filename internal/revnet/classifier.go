@@ -97,16 +97,24 @@ func TrainClassifier(d *Design, cfg ClassifierConfig) *Classifier {
 }
 
 // forward runs the model; if g is non-nil the layers are rebound to that
-// graph (used for topology-perturbation inference).
+// graph (used for topology-perturbation inference). The rebound path builds a
+// fully private stack — rebound GATs, fresh activations, a cloned head — so
+// concurrent Predict calls on different variant graphs never share a forward
+// cache; the nil-graph path reuses the training stack and stays
+// single-threaded.
 func (c *Classifier) forward(feat *mat.Dense, g *graph.Graph) (logits, embeddings *mat.Dense) {
 	l1, l2 := c.gat1, c.gat2
+	a1, a2, head := c.act1, c.act2, c.head
 	if g != nil {
 		l1 = c.gat1.Rebind(g)
 		l2 = c.gat2.Rebind(g)
+		a1 = &nn.LeakyReLU{Alpha: c.act1.Alpha}
+		a2 = &nn.LeakyReLU{Alpha: c.act2.Alpha}
+		head = c.head.Clone()
 	}
-	h := c.act1.Forward(l1.Forward(feat))
-	h = c.act2.Forward(l2.Forward(h))
-	return c.head.Forward(h), h
+	h := a1.Forward(l1.Forward(feat))
+	h = a2.Forward(l2.Forward(h))
+	return head.Forward(h), h
 }
 
 func (c *Classifier) backward(grad *mat.Dense) {

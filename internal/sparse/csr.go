@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"cirstag/internal/mat"
+	"cirstag/internal/parallel"
 )
 
 // Entry is a single (row, col, value) triplet of a COO matrix.
@@ -85,13 +86,30 @@ func (m *CSR) MulVec(x mat.Vec) mat.Vec {
 	return y
 }
 
+// parallelNNZ is the stored-entry count above which SpMV/SpMM shard across
+// the worker pool. Below it, goroutine hand-off costs more than the multiply
+// itself (every Lanczos/PCG iteration pays this call, so the serial fast path
+// matters). Each output row depends only on its own index range, so sharding
+// never changes the floating-point result.
+const parallelNNZ = 1 << 14
+
 // MulVecTo computes y = m·x into a caller-provided y (len Rows), avoiding
-// allocation in iterative solvers.
+// allocation in iterative solvers. Large matrices shard the row range across
+// the worker pool; each row's accumulation order is fixed, so the result is
+// bit-identical for any worker count.
 func (m *CSR) MulVecTo(y, x mat.Vec) {
 	if len(y) != m.Rows || len(x) != m.Cols {
 		panic(fmt.Sprintf("sparse: MulVecTo dims y=%d x=%d for %dx%d", len(y), len(x), m.Rows, m.Cols))
 	}
-	for i := 0; i < m.Rows; i++ {
+	if len(m.Val) >= parallelNNZ {
+		parallel.For(m.Rows, 0, func(lo, hi int) { m.mulVecRange(y, x, lo, hi) })
+		return
+	}
+	m.mulVecRange(y, x, 0, m.Rows)
+}
+
+func (m *CSR) mulVecRange(y, x mat.Vec, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		var s float64
 		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
 			s += m.Val[k] * x[m.ColIdx[k]]
@@ -100,21 +118,30 @@ func (m *CSR) MulVecTo(y, x mat.Vec) {
 	}
 }
 
-// MulDense computes m·b for a narrow dense b.
+// MulDense computes m·b for a narrow dense b. Rows shard across the worker
+// pool for large operands (per-row output, deterministic for any worker
+// count); this is the aggregation kernel of the GCN/SAGE forward passes.
 func (m *CSR) MulDense(b *mat.Dense) *mat.Dense {
 	if b.Rows != m.Cols {
 		panic(fmt.Sprintf("sparse: MulDense dims %dx%d * %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
 	}
 	out := mat.NewDense(m.Rows, b.Cols)
-	for i := 0; i < m.Rows; i++ {
-		orow := out.Data[i*b.Cols : (i+1)*b.Cols]
-		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-			v := m.Val[k]
-			brow := b.Data[m.ColIdx[k]*b.Cols : (m.ColIdx[k]+1)*b.Cols]
-			for j, x := range brow {
-				orow[j] += v * x
+	mulRange := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := out.Data[i*b.Cols : (i+1)*b.Cols]
+			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+				v := m.Val[k]
+				brow := b.Data[m.ColIdx[k]*b.Cols : (m.ColIdx[k]+1)*b.Cols]
+				for j, x := range brow {
+					orow[j] += v * x
+				}
 			}
 		}
+	}
+	if len(m.Val)*b.Cols >= parallelNNZ {
+		parallel.For(m.Rows, 0, mulRange)
+	} else {
+		mulRange(0, m.Rows)
 	}
 	return out
 }

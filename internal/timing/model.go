@@ -456,6 +456,40 @@ func (m *Model) EvalR2(trials int, rng *rand.Rand) (float64, error) {
 // Netlist returns the base design the model was trained on.
 func (m *Model) Netlist() *circuit.Netlist { return m.nl }
 
+// Fork returns an inference-only copy that shares the trained parameters,
+// graph bindings, and standardizer but owns every forward cache (encoder
+// xCaches, activation caches, DAG softmax weights, softplus cache). Forks may
+// call Predict/EvalR2 concurrently with each other and with the parent; they
+// must not be trained.
+func (m *Model) Fork() *Model {
+	f := &Model{
+		cfg: m.cfg, nl: m.nl,
+		featMean: m.featMean, featStd: m.featStd,
+		scale: m.scale, params: m.params,
+	}
+	switch e := m.enc1.(type) {
+	case *gnn.GCNLayer:
+		f.enc1 = e.Clone()
+	case *gnn.SAGELayer:
+		f.enc1 = e.Clone()
+	default:
+		panic(fmt.Sprintf("timing: cannot fork encoder %T", m.enc1))
+	}
+	switch e := m.enc2.(type) {
+	case *gnn.GCNLayer:
+		f.enc2 = e.Clone()
+	case *gnn.SAGELayer:
+		f.enc2 = e.Clone()
+	default:
+		panic(fmt.Sprintf("timing: cannot fork encoder %T", m.enc2))
+	}
+	f.act1 = &nn.Tanh{}
+	f.act2 = &nn.Tanh{}
+	f.delayHead = m.delayHead.Clone()
+	f.dag = &dagProp{order: m.dag.order, fanin: m.dag.fanin, tau: m.dag.tau}
+	return f
+}
+
 func copyCaps(src, dst *circuit.Netlist) {
 	for i := range src.Pins {
 		dst.Pins[i].Cap = src.Pins[i].Cap

@@ -6,6 +6,13 @@
 //
 //	cirstag -netlist design.net [-top 20] [-seed 1] [-epochs 300]
 //	benchgen -name sasc -o sasc.net && cirstag -netlist sasc.net
+//	cirstag -bench sasc -report run.json -debug-addr :6060
+//
+// Observability: -report writes a machine-readable JSON run report (per-phase
+// spans, eigensolver convergence, worker-pool utilization; schema
+// cirstag.report/v1), -v adds a human-readable span-tree summary on exit and
+// debug logging, -quiet suppresses progress output, and -debug-addr serves
+// net/http/pprof and expvar while the run executes.
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 
 	"cirstag/internal/circuit"
 	"cirstag/internal/core"
+	"cirstag/internal/obs"
 	"cirstag/internal/perturb"
 	"cirstag/internal/timing"
 )
@@ -30,12 +38,39 @@ func main() {
 		embedDims   = flag.Int("embed-dims", 16, "spectral embedding dimension M")
 		scoreDims   = flag.Int("score-dims", 8, "stability score dimension s")
 		edges       = flag.Bool("edges", false, "also print the most-distorted manifold edges")
+		report      = flag.String("report", "", "write a JSON run report (spans + metrics) to this file")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. :6060)")
+		verbose     = flag.Bool("v", false, "debug logging and a span-tree summary on exit")
+		quiet       = flag.Bool("quiet", false, "errors only")
 	)
 	flag.Parse()
 
-	var nl *circuit.Netlist
+	// Validate the flag combination up front so misuse exits with a usage
+	// message instead of failing deep inside the pipeline.
+	if err := validateFlags(*netlistPath, *benchName, *top, *epochs, *hidden, *embedDims, *scoreDims, *verbose, *quiet); err != nil {
+		fmt.Fprintf(os.Stderr, "cirstag: %v (see -h)\n", err)
+		os.Exit(2)
+	}
+
 	switch {
-	case *netlistPath != "":
+	case *quiet:
+		obs.SetLevel(obs.LevelError)
+	case *verbose:
+		obs.SetLevel(obs.LevelDebug)
+	}
+	if *report != "" || *debugAddr != "" || *verbose {
+		obs.Enable()
+	}
+	if *debugAddr != "" {
+		addr, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		obs.Infof("debug server listening on http://%s/debug/pprof/ (expvar at /debug/vars)", addr)
+	}
+
+	var nl *circuit.Netlist
+	if *netlistPath != "" {
 		f, err := os.Open(*netlistPath)
 		if err != nil {
 			fatal(err)
@@ -45,25 +80,25 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-	case *benchName != "":
+	} else {
 		var err error
 		nl, err = circuit.BenchmarkByName(*benchName, *seed)
 		if err != nil {
 			fatal(err)
 		}
-	default:
-		fmt.Fprintln(os.Stderr, "cirstag: need -netlist or -bench (see -h)")
-		os.Exit(2)
 	}
+	obs.Debugf("loaded %s: %d cells, %d pins, %d nets", nl.Name, len(nl.Cells), nl.NumPins(), len(nl.Nets))
 
-	fmt.Fprintf(os.Stderr, "training timing GNN on %s (%d pins)...\n", nl.Name, nl.NumPins())
+	obs.Infof("training timing GNN on %s (%d pins)...", nl.Name, nl.NumPins())
+	trainSpan := obs.Start("train_gnn")
 	model, err := timing.New(nl, timing.Config{Epochs: *epochs, Hidden: *hidden, Seed: *seed})
 	if err != nil {
 		fatal(err)
 	}
 	pred := model.Predict(nl)
+	trainSpan.End()
 
-	fmt.Fprintln(os.Stderr, "running CirSTAG...")
+	obs.Infof("running CirSTAG...")
 	res, err := core.Run(core.Input{
 		Graph:    nl.PinGraph(),
 		Output:   pred.Embeddings,
@@ -74,6 +109,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	obs.Debugf("manifolds: G_X %d edges, G_Y %d edges; top eigenvalue %.6g",
+		res.InputManifold.M(), res.OutputManifold.M(), firstOr(res.Eigenvalues, 0))
 
 	ranking := core.Rank(res.NodeScores, perturb.PrimaryOutputPinSet(nl))
 	n := *top
@@ -106,9 +143,50 @@ func main() {
 			fmt.Printf("%6d %6d  %12.6g\n", es[i].U, es[i].V, es[i].Score)
 		}
 	}
+
+	if *verbose {
+		obs.WriteTree(os.Stderr)
+	}
+	if *report != "" {
+		if err := obs.WriteReportFile(*report); err != nil {
+			fatal(err)
+		}
+		obs.Infof("wrote run report to %s", *report)
+	}
+}
+
+// validateFlags rejects invalid flag combinations before any work starts.
+func validateFlags(netlist, bench string, top, epochs, hidden, embedDims, scoreDims int, verbose, quiet bool) error {
+	switch {
+	case netlist == "" && bench == "":
+		return fmt.Errorf("need -netlist or -bench")
+	case netlist != "" && bench != "":
+		return fmt.Errorf("-netlist and -bench are mutually exclusive")
+	case verbose && quiet:
+		return fmt.Errorf("-v and -quiet are mutually exclusive")
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"-top", top}, {"-epochs", epochs}, {"-hidden", hidden},
+		{"-embed-dims", embedDims}, {"-score-dims", scoreDims},
+	} {
+		if f.v <= 0 {
+			return fmt.Errorf("%s must be positive, got %d", f.name, f.v)
+		}
+	}
+	return nil
+}
+
+func firstOr(v []float64, def float64) float64 {
+	if len(v) > 0 {
+		return v[0]
+	}
+	return def
 }
 
 func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "cirstag: %v\n", err)
+	obs.Errorf("cirstag: %v", err)
 	os.Exit(1)
 }

@@ -20,6 +20,7 @@ import (
 	"cirstag/internal/bench"
 	"cirstag/internal/circuit"
 	"cirstag/internal/core"
+	"cirstag/internal/obs"
 	"cirstag/internal/timing"
 )
 
@@ -32,8 +33,25 @@ func main() {
 		hidden     = flag.Int("hidden", 32, "GNN hidden width")
 		embedDims  = flag.Int("embed-dims", 16, "CirSTAG spectral embedding dimension M")
 		scoreDims  = flag.Int("score-dims", 8, "CirSTAG score dimension s")
+		report     = flag.String("report", "", "write a JSON run report (spans + metrics) to this file")
+		verbose    = flag.Bool("v", false, "debug logging and a span-tree summary on exit")
+		quiet      = flag.Bool("quiet", false, "errors only")
 	)
 	flag.Parse()
+
+	if err := validateFlags(*epochs, *hidden, *embedDims, *scoreDims, *verbose, *quiet); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v (see -h)\n", err)
+		os.Exit(2)
+	}
+	switch {
+	case *quiet:
+		obs.SetLevel(obs.LevelError)
+	case *verbose:
+		obs.SetLevel(obs.LevelDebug)
+	}
+	if *report != "" || *verbose {
+		obs.Enable()
+	}
 
 	names := parseBenchmarks(*benchmarks)
 	caseA := bench.CaseAConfig{
@@ -47,8 +65,12 @@ func main() {
 		if *exp != "all" && *exp != name {
 			return
 		}
-		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+		obs.Infof("running experiment %s...", name)
+		sp := obs.Start("experiment." + name)
+		err := fn()
+		sp.End()
+		if err != nil {
+			obs.Errorf("experiments: %s: %v", name, err)
 			os.Exit(1)
 		}
 	}
@@ -144,6 +166,35 @@ func main() {
 		fmt.Println()
 		return nil
 	})
+
+	if *verbose {
+		obs.WriteTree(os.Stderr)
+	}
+	if *report != "" {
+		if err := obs.WriteReportFile(*report); err != nil {
+			obs.Errorf("experiments: %v", err)
+			os.Exit(1)
+		}
+		obs.Infof("wrote run report to %s", *report)
+	}
+}
+
+func validateFlags(epochs, hidden, embedDims, scoreDims int, verbose, quiet bool) error {
+	if verbose && quiet {
+		return fmt.Errorf("-v and -quiet are mutually exclusive")
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"-epochs", epochs}, {"-hidden", hidden},
+		{"-embed-dims", embedDims}, {"-score-dims", scoreDims},
+	} {
+		if f.v <= 0 {
+			return fmt.Errorf("%s must be positive, got %d", f.name, f.v)
+		}
+	}
+	return nil
 }
 
 func parseBenchmarks(s string) []string {

@@ -27,6 +27,7 @@ import (
 	"cirstag/internal/embed"
 	"cirstag/internal/graph"
 	"cirstag/internal/mat"
+	"cirstag/internal/obs"
 	"cirstag/internal/parallel"
 	"cirstag/internal/pgm"
 )
@@ -131,6 +132,12 @@ func Run(in Input, opts Options) (*Result, error) {
 	rngGY := parallel.NewRNG(opts.Seed, 2)
 	rngEig := parallel.NewRNG(opts.Seed, 3)
 
+	// Trace: one root span per run, one child per pipeline phase. Spans are
+	// nil no-ops unless obs is enabled, and recording only reads the clock,
+	// so enabling observability cannot change any Result byte.
+	root := obs.Start("core.run")
+	defer root.End()
+
 	// Phases 1 + 2: the input manifold G_X (spectral embedding + PGM) and the
 	// output manifold G_Y (PGM over the GNN embeddings) share no state, so
 	// they build concurrently.
@@ -138,35 +145,47 @@ func Run(in Input, opts Options) (*Result, error) {
 	var embedding *mat.Dense
 	parallel.Do(
 		func() {
+			gxSpan := root.Child("input_manifold")
+			defer gxSpan.End()
 			if opts.SkipDimReduction {
-				gx = pgm.FromGraph(in.Graph, rngGX, pgm.Options{AvgDegree: opts.AvgDegree, SkipSparsify: true})
+				gx = pgm.FromGraph(in.Graph, rngGX, pgm.Options{AvgDegree: opts.AvgDegree, SkipSparsify: true, Span: gxSpan})
 				return
 			}
+			es := gxSpan.Child("embedding")
 			sp := embed.Spectral(in.Graph, rngEmbed, embed.Options{Dims: opts.EmbedDims, Multilevel: opts.Multilevel, Eig: opts.Eig})
 			embedding = sp.U
 			if opts.FeatureAlpha > 0 && in.Features != nil {
 				embedding = embed.FeatureAugmented(sp.U, in.Features, opts.FeatureAlpha)
 			}
-			gx = pgm.Build(embedding, rngGX, pgm.Options{K: opts.KNN, AvgDegree: opts.AvgDegree})
+			es.End()
+			gx = pgm.Build(embedding, rngGX, pgm.Options{K: opts.KNN, AvgDegree: opts.AvgDegree, Span: gxSpan})
 		},
 		func() {
-			gy = pgm.Build(in.Output, rngGY, pgm.Options{K: opts.KNN, AvgDegree: opts.AvgDegree})
+			gySpan := root.Child("output_manifold")
+			defer gySpan.End()
+			gy = pgm.Build(in.Output, rngGY, pgm.Options{K: opts.KNN, AvgDegree: opts.AvgDegree, Span: gySpan})
 		},
 	)
 
 	// The generalized eigenproblem needs both Laplacians to share a single
 	// nontrivial kernel; bridge any stray components with weak edges.
+	cs := root.Child("connectivity")
 	gx = ensureConnected(gx)
 	gy = ensureConnected(gy)
+	cs.End()
 
 	// Phase 3: top-s generalized eigenpairs of L_Y⁺ L_X.
 	s := opts.ScoreDims
 	if s > n-1 {
 		s = n - 1
 	}
+	eigSpan := root.Child("eigensolve")
 	pairs := eig.GeneralizedTopK(gx.Laplacian(), gy.Laplacian(), s, rngEig, opts.Eig)
+	eigSpan.End()
 
 	// Weighted eigensubspace V_s = [v_i √ζ_i].
+	scoreSpan := root.Child("scoring")
+	defer scoreSpan.End()
 	vs := mat.NewDense(n, len(pairs))
 	eigenvalues := make(mat.Vec, len(pairs))
 	for j, p := range pairs {

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cirstag/internal/circuit"
+	"cirstag/internal/mat"
+	"cirstag/internal/obs"
+)
+
+// TestRunObsReport runs the pipeline on a small benchmark circuit with
+// observability enabled and checks that the run report contains every
+// expected phase span and non-zero eigensolver convergence metrics.
+func TestRunObsReport(t *testing.T) {
+	obs.Reset()
+	obs.Enable()
+	defer func() {
+		obs.Disable()
+		obs.Reset()
+	}()
+
+	nl, err := circuit.BenchmarkByName("ss_pcm", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := nl.PinGraph()
+	// A synthetic GNN output stands in for a trained model: the report's
+	// structure does not depend on embedding quality.
+	rng := rand.New(rand.NewSource(3))
+	y := mat.NewDense(g.N(), 4)
+	for i := range y.Data {
+		y.Data[i] = rng.NormFloat64()
+	}
+	if _, err := Run(Input{Graph: g, Output: y}, Options{Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := obs.Snapshot()
+
+	names := map[string]bool{}
+	var walk func(s obs.SpanReport)
+	walk = func(s obs.SpanReport) {
+		names[s.Name] = true
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	for _, s := range rep.Spans {
+		walk(s)
+	}
+	for _, want := range []string{
+		"core.run", "input_manifold", "embedding", "knn", "sparsify",
+		"output_manifold", "connectivity", "eigensolve", "scoring",
+	} {
+		if !names[want] {
+			t.Errorf("report is missing phase span %q (got %v)", want, names)
+		}
+	}
+
+	for _, want := range []string{
+		"eig.lanczos.iterations",
+		"eig.generalized.iterations",
+		"eig.reorth_passes",
+		"solver.laplacian.solves",
+		"knn.queries",
+		"parallel.for_calls",
+	} {
+		if rep.Counters[want] == 0 {
+			t.Errorf("counter %q is zero or missing", want)
+		}
+	}
+	for _, want := range []string{
+		"eig.lanczos.residual",
+		"eig.generalized.residual",
+		"solver.pcg.iterations",
+		"knn.query_fanout",
+	} {
+		if rep.Histograms[want].Count == 0 {
+			t.Errorf("histogram %q has no observations", want)
+		}
+	}
+	if rep.Gauges["knn.tree_depth"] <= 0 {
+		t.Errorf("knn.tree_depth gauge not set")
+	}
+}
+
+// TestRunObsEquivalence is the "observability cannot change a Result byte"
+// contract: the same input and seed must produce bit-identical scores with
+// recording enabled and disabled.
+func TestRunObsEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	in := syntheticInput(rng, 200, map[int]bool{5: true, 60: true})
+
+	obs.Disable()
+	obs.Reset()
+	off, err := Run(in, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	obs.Enable()
+	on, err := Run(in, Options{Seed: 42})
+	obs.Disable()
+	obs.Reset()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(on.NodeScores) != len(off.NodeScores) {
+		t.Fatalf("node score count %d vs %d", len(on.NodeScores), len(off.NodeScores))
+	}
+	for i := range off.NodeScores {
+		if math.Float64bits(on.NodeScores[i]) != math.Float64bits(off.NodeScores[i]) {
+			t.Fatalf("NodeScores[%d] differs with obs enabled: %x vs %x",
+				i, math.Float64bits(on.NodeScores[i]), math.Float64bits(off.NodeScores[i]))
+		}
+	}
+	if len(on.EdgeScores) != len(off.EdgeScores) {
+		t.Fatalf("edge score count %d vs %d", len(on.EdgeScores), len(off.EdgeScores))
+	}
+	for i := range off.EdgeScores {
+		a, b := on.EdgeScores[i], off.EdgeScores[i]
+		if a.U != b.U || a.V != b.V || math.Float64bits(a.Score) != math.Float64bits(b.Score) {
+			t.Fatalf("EdgeScores[%d] differs with obs enabled: %+v vs %+v", i, a, b)
+		}
+	}
+	for i := range off.Eigenvalues {
+		if math.Float64bits(on.Eigenvalues[i]) != math.Float64bits(off.Eigenvalues[i]) {
+			t.Fatalf("Eigenvalues[%d] differs with obs enabled", i)
+		}
+	}
+}

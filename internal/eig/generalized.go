@@ -6,9 +6,20 @@ import (
 	"math/rand"
 
 	"cirstag/internal/mat"
+	"cirstag/internal/obs"
 	"cirstag/internal/parallel"
 	"cirstag/internal/solver"
 	"cirstag/internal/sparse"
+)
+
+// Convergence metrics of the generalized (L_Y inner product) iteration.
+// eig.generalized.basis is the final Krylov basis size — when it stays well
+// below MaxIter the breakdown/restart logic ended the iteration early.
+var (
+	genIters    = obs.NewCounter("eig.generalized.iterations")
+	genRestarts = obs.NewCounter("eig.generalized.restarts")
+	genResidual = obs.NewHistogram("eig.generalized.residual", obs.ExpBuckets(1e-14, 10, 16)...)
+	genBasis    = obs.NewGauge("eig.generalized.basis")
 )
 
 // GeneralizedPair is one solution of L_X·v = ζ·L_Y·v.
@@ -96,6 +107,7 @@ func GeneralizedTopK(lx, ly *sparse.CSR, k int, rng *rand.Rand, opts Options) []
 		// its best iterate, which is fine inside a Krylov outer loop.
 		lxq := lx.MulVec(q[j])
 		w, _ := solveY.Solve(lxq)
+		genIters.Inc()
 		deflate(w)
 		aj := mat.Dot(w, lq[j])
 		alpha = append(alpha, aj)
@@ -118,11 +130,15 @@ func GeneralizedTopK(lx, ly *sparse.CSR, k int, rng *rand.Rand, opts Options) []
 		if bj2 > 0 {
 			bj = math.Sqrt(bj2)
 		}
+		if scale > 0 {
+			genResidual.Observe(bj / scale)
+		}
 		// Breakdown: the residual direction is dominated by Laplacian-solver
 		// noise, so continuing would inject spurious Ritz values. Restart
 		// with a fresh random direction, which is a legitimate new Krylov
 		// seed (beta = 0 decouples the blocks).
 		if bj < 50*opts.InnerTol*scale {
+			genRestarts.Inc()
 			nv := randomUnit(rng, n)
 			deflate(nv)
 			for pass := 0; pass < 2; pass++ {
@@ -148,6 +164,7 @@ func GeneralizedTopK(lx, ly *sparse.CSR, k int, rng *rand.Rand, opts Options) []
 	}
 
 	m := len(alpha)
+	genBasis.Set(float64(m))
 	vals, vecs := mat.TridiagEig(alpha[:m], beta[:min(len(beta), m-1)])
 	if k > m {
 		k = m

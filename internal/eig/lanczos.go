@@ -11,9 +11,20 @@ import (
 	"math/rand"
 
 	"cirstag/internal/mat"
+	"cirstag/internal/obs"
 	"cirstag/internal/parallel"
 	"cirstag/internal/solver"
 	"cirstag/internal/sparse"
+)
+
+// Convergence metrics of the plain Lanczos iteration. Residual observations
+// are the per-step off-diagonal β_j normalized by the running spectral-scale
+// estimate — the quantity the breakdown test compares against — so the
+// histogram shows how close each step came to finding an invariant subspace.
+var (
+	lanczosIters    = obs.NewCounter("eig.lanczos.iterations")
+	lanczosRestarts = obs.NewCounter("eig.lanczos.restarts")
+	lanczosResidual = obs.NewHistogram("eig.lanczos.residual", obs.ExpBuckets(1e-14, 10, 16)...)
 )
 
 // Which selects the end of the spectrum a Lanczos call should target.
@@ -95,6 +106,10 @@ func Lanczos(a solver.Op, k int, which Which, rng *rand.Rand, opts Options) (mat
 		}
 		orthogonalize(w, q, q)
 		bj := mat.Norm2(w)
+		lanczosIters.Inc()
+		if scale > 0 {
+			lanczosResidual.Observe(bj / scale)
+		}
 		if j+1 >= opts.MaxIter {
 			break
 		}
@@ -103,6 +118,7 @@ func Lanczos(a solver.Op, k int, which Which, rng *rand.Rand, opts Options) (mat
 			// Restart with a fresh random direction orthogonal to the current
 			// basis so the decomposition keeps growing (beta = 0 decouples
 			// the blocks of T).
+			lanczosRestarts.Inc()
 			nv := randomUnit(rng, n)
 			for pass := 0; pass < 2; pass++ {
 				for _, qi := range q {

@@ -2,8 +2,14 @@ package eig
 
 import (
 	"cirstag/internal/mat"
+	"cirstag/internal/obs"
 	"cirstag/internal/parallel"
 )
+
+// reorthPasses counts Gram-Schmidt sweeps across both eigensolvers (two per
+// orthogonalize call under the "twice is enough" scheme), a direct measure
+// of how much of an eigensolve's time goes to keeping the basis orthogonal.
+var reorthPasses = obs.NewCounter("eig.reorth_passes")
 
 // parallelOrthoFlops gates when a reorthogonalization sweep is worth sharding
 // across the worker pool. Below it the identical arithmetic runs inline —
@@ -25,6 +31,7 @@ func orthogonalize(w mat.Vec, basis, dual []mat.Vec) {
 	if len(basis) == 0 {
 		return
 	}
+	reorthPasses.Add(2)
 	work := len(basis) * len(w)
 	for pass := 0; pass < 2; pass++ {
 		var c []float64

@@ -64,6 +64,7 @@ func NewGATLayer(g *graph.Graph, in, out, heads int, rng *rand.Rand) *GATLayer {
 // Forward computes attention-weighted aggregation for every head and
 // concatenates the results (n x Heads·Out).
 func (l *GATLayer) Forward(x *mat.Dense) *mat.Dense {
+	forwardCalls.Inc()
 	if x.Cols != l.In {
 		panic(fmt.Sprintf("gnn: GAT input %d features, want %d", x.Cols, l.In))
 	}
@@ -125,6 +126,7 @@ func (l *GATLayer) Forward(x *mat.Dense) *mat.Dense {
 // Backward propagates through aggregation, softmax, the LeakyReLU attention
 // logits, and the linear maps, accumulating all parameter gradients.
 func (l *GATLayer) Backward(grad *mat.Dense) *mat.Dense {
+	backwardCalls.Inc()
 	n := len(l.nbr)
 	dx := mat.NewDense(n, l.In)
 	for h := 0; h < l.Heads; h++ {

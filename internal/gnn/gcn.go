@@ -65,6 +65,7 @@ func NewGCNLayer(adj *sparse.CSR, in, out int, rng *rand.Rand) *GCNLayer {
 
 // Forward computes Â·(x·W) + b.
 func (l *GCNLayer) Forward(x *mat.Dense) *mat.Dense {
+	forwardCalls.Inc()
 	if x.Cols != l.In {
 		panic(fmt.Sprintf("gnn: GCN input %d features, want %d", x.Cols, l.In))
 	}
@@ -86,6 +87,7 @@ func (l *GCNLayer) Forward(x *mat.Dense) *mat.Dense {
 // Backward propagates gradients through the aggregation: with Â symmetric,
 // ∂L/∂W = Xᵀ·(Â·G) and ∂L/∂X = (Â·G)·Wᵀ.
 func (l *GCNLayer) Backward(grad *mat.Dense) *mat.Dense {
+	backwardCalls.Inc()
 	ag := l.adj.MulDense(grad) // Âᵀ G = Â G
 	l.Weight.Grad.Add(l.xCache.MulT(ag))
 	for i := 0; i < grad.Rows; i++ {

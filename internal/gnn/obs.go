@@ -1,0 +1,12 @@
+package gnn
+
+import "cirstag/internal/obs"
+
+// Layer-level activity counters, shared by every encoder architecture.
+// Forward calls accumulate across training and inference (including the
+// bench harness's concurrent Clone fan-out); the backward count divided by
+// the layer count gives the number of training steps actually taken.
+var (
+	forwardCalls  = obs.NewCounter("gnn.forward_calls")
+	backwardCalls = obs.NewCounter("gnn.backward_calls")
+)

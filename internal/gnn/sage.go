@@ -61,6 +61,7 @@ func NewSAGELayer(g *graph.Graph, in, out int, rng *rand.Rand) *SAGELayer {
 // Forward computes X·W_self + (M·X)·W_nbr + b where M is the mean-aggregation
 // matrix.
 func (l *SAGELayer) Forward(x *mat.Dense) *mat.Dense {
+	forwardCalls.Inc()
 	if x.Cols != l.In {
 		panic(fmt.Sprintf("gnn: SAGE input %d features, want %d", x.Cols, l.In))
 	}
@@ -83,6 +84,7 @@ func (l *SAGELayer) Forward(x *mat.Dense) *mat.Dense {
 // Backward accumulates gradients for both transforms; note M is not
 // symmetric (row-normalized), so the input gradient uses Mᵀ.
 func (l *SAGELayer) Backward(grad *mat.Dense) *mat.Dense {
+	backwardCalls.Inc()
 	l.WSelf.Grad.Add(l.xCache.MulT(grad))
 	mx := l.mean.MulDense(l.xCache)
 	l.WNbr.Grad.Add(mx.MulT(grad))

@@ -11,14 +11,27 @@ import (
 	"sort"
 
 	"cirstag/internal/mat"
+	"cirstag/internal/obs"
 	"cirstag/internal/parallel"
+)
+
+// Search-structure metrics: knn.tree_depth is the depth of the most recently
+// built tree (≈ log₂ n when splits are balanced); knn.query_fanout is the
+// distribution of points actually examined per query — the pruning
+// effectiveness signal (n per query means the tree degenerated to a scan).
+var (
+	treeDepthGauge = obs.NewGauge("knn.tree_depth")
+	treesBuilt     = obs.NewCounter("knn.trees_built")
+	queriesRun     = obs.NewCounter("knn.queries")
+	queryFanout    = obs.NewHistogram("knn.query_fanout", obs.ExpBuckets(8, 2, 14)...)
 )
 
 // KDTree is a static k-d tree over the rows of a point matrix.
 type KDTree struct {
-	pts  *mat.Dense
-	idx  []int // point indices in tree order
-	dims int
+	pts      *mat.Dense
+	idx      []int // point indices in tree order
+	dims     int
+	maxDepth int
 }
 
 // kdNode ranges are encoded implicitly: the tree is stored as a median-split
@@ -32,10 +45,15 @@ func NewKDTree(pts *mat.Dense) *KDTree {
 		t.idx[i] = i
 	}
 	t.build(0, pts.Rows, 0)
+	treesBuilt.Inc()
+	treeDepthGauge.Set(float64(t.maxDepth))
 	return t
 }
 
 func (t *KDTree) build(lo, hi, depth int) {
+	if depth > t.maxDepth {
+		t.maxDepth = depth
+	}
 	if hi-lo <= 1 {
 		return
 	}
@@ -130,7 +148,10 @@ func (t *KDTree) Query(q mat.Vec, k, skip int) []Neighbor {
 		panic(fmt.Sprintf("knn: query dim %d, tree dim %d", len(q), t.dims))
 	}
 	h := make(maxHeap, 0, k+1)
-	t.search(0, len(t.idx), 0, q, k, skip, &h)
+	var visited int
+	t.search(0, len(t.idx), 0, q, k, skip, &h, &visited)
+	queriesRun.Inc()
+	queryFanout.Observe(float64(visited))
 	out := make([]Neighbor, len(h))
 	for i := len(h) - 1; i >= 0; i-- {
 		out[i] = heap.Pop(&h).(Neighbor)
@@ -138,18 +159,18 @@ func (t *KDTree) Query(q mat.Vec, k, skip int) []Neighbor {
 	return out
 }
 
-func (t *KDTree) search(lo, hi, depth int, q mat.Vec, k, skip int, h *maxHeap) {
+func (t *KDTree) search(lo, hi, depth int, q mat.Vec, k, skip int, h *maxHeap, visited *int) {
 	if hi <= lo {
 		return
 	}
 	if hi-lo == 1 {
-		t.consider(t.idx[lo], q, k, skip, h)
+		t.consider(t.idx[lo], q, k, skip, h, visited)
 		return
 	}
 	axis := depth % t.dims
 	mid := (lo + hi) / 2
 	p := t.idx[mid]
-	t.consider(p, q, k, skip, h)
+	t.consider(p, q, k, skip, h, visited)
 	diff := q[axis] - t.pts.At(p, axis)
 	var near, far [2]int
 	if diff < 0 {
@@ -159,18 +180,19 @@ func (t *KDTree) search(lo, hi, depth int, q mat.Vec, k, skip int, h *maxHeap) {
 		near = [2]int{mid + 1, hi}
 		far = [2]int{lo, mid}
 	}
-	t.search(near[0], near[1], depth+1, q, k, skip, h)
+	t.search(near[0], near[1], depth+1, q, k, skip, h, visited)
 	// Prune the far side when the splitting plane is beyond the current kth
 	// distance.
 	if len(*h) < k || diff*diff <= (*h)[0].Dist2 {
-		t.search(far[0], far[1], depth+1, q, k, skip, h)
+		t.search(far[0], far[1], depth+1, q, k, skip, h, visited)
 	}
 }
 
-func (t *KDTree) consider(p int, q mat.Vec, k, skip int, h *maxHeap) {
+func (t *KDTree) consider(p int, q mat.Vec, k, skip int, h *maxHeap, visited *int) {
 	if p == skip {
 		return
 	}
+	*visited++
 	row := t.pts.Row(p)
 	var d2 float64
 	for i, x := range q {

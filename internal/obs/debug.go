@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"sync"
+
+	// Registers /debug/pprof/* on http.DefaultServeMux; expvar's own init
+	// registers /debug/vars there too.
+	_ "net/http/pprof"
+)
+
+var publishOnce sync.Once
+
+// ServeDebug starts an HTTP debug server on addr (e.g. ":6060") exposing
+// net/http/pprof profiles under /debug/pprof/ and expvar — including the
+// live run report as the "cirstag" variable — under /debug/vars. It returns
+// the bound address (useful with ":0") and never blocks; the listener stays
+// open for the life of the process.
+func ServeDebug(addr string) (string, error) {
+	publishOnce.Do(func() {
+		expvar.Publish("cirstag", expvar.Func(func() any { return Snapshot() }))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, nil) //nolint:errcheck // best-effort debug endpoint
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Level is a logger verbosity threshold.
+type Level int32
+
+const (
+	// LevelError prints errors only (the -quiet CLI mode).
+	LevelError Level = iota
+	// LevelInfo prints progress lines (the default CLI mode).
+	LevelInfo
+	// LevelDebug prints everything (the -v CLI mode).
+	LevelDebug
+)
+
+// The logger is independent of the Enable/Disable recording switch: CLI
+// progress output stays useful whether or not spans and metrics are being
+// collected.
+var (
+	logLevel atomic.Int32 // holds a Level; default LevelInfo
+	logMu    sync.Mutex
+	logOut   io.Writer = os.Stderr
+)
+
+func init() { logLevel.Store(int32(LevelInfo)) }
+
+// SetLevel sets the logger verbosity threshold.
+func SetLevel(l Level) { logLevel.Store(int32(l)) }
+
+// LogLevel returns the current verbosity threshold.
+func LogLevel() Level { return Level(logLevel.Load()) }
+
+// SetLogOutput redirects log output (default os.Stderr). Pass nil to restore
+// stderr. Intended for tests.
+func SetLogOutput(w io.Writer) {
+	logMu.Lock()
+	defer logMu.Unlock()
+	if w == nil {
+		w = os.Stderr
+	}
+	logOut = w
+}
+
+func logf(l Level, format string, args ...any) {
+	if Level(logLevel.Load()) < l {
+		return
+	}
+	logMu.Lock()
+	defer logMu.Unlock()
+	fmt.Fprintf(logOut, format+"\n", args...)
+}
+
+// Errorf logs at LevelError (always shown).
+func Errorf(format string, args ...any) { logf(LevelError, format, args...) }
+
+// Infof logs at LevelInfo (hidden by -quiet).
+func Infof(format string, args ...any) { logf(LevelInfo, format, args...) }
+
+// Debugf logs at LevelDebug (shown with -v).
+func Debugf(format string, args ...any) { logf(LevelDebug, format, args...) }

@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// registry holds every metric ever registered in this process. Registration
+// happens at package init time (handles are package-level vars in the
+// instrumented packages), so lookups never sit on a hot path.
+var registry = struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}{
+	counters:   map[string]*Counter{},
+	gauges:     map[string]*Gauge{},
+	histograms: map[string]*Histogram{},
+}
+
+func resetMetrics() {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	for _, c := range registry.counters {
+		c.v.Store(0)
+	}
+	for _, g := range registry.gauges {
+		g.bits.Store(0)
+	}
+	for _, h := range registry.histograms {
+		h.reset()
+	}
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// NewCounter registers (or returns the already-registered) counter with the
+// given name. Names are dot-separated, lowercase, stage-prefixed:
+// "eig.generalized.iterations".
+func NewCounter(name string) *Counter {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if c, ok := registry.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	registry.counters[name] = c
+	return c
+}
+
+// Add increments the counter. A no-op when recording is disabled or the
+// receiver is nil; never allocates.
+func (c *Counter) Add(n int64) {
+	if c == nil || !on.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc is Add(1).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-write-wins float metric.
+type Gauge struct {
+	name string
+	bits atomic.Uint64
+}
+
+// NewGauge registers (or returns the already-registered) gauge.
+func NewGauge(name string) *Gauge {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if g, ok := registry.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name}
+	registry.gauges[name] = g
+	return g
+}
+
+// Set records the gauge value. A no-op when recording is disabled or the
+// receiver is nil; never allocates.
+func (g *Gauge) Set(v float64) {
+	if g == nil || !on.Load() {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last recorded value (0 if never set).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution metric. An observation v lands in
+// the first bucket whose upper bound satisfies v <= bound; values above the
+// last bound land in the implicit overflow bucket, so there are
+// len(bounds)+1 buckets in total. Sum, min, and max are tracked exactly.
+type Histogram struct {
+	name    string
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1; last is overflow
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+	minBits atomic.Uint64
+	maxBits atomic.Uint64
+}
+
+// NewHistogram registers (or returns the already-registered) histogram with
+// the given strictly increasing bucket upper bounds. Panics on an empty or
+// non-increasing bound list.
+func NewHistogram(name string, bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: NewHistogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: NewHistogram bounds must be strictly increasing")
+		}
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if h, ok := registry.histograms[name]; ok {
+		return h
+	}
+	h := &Histogram{
+		name:   name,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	h.reset()
+	registry.histograms[name] = h
+	return h
+}
+
+func (h *Histogram) reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sumBits.Store(0)
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+}
+
+// Observe records one sample. A no-op when recording is disabled or the
+// receiver is nil; lock-free and allocation-free otherwise.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || !on.Load() {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	atomicAddFloat(&h.sumBits, v)
+	atomicMinFloat(&h.minBits, v)
+	atomicMaxFloat(&h.maxBits, v)
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+func atomicAddFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func atomicMinFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if v >= math.Float64frombits(old) {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func atomicMaxFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// ExpBuckets returns n exponentially spaced bucket bounds
+// start, start·factor, start·factor², …  Panics on invalid arguments.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n linearly spaced bucket bounds
+// start, start+width, start+2·width, …
+func LinearBuckets(start, width float64, n int) []float64 {
+	if width <= 0 || n < 1 {
+		panic("obs: LinearBuckets needs width > 0, n >= 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+// Package obs is the pipeline-wide observability layer of CirSTAG:
+// hierarchical wall-time spans, process-global metrics (counters, gauges,
+// fixed-bucket histograms), a leveled stderr logger, and report sinks (a
+// human-readable span tree, a stable-schema JSON run report, and an optional
+// net/http/pprof + expvar debug server).
+//
+// # Design constraints
+//
+// The layer is stdlib-only and is safe to thread through every hot path of
+// the pipeline because the disabled state is a nil-check/atomic-load fast
+// path that performs zero allocations and zero clock reads:
+//
+//   - obs.Start returns a nil *Span when disabled; all Span methods are
+//     nil-receiver safe no-ops.
+//   - Counter/Gauge/Histogram handles are allocated once at package init;
+//     their record methods load one atomic bool and return when disabled.
+//
+// Recording never influences computation: spans and metrics only read the
+// clock and update atomics, so enabling observability cannot change a
+// Result byte (enforced by TestRunObsEquivalence in internal/core).
+//
+// # Concurrency
+//
+// All entry points are safe for concurrent use. Spans may be started, ended,
+// and given children from different goroutines (the G_X/G_Y manifold builds
+// overlap); metric record methods are lock-free atomics.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+var (
+	stateMu sync.Mutex // guards the span forest and enable/disable/reset
+	on      atomic.Bool
+	roots   []*Span
+)
+
+// Enabled reports whether observability recording is on.
+func Enabled() bool { return on.Load() }
+
+// Enable turns recording on. Until Enable is called every obs operation is a
+// no-op fast path.
+func Enable() { on.Store(true) }
+
+// Disable turns recording off. Already-recorded spans and metric values are
+// kept until Reset.
+func Disable() { on.Store(false) }
+
+// Reset clears all recorded spans and zeroes every registered metric (the
+// registrations themselves survive, so package-level handles stay valid).
+// Intended for tests and for reusing one process for several runs.
+func Reset() {
+	stateMu.Lock()
+	roots = nil
+	stateMu.Unlock()
+	resetMetrics()
+}
+
+// Span is one node of the wall-time trace tree. A nil *Span (what Start and
+// Child return when recording is disabled) is a valid no-op receiver for
+// every method, so callers never branch on the enabled state themselves.
+type Span struct {
+	name     string
+	start    time.Time
+	dur      time.Duration // set by End; 0 while running
+	ended    bool
+	children []*Span
+}
+
+// Start begins a new root span. Returns nil (a no-op span) when disabled.
+func Start(name string) *Span {
+	if !on.Load() {
+		return nil
+	}
+	s := &Span{name: name, start: time.Now()}
+	stateMu.Lock()
+	roots = append(roots, s)
+	stateMu.Unlock()
+	return s
+}
+
+// Child begins a sub-span of s. Safe on a nil receiver (returns nil), which
+// is what lets deep pipeline stages accept an optional parent span without
+// caring whether observability is on.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	stateMu.Lock()
+	s.children = append(s.children, c)
+	stateMu.Unlock()
+	return c
+}
+
+// End marks the span finished, recording its wall time. Safe on a nil
+// receiver; ending twice keeps the first duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	stateMu.Lock()
+	if !s.ended {
+		s.dur = time.Since(s.start)
+		s.ended = true
+	}
+	stateMu.Unlock()
+}

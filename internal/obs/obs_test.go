@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// withRecording runs the test body with recording enabled and leaves the
+// package disabled and clean afterwards.
+func withRecording(t *testing.T, fn func()) {
+	t.Helper()
+	Reset()
+	Enable()
+	defer func() {
+		Disable()
+		Reset()
+	}()
+	fn()
+}
+
+func TestSpanNestingAndOrdering(t *testing.T) {
+	withRecording(t, func() {
+		root := Start("run")
+		a := root.Child("first")
+		time.Sleep(time.Millisecond)
+		a.End()
+		b := root.Child("second")
+		bb := b.Child("inner")
+		bb.End()
+		b.End()
+		root.End()
+
+		rep := Snapshot()
+		if len(rep.Spans) != 1 {
+			t.Fatalf("got %d roots, want 1", len(rep.Spans))
+		}
+		r := rep.Spans[0]
+		if r.Name != "run" || len(r.Children) != 2 {
+			t.Fatalf("root = %+v, want name=run with 2 children", r)
+		}
+		if r.Children[0].Name != "first" || r.Children[1].Name != "second" {
+			t.Fatalf("children out of start order: %+v", r.Children)
+		}
+		if len(r.Children[1].Children) != 1 || r.Children[1].Children[0].Name != "inner" {
+			t.Fatalf("nesting lost: %+v", r.Children[1])
+		}
+		if r.DurationMS <= 0 || r.Children[0].DurationMS <= 0 {
+			t.Fatalf("durations not recorded: root=%v first=%v", r.DurationMS, r.Children[0].DurationMS)
+		}
+		if r.DurationMS < r.Children[0].DurationMS {
+			t.Fatalf("root (%vms) shorter than child (%vms)", r.DurationMS, r.Children[0].DurationMS)
+		}
+	})
+}
+
+func TestSpanDisabledIsNil(t *testing.T) {
+	Disable()
+	Reset()
+	s := Start("nope")
+	if s != nil {
+		t.Fatal("Start while disabled must return nil")
+	}
+	// All methods are nil-safe.
+	c := s.Child("child")
+	c.End()
+	s.End()
+	if rep := Snapshot(); len(rep.Spans) != 0 {
+		t.Fatalf("disabled run recorded %d spans", len(rep.Spans))
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	withRecording(t, func() {
+		h := NewHistogram("test.hist.edges", 1, 2, 4)
+		for _, v := range []float64{0.5, 1, 1.0001, 2, 3.9, 4, 4.0001, 100} {
+			h.Observe(v)
+		}
+		rep := Snapshot()
+		hr, ok := rep.Histograms["test.hist.edges"]
+		if !ok {
+			t.Fatal("histogram missing from report")
+		}
+		// v <= bound lands in that bucket: {0.5, 1} | {1.0001, 2} | {3.9, 4} | {4.0001, 100}
+		want := []int64{2, 2, 2, 2}
+		if !reflect.DeepEqual(hr.Counts, want) {
+			t.Fatalf("bucket counts = %v, want %v", hr.Counts, want)
+		}
+		if hr.Count != 8 || hr.Min != 0.5 || hr.Max != 100 {
+			t.Fatalf("summary = count %d min %v max %v", hr.Count, hr.Min, hr.Max)
+		}
+		if hr.Sum < 116.4 || hr.Sum > 116.41 {
+			t.Fatalf("sum = %v", hr.Sum)
+		}
+	})
+}
+
+func TestBucketHelpers(t *testing.T) {
+	if got := ExpBuckets(1, 10, 4); !reflect.DeepEqual(got, []float64{1, 10, 100, 1000}) {
+		t.Fatalf("ExpBuckets = %v", got)
+	}
+	if got := LinearBuckets(10, 10, 3); !reflect.DeepEqual(got, []float64{10, 20, 30}) {
+		t.Fatalf("LinearBuckets = %v", got)
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	withRecording(t, func() {
+		c := NewCounter("test.counter")
+		g := NewGauge("test.gauge")
+		c.Add(3)
+		c.Inc()
+		g.Set(2.5)
+		rep := Snapshot()
+		if rep.Counters["test.counter"] != 4 {
+			t.Fatalf("counter = %d, want 4", rep.Counters["test.counter"])
+		}
+		if rep.Gauges["test.gauge"] != 2.5 {
+			t.Fatalf("gauge = %v, want 2.5", rep.Gauges["test.gauge"])
+		}
+		// Re-registration returns the same handle.
+		if NewCounter("test.counter") != c || NewGauge("test.gauge") != g {
+			t.Fatal("re-registration must return the existing handle")
+		}
+	})
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	withRecording(t, func() {
+		root := Start("run")
+		root.Child("phase").End()
+		root.End()
+		NewCounter("test.rt.counter").Add(7)
+		NewGauge("test.rt.gauge").Set(1.25)
+		NewHistogram("test.rt.hist", 1, 10).Observe(3)
+
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var got Report
+		if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+			t.Fatalf("report is not valid JSON: %v", err)
+		}
+		want := Snapshot()
+		// Span durations in `want` are re-measured for unfinished spans only;
+		// all spans here are ended, so the snapshots must agree exactly.
+		if !reflect.DeepEqual(&got, want) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", &got, want)
+		}
+		if got.Schema != SchemaVersion {
+			t.Fatalf("schema = %q, want %q", got.Schema, SchemaVersion)
+		}
+		if len(got.Spans) != 1 || len(got.Spans[0].Children) != 1 {
+			t.Fatalf("span tree lost in round trip: %+v", got.Spans)
+		}
+		hr := got.Histograms["test.rt.hist"]
+		if len(hr.Counts) != len(hr.Bounds)+1 {
+			t.Fatalf("counts/bounds mismatch: %d vs %d", len(hr.Counts), len(hr.Bounds))
+		}
+	})
+}
+
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	Disable()
+	Reset()
+	c := NewCounter("test.alloc.counter")
+	g := NewGauge("test.alloc.gauge")
+	h := NewHistogram("test.alloc.hist", 1, 2, 4)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := Start("alloc-span")
+		ch := sp.Child("alloc-child")
+		ch.End()
+		sp.End()
+		c.Add(1)
+		c.Inc()
+		g.Set(3.5)
+		h.Observe(2)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled obs path allocates %.1f times per op, want 0", allocs)
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("disabled path must not record values")
+	}
+}
+
+func TestEnabledMetricsZeroAllocs(t *testing.T) {
+	withRecording(t, func() {
+		c := NewCounter("test.alloc2.counter")
+		h := NewHistogram("test.alloc2.hist", 1, 2, 4)
+		allocs := testing.AllocsPerRun(1000, func() {
+			c.Inc()
+			h.Observe(3)
+		})
+		if allocs != 0 {
+			t.Fatalf("enabled metric path allocates %.1f times per op, want 0", allocs)
+		}
+	})
+}
+
+func TestLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	SetLogOutput(&buf)
+	defer SetLogOutput(nil)
+	defer SetLevel(LevelInfo)
+
+	SetLevel(LevelError)
+	Infof("hidden info")
+	Debugf("hidden debug")
+	Errorf("shown error")
+	SetLevel(LevelDebug)
+	Infof("shown info")
+	Debugf("shown debug")
+
+	out := buf.String()
+	for _, want := range []string{"shown error", "shown info", "shown debug"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("log output missing %q:\n%s", want, out)
+		}
+	}
+	for _, bad := range []string{"hidden info", "hidden debug"} {
+		if strings.Contains(out, bad) {
+			t.Fatalf("log output leaked %q:\n%s", bad, out)
+		}
+	}
+}
+
+func TestWriteTreeMentionsEverything(t *testing.T) {
+	withRecording(t, func() {
+		s := Start("tree-root")
+		s.Child("tree-child").End()
+		s.End()
+		NewCounter("test.tree.counter").Inc()
+		NewHistogram("test.tree.hist", 1).Observe(0.5)
+		var buf bytes.Buffer
+		WriteTree(&buf)
+		out := buf.String()
+		for _, want := range []string{"tree-root", "tree-child", "test.tree.counter", "test.tree.hist"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("tree summary missing %q:\n%s", want, out)
+			}
+		}
+	})
+}
+
+func TestServeDebug(t *testing.T) {
+	withRecording(t, func() {
+		addr, err := ServeDebug("127.0.0.1:0")
+		if err != nil {
+			t.Skipf("cannot listen: %v", err)
+		}
+		resp, err := http.Get("http://" + addr + "/debug/vars")
+		if err != nil {
+			t.Fatalf("GET /debug/vars: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /debug/vars: status %d", resp.StatusCode)
+		}
+		var vars map[string]json.RawMessage
+		if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+			t.Fatalf("decode /debug/vars: %v", err)
+		}
+		var rep Report
+		if err := json.Unmarshal(vars["cirstag"], &rep); err != nil {
+			t.Fatalf("expvar cirstag is not a report: %v", err)
+		}
+		if rep.Schema != SchemaVersion {
+			t.Fatalf("expvar report schema = %q", rep.Schema)
+		}
+	})
+}

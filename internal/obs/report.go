@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// SchemaVersion identifies the JSON run-report layout. Consumers should
+// reject reports whose schema field they do not recognize; additive changes
+// keep the version, field removals or renames bump it.
+const SchemaVersion = "cirstag.report/v1"
+
+// Report is the machine-readable snapshot of everything recorded since the
+// last Reset. Field names and JSON tags are a stable public contract (see
+// DESIGN.md §8).
+type Report struct {
+	Schema     string                `json:"schema"`
+	GoVersion  string                `json:"go_version"`
+	GoMaxProcs int                   `json:"gomaxprocs"`
+	Spans      []SpanReport          `json:"spans,omitempty"`
+	Counters   map[string]int64      `json:"counters,omitempty"`
+	Gauges     map[string]float64    `json:"gauges,omitempty"`
+	Histograms map[string]HistReport `json:"histograms,omitempty"`
+}
+
+// SpanReport is one node of the serialized span tree.
+type SpanReport struct {
+	Name       string       `json:"name"`
+	DurationMS float64      `json:"duration_ms"`
+	Children   []SpanReport `json:"children,omitempty"`
+}
+
+// HistReport is the serialized form of a Histogram. Counts has one entry per
+// bound plus a trailing overflow bucket (len(Counts) == len(Bounds)+1).
+type HistReport struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Mean   float64   `json:"mean"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// Snapshot captures the current span forest and all metric values. Counters
+// and histograms with zero activity are omitted so reports stay readable;
+// gauges are included whenever they were ever set (a set-to-zero gauge is
+// indistinguishable from unset and is omitted too).
+func Snapshot() *Report {
+	rep := &Report{
+		Schema:     SchemaVersion,
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistReport{},
+	}
+
+	stateMu.Lock()
+	for _, s := range roots {
+		rep.Spans = append(rep.Spans, snapshotSpan(s))
+	}
+	stateMu.Unlock()
+
+	registry.mu.Lock()
+	for name, c := range registry.counters {
+		if v := c.v.Load(); v != 0 {
+			rep.Counters[name] = v
+		}
+	}
+	for name, g := range registry.gauges {
+		if v := math.Float64frombits(g.bits.Load()); v != 0 {
+			rep.Gauges[name] = v
+		}
+	}
+	for name, h := range registry.histograms {
+		n := h.count.Load()
+		if n == 0 {
+			continue
+		}
+		hr := HistReport{
+			Count:  n,
+			Sum:    math.Float64frombits(h.sumBits.Load()),
+			Min:    math.Float64frombits(h.minBits.Load()),
+			Max:    math.Float64frombits(h.maxBits.Load()),
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]int64, len(h.counts)),
+		}
+		hr.Mean = hr.Sum / float64(n)
+		for i := range h.counts {
+			hr.Counts[i] = h.counts[i].Load()
+		}
+		rep.Histograms[name] = hr
+	}
+	registry.mu.Unlock()
+	return rep
+}
+
+// snapshotSpan deep-copies a span subtree; must hold stateMu. Unfinished
+// spans report the elapsed time so far. Children are ordered by start time,
+// which makes the tree stable regardless of which concurrent sibling
+// registered first.
+func snapshotSpan(s *Span) SpanReport {
+	d := s.dur
+	if !s.ended {
+		d = time.Since(s.start)
+	}
+	out := SpanReport{Name: s.name, DurationMS: float64(d) / float64(time.Millisecond)}
+	kids := append([]*Span(nil), s.children...)
+	sort.SliceStable(kids, func(a, b int) bool { return kids[a].start.Before(kids[b].start) })
+	for _, c := range kids {
+		out.Children = append(out.Children, snapshotSpan(c))
+	}
+	return out
+}
+
+// WriteJSON writes the current Snapshot as indented JSON.
+func WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteReportFile writes the JSON run report to path (the -report flag of
+// cmd/cirstag and cmd/experiments).
+func WriteReportFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteTree writes a human-readable summary — the span tree plus all active
+// metrics — to w (the -v exit summary of cmd/cirstag).
+func WriteTree(w io.Writer) {
+	rep := Snapshot()
+	if len(rep.Spans) > 0 {
+		fmt.Fprintf(w, "--- span tree (wall time) ---\n")
+		for _, s := range rep.Spans {
+			writeSpanTree(w, s, 0)
+		}
+	}
+	if len(rep.Counters) > 0 {
+		fmt.Fprintf(w, "--- counters ---\n")
+		for _, k := range sortedKeys(rep.Counters) {
+			fmt.Fprintf(w, "  %-40s %12d\n", k, rep.Counters[k])
+		}
+	}
+	if len(rep.Gauges) > 0 {
+		fmt.Fprintf(w, "--- gauges ---\n")
+		for _, k := range sortedKeys(rep.Gauges) {
+			fmt.Fprintf(w, "  %-40s %12.6g\n", k, rep.Gauges[k])
+		}
+	}
+	if len(rep.Histograms) > 0 {
+		fmt.Fprintf(w, "--- histograms (count / mean / min / max) ---\n")
+		for _, k := range sortedKeys(rep.Histograms) {
+			h := rep.Histograms[k]
+			fmt.Fprintf(w, "  %-40s %8d %12.6g %12.6g %12.6g\n", k, h.Count, h.Mean, h.Min, h.Max)
+		}
+	}
+}
+
+func writeSpanTree(w io.Writer, s SpanReport, depth int) {
+	fmt.Fprintf(w, "  %-*s%-*s %10.1fms\n", 2*depth, "", 42-2*depth, s.Name, s.DurationMS)
+	for _, c := range s.Children {
+		writeSpanTree(w, c, depth+1)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -37,6 +37,29 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"cirstag/internal/obs"
+)
+
+// Pool metrics (recorded only while obs is enabled; the disabled path costs
+// one atomic load per For/Do call and never touches the clock):
+//
+//   - parallel.for_calls / parallel.chunks — how many parallel sections ran
+//     and how finely they were decomposed.
+//   - parallel.workers — the pool size of the most recent parallel section.
+//   - parallel.utilization_pct — per-For ratio of summed worker busy time to
+//     workers × wall time; low values mean the pool is not saturating cores.
+//   - parallel.spawn_wait_us — per-worker delay between pool launch and its
+//     first chunk claim (goroutine scheduling latency).
+//   - parallel.do_calls — stage-overlap sections (Do).
+var (
+	forCalls     = obs.NewCounter("parallel.for_calls")
+	forChunks    = obs.NewCounter("parallel.chunks")
+	doCalls      = obs.NewCounter("parallel.do_calls")
+	workersGauge = obs.NewGauge("parallel.workers")
+	utilization  = obs.NewHistogram("parallel.utilization_pct", obs.LinearBuckets(10, 10, 10)...)
+	spawnWaitUS  = obs.NewHistogram("parallel.spawn_wait_us", obs.ExpBuckets(1, 4, 10)...)
 )
 
 // override is the SetWorkers value; 0 means "no override".
@@ -109,6 +132,12 @@ func For(n, grain int, fn func(lo, hi int)) {
 	if w > chunks {
 		w = chunks
 	}
+	rec := obs.Enabled()
+	if rec {
+		forCalls.Inc()
+		forChunks.Add(int64(chunks))
+		workersGauge.Set(float64(w))
+	}
 	if w <= 1 {
 		for c := 0; c < chunks; c++ {
 			lo := c * grain
@@ -118,7 +147,17 @@ func For(n, grain int, fn func(lo, hi int)) {
 			}
 			fn(lo, hi)
 		}
+		if rec {
+			// A single worker runs chunks back-to-back on the calling
+			// goroutine: the pool is fully busy by construction.
+			utilization.Observe(100)
+		}
 		return
+	}
+	var t0 time.Time
+	var busyNS atomic.Int64
+	if rec {
+		t0 = time.Now()
 	}
 	var next atomic.Int64
 	var panicOnce sync.Once
@@ -133,6 +172,7 @@ func For(n, grain int, fn func(lo, hi int)) {
 					panicOnce.Do(func() { panicked = r })
 				}
 			}()
+			first := true
 			for {
 				c := int(next.Add(1)) - 1
 				if c >= chunks {
@@ -143,11 +183,27 @@ func For(n, grain int, fn func(lo, hi int)) {
 				if hi > n {
 					hi = n
 				}
+				var cs time.Time
+				if rec {
+					cs = time.Now()
+					if first {
+						spawnWaitUS.Observe(float64(cs.Sub(t0)) / float64(time.Microsecond))
+						first = false
+					}
+				}
 				fn(lo, hi)
+				if rec {
+					busyNS.Add(int64(time.Since(cs)))
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	if rec {
+		if wall := time.Since(t0); wall > 0 {
+			utilization.Observe(100 * float64(busyNS.Load()) / (float64(wall) * float64(w)))
+		}
+	}
 	if panicked != nil {
 		panic(panicked)
 	}
@@ -181,6 +237,7 @@ func Map[T any](n, grain int, fn func(i int) T) []T {
 // pipeline stages with no data dependency (e.g. the G_X and G_Y manifold
 // builds). A panic inside a task is re-raised on the caller.
 func Do(fns ...func()) {
+	doCalls.Inc()
 	if len(fns) <= 1 || Workers() <= 1 {
 		for _, fn := range fns {
 			fn()

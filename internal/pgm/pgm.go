@@ -14,6 +14,7 @@ import (
 	"cirstag/internal/graph"
 	"cirstag/internal/knn"
 	"cirstag/internal/mat"
+	"cirstag/internal/obs"
 	"cirstag/internal/sparsify"
 )
 
@@ -32,6 +33,10 @@ type Options struct {
 	Gaussian bool
 	// Sigma is the Gaussian bandwidth (0 = median heuristic).
 	Sigma float64
+	// Span, when non-nil, is the parent trace span under which the kNN and
+	// sparsification sub-phases record their wall time (obs.Span is nil-safe,
+	// so callers can forward a span unconditionally).
+	Span *obs.Span
 }
 
 func (o Options) withDefaults() Options {
@@ -49,6 +54,7 @@ func (o Options) withDefaults() Options {
 // connected, and has ~AvgDegree·n/2 edges.
 func Build(x *mat.Dense, rng *rand.Rand, opts Options) *graph.Graph {
 	opts = opts.withDefaults()
+	ks := opts.Span.Child("knn")
 	kg := knn.BuildGraph(x, opts.K)
 	if opts.Gaussian {
 		kg.GaussianWeights(opts.Sigma)
@@ -57,6 +63,7 @@ func Build(x *mat.Dense, rng *rand.Rand, opts Options) *graph.Graph {
 	for _, e := range kg.Edges {
 		g.AddEdge(e.U, e.V, e.W)
 	}
+	ks.End()
 	if opts.SkipSparsify {
 		return g
 	}
@@ -64,10 +71,12 @@ func Build(x *mat.Dense, rng *rand.Rand, opts Options) *graph.Graph {
 	if target >= g.M() {
 		return g
 	}
+	ss := opts.Span.Child("sparsify")
 	res := sparsify.Sparsify(g, nil, rng, sparsify.Options{
 		TargetEdges:       target,
 		UseTreeResistance: true,
 	})
+	ss.End()
 	return res.Graph
 }
 
@@ -83,10 +92,12 @@ func FromGraph(g *graph.Graph, rng *rand.Rand, opts Options) *graph.Graph {
 	if target >= g.M() {
 		return g.Clone()
 	}
+	ss := opts.Span.Child("sparsify")
 	res := sparsify.Sparsify(g, nil, rng, sparsify.Options{
 		TargetEdges:       target,
 		UseTreeResistance: true,
 	})
+	ss.End()
 	return res.Graph
 }
 

@@ -5,7 +5,18 @@ import (
 
 	"cirstag/internal/graph"
 	"cirstag/internal/mat"
+	"cirstag/internal/obs"
 	"cirstag/internal/sparse"
+)
+
+// Inner-solve metrics: the Laplacian solves inside GeneralizedTopK dominate
+// Phase-3 cost, so the per-solve PCG iteration distribution and the final
+// relative residuals are first-class convergence signals.
+var (
+	lapSolves        = obs.NewCounter("solver.laplacian.solves")
+	lapNoConvergence = obs.NewCounter("solver.laplacian.no_convergence")
+	pcgIterations    = obs.NewHistogram("solver.pcg.iterations", obs.ExpBuckets(8, 2, 12)...)
+	pcgResidual      = obs.NewHistogram("solver.pcg.residual", obs.ExpBuckets(1e-14, 10, 16)...)
 )
 
 // Laplacian applies the Moore–Penrose pseudo-inverse L⁺ of a graph Laplacian.
@@ -111,8 +122,12 @@ func (s *Laplacian) project(v mat.Vec) {
 func (s *Laplacian) Solve(b mat.Vec) (mat.Vec, error) {
 	rhs := b.Clone()
 	s.project(rhs)
-	x, _, err := PCG(AsOp(s.L), s.prec, rhs, nil, s.opts)
+	x, res, err := PCG(AsOp(s.L), s.prec, rhs, nil, s.opts)
+	lapSolves.Inc()
+	pcgIterations.Observe(float64(res.Iterations))
+	pcgResidual.Observe(res.Residual)
 	if err != nil {
+		lapNoConvergence.Inc()
 		return x, err
 	}
 	s.project(x)

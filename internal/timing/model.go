@@ -15,13 +15,26 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"cirstag/internal/circuit"
 	"cirstag/internal/gnn"
 	"cirstag/internal/mat"
 	"cirstag/internal/metrics"
 	"cirstag/internal/nn"
+	"cirstag/internal/obs"
 	"cirstag/internal/sta"
+)
+
+// Training metrics: the per-epoch loss distribution plus forward/backward
+// wall-time histograms (clock reads are gated on obs being enabled, so the
+// default training path is untouched).
+var (
+	epochsTrained = obs.NewCounter("timing.epochs")
+	epochLoss     = obs.NewHistogram("timing.epoch_loss", obs.ExpBuckets(1e-8, 10, 12)...)
+	finalLoss     = obs.NewGauge("timing.final_loss")
+	forwardUS     = obs.NewHistogram("timing.forward_us", obs.ExpBuckets(10, 4, 10)...)
+	backwardUS    = obs.NewHistogram("timing.backward_us", obs.ExpBuckets(10, 4, 10)...)
 )
 
 // Arch selects the message-passing architecture of the encoder.
@@ -277,9 +290,26 @@ func New(nl *circuit.Netlist, cfg Config) (*Model, error) {
 		}
 		x := m.standardize(work.Features())
 		opt.ZeroGrad()
+		rec := obs.Enabled()
+		var t0 time.Time
+		if rec {
+			t0 = time.Now()
+		}
 		pred, _, _ := m.forward(x)
-		_, g := nn.MSE(pred, target)
+		if rec {
+			forwardUS.Observe(float64(time.Since(t0)) / float64(time.Microsecond))
+		}
+		loss, g := nn.MSE(pred, target)
+		if rec {
+			epochsTrained.Inc()
+			epochLoss.Observe(loss)
+			finalLoss.Set(loss)
+			t0 = time.Now()
+		}
 		m.backward(g)
+		if rec {
+			backwardUS.Observe(float64(time.Since(t0)) / float64(time.Microsecond))
+		}
 		opt.GradClip(5)
 		opt.Step()
 	}

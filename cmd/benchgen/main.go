@@ -1,19 +1,29 @@
 // Command benchgen generates the synthetic benchmark netlists and writes
-// them in the repository's text netlist format.
+// them in the repository's text netlist format. It also doubles as the CI
+// benchmark-report tool: -bench-json converts `go test -bench` output into a
+// schema-versioned JSON report, and -bench-compare gates a current report
+// against a committed baseline.
 //
 // Usage:
 //
 //	benchgen -name sasc -seed 1 -o sasc.net
 //	benchgen -list
 //	benchgen -custom -inputs 32 -outputs 16 -layers 10 -width 80 -o my.net
+//	go test -bench=. -benchtime=1x -run='^$' ./... | benchgen -bench-json -sha $SHA -o BENCH_$SHA.json
+//	benchgen -bench-compare -baseline ci/bench_baseline.json -current BENCH_$SHA.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"runtime"
+	"strings"
 
+	"cirstag/internal/bench"
 	"cirstag/internal/circuit"
 	"cirstag/internal/sta"
 )
@@ -31,8 +41,31 @@ func main() {
 		layers  = flag.Int("layers", 10, "custom: logic depth")
 		width   = flag.Int("width", 60, "custom: gates per layer")
 		wirecap = flag.Float64("wirecap", 1.2, "custom: mean wire capacitance (fF)")
+
+		benchJSON    = flag.Bool("bench-json", false, "parse `go test -bench` output into a JSON benchmark report")
+		benchCompare = flag.Bool("bench-compare", false, "compare a current benchmark report against a baseline")
+		benchIn      = flag.String("i", "", "bench-json: input file with go test -bench output (default stdin)")
+		benchSHA     = flag.String("sha", "", "bench-json: commit SHA to record in the report")
+		baselinePath = flag.String("baseline", "", "bench-compare: baseline report JSON")
+		currentPath  = flag.String("current", "", "bench-compare: current report JSON")
+		gates        = flag.String("gates", "CoreRun,KNNBuild", "bench-compare: comma-separated gated benchmark prefixes")
+		maxRegress   = flag.Float64("max-regress", 25, "bench-compare: allowed ns/op increase for gated benchmarks (percent)")
 	)
 	flag.Parse()
+
+	if *benchJSON {
+		if err := emitBenchReport(*benchIn, *benchSHA, *out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *benchCompare {
+		if err := compareBenchReports(*baselinePath, *currentPath, *gates, *maxRegress); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Printf("%-12s %8s %8s %8s %8s\n", "name", "inputs", "outputs", "layers", "width")
@@ -89,6 +122,102 @@ func main() {
 	if err := circuit.Write(w, nl); err != nil {
 		fatal(err)
 	}
+}
+
+// emitBenchReport parses `go test -bench` output (from inPath or stdin) and
+// writes a cirstag.bench/v1 JSON report to outPath (or stdout).
+func emitBenchReport(inPath, sha, outPath string) error {
+	var in io.Reader = os.Stdin
+	if inPath != "" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	results, err := bench.ParseGoBench(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results in input")
+	}
+	rep := bench.BenchReport{
+		Schema:    bench.BenchSchemaVersion,
+		SHA:       sha,
+		GoVersion: runtime.Version(),
+		Results:   results,
+	}
+	b, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if outPath == "" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(outPath, b, 0o644)
+}
+
+// compareBenchReports loads both reports and applies the regression gate,
+// printing the per-benchmark comparison and returning an error (exit 1) when
+// a gated benchmark regressed beyond the threshold.
+func compareBenchReports(baselinePath, currentPath, gates string, maxRegress float64) error {
+	baseline, err := loadBenchReport(baselinePath, "-baseline")
+	if err != nil {
+		return err
+	}
+	current, err := loadBenchReport(currentPath, "-current")
+	if err != nil {
+		return err
+	}
+	var gateList []string
+	for _, g := range strings.Split(gates, ",") {
+		if g = strings.TrimSpace(g); g != "" {
+			gateList = append(gateList, g)
+		}
+	}
+	cmp := bench.CompareBench(baseline, current, bench.CompareOptions{
+		Gates:         gateList,
+		MaxRegressPct: maxRegress,
+	})
+	fmt.Printf("# benchmark comparison (baseline %s -> current %s; * = gated, limit +%.0f%%)\n",
+		orUnknown(baseline.SHA), orUnknown(current.SHA), maxRegress)
+	for _, l := range cmp.Lines {
+		fmt.Println(l)
+	}
+	if len(cmp.Failures) > 0 {
+		return fmt.Errorf("benchmark regression gate failed:\n  %s", strings.Join(cmp.Failures, "\n  "))
+	}
+	fmt.Println("# gate passed")
+	return nil
+}
+
+func loadBenchReport(path, flagName string) (*bench.BenchReport, error) {
+	if path == "" {
+		return nil, fmt.Errorf("%s is required", flagName)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep bench.BenchReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if rep.Schema != bench.BenchSchemaVersion {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, bench.BenchSchemaVersion)
+	}
+	return &rep, nil
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "?"
+	}
+	return s
 }
 
 func fatal(err error) {

@@ -19,6 +19,7 @@ import (
 
 	"cirstag/internal/bench"
 	"cirstag/internal/circuit"
+	"cirstag/internal/cliutil"
 	"cirstag/internal/core"
 	"cirstag/internal/obs"
 	"cirstag/internal/timing"
@@ -33,13 +34,15 @@ func main() {
 		hidden     = flag.Int("hidden", 32, "GNN hidden width")
 		embedDims  = flag.Int("embed-dims", 16, "CirSTAG spectral embedding dimension M")
 		scoreDims  = flag.Int("score-dims", 8, "CirSTAG score dimension s")
+		cacheDir   = flag.String("cache-dir", "", "artifact cache directory (default $CIRSTAG_CACHE_DIR; empty disables)")
+		noCache    = flag.Bool("no-cache", false, "disable the artifact cache even when $CIRSTAG_CACHE_DIR is set")
 		report     = flag.String("report", "", "write a JSON run report (spans + metrics) to this file")
 		verbose    = flag.Bool("v", false, "debug logging and a span-tree summary on exit")
 		quiet      = flag.Bool("quiet", false, "errors only")
 	)
 	flag.Parse()
 
-	if err := validateFlags(*epochs, *hidden, *embedDims, *scoreDims, *verbose, *quiet); err != nil {
+	if err := validateFlags(*cacheDir, *epochs, *hidden, *embedDims, *scoreDims, *verbose, *quiet, *noCache); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v (see -h)\n", err)
 		os.Exit(2)
 	}
@@ -53,12 +56,22 @@ func main() {
 		obs.Enable()
 	}
 
+	store, err := cliutil.OpenCache(*cacheDir, *noCache)
+	if err != nil {
+		obs.Errorf("experiments: %v", err)
+		os.Exit(1)
+	}
+	if store != nil {
+		obs.Debugf("artifact cache at %s", store.Dir())
+	}
+
 	names := parseBenchmarks(*benchmarks)
 	caseA := bench.CaseAConfig{
 		Benchmarks: names,
 		Seed:       *seed,
 		Timing:     timing.Config{Epochs: *epochs, Hidden: *hidden},
 		Cirstag:    core.Options{EmbedDims: *embedDims, ScoreDims: *scoreDims},
+		Cache:      store,
 	}
 
 	run := func(name string, fn func() error) {
@@ -179,22 +192,22 @@ func main() {
 	}
 }
 
-func validateFlags(epochs, hidden, embedDims, scoreDims int, verbose, quiet bool) error {
-	if verbose && quiet {
-		return fmt.Errorf("-v and -quiet are mutually exclusive")
+func validateFlags(cacheDir string, epochs, hidden, embedDims, scoreDims int, verbose, quiet, noCache bool) error {
+	if err := cliutil.MutuallyExclusive(
+		cliutil.NamedFlag{Name: "-v", Set: verbose},
+		cliutil.NamedFlag{Name: "-quiet", Set: quiet},
+	); err != nil {
+		return err
 	}
-	for _, f := range []struct {
-		name string
-		v    int
-	}{
-		{"-epochs", epochs}, {"-hidden", hidden},
-		{"-embed-dims", embedDims}, {"-score-dims", scoreDims},
-	} {
-		if f.v <= 0 {
-			return fmt.Errorf("%s must be positive, got %d", f.name, f.v)
-		}
+	if err := cliutil.ValidateCacheFlags(cacheDir, noCache); err != nil {
+		return err
 	}
-	return nil
+	return cliutil.Positive(
+		cliutil.NamedInt{Name: "-epochs", Value: epochs},
+		cliutil.NamedInt{Name: "-hidden", Value: hidden},
+		cliutil.NamedInt{Name: "-embed-dims", Value: embedDims},
+		cliutil.NamedInt{Name: "-score-dims", Value: scoreDims},
+	)
 }
 
 func parseBenchmarks(s string) []string {

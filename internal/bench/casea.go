@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"math/rand"
 
+	"cirstag/internal/cache"
 	"cirstag/internal/circuit"
 	"cirstag/internal/core"
 	"cirstag/internal/mat"
+	"cirstag/internal/obs"
 	"cirstag/internal/parallel"
 	"cirstag/internal/perturb"
 	"cirstag/internal/sta"
@@ -40,6 +42,10 @@ type CaseAConfig struct {
 	// UseSTAOracle additionally reports ground-truth STA relative changes
 	// (the GNN remains the primary simulator, as in the paper).
 	UseSTAOracle bool
+	// Cache, when non-nil, persists trained GNN weights and CirSTAG
+	// artifacts across experiment runs (forwarded to timing.NewCached and
+	// core.Options.Cache).
+	Cache *cache.Store
 }
 
 func (c CaseAConfig) withDefaults() CaseAConfig {
@@ -101,9 +107,12 @@ func NewCaseAPipeline(name string, cfg CaseAConfig) (*CaseAPipeline, error) {
 	}
 	tcfg := cfg.Timing
 	tcfg.Seed = cfg.Seed
-	model, err := timing.New(nl, tcfg)
+	model, cached, err := timing.NewCached(nl, tcfg, cfg.Cache)
 	if err != nil {
 		return nil, err
+	}
+	if cached {
+		obs.Debugf("bench: loaded cached timing GNN for %s", name)
 	}
 	r2, err := model.EvalR2(3, rand.New(rand.NewSource(cfg.Seed+1000)))
 	if err != nil {
@@ -117,6 +126,7 @@ func NewCaseAPipeline(name string, cfg CaseAConfig) (*CaseAPipeline, error) {
 	copts := cfg.Cirstag
 	copts.Seed = cfg.Seed
 	copts.SkipDimReduction = cfg.SkipDimReduction
+	copts.Cache = cfg.Cache
 	res, err := core.Run(core.Input{
 		Graph:    nl.PinGraph(),
 		Output:   basePred.Embeddings,

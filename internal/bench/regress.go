@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark-regression tooling: parse `go test -bench` output into a stable
+// JSON report (emitted by CI as BENCH_<sha>.json) and compare a current
+// report against a committed baseline, failing when a gated benchmark's wall
+// time regresses beyond a threshold. Used by cmd/benchgen's -bench-json and
+// -bench-compare modes and the ci.yml bench job.
+
+// BenchSchemaVersion identifies the benchmark-report JSON layout.
+const BenchSchemaVersion = "cirstag.bench/v1"
+
+// BenchResult is one benchmark measurement. Name is normalized: the
+// "Benchmark" prefix and the trailing "-<procs>" GOMAXPROCS suffix are
+// stripped, so "BenchmarkCoreRun/parallel-8" becomes "CoreRun/parallel" and
+// reports from machines with different core counts stay comparable.
+type BenchResult struct {
+	Name    string             `json:"name"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// BenchReport is the persisted form of one benchmark sweep.
+type BenchReport struct {
+	Schema    string        `json:"schema"`
+	SHA       string        `json:"sha,omitempty"`
+	GoVersion string        `json:"go_version,omitempty"`
+	Results   []BenchResult `json:"results"`
+}
+
+// procsSuffix matches the trailing -<n> GOMAXPROCS marker of a benchmark name.
+var procsSuffix = regexp.MustCompile(`-\d+$`)
+
+// normalizeBenchName strips the Benchmark prefix and the -<procs> suffix.
+func normalizeBenchName(name string) string {
+	name = strings.TrimPrefix(name, "Benchmark")
+	return procsSuffix.ReplaceAllString(name, "")
+}
+
+// ParseGoBench extracts benchmark results from `go test -bench` output.
+// Result lines look like
+//
+//	BenchmarkCoreRun/serial-8    1    123456789 ns/op    42.0 extra/metric
+//
+// i.e. name, iteration count, then (value, unit) pairs. Non-benchmark lines
+// (package headers, PASS/ok, logging) are skipped. Results are sorted by
+// normalized name so reports are diffable.
+func ParseGoBench(r io.Reader) ([]BenchResult, error) {
+	var out []BenchResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// fields[1] is the iteration count; it must parse or this is a
+		// coincidental line (e.g. log output mentioning a benchmark).
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue
+		}
+		res := BenchResult{Name: normalizeBenchName(fields[0])}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bench: line %q: bad value %q", sc.Text(), fields[i])
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				res.NsPerOp = v
+				continue
+			}
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = v
+		}
+		if res.NsPerOp <= 0 {
+			return nil, fmt.Errorf("bench: line %q has no ns/op measurement", sc.Text())
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out, nil
+}
+
+// CompareOptions tunes the regression gate.
+type CompareOptions struct {
+	// Gates are benchmark-name prefixes (normalized form) that must not
+	// regress; a baseline entry matching a gate that is missing from the
+	// current report fails the gate outright. Entries matching no gate are
+	// reported informationally but never fail.
+	Gates []string
+	// MaxRegressPct is the allowed ns/op increase for gated benchmarks, in
+	// percent. Default 25.
+	MaxRegressPct float64
+}
+
+// Comparison is the outcome of a baseline/current report comparison.
+type Comparison struct {
+	// Lines holds one human-readable row per compared benchmark.
+	Lines []string
+	// Failures lists gate violations; empty means the gate passes.
+	Failures []string
+}
+
+// CompareBench checks current against baseline under the gate options.
+func CompareBench(baseline, current *BenchReport, opts CompareOptions) *Comparison {
+	if opts.MaxRegressPct <= 0 {
+		opts.MaxRegressPct = 25
+	}
+	gated := func(name string) bool {
+		for _, g := range opts.Gates {
+			if strings.HasPrefix(name, g) {
+				return true
+			}
+		}
+		return false
+	}
+	cur := make(map[string]BenchResult, len(current.Results))
+	for _, r := range current.Results {
+		cur[r.Name] = r
+	}
+	cmp := &Comparison{}
+	for _, base := range baseline.Results {
+		now, ok := cur[base.Name]
+		if !ok {
+			if gated(base.Name) {
+				cmp.Failures = append(cmp.Failures,
+					fmt.Sprintf("%s: gated benchmark missing from current report", base.Name))
+			} else {
+				cmp.Lines = append(cmp.Lines, fmt.Sprintf("%-40s (not run)", base.Name))
+			}
+			continue
+		}
+		deltaPct := 100 * (now.NsPerOp - base.NsPerOp) / base.NsPerOp
+		mark := " "
+		if gated(base.Name) {
+			mark = "*"
+			if deltaPct > opts.MaxRegressPct {
+				cmp.Failures = append(cmp.Failures, fmt.Sprintf(
+					"%s: %.4gms -> %.4gms (%+.1f%%, limit +%.0f%%)",
+					base.Name, base.NsPerOp/1e6, now.NsPerOp/1e6, deltaPct, opts.MaxRegressPct))
+			}
+		}
+		cmp.Lines = append(cmp.Lines, fmt.Sprintf(
+			"%s %-40s %12.4gms %12.4gms %+8.1f%%",
+			mark, base.Name, base.NsPerOp/1e6, now.NsPerOp/1e6, deltaPct))
+	}
+	return cmp
+}

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: cirstag/internal/core
+cpu: Some CPU @ 2.40GHz
+BenchmarkCoreRun/serial-8         	       1	 120000000 ns/op
+BenchmarkCoreRun/parallel-8       	       1	  40000000 ns/op	     3.0 speedup
+PASS
+ok  	cirstag/internal/core	1.911s
+pkg: cirstag/internal/knn
+BenchmarkKNNBuild/parallel-16     	       1	  15000000 ns/op
+some stray log line mentioning BenchmarkCoreRun results
+BenchmarkNotANumber abc 1 ns/op
+ok  	cirstag/internal/knn	0.5s
+`
+
+func TestParseGoBench(t *testing.T) {
+	results, err := ParseGoBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+	// Sorted by normalized name; the -8/-16 procs suffixes are stripped.
+	want := []struct {
+		name string
+		ns   float64
+	}{
+		{"CoreRun/parallel", 4e7},
+		{"CoreRun/serial", 1.2e8},
+		{"KNNBuild/parallel", 1.5e7},
+	}
+	for i, w := range want {
+		if results[i].Name != w.name || results[i].NsPerOp != w.ns {
+			t.Fatalf("result %d = %+v, want %+v", i, results[i], w)
+		}
+	}
+	if results[0].Metrics["speedup"] != 3.0 {
+		t.Fatalf("extra metric not captured: %+v", results[0].Metrics)
+	}
+}
+
+func report(pairs ...interface{}) *BenchReport {
+	rep := &BenchReport{Schema: BenchSchemaVersion}
+	for i := 0; i+1 < len(pairs); i += 2 {
+		rep.Results = append(rep.Results, BenchResult{
+			Name:    pairs[i].(string),
+			NsPerOp: pairs[i+1].(float64),
+		})
+	}
+	return rep
+}
+
+func TestCompareBenchGate(t *testing.T) {
+	opts := CompareOptions{Gates: []string{"CoreRun", "KNNBuild"}, MaxRegressPct: 25}
+
+	// Within threshold: +20% on a gated benchmark passes.
+	c := CompareBench(
+		report("CoreRun/serial", 100.0, "KNNBuild/parallel", 50.0),
+		report("CoreRun/serial", 120.0, "KNNBuild/parallel", 40.0),
+		opts)
+	if len(c.Failures) != 0 {
+		t.Fatalf("unexpected failures: %v", c.Failures)
+	}
+
+	// +30% on a gated benchmark fails.
+	c = CompareBench(
+		report("CoreRun/serial", 100.0),
+		report("CoreRun/serial", 130.0),
+		opts)
+	if len(c.Failures) != 1 || !strings.Contains(c.Failures[0], "CoreRun/serial") {
+		t.Fatalf("failures = %v, want one CoreRun/serial regression", c.Failures)
+	}
+
+	// +30% on an ungated benchmark is informational only.
+	c = CompareBench(
+		report("TableI", 100.0),
+		report("TableI", 130.0),
+		opts)
+	if len(c.Failures) != 0 {
+		t.Fatalf("ungated benchmark failed the gate: %v", c.Failures)
+	}
+
+	// A gated benchmark missing from the current report fails.
+	c = CompareBench(
+		report("KNNBuild/parallel", 50.0),
+		report(),
+		opts)
+	if len(c.Failures) != 1 || !strings.Contains(c.Failures[0], "missing") {
+		t.Fatalf("failures = %v, want missing-benchmark failure", c.Failures)
+	}
+
+	// An ungated benchmark missing from the current report is skipped.
+	c = CompareBench(
+		report("TableI", 100.0),
+		report(),
+		opts)
+	if len(c.Failures) != 0 {
+		t.Fatalf("missing ungated benchmark failed the gate: %v", c.Failures)
+	}
+}

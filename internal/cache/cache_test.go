@@ -1,0 +1,278 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"cirstag/internal/graph"
+	"cirstag/internal/mat"
+	"cirstag/internal/obs"
+)
+
+func openTemp(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { obs.SetCacheReporter(nil) })
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openTemp(t)
+	payload := []byte("some artifact bytes")
+	key := NewKey("test.kind").String("x").Sum()
+	if _, ok := s.Get("test.kind", key); ok {
+		t.Fatal("unexpected hit on empty store")
+	}
+	if err := s.Put("test.kind", key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("test.kind", key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip failed: ok=%v got=%q", ok, got)
+	}
+	st := s.Snapshot()
+	if st.Hits != 1 || st.Misses != 1 || st.Corruptions != 0 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 miss", st)
+	}
+	if st.BytesWritten != int64(len(payload)) || st.BytesRead != int64(len(payload)) {
+		t.Fatalf("byte counters = %+v", st)
+	}
+}
+
+func TestNilStoreIsDisabled(t *testing.T) {
+	var s *Store
+	if _, ok := s.Get("k", "x"); ok {
+		t.Fatal("nil store hit")
+	}
+	if err := s.Put("k", "x", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Dir() != "" || s.Snapshot() != (Stats{}) {
+		t.Fatal("nil store should be inert")
+	}
+	s.PutDense("k", "x", mat.NewDense(1, 1))
+	s.PutGraph("k", "x", graph.New(1))
+}
+
+func TestKeyDeterminismAndSensitivity(t *testing.T) {
+	base := func() *Key {
+		return NewKey("kind").String("a").Int(7).Float(1.5).Bool(true).Floats([]float64{1, 2})
+	}
+	if base().Sum() != base().Sum() {
+		t.Fatal("key not deterministic")
+	}
+	variants := []string{
+		NewKey("kind2").String("a").Int(7).Float(1.5).Bool(true).Floats([]float64{1, 2}).Sum(),
+		NewKey("kind").String("b").Int(7).Float(1.5).Bool(true).Floats([]float64{1, 2}).Sum(),
+		NewKey("kind").String("a").Int(8).Float(1.5).Bool(true).Floats([]float64{1, 2}).Sum(),
+		NewKey("kind").String("a").Int(7).Float(1.5000001).Bool(true).Floats([]float64{1, 2}).Sum(),
+		NewKey("kind").String("a").Int(7).Float(1.5).Bool(false).Floats([]float64{1, 2}).Sum(),
+		NewKey("kind").String("a").Int(7).Float(1.5).Bool(true).Floats([]float64{1, 3}).Sum(),
+		// Concatenation ambiguity: "ab"+"c" must differ from "a"+"bc".
+		NewKey("kind").String("ab").String("c").Int(7).Float(1.5).Bool(true).Floats([]float64{1, 2}).Sum(),
+	}
+	ref := base().Sum()
+	seen := map[string]bool{ref: true}
+	for i, v := range variants {
+		if seen[v] {
+			t.Fatalf("variant %d collides", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestDenseCodecExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := mat.NewDense(17, 5)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(20)-10))
+	}
+	m.Data[3] = math.Inf(1)
+	m.Data[4] = -0.0
+	got, err := DecodeDense(EncodeDense(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != m.Rows || got.Cols != m.Cols {
+		t.Fatalf("dims %dx%d, want %dx%d", got.Rows, got.Cols, m.Rows, m.Cols)
+	}
+	for i := range m.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(m.Data[i]) {
+			t.Fatalf("entry %d not bit-identical: %v vs %v", i, got.Data[i], m.Data[i])
+		}
+	}
+}
+
+func TestGraphCodecExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.New(50)
+	for i := 0; i < 49; i++ {
+		g.AddEdge(i, i+1, 1+rng.Float64())
+	}
+	for k := 0; k < 60; k++ {
+		u, v := rng.Intn(50), rng.Intn(50)
+		if u != v && !g.HasEdge(u, v) {
+			g.AddEdge(u, v, rng.Float64()+0.1)
+		}
+	}
+	got, err := DecodeGraph(EncodeGraph(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != g.N() || got.M() != g.M() {
+		t.Fatalf("shape %d/%d, want %d/%d", got.N(), got.M(), g.N(), g.M())
+	}
+	ge, he := g.Edges(), got.Edges()
+	for i := range ge {
+		if ge[i] != he[i] {
+			t.Fatalf("edge %d: %+v vs %+v", i, he[i], ge[i])
+		}
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	if _, err := DecodeDense([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short dense accepted")
+	}
+	b := EncodeDense(mat.NewDense(2, 2))
+	if _, err := DecodeDense(b[:len(b)-1]); err == nil {
+		t.Fatal("truncated dense accepted")
+	}
+	if _, err := DecodeGraph([]byte{1}); err == nil {
+		t.Fatal("short graph accepted")
+	}
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	gb := EncodeGraph(g)
+	gb[16] = 0xFF // node id out of range
+	if _, err := DecodeGraph(gb); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+}
+
+// TestCorruptionFallsBackToRecompute is the corruption-injection test: a
+// truncated artifact, a flipped payload byte, and a stale schema version must
+// each be detected on load, reported as a miss (so callers recompute), and
+// counted by the obs corruption counter.
+func TestCorruptionFallsBackToRecompute(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	payload := []byte("0123456789abcdef0123456789abcdef")
+	key := NewKey("corrupt.kind").Sum()
+
+	corrupt := func(name string, mutate func(b []byte) []byte) {
+		obs.Reset()
+		s := openTemp(t)
+		if err := s.Put("corrupt.kind", key, payload); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(s.Dir(), "corrupt.kind", key+".art")
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, mutate(raw), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		before := obs.NewCounter("cache.corruptions").Value()
+		got, ok := s.Get("corrupt.kind", key)
+		if ok || got != nil {
+			t.Fatalf("%s: corrupted artifact served as a hit", name)
+		}
+		st := s.Snapshot()
+		if st.Corruptions != 1 || st.Misses != 1 || st.Hits != 0 {
+			t.Fatalf("%s: stats = %+v, want 1 corruption reported as miss", name, st)
+		}
+		if after := obs.NewCounter("cache.corruptions").Value(); after != before+1 {
+			t.Fatalf("%s: obs corruption counter %d -> %d, want +1", name, before, after)
+		}
+		// The corrupt file is removed, so the slot can be rewritten: recompute
+		// (Put) then Get must hit again.
+		if err := s.Put("corrupt.kind", key, payload); err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := s.Get("corrupt.kind", key); !ok || !bytes.Equal(got, payload) {
+			t.Fatalf("%s: recompute-then-get failed", name)
+		}
+	}
+
+	corrupt("truncated", func(b []byte) []byte { return b[:len(b)/2] })
+	corrupt("flipped-byte", func(b []byte) []byte {
+		out := append([]byte(nil), b...)
+		out[len(out)-5] ^= 0x40 // inside the payload
+		return out
+	})
+	corrupt("stale-schema", func(b []byte) []byte {
+		out := append([]byte(nil), b...)
+		// The schema string sits right after magic + length; flip its last
+		// byte to simulate an artifact written by a different code version.
+		out[8+2+len(SchemaVersion)-1] ^= 0x01
+		return out
+	})
+	corrupt("empty-file", func(b []byte) []byte { return nil })
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s := openTemp(t)
+	const workers = 8
+	const rounds = 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				key := NewKey("conc").Int(int64(r % 7)).Sum()
+				payload := []byte(fmt.Sprintf("payload-%d", r%7))
+				if err := s.Put("conc", key, payload); err != nil {
+					t.Error(err)
+					return
+				}
+				if got, ok := s.Get("conc", key); ok && !bytes.Equal(got, payload) {
+					t.Errorf("torn read: %q", got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := s.Snapshot(); st.Corruptions != 0 {
+		t.Fatalf("concurrent use produced corruption reports: %+v", st)
+	}
+}
+
+func TestReportCacheSection(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	obs.Reset()
+	s := openTemp(t)
+	key := NewKey("rep").Sum()
+	if err := s.Put("rep", key, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	s.Get("rep", key)
+	s.Get("rep", "missing-key")
+	rep := obs.Snapshot()
+	if rep.Cache == nil {
+		t.Fatal("report has no cache section after Open")
+	}
+	if rep.Cache.Dir != s.Dir() || rep.Cache.Hits != 1 || rep.Cache.Misses != 1 {
+		t.Fatalf("cache section = %+v", rep.Cache)
+	}
+	if rep.Cache.HitRate != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", rep.Cache.HitRate)
+	}
+	obs.SetCacheReporter(nil)
+	if rep := obs.Snapshot(); rep.Cache != nil {
+		t.Fatal("cache section present after reporter removed")
+	}
+}

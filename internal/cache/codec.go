@@ -1,0 +1,163 @@
+package cache
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"cirstag/internal/graph"
+	"cirstag/internal/mat"
+	"cirstag/internal/obs"
+)
+
+// Binary codecs for the two artifact shapes the pipeline caches: dense
+// matrices (spectral embeddings, GNN outputs) and weighted graphs (sparsified
+// manifold PGMs). Both encodings are exact — float64 values round-trip
+// bit-for-bit — and deterministic, so the same artifact always produces the
+// same bytes (and therefore the same content hash).
+
+// EncodeDense serializes m as (rows, cols, row-major float64 bits).
+func EncodeDense(m *mat.Dense) []byte {
+	out := make([]byte, 16+8*len(m.Data))
+	binary.LittleEndian.PutUint64(out, uint64(m.Rows))
+	binary.LittleEndian.PutUint64(out[8:], uint64(m.Cols))
+	for i, v := range m.Data {
+		binary.LittleEndian.PutUint64(out[16+8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// DecodeDense reverses EncodeDense.
+func DecodeDense(b []byte) (*mat.Dense, error) {
+	if len(b) < 16 {
+		return nil, fmt.Errorf("cache: dense artifact too short (%d bytes)", len(b))
+	}
+	rows := int(binary.LittleEndian.Uint64(b))
+	cols := int(binary.LittleEndian.Uint64(b[8:]))
+	if rows < 0 || cols < 0 || len(b) != 16+8*rows*cols {
+		return nil, fmt.Errorf("cache: dense artifact dims %dx%d do not match %d bytes", rows, cols, len(b))
+	}
+	m := mat.NewDense(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[16+8*i:]))
+	}
+	return m, nil
+}
+
+// EncodeGraph serializes g as (n, m, then per edge u, v, weight bits). The
+// canonical edge list preserves insertion order, so decoding rebuilds an
+// identical graph (same edge ids, same adjacency order).
+func EncodeGraph(g *graph.Graph) []byte {
+	edges := g.Edges()
+	out := make([]byte, 16+24*len(edges))
+	binary.LittleEndian.PutUint64(out, uint64(g.N()))
+	binary.LittleEndian.PutUint64(out[8:], uint64(len(edges)))
+	off := 16
+	for _, e := range edges {
+		binary.LittleEndian.PutUint64(out[off:], uint64(e.U))
+		binary.LittleEndian.PutUint64(out[off+8:], uint64(e.V))
+		binary.LittleEndian.PutUint64(out[off+16:], math.Float64bits(e.W))
+		off += 24
+	}
+	return out
+}
+
+// DecodeGraph reverses EncodeGraph.
+func DecodeGraph(b []byte) (*graph.Graph, error) {
+	if len(b) < 16 {
+		return nil, fmt.Errorf("cache: graph artifact too short (%d bytes)", len(b))
+	}
+	n := int(binary.LittleEndian.Uint64(b))
+	m := int(binary.LittleEndian.Uint64(b[8:]))
+	if n < 0 || m < 0 || len(b) != 16+24*m {
+		return nil, fmt.Errorf("cache: graph artifact n=%d m=%d does not match %d bytes", n, m, len(b))
+	}
+	g := graph.New(n)
+	off := 16
+	for i := 0; i < m; i++ {
+		u := int(binary.LittleEndian.Uint64(b[off:]))
+		v := int(binary.LittleEndian.Uint64(b[off+8:]))
+		w := math.Float64frombits(binary.LittleEndian.Uint64(b[off+16:]))
+		if u < 0 || u >= n || v < 0 || v >= n || u == v || !(w > 0) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("cache: graph artifact edge %d (%d,%d,%v) invalid", i, u, v, w)
+		}
+		g.AddEdge(u, v, w)
+		off += 24
+	}
+	return g, nil
+}
+
+// Dense mixes the full content of a matrix into the key.
+func (k *Key) Dense(m *mat.Dense) *Key {
+	if m == nil {
+		return k.String("nil-dense")
+	}
+	return k.Int(int64(m.Rows)).Int(int64(m.Cols)).Floats(m.Data)
+}
+
+// Graph mixes the full content of a graph (node count + weighted edge list)
+// into the key.
+func (k *Key) Graph(g *graph.Graph) *Key {
+	if g == nil {
+		return k.String("nil-graph")
+	}
+	k.Int(int64(g.N()))
+	for _, e := range g.Edges() {
+		k.Int(int64(e.U)).Int(int64(e.V)).Float(e.W)
+	}
+	return k
+}
+
+// GetDense fetches and decodes a dense-matrix artifact; decode failures count
+// as corruption and report a miss.
+func (s *Store) GetDense(kind, key string) (*mat.Dense, bool) {
+	payload, ok := s.Get(kind, key)
+	if !ok {
+		return nil, false
+	}
+	m, err := DecodeDense(payload)
+	if err != nil {
+		s.corruptions.Add(1)
+		corruptionCounter.Inc()
+		return nil, false
+	}
+	return m, true
+}
+
+// PutDense stores a dense-matrix artifact; errors are counted and logged,
+// never fatal (the cache is advisory).
+func (s *Store) PutDense(kind, key string, m *mat.Dense) {
+	if s == nil {
+		return
+	}
+	if err := s.Put(kind, key, EncodeDense(m)); err != nil {
+		obs.Debugf("cache: %v", err)
+	}
+}
+
+// GetGraph fetches and decodes a graph artifact; decode failures count as
+// corruption and report a miss.
+func (s *Store) GetGraph(kind, key string) (*graph.Graph, bool) {
+	payload, ok := s.Get(kind, key)
+	if !ok {
+		return nil, false
+	}
+	g, err := DecodeGraph(payload)
+	if err != nil {
+		s.corruptions.Add(1)
+		corruptionCounter.Inc()
+		return nil, false
+	}
+	return g, true
+}
+
+// PutGraph stores a graph artifact; errors are counted and logged, never
+// fatal.
+func (s *Store) PutGraph(kind, key string, g *graph.Graph) {
+	if s == nil {
+		return
+	}
+	if err := s.Put(kind, key, EncodeGraph(g)); err != nil {
+		obs.Debugf("cache: %v", err)
+	}
+}

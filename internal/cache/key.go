@@ -1,0 +1,77 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+)
+
+// Key accumulates a canonical fingerprint of everything that determines an
+// artifact's bytes. Every item is written with a type tag and a length prefix,
+// so distinct input sequences can never collide by concatenation ambiguity
+// ("ab","c" vs "a","bc"). The builder is chainable:
+//
+//	key := cache.NewKey("core.embed").Graph(g).Int(int64(dims)).Int(seed).Sum()
+//
+// The package SchemaVersion and the kind are always mixed in, so a codec
+// change or a kind collision can never alias two artifacts.
+type Key struct {
+	h   hash.Hash
+	buf [9]byte // type tag + 8-byte scratch
+}
+
+// NewKey starts a fingerprint for one artifact kind.
+func NewKey(kind string) *Key {
+	k := &Key{h: sha256.New()}
+	return k.String(SchemaVersion).String(kind)
+}
+
+func (k *Key) item(tag byte, b []byte) *Key {
+	k.buf[0] = tag
+	binary.LittleEndian.PutUint64(k.buf[1:], uint64(len(b)))
+	k.h.Write(k.buf[:])
+	k.h.Write(b)
+	return k
+}
+
+// String mixes a string item into the key.
+func (k *Key) String(s string) *Key { return k.item('s', []byte(s)) }
+
+// Bytes mixes a raw byte-slice item into the key.
+func (k *Key) Bytes(b []byte) *Key { return k.item('b', b) }
+
+// Int mixes an integer item into the key.
+func (k *Key) Int(v int64) *Key {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	return k.item('i', b[:])
+}
+
+// Bool mixes a boolean item into the key.
+func (k *Key) Bool(v bool) *Key {
+	if v {
+		return k.Int(1)
+	}
+	return k.Int(0)
+}
+
+// Float mixes a float64 item into the key, bit-exactly.
+func (k *Key) Float(v float64) *Key {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	return k.item('f', b[:])
+}
+
+// Floats mixes a float64 slice into the key, bit-exactly.
+func (k *Key) Floats(v []float64) *Key {
+	b := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(x))
+	}
+	return k.item('F', b)
+}
+
+// Sum finalizes the fingerprint as a hex digest usable as a store key.
+func (k *Key) Sum() string { return hex.EncodeToString(k.h.Sum(nil)) }

@@ -1,0 +1,99 @@
+// Package cliutil holds the flag validation and cache wiring shared by
+// cmd/cirstag and cmd/experiments, so the two binaries reject invalid
+// invocations identically (exit 2 with a usage hint) instead of drifting.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+
+	"cirstag/internal/cache"
+)
+
+// CacheDirEnv names the environment variable consulted when no -cache-dir
+// flag is given. An empty variable leaves caching off.
+const CacheDirEnv = "CIRSTAG_CACHE_DIR"
+
+// NamedInt is an integer flag with its user-facing name, for validation
+// messages.
+type NamedInt struct {
+	Name  string
+	Value int
+}
+
+// Positive returns an error naming the first non-positive flag.
+func Positive(flags ...NamedInt) error {
+	for _, f := range flags {
+		if f.Value <= 0 {
+			return fmt.Errorf("%s must be positive, got %d", f.Name, f.Value)
+		}
+	}
+	return nil
+}
+
+// NamedFlag is a boolean "was this flag given" with its user-facing name.
+type NamedFlag struct {
+	Name string
+	Set  bool
+}
+
+// MutuallyExclusive rejects invocations that set more than one of the given
+// flags.
+func MutuallyExclusive(flags ...NamedFlag) error {
+	var set []string
+	for _, f := range flags {
+		if f.Set {
+			set = append(set, f.Name)
+		}
+	}
+	if len(set) > 1 {
+		return fmt.Errorf("%s and %s are mutually exclusive", set[0], set[1])
+	}
+	return nil
+}
+
+// ExactlyOne requires precisely one of the given flags to be set.
+func ExactlyOne(flags ...NamedFlag) error {
+	if err := MutuallyExclusive(flags...); err != nil {
+		return err
+	}
+	for _, f := range flags {
+		if f.Set {
+			return nil
+		}
+	}
+	names := ""
+	for i, f := range flags {
+		if i > 0 {
+			names += " or "
+		}
+		names += f.Name
+	}
+	return fmt.Errorf("need %s", names)
+}
+
+// ValidateCacheFlags rejects the contradictory combination of an explicit
+// -cache-dir with -no-cache.
+func ValidateCacheFlags(cacheDir string, noCache bool) error {
+	return MutuallyExclusive(
+		NamedFlag{Name: "-cache-dir", Set: cacheDir != ""},
+		NamedFlag{Name: "-no-cache", Set: noCache},
+	)
+}
+
+// OpenCache resolves the artifact-cache store from the -cache-dir/-no-cache
+// flags: -no-cache (or no directory from either the flag or $CIRSTAG_CACHE_DIR)
+// disables caching by returning a nil store, which every cache consumer
+// treats as "always miss, never persist".
+func OpenCache(cacheDir string, noCache bool) (*cache.Store, error) {
+	if noCache {
+		return nil, nil
+	}
+	if cacheDir == "" {
+		cacheDir = os.Getenv(CacheDirEnv)
+	}
+	if cacheDir == "" {
+		return nil, nil
+	}
+	return cache.Open(cacheDir)
+}

@@ -1,0 +1,131 @@
+package cliutil
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"cirstag/internal/obs"
+)
+
+// TestConflictTable drives every flag-combination rule that makes the CLIs
+// exit 2, table-style: each case mirrors a real invocation of cmd/cirstag or
+// cmd/experiments.
+func TestConflictTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		err     error
+		wantErr string // substring; empty means valid
+	}{
+		{
+			name: "netlist and bench together",
+			err: ExactlyOne(
+				NamedFlag{Name: "-netlist", Set: true},
+				NamedFlag{Name: "-bench", Set: true},
+			),
+			wantErr: "mutually exclusive",
+		},
+		{
+			name: "neither netlist nor bench",
+			err: ExactlyOne(
+				NamedFlag{Name: "-netlist", Set: false},
+				NamedFlag{Name: "-bench", Set: false},
+			),
+			wantErr: "need -netlist or -bench",
+		},
+		{
+			name: "exactly one input source",
+			err: ExactlyOne(
+				NamedFlag{Name: "-netlist", Set: false},
+				NamedFlag{Name: "-bench", Set: true},
+			),
+		},
+		{
+			name: "verbose and quiet together",
+			err: MutuallyExclusive(
+				NamedFlag{Name: "-v", Set: true},
+				NamedFlag{Name: "-quiet", Set: true},
+			),
+			wantErr: "-v and -quiet are mutually exclusive",
+		},
+		{
+			name: "verbose alone",
+			err: MutuallyExclusive(
+				NamedFlag{Name: "-v", Set: true},
+				NamedFlag{Name: "-quiet", Set: false},
+			),
+		},
+		{
+			name:    "cache dir with no-cache",
+			err:     ValidateCacheFlags("/tmp/c", true),
+			wantErr: "-cache-dir and -no-cache are mutually exclusive",
+		},
+		{
+			name: "cache dir alone",
+			err:  ValidateCacheFlags("/tmp/c", false),
+		},
+		{
+			name: "no-cache alone",
+			err:  ValidateCacheFlags("", true),
+		},
+		{
+			name:    "non-positive top",
+			err:     Positive(NamedInt{Name: "-top", Value: 0}),
+			wantErr: "-top must be positive",
+		},
+		{
+			name:    "negative epochs",
+			err:     Positive(NamedInt{Name: "-top", Value: 20}, NamedInt{Name: "-epochs", Value: -1}),
+			wantErr: "-epochs must be positive",
+		},
+		{
+			name: "all positive",
+			err:  Positive(NamedInt{Name: "-top", Value: 20}, NamedInt{Name: "-epochs", Value: 300}),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.wantErr == "" {
+				if tc.err != nil {
+					t.Fatalf("unexpected error: %v", tc.err)
+				}
+				return
+			}
+			if tc.err == nil || !strings.Contains(tc.err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want substring %q", tc.err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestOpenCache(t *testing.T) {
+	t.Cleanup(func() { obs.SetCacheReporter(nil) })
+
+	if s, err := OpenCache("", true); err != nil || s != nil {
+		t.Fatalf("-no-cache: store=%v err=%v", s, err)
+	}
+	t.Setenv(CacheDirEnv, "")
+	if s, err := OpenCache("", false); err != nil || s != nil {
+		t.Fatalf("no dir anywhere: store=%v err=%v", s, err)
+	}
+
+	dir := t.TempDir() + "/explicit"
+	s, err := OpenCache(dir, false)
+	if err != nil || s == nil || s.Dir() != dir {
+		t.Fatalf("explicit dir: store=%v err=%v", s, err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("cache dir not created: %v", err)
+	}
+
+	envDir := t.TempDir() + "/fromenv"
+	t.Setenv(CacheDirEnv, envDir)
+	s, err = OpenCache("", false)
+	if err != nil || s == nil || s.Dir() != envDir {
+		t.Fatalf("env dir: store=%v err=%v", s, err)
+	}
+	// -no-cache wins over the environment.
+	if s, err := OpenCache("", true); err != nil || s != nil {
+		t.Fatalf("-no-cache with env set: store=%v err=%v", s, err)
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cirstag/internal/cache"
+	"cirstag/internal/obs"
+)
+
+// resultsIdentical compares two Results bit-for-bit (scores, eigenvalues,
+// manifold edge lists).
+func resultsIdentical(t *testing.T, a, b *Result) {
+	t.Helper()
+	if len(a.NodeScores) != len(b.NodeScores) {
+		t.Fatalf("node score lengths %d vs %d", len(a.NodeScores), len(b.NodeScores))
+	}
+	for i := range a.NodeScores {
+		if math.Float64bits(a.NodeScores[i]) != math.Float64bits(b.NodeScores[i]) {
+			t.Fatalf("node %d score %v vs %v not bit-identical", i, a.NodeScores[i], b.NodeScores[i])
+		}
+	}
+	if len(a.Eigenvalues) != len(b.Eigenvalues) {
+		t.Fatalf("eigenvalue counts %d vs %d", len(a.Eigenvalues), len(b.Eigenvalues))
+	}
+	for i := range a.Eigenvalues {
+		if math.Float64bits(a.Eigenvalues[i]) != math.Float64bits(b.Eigenvalues[i]) {
+			t.Fatalf("eigenvalue %d differs: %v vs %v", i, a.Eigenvalues[i], b.Eigenvalues[i])
+		}
+	}
+	ae, be := a.InputManifold.Edges(), b.InputManifold.Edges()
+	if len(ae) != len(be) {
+		t.Fatalf("input manifold edge counts %d vs %d", len(ae), len(be))
+	}
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("input manifold edge %d: %+v vs %+v", i, ae[i], be[i])
+		}
+	}
+}
+
+// spanNames flattens a span forest into a set of names.
+func spanNames(spans []obs.SpanReport, into map[string]bool) {
+	for _, s := range spans {
+		into[s.Name] = true
+		spanNames(s.Children, into)
+	}
+}
+
+// TestWarmRunBitIdenticalAndSkipsPhases is the warm-cache acceptance test: a
+// second Run with the same inputs, options, and cache directory must produce
+// a bit-identical Result while skipping Phase 1 entirely — verified by the
+// ABSENCE of the "embedding" span in the warm run's trace.
+func TestWarmRunBitIdenticalAndSkipsPhases(t *testing.T) {
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { obs.SetCacheReporter(nil) })
+
+	rng := rand.New(rand.NewSource(7))
+	in := syntheticInput(rng, 120, map[int]bool{3: true, 40: true})
+	opts := Options{Seed: 11, Cache: store}
+
+	obs.Enable()
+	defer obs.Disable()
+
+	obs.Reset()
+	cold, err := Run(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldSpans := map[string]bool{}
+	spanNames(obs.Snapshot().Spans, coldSpans)
+	if !coldSpans["embedding"] {
+		t.Fatal("cold run must compute the embedding")
+	}
+	if st := store.Snapshot(); st.Misses == 0 || st.Hits != 0 {
+		t.Fatalf("cold run stats = %+v, want only misses", st)
+	}
+
+	obs.Reset()
+	warm, err := Run(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmSpans := map[string]bool{}
+	spanNames(obs.Snapshot().Spans, warmSpans)
+	if warmSpans["embedding"] {
+		t.Fatal("warm run recomputed the embedding despite a cache hit")
+	}
+	if warmSpans["knn"] || warmSpans["sparsify"] {
+		t.Fatal("warm run rebuilt a manifold despite cache hits")
+	}
+	resultsIdentical(t, cold, warm)
+
+	// The embedding itself must round-trip bit-exactly through the cache.
+	if cold.Embedding == nil || warm.Embedding == nil {
+		t.Fatal("missing embedding")
+	}
+	for i := range cold.Embedding.Data {
+		if math.Float64bits(cold.Embedding.Data[i]) != math.Float64bits(warm.Embedding.Data[i]) {
+			t.Fatalf("embedding entry %d differs", i)
+		}
+	}
+}
+
+// TestCacheKeySeparatesRuns ensures option and input changes miss instead of
+// serving a stale artifact.
+func TestCacheKeySeparatesRuns(t *testing.T) {
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { obs.SetCacheReporter(nil) })
+
+	rng := rand.New(rand.NewSource(9))
+	in := syntheticInput(rng, 80, nil)
+	base, err := Run(in, Options{Seed: 1, Cache: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different seed: fully warm store, but every artifact must miss and the
+	// result must match an uncached run with that seed.
+	other, err := Run(in, Options{Seed: 2, Cache: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Run(in, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsIdentical(t, other, ref)
+	if len(base.Eigenvalues) == 0 {
+		t.Fatal("degenerate baseline")
+	}
+}
+
+// TestCachedRunMatchesUncached: attaching a cache must never change a Result
+// byte, hit or miss.
+func TestCachedRunMatchesUncached(t *testing.T) {
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { obs.SetCacheReporter(nil) })
+
+	rng := rand.New(rand.NewSource(13))
+	in := syntheticInput(rng, 90, map[int]bool{5: true})
+	for _, opts := range []Options{
+		{Seed: 3},
+		{Seed: 3, SkipDimReduction: true},
+	} {
+		plain, err := Run(in, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copts := opts
+		copts.Cache = store
+		cold, err := Run(in, copts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := Run(in, copts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultsIdentical(t, plain, cold)
+		resultsIdentical(t, plain, warm)
+	}
+}

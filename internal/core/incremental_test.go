@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"cirstag/internal/mat"
+	"cirstag/internal/metrics"
+)
+
+// perturbRow returns a copy of the baseline output with one node's row
+// shifted far off the manifold.
+func perturbRow(b *Baseline, node int, delta float64) *mat.Dense {
+	y := b.Input.Output.Clone()
+	for c := 0; c < y.Cols; c++ {
+		y.Set(node, c, y.At(node, c)+delta)
+	}
+	return y
+}
+
+// TestIncrementalSingleNodeMatchesFull is the incremental-equivalence
+// acceptance test: after perturbing a single node's output row, the patched
+// incremental re-score must rank the same top-20 nodes as a full recompute
+// (100% overlap) and correlate strongly overall.
+func TestIncrementalSingleNodeMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	// 20 strongly distorted nodes dominate the score ranking with a wide
+	// margin in both the full and incremental runs.
+	distorted := map[int]bool{}
+	for len(distorted) < 20 {
+		distorted[rng.Intn(150)] = true
+	}
+	in := syntheticInput(rng, 150, distorted)
+	base, err := NewBaseline(in, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Perturb one already-distorted node further; topology and features are
+	// untouched, so only G_Y needs repair.
+	var node int
+	for d := range distorted {
+		node = d
+		break
+	}
+	newY := perturbRow(base, node, 3.0)
+
+	inc, info, err := base.RunIncremental(newY, IncrementalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.FullRebuild || info.ReusedBaseline {
+		t.Fatalf("expected the patch path, got %+v", info)
+	}
+	if len(info.ChangedNodes) != 1 || info.ChangedNodes[0] != node {
+		t.Fatalf("changed nodes = %v, want [%d]", info.ChangedNodes, node)
+	}
+
+	full, err := Run(Input{Graph: in.Graph, Output: newY, Features: in.Features}, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fullTop := topSet(Rank(full.NodeScores, nil), 20)
+	incTop := topSet(Rank(inc.NodeScores, nil), 20)
+	var overlap int
+	for p := range fullTop {
+		if incTop[p] {
+			overlap++
+		}
+	}
+	if overlap != 20 {
+		t.Fatalf("top-20 overlap %d/20 between incremental and full recompute", overlap)
+	}
+	// Approximation bound beyond the top set: the full score vectors must
+	// stay strongly rank-correlated.
+	if rho := metrics.Spearman(full.NodeScores, inc.NodeScores); rho < 0.9 {
+		t.Fatalf("Spearman between incremental and full scores = %v, want >= 0.9", rho)
+	}
+}
+
+// TestIncrementalNoChangeReusesBaseline: below-tolerance perturbations return
+// the baseline Result without any recomputation.
+func TestIncrementalNoChangeReusesBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	in := syntheticInput(rng, 80, nil)
+	base, err := NewBaseline(in, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := in.Output.Clone()
+	// Shift every entry by far less than RelTol·max|Y|.
+	for i := range y.Data {
+		y.Data[i] += 1e-15
+	}
+	res, info, err := base.RunIncremental(y, IncrementalOptions{RelTol: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.ReusedBaseline || len(info.ChangedNodes) != 0 {
+		t.Fatalf("info = %+v, want baseline reuse", info)
+	}
+	if res != base.Result {
+		t.Fatal("expected the baseline Result to be returned as-is")
+	}
+}
+
+// TestIncrementalFullRebuildBitIdentical: when too many nodes move, the
+// fallback rebuild must be bit-identical to a fresh full Run on the new
+// output (same RNG stream assignment).
+func TestIncrementalFullRebuildBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	in := syntheticInput(rng, 100, nil)
+	base, err := NewBaseline(in, Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Move half the rows: well past the default MaxChangedFrac of 0.25.
+	y := in.Output.Clone()
+	for i := 0; i < 50; i++ {
+		for c := 0; c < y.Cols; c++ {
+			y.Set(i, c, y.At(i, c)+1+float64(c))
+		}
+	}
+	inc, info, err := base.RunIncremental(y, IncrementalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.FullRebuild {
+		t.Fatalf("info = %+v, want full rebuild", info)
+	}
+	full, err := Run(Input{Graph: in.Graph, Output: y, Features: in.Features}, Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsIdentical(t, inc, full)
+	oe, ie := full.OutputManifold.Edges(), inc.OutputManifold.Edges()
+	if len(oe) != len(ie) {
+		t.Fatalf("output manifold edge counts %d vs %d", len(ie), len(oe))
+	}
+	for i := range oe {
+		if oe[i] != ie[i] {
+			t.Fatalf("output manifold edge %d: %+v vs %+v", i, ie[i], oe[i])
+		}
+	}
+}
+
+// topSet returns the first k ranked node ids as a set.
+func topSet(r *Ranking, k int) map[int]bool {
+	out := make(map[int]bool, k)
+	for i := 0; i < k && i < len(r.Order); i++ {
+		out[r.Order[i]] = true
+	}
+	return out
+}
+
+// sanity check on changedRows tolerance arithmetic.
+func TestChangedRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	in := syntheticInput(rng, 20, nil)
+	y := in.Output.Clone()
+	y.Set(7, 1, y.At(7, 1)+0.5)
+	y.Set(12, 0, y.At(12, 0)+0.5)
+	got := changedRows(in.Output, y, 1e-9)
+	if len(got) != 2 || got[0] != 7 || got[1] != 12 {
+		t.Fatalf("changedRows = %v, want [7 12]", got)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"math"
 	"math/rand"
 
+	"cirstag/internal/cache"
 	"cirstag/internal/mat"
 	"cirstag/internal/obs"
 	"cirstag/internal/parallel"
@@ -47,6 +48,13 @@ type Options struct {
 	// InnerTol is the relative-residual tolerance of the Laplacian solves
 	// inside GeneralizedTopK (ignored by plain Lanczos). Default 1e-6.
 	InnerTol float64
+}
+
+// AddToKey mixes every result-affecting solver option into an artifact-cache
+// key, so cached spectra are invalidated when tolerances or iteration caps
+// change. New result-affecting fields must be added here.
+func (o Options) AddToKey(k *cache.Key) *cache.Key {
+	return k.Int(int64(o.MaxIter)).Float(o.Tol).Float(o.InnerTol)
 }
 
 func (o Options) withDefaults(n, k int) Options {
@@ -179,7 +187,6 @@ func Lanczos(a solver.Op, k int, which Which, rng *rand.Rand, opts Options) (mat
 // 2I − L_norm (whose largest eigenvalues correspond to L_norm's smallest)
 // and maps the spectrum back.
 func SmallestNormalizedLaplacian(lnorm *sparse.CSR, k int, rng *rand.Rand, opts Options) (mat.Vec, *mat.Dense) {
-	n := lnorm.Rows
 	shifted := shiftOp{m: lnorm, shift: 2}
 	vals, vecs := Lanczos(shifted, k, Largest, rng, opts)
 	out := make(mat.Vec, k)
@@ -190,7 +197,6 @@ func SmallestNormalizedLaplacian(lnorm *sparse.CSR, k int, rng *rand.Rand, opts 
 		}
 		out[i] = lam
 	}
-	_ = n
 	return out, vecs
 }
 

@@ -15,6 +15,7 @@ import (
 	"math"
 	"math/rand"
 
+	"cirstag/internal/cache"
 	"cirstag/internal/coarsen"
 	"cirstag/internal/eig"
 	"cirstag/internal/graph"
@@ -36,6 +37,14 @@ type Options struct {
 	DropTrivial bool
 	// Eig forwards options to the Lanczos solver.
 	Eig eig.Options
+}
+
+// AddToKey mixes every result-affecting embedding option into an
+// artifact-cache key (the caller supplies the graph content and RNG seed).
+// New result-affecting fields must be added here.
+func (o Options) AddToKey(k *cache.Key) *cache.Key {
+	k.Int(int64(o.Dims)).Bool(o.Multilevel).Bool(o.DropTrivial)
+	return o.Eig.AddToKey(k)
 }
 
 func (o Options) withDefaults(n int) Options {

@@ -8,6 +8,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,7 +19,8 @@ const SchemaVersion = "cirstag.report/v1"
 
 // Report is the machine-readable snapshot of everything recorded since the
 // last Reset. Field names and JSON tags are a stable public contract (see
-// DESIGN.md §8).
+// DESIGN.md §8). The cache section is additive to schema v1: it is present
+// exactly when an artifact cache was opened for the run.
 type Report struct {
 	Schema     string                `json:"schema"`
 	GoVersion  string                `json:"go_version"`
@@ -27,6 +29,34 @@ type Report struct {
 	Counters   map[string]int64      `json:"counters,omitempty"`
 	Gauges     map[string]float64    `json:"gauges,omitempty"`
 	Histograms map[string]HistReport `json:"histograms,omitempty"`
+	Cache      *CacheReport          `json:"cache,omitempty"`
+}
+
+// CacheReport summarizes artifact-cache activity for the run. HitRate is
+// Hits/(Hits+Misses), 0 when the cache saw no traffic.
+type CacheReport struct {
+	Dir          string  `json:"dir"`
+	Hits         int64   `json:"hits"`
+	Misses       int64   `json:"misses"`
+	Corruptions  int64   `json:"corruptions"`
+	BytesRead    int64   `json:"bytes_read"`
+	BytesWritten int64   `json:"bytes_written"`
+	HitRate      float64 `json:"hit_rate"`
+}
+
+// cacheReporter supplies the report's cache section. Installed by
+// cache.Open; obs cannot import the cache package (it sits below it), so the
+// dependency is inverted through this hook.
+var cacheReporter atomic.Pointer[func() *CacheReport]
+
+// SetCacheReporter installs (or, with nil, removes) the function that
+// produces the run report's cache section.
+func SetCacheReporter(f func() *CacheReport) {
+	if f == nil {
+		cacheReporter.Store(nil)
+		return
+	}
+	cacheReporter.Store(&f)
 }
 
 // SpanReport is one node of the serialized span tree.
@@ -99,6 +129,10 @@ func Snapshot() *Report {
 		rep.Histograms[name] = hr
 	}
 	registry.mu.Unlock()
+
+	if f := cacheReporter.Load(); f != nil {
+		rep.Cache = (*f)()
+	}
 	return rep
 }
 
@@ -173,6 +207,11 @@ func WriteTree(w io.Writer) {
 			h := rep.Histograms[k]
 			fmt.Fprintf(w, "  %-40s %8d %12.6g %12.6g %12.6g\n", k, h.Count, h.Mean, h.Min, h.Max)
 		}
+	}
+	if c := rep.Cache; c != nil {
+		fmt.Fprintf(w, "--- cache (%s) ---\n", c.Dir)
+		fmt.Fprintf(w, "  hits %d  misses %d  corruptions %d  read %dB  written %dB  hit-rate %.0f%%\n",
+			c.Hits, c.Misses, c.Corruptions, c.BytesRead, c.BytesWritten, 100*c.HitRate)
 	}
 }
 

@@ -25,6 +25,25 @@ func ScaleCaps(nl *circuit.Netlist, pins []int, factor float64) *circuit.Netlist
 	return out
 }
 
+// TouchedPins returns the ascending list of pin ids whose capacitance
+// differs between a base netlist and a perturbed variant with identical pin
+// structure. It feeds incremental re-analysis (core.RunIncremental): a
+// perturbation touching k pins lets the scorer re-embed only those nodes'
+// neighbourhood instead of the whole design.
+func TouchedPins(base, variant *circuit.Netlist) []int {
+	n := len(base.Pins)
+	if len(variant.Pins) < n {
+		n = len(variant.Pins)
+	}
+	var out []int
+	for p := 0; p < n; p++ {
+		if base.Pins[p].Cap != variant.Pins[p].Cap {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // InputPinsOnly filters a ranked node list down to input pins (the
 // perturbable nodes of Case Study A), preserving order.
 func InputPinsOnly(nl *circuit.Netlist, nodes []int) []int {

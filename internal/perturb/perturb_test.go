@@ -168,3 +168,27 @@ func TestRewireDeterministicWithSeed(t *testing.T) {
 		}
 	}
 }
+
+func TestTouchedPins(t *testing.T) {
+	nl := circuit.Generate(circuit.StandardBenchmarks()[0], rand.New(rand.NewSource(4)))
+	same := nl.Clone()
+	if got := TouchedPins(nl, same); len(got) != 0 {
+		t.Fatalf("identical netlists report touched pins %v", got)
+	}
+	// Scale two input pins; TouchedPins must report exactly those, ascending.
+	var ins []int
+	for p := range nl.Pins {
+		if nl.Pins[p].Dir == circuit.DirIn {
+			ins = append(ins, p)
+		}
+	}
+	if len(ins) < 2 {
+		t.Skip("netlist too small")
+	}
+	picked := []int{ins[len(ins)-1], ins[0]} // unsorted on purpose
+	variant := ScaleCaps(nl, picked, 3)
+	got := TouchedPins(nl, variant)
+	if len(got) != 2 || got[0] != ins[0] || got[1] != ins[len(ins)-1] {
+		t.Fatalf("TouchedPins = %v, want [%d %d]", got, ins[0], ins[len(ins)-1])
+	}
+}

@@ -101,6 +101,72 @@ func FromGraph(g *graph.Graph, rng *rand.Rand, opts Options) *graph.Graph {
 	return res.Graph
 }
 
+// patchedEdges counts edges rewritten or added by PatchKNN across the run.
+var patchedEdges = obs.NewCounter("pgm.patched_edges")
+
+// PatchKNN locally repairs a previously built manifold after the embedding
+// rows of a small set of nodes changed: edges between two unchanged nodes
+// keep their (possibly sparsified) weight, edges touching a changed node get
+// their weight recomputed from the new coordinates, and each changed node is
+// re-linked to its k nearest neighbours in the new embedding. The result
+// approximates what Build would produce on the full new matrix at
+// O(k·|changed|·log n) cost instead of O(n log n + sparsify); it is exact for
+// the unchanged subgraph but skips the global re-sparsification, which is why
+// core.RunIncremental falls back to a full rebuild when too many nodes moved.
+//
+// changed must be sorted ascending with ids in [0, y.Rows); base must have
+// y.Rows nodes. The output is deterministic: base edges are visited in
+// canonical order, then changed nodes in ascending order with neighbours in
+// the kd-tree's ascending-distance order.
+func PatchKNN(base *graph.Graph, y *mat.Dense, changed []int, opts Options) *graph.Graph {
+	opts = opts.withDefaults()
+	n := base.N()
+	if y.Rows != n {
+		panic(fmt.Sprintf("pgm: base has %d nodes, data has %d rows", n, y.Rows))
+	}
+	isChanged := make([]bool, n)
+	for _, c := range changed {
+		isChanged[c] = true
+	}
+	weight := func(u, v int) float64 {
+		d2 := DataDistance2(y, u, v)
+		if d2 < 1e-12 {
+			d2 = 1e-12
+		}
+		return 1 / d2
+	}
+	out := graph.New(n)
+	for _, e := range base.Edges() {
+		if isChanged[e.U] || isChanged[e.V] {
+			out.AddEdge(e.U, e.V, weight(e.U, e.V))
+			patchedEdges.Inc()
+			continue
+		}
+		out.AddEdge(e.U, e.V, e.W)
+	}
+	if len(changed) == 0 {
+		return out
+	}
+	// Re-link each changed node to its k nearest neighbours in the new
+	// embedding; HasEdge guards the insert because AddEdge merges duplicate
+	// edges by summing weights.
+	k := opts.K
+	if k >= n {
+		k = n - 1
+	}
+	tree := knn.NewKDTree(y)
+	for _, c := range changed {
+		for _, nb := range tree.Query(y.Row(c), k, c) {
+			if out.HasEdge(c, nb.ID) {
+				continue
+			}
+			out.AddEdge(c, nb.ID, weight(c, nb.ID))
+			patchedEdges.Inc()
+		}
+	}
+	return out
+}
+
 // Objective evaluates the SGL maximum-likelihood objective (paper eq. 6)
 //
 //	F(Θ) = log det(Θ) − (1/M)·Tr(XᵀΘX),  Θ = L + I/σ²,

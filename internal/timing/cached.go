@@ -1,0 +1,96 @@
+package timing
+
+import (
+	"bytes"
+
+	"cirstag/internal/cache"
+	"cirstag/internal/circuit"
+	"cirstag/internal/obs"
+)
+
+// kindModel is the artifact kind under which trained model weights live.
+const kindModel = "timing.model"
+
+// modelKey content-addresses a trained model: the canonical netlist text
+// (covers topology, pin caps, and name) plus every Config field that shapes
+// training, post-defaults so explicit and implied values key identically.
+func modelKey(nl *circuit.Netlist, cfg Config) (string, error) {
+	var buf bytes.Buffer
+	if err := circuit.Write(&buf, nl); err != nil {
+		return "", err
+	}
+	cfg = cfg.withDefaults()
+	k := cache.NewKey(kindModel).Bytes(buf.Bytes()).
+		Int(int64(cfg.Arch)).Int(int64(cfg.Hidden)).Int(int64(cfg.Epochs)).
+		Float(cfg.LR).Float(cfg.JitterPct).Float(cfg.JitterMax).Int(cfg.Seed)
+	return k.Sum(), nil
+}
+
+// LoadCached returns the persisted trained model for (nl, cfg) if the store
+// holds one. Load failures — a corrupt artifact or a gob schema drift — are
+// reported as a plain miss (the store removes corrupt entries, and
+// TrainAndStore overwrites stale ones), so the cache can never surface a
+// wrong model.
+func LoadCached(nl *circuit.Netlist, cfg Config, store *cache.Store) (*Model, bool) {
+	if store == nil {
+		return nil, false
+	}
+	key, err := modelKey(nl, cfg)
+	if err != nil {
+		obs.Debugf("timing: keying model: %v", err)
+		return nil, false
+	}
+	payload, ok := store.Get(kindModel, key)
+	if !ok {
+		return nil, false
+	}
+	m, err := Load(bytes.NewReader(payload), nl)
+	if err != nil {
+		// The artifact passed the store's integrity check but gob refused it
+		// (e.g. weights saved by an incompatible snapshot layout that shares
+		// the cache schema version). Treat as a miss; retraining overwrites.
+		obs.Debugf("timing: cached model %s unusable (%v), retraining", key[:12], err)
+		return nil, false
+	}
+	return m, true
+}
+
+// TrainAndStore trains a fresh model and persists its weights so the next
+// LoadCached with the same (nl, cfg) hits. Persistence failures are logged
+// and swallowed — the cache is advisory.
+func TrainAndStore(nl *circuit.Netlist, cfg Config, store *cache.Store) (*Model, error) {
+	m, err := New(nl, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if store == nil {
+		return m, nil
+	}
+	key, err := modelKey(nl, cfg)
+	if err != nil {
+		obs.Debugf("timing: keying model: %v", err)
+		return m, nil
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		obs.Debugf("timing: persisting model: %v", err)
+		return m, nil
+	}
+	if err := store.Put(kindModel, key, buf.Bytes()); err != nil {
+		obs.Debugf("timing: persisting model: %v", err)
+	}
+	return m, nil
+}
+
+// NewCached combines LoadCached and TrainAndStore: it returns a trained
+// model for (nl, cfg), loading persisted weights when an earlier run trained
+// the very same model and training from scratch otherwise. The second return
+// reports whether the model came from the cache. With a nil store it is
+// exactly New.
+func NewCached(nl *circuit.Netlist, cfg Config, store *cache.Store) (*Model, bool, error) {
+	if m, ok := LoadCached(nl, cfg, store); ok {
+		return m, true, nil
+	}
+	m, err := TrainAndStore(nl, cfg, store)
+	return m, false, err
+}

@@ -1,0 +1,132 @@
+package timing
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cirstag/internal/cache"
+	"cirstag/internal/circuit"
+	"cirstag/internal/obs"
+)
+
+func cachedTestNetlist() *circuit.Netlist {
+	spec := circuit.Spec{Name: "t", Inputs: 8, Outputs: 6, Layers: 5, Width: 16, LocalBias: 0.6, WireCap: 1}
+	return circuit.Generate(spec, rand.New(rand.NewSource(1)))
+}
+
+func cachedTestSetup(t *testing.T) (*circuit.Netlist, *cache.Store) {
+	t.Helper()
+	nl := cachedTestNetlist()
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { obs.SetCacheReporter(nil) })
+	return nl, store
+}
+
+func TestNewCachedRoundTrip(t *testing.T) {
+	nl, store := cachedTestSetup(t)
+	cfg := Config{Epochs: 5, Hidden: 8, Seed: 3}
+
+	m1, hit, err := NewCached(nl, cfg, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first call reported a cache hit")
+	}
+	m2, hit, err := NewCached(nl, cfg, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("second call missed the cache")
+	}
+	p1 := m1.Predict(nl)
+	p2 := m2.Predict(nl)
+	for i := range p1.Embeddings.Data {
+		if math.Float64bits(p1.Embeddings.Data[i]) != math.Float64bits(p2.Embeddings.Data[i]) {
+			t.Fatalf("prediction entry %d differs between trained and loaded model", i)
+		}
+	}
+}
+
+func TestNewCachedKeySensitivity(t *testing.T) {
+	nl, store := cachedTestSetup(t)
+	cfg := Config{Epochs: 5, Hidden: 8, Seed: 3}
+	if _, _, err := NewCached(nl, cfg, store); err != nil {
+		t.Fatal(err)
+	}
+	// A different seed, epoch count, or netlist must retrain.
+	variants := []Config{
+		{Epochs: 5, Hidden: 8, Seed: 4},
+		{Epochs: 6, Hidden: 8, Seed: 3},
+		{Epochs: 5, Hidden: 16, Seed: 3},
+	}
+	for i, v := range variants {
+		if _, hit, err := NewCached(nl, v, store); err != nil {
+			t.Fatal(err)
+		} else if hit {
+			t.Fatalf("config variant %d hit the cache", i)
+		}
+	}
+	nl2 := nl.Clone()
+	for p := range nl2.Pins {
+		if nl2.Pins[p].Cap > 0 {
+			nl2.Pins[p].Cap *= 2
+			break
+		}
+	}
+	if _, hit, err := NewCached(nl2, cfg, store); err != nil {
+		t.Fatal(err)
+	} else if hit {
+		t.Fatal("perturbed netlist hit the cache")
+	}
+}
+
+func TestNewCachedCorruptArtifactRetrains(t *testing.T) {
+	nl, store := cachedTestSetup(t)
+	cfg := Config{Epochs: 5, Hidden: 8, Seed: 3}
+	if _, _, err := NewCached(nl, cfg, store); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the stored artifact on disk; the store detects it, reports a
+	// miss, and NewCached retrains.
+	entries, err := filepath.Glob(filepath.Join(store.Dir(), kindModel, "*.art"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("glob: %v (%d entries)", err, len(entries))
+	}
+	raw, err := os.ReadFile(entries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(entries[0], raw[:len(raw)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, hit, err := NewCached(nl, cfg, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit || m == nil {
+		t.Fatal("corrupt artifact must retrain, not hit")
+	}
+	if st := store.Snapshot(); st.Corruptions == 0 {
+		t.Fatalf("corruption not counted: %+v", st)
+	}
+	// The overwritten slot serves hits again.
+	if _, hit, err := NewCached(nl, cfg, store); err != nil || !hit {
+		t.Fatalf("rewritten slot: hit=%v err=%v", hit, err)
+	}
+}
+
+func TestNewCachedNilStore(t *testing.T) {
+	nl := cachedTestNetlist()
+	m, hit, err := NewCached(nl, Config{Epochs: 2, Hidden: 4, Seed: 1}, nil)
+	if err != nil || hit || m == nil {
+		t.Fatalf("nil store: m=%v hit=%v err=%v", m != nil, hit, err)
+	}
+}

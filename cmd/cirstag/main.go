@@ -21,6 +21,7 @@ import (
 	"os"
 
 	"cirstag/internal/circuit"
+	"cirstag/internal/cirerr"
 	"cirstag/internal/cliutil"
 	"cirstag/internal/core"
 	"cirstag/internal/obs"
@@ -52,7 +53,7 @@ func main() {
 	// message instead of failing deep inside the pipeline.
 	if err := validateFlags(*netlistPath, *benchName, *cacheDir, *top, *epochs, *hidden, *embedDims, *scoreDims, *verbose, *quiet, *noCache); err != nil {
 		fmt.Fprintf(os.Stderr, "cirstag: %v (see -h)\n", err)
-		os.Exit(2)
+		os.Exit(cirerr.ExitBadInput)
 	}
 
 	switch {
@@ -212,7 +213,8 @@ func firstOr(v []float64, def float64) float64 {
 	return def
 }
 
+// fatal exits with the code the error's cirerr kind maps to (1 internal,
+// 2 bad input, 3 corrupt artifact, 4 no convergence, 5 degenerate geometry).
 func fatal(err error) {
-	obs.Errorf("cirstag: %v", err)
-	os.Exit(1)
+	cliutil.Fatal("cirstag", err)
 }

@@ -19,6 +19,7 @@ import (
 
 	"cirstag/internal/bench"
 	"cirstag/internal/circuit"
+	"cirstag/internal/cirerr"
 	"cirstag/internal/cliutil"
 	"cirstag/internal/core"
 	"cirstag/internal/obs"
@@ -44,7 +45,7 @@ func main() {
 
 	if err := validateFlags(*cacheDir, *epochs, *hidden, *embedDims, *scoreDims, *verbose, *quiet, *noCache); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v (see -h)\n", err)
-		os.Exit(2)
+		os.Exit(cirerr.ExitBadInput)
 	}
 	switch {
 	case *quiet:
@@ -58,8 +59,7 @@ func main() {
 
 	store, err := cliutil.OpenCache(*cacheDir, *noCache)
 	if err != nil {
-		obs.Errorf("experiments: %v", err)
-		os.Exit(1)
+		cliutil.Fatal("experiments", err)
 	}
 	if store != nil {
 		obs.Debugf("artifact cache at %s", store.Dir())
@@ -83,8 +83,7 @@ func main() {
 		err := fn()
 		sp.End()
 		if err != nil {
-			obs.Errorf("experiments: %s: %v", name, err)
-			os.Exit(1)
+			cliutil.Fatal("experiments: "+name, err)
 		}
 	}
 
@@ -185,8 +184,7 @@ func main() {
 	}
 	if *report != "" {
 		if err := obs.WriteReportFile(*report); err != nil {
-			obs.Errorf("experiments: %v", err)
-			os.Exit(1)
+			cliutil.Fatal("experiments", err)
 		}
 		obs.Infof("wrote run report to %s", *report)
 	}

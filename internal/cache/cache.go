@@ -33,6 +33,8 @@ import (
 	"path/filepath"
 	"sync/atomic"
 
+	"cirstag/internal/cirerr"
+	"cirstag/internal/faultinject"
 	"cirstag/internal/obs"
 )
 
@@ -75,13 +77,25 @@ type Stats struct {
 
 // Open creates (if needed) and opens an artifact store rooted at dir, and
 // installs the store as the source of the obs run report's "cache" section.
+// An unusable root — empty path, a path that is a file, a directory the
+// process cannot create or write into — is cirerr.ErrBadInput, detected here
+// rather than as a put-error storm mid-pipeline.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
-		return nil, fmt.Errorf("cache: empty directory")
+		return nil, cirerr.New("cache.open", cirerr.ErrBadInput, "empty cache directory")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("cache: %w", err)
+		return nil, cirerr.Wrap("cache.open", cirerr.ErrBadInput, err)
 	}
+	// Probe writability up front: Put swallows write errors by design (the
+	// cache is advisory), so a read-only root would otherwise degrade every
+	// run silently instead of failing the one misconfigured invocation.
+	probe, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return nil, cirerr.Wrap("cache.open", cirerr.ErrBadInput, fmt.Errorf("cache directory not writable: %w", err))
+	}
+	probe.Close()
+	os.Remove(probe.Name())
 	s := &Store{dir: dir}
 	obs.SetCacheReporter(func() *obs.CacheReport {
 		st := s.Snapshot()
@@ -143,6 +157,9 @@ func (s *Store) Get(kind, key string) ([]byte, bool) {
 		missCounter.Inc()
 		return nil, false
 	}
+	// Fault-injection point: tests corrupt the raw frame here to prove the
+	// header check catches truncation and bit flips (no-op in production).
+	raw = faultinject.Bytes(faultinject.PointCacheFrame, raw)
 	payload, err := decodeArtifact(raw)
 	if err != nil {
 		obs.Debugf("cache: %s/%s: %v (recomputing)", kind, key[:8], err)

@@ -27,16 +27,30 @@ func EncodeDense(m *mat.Dense) []byte {
 	return out
 }
 
-// DecodeDense reverses EncodeDense.
+// DecodeDense reverses EncodeDense. Dimension checks are done in uint64
+// against the payload size (never by multiplying attacker-controlled ints,
+// which can overflow and wrap a length check), so arbitrary input bytes decode
+// or fail cleanly with allocations bounded by len(b).
 func DecodeDense(b []byte) (*mat.Dense, error) {
 	if len(b) < 16 {
 		return nil, fmt.Errorf("cache: dense artifact too short (%d bytes)", len(b))
 	}
-	rows := int(binary.LittleEndian.Uint64(b))
-	cols := int(binary.LittleEndian.Uint64(b[8:]))
-	if rows < 0 || cols < 0 || len(b) != 16+8*rows*cols {
-		return nil, fmt.Errorf("cache: dense artifact dims %dx%d do not match %d bytes", rows, cols, len(b))
+	r64 := binary.LittleEndian.Uint64(b)
+	c64 := binary.LittleEndian.Uint64(b[8:])
+	cells := uint64(len(b)-16) / 8
+	switch {
+	case (len(b)-16)%8 != 0,
+		r64 > uint64(math.MaxInt32) || c64 > uint64(math.MaxInt32),
+		c64 != 0 && r64 != cells/c64,
+		c64 != 0 && cells%c64 != 0,
+		c64 == 0 && cells != 0,
+		// A rows×0 or 0×cols header over an empty payload is arithmetically
+		// consistent but never produced by EncodeDense; rejecting it keeps the
+		// phantom dimension from reaching allocation-by-Rows code paths.
+		(r64 == 0) != (c64 == 0):
+		return nil, fmt.Errorf("cache: dense artifact dims %dx%d do not match %d bytes", r64, c64, len(b))
 	}
+	rows, cols := int(r64), int(c64)
 	m := mat.NewDense(rows, cols)
 	for i := range m.Data {
 		m.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[16+8*i:]))
@@ -62,16 +76,25 @@ func EncodeGraph(g *graph.Graph) []byte {
 	return out
 }
 
-// DecodeGraph reverses EncodeGraph.
+// maxDecodeNodes bounds the node count DecodeGraph will allocate for. It is
+// orders of magnitude above any design the pipeline handles; its purpose is to
+// keep a corrupt or adversarial 16-byte header from demanding a multi-gigabyte
+// adjacency allocation before the (payload-bounded) edge checks can reject it.
+const maxDecodeNodes = 1 << 22
+
+// DecodeGraph reverses EncodeGraph. Like DecodeDense, size checks are done in
+// uint64 against the payload length so crafted headers cannot wrap the
+// arithmetic, and allocations stay bounded on arbitrary input.
 func DecodeGraph(b []byte) (*graph.Graph, error) {
 	if len(b) < 16 {
 		return nil, fmt.Errorf("cache: graph artifact too short (%d bytes)", len(b))
 	}
-	n := int(binary.LittleEndian.Uint64(b))
-	m := int(binary.LittleEndian.Uint64(b[8:]))
-	if n < 0 || m < 0 || len(b) != 16+24*m {
-		return nil, fmt.Errorf("cache: graph artifact n=%d m=%d does not match %d bytes", n, m, len(b))
+	n64 := binary.LittleEndian.Uint64(b)
+	m64 := binary.LittleEndian.Uint64(b[8:])
+	if n64 > maxDecodeNodes || m64 > uint64(len(b)-16)/24 || uint64(len(b)-16) != 24*m64 {
+		return nil, fmt.Errorf("cache: graph artifact n=%d m=%d does not match %d bytes", n64, m64, len(b))
 	}
+	n, m := int(n64), int(m64)
 	g := graph.New(n)
 	off := 16
 	for i := 0; i < m; i++ {

@@ -1,0 +1,60 @@
+package cache
+
+import (
+	"testing"
+
+	"cirstag/internal/graph"
+	"cirstag/internal/mat"
+)
+
+// FuzzCacheFrame feeds arbitrary bytes to every decoder a cached artifact
+// passes through: the outer frame check and the two typed payload codecs.
+// None may panic or over-allocate; a frame that decodes must round-trip.
+func FuzzCacheFrame(f *testing.F) {
+	// Seeds: a well-formed frame around each payload shape, the empty input,
+	// and truncation/corruption variants the harness historically caught.
+	m := mat.NewDense(2, 3)
+	for i := range m.Data {
+		m.Data[i] = float64(i) * 0.5
+	}
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1.5)
+	g.AddEdge(1, 2, 0.25)
+
+	dense := EncodeDense(m)
+	graphB := EncodeGraph(g)
+	f.Add(encodeArtifact(dense))
+	f.Add(encodeArtifact(graphB))
+	f.Add(encodeArtifact(nil))
+	f.Add([]byte{})
+	f.Add(encodeArtifact(dense)[:10]) // truncated mid-header
+	corrupt := append([]byte(nil), encodeArtifact(graphB)...)
+	corrupt[len(corrupt)-1] ^= 0x40 // payload bit flip
+	f.Add(corrupt)
+	f.Add(dense)
+	f.Add(graphB)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if payload, err := decodeArtifact(data); err == nil {
+			// A frame that verifies must re-encode to the identical bytes
+			// (the frame is canonical: fixed header + hashed payload).
+			re := encodeArtifact(payload)
+			if string(re) != string(data) {
+				t.Fatalf("frame round trip changed %d bytes to %d", len(data), len(re))
+			}
+		}
+		// The typed codecs also run directly on raw bytes: Get returns the
+		// payload, so a corrupt payload that passes the outer hash (e.g. a
+		// stale encoder) still must fail cleanly here, never panic.
+		if dm, err := DecodeDense(data); err == nil {
+			if got := EncodeDense(dm); string(got) != string(data) {
+				t.Fatalf("dense round trip mismatch for %d bytes", len(data))
+			}
+		}
+		if dg, err := DecodeGraph(data); err == nil {
+			if got := EncodeGraph(dg); len(got) != len(data) {
+				t.Fatalf("graph round trip length %d, want %d", len(got), len(data))
+			}
+		}
+	})
+}

@@ -1,0 +1,62 @@
+package circuit
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzNetlistDeserialize feeds arbitrary bytes to the text-netlist parser.
+// Read must never panic — any malformed input is a returned error — and any
+// input it accepts must survive a Write/Read round trip unchanged, since the
+// cache keys models by the canonical netlist text.
+func FuzzNetlistDeserialize(f *testing.F) {
+	// A minimal valid design (inverter between two ports) plus directed
+	// mutations at the historically fragile spots: bare pi/po lines, NaN and
+	// infinite capacitances, dangling ids, NaN size factors.
+	valid := `circuit tiny
+cell 0 IN
+cell 1 INV
+cell 2 OUT
+pin 0 0 out 0
+pin 1 1 in 1.5
+pin 2 1 out 0
+pin 3 2 in 2
+net 0 0 0.1 1
+net 1 2 0.5 3
+pi 0
+po 2
+size 1 2
+`
+	f.Add([]byte(valid))
+	f.Add([]byte(""))
+	f.Add([]byte("pi\n"))
+	f.Add([]byte("po\n"))
+	f.Add([]byte("circuit x\ncell 0 INV\npin 0 0 in NaN\n"))
+	f.Add([]byte("circuit x\ncell 0 INV\npin 0 0 in +Inf\n"))
+	f.Add([]byte("circuit x\nnet 0 0 NaN 1\n"))
+	f.Add([]byte("circuit x\ncell 0 INV\nsize 0 NaN\n"))
+	f.Add([]byte("circuit x\npi 99\n"))
+	f.Add([]byte("# comment only\n\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nl, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, nl); err != nil {
+			t.Fatalf("Write after successful Read: %v", err)
+		}
+		nl2, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-Read of written netlist: %v\ninput:\n%s", err, data)
+		}
+		var buf2 bytes.Buffer
+		if err := Write(&buf2, nl2); err != nil {
+			t.Fatalf("second Write: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("Write/Read round trip not stable:\n%s\nvs\n%s", buf.String(), buf2.String())
+		}
+	})
+}

@@ -5,6 +5,9 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
+
+	"cirstag/internal/cirerr"
 )
 
 // Spec parameterizes the synthetic benchmark generator. The generator emits
@@ -235,12 +238,15 @@ func StandardBenchmarks() []Spec {
 }
 
 // BenchmarkByName generates one of the standard benchmarks by name with the
-// given seed.
+// given seed. An unknown name is a caller mistake and reports
+// cirerr.ErrBadInput.
 func BenchmarkByName(name string, seed int64) (*Netlist, error) {
+	names := make([]string, 0, len(StandardBenchmarks()))
 	for _, s := range StandardBenchmarks() {
 		if s.Name == name {
 			return Generate(s, rand.New(rand.NewSource(seed))), nil
 		}
+		names = append(names, s.Name)
 	}
-	return nil, fmt.Errorf("circuit: unknown benchmark %q", name)
+	return nil, cirerr.New("circuit.bench", cirerr.ErrBadInput, "unknown benchmark %q (have %s)", name, strings.Join(names, ", "))
 }

@@ -2,6 +2,7 @@ package circuit
 
 import (
 	"fmt"
+	"math"
 
 	"cirstag/internal/graph"
 	"cirstag/internal/mat"
@@ -106,7 +107,10 @@ func (nl *Netlist) NumGates() int {
 func (nl *Netlist) OutputPinOf(c int) int { return nl.Cells[c].OutPin }
 
 // Validate checks structural invariants: pin/cell/net cross-references,
-// library pin counts, single-driver nets, and acyclicity of the cell graph.
+// library pin counts, single-driver nets, finite capacitances, port-cell
+// shapes, and acyclicity of the cell graph. Every index it accepts is safe to
+// use unchecked downstream, so it must stay exhaustive: a netlist that passes
+// Validate never panics the pipeline.
 func (nl *Netlist) Validate() error {
 	for _, p := range nl.Pins {
 		if p.Cell < 0 || p.Cell >= len(nl.Cells) {
@@ -115,8 +119,14 @@ func (nl *Netlist) Validate() error {
 		if p.Net < -1 || p.Net >= len(nl.Nets) {
 			return fmt.Errorf("circuit: pin %d references net %d out of range", p.ID, p.Net)
 		}
+		if math.IsNaN(p.Cap) || math.IsInf(p.Cap, 0) || p.Cap < 0 {
+			return fmt.Errorf("circuit: pin %d cap %v must be finite and non-negative", p.ID, p.Cap)
+		}
 	}
 	for _, c := range nl.Cells {
+		if c.Type < 0 || int(c.Type) >= NumGateTypes {
+			return fmt.Errorf("circuit: cell %d has unknown gate type %d", c.ID, c.Type)
+		}
 		spec := Library[c.Type]
 		if c.Type != PortIn && len(c.InPins) != spec.Inputs {
 			return fmt.Errorf("circuit: cell %d (%v) has %d inputs, library wants %d", c.ID, c.Type, len(c.InPins), spec.Inputs)
@@ -129,6 +139,9 @@ func (nl *Netlist) Validate() error {
 			return fmt.Errorf("circuit: cell %d output pin %d out of range", c.ID, c.OutPin)
 		}
 		for _, p := range c.InPins {
+			if p < 0 || p >= len(nl.Pins) {
+				return fmt.Errorf("circuit: cell %d input pin %d out of range", c.ID, p)
+			}
 			if nl.Pins[p].Dir != DirIn {
 				return fmt.Errorf("circuit: cell %d input pin %d has wrong direction", c.ID, p)
 			}
@@ -138,19 +151,51 @@ func (nl *Netlist) Validate() error {
 		}
 	}
 	for _, n := range nl.Nets {
+		if n.Driver < 0 || n.Driver >= len(nl.Pins) {
+			return fmt.Errorf("circuit: net %d driver %d out of range", n.ID, n.Driver)
+		}
 		if nl.Pins[n.Driver].Dir != DirOut {
 			return fmt.Errorf("circuit: net %d driver %d is not an output pin", n.ID, n.Driver)
+		}
+		if math.IsNaN(n.WireCap) || math.IsInf(n.WireCap, 0) || n.WireCap < 0 {
+			return fmt.Errorf("circuit: net %d wire cap %v must be finite and non-negative", n.ID, n.WireCap)
 		}
 		if len(n.Sinks) == 0 {
 			return fmt.Errorf("circuit: net %d has no sinks", n.ID)
 		}
 		for _, s := range n.Sinks {
+			if s < 0 || s >= len(nl.Pins) {
+				return fmt.Errorf("circuit: net %d sink %d out of range", n.ID, s)
+			}
 			if nl.Pins[s].Dir != DirIn {
 				return fmt.Errorf("circuit: net %d sink %d is not an input pin", n.ID, s)
 			}
 			if nl.Pins[s].Net != n.ID {
 				return fmt.Errorf("circuit: sink pin %d not linked to net %d", s, n.ID)
 			}
+		}
+	}
+	for _, c := range nl.PrimaryInputs {
+		if c < 0 || c >= len(nl.Cells) {
+			return fmt.Errorf("circuit: primary input cell %d out of range", c)
+		}
+		if nl.Cells[c].Type != PortIn {
+			return fmt.Errorf("circuit: primary input cell %d is not an input port", c)
+		}
+	}
+	for _, c := range nl.PrimaryOutputs {
+		if c < 0 || c >= len(nl.Cells) {
+			return fmt.Errorf("circuit: primary output cell %d out of range", c)
+		}
+		// PrimaryOutputPins reads InPins[0] unchecked; the library shape check
+		// above guarantees it exists once the type is confirmed here.
+		if nl.Cells[c].Type != PortOut {
+			return fmt.Errorf("circuit: primary output cell %d is not an output port", c)
+		}
+	}
+	for i, s := range nl.CellSize {
+		if !(s > 0) || math.IsInf(s, 0) {
+			return fmt.Errorf("circuit: cell %d size %v must be positive and finite", i, s)
 		}
 	}
 	if _, err := nl.TopologicalPins(); err != nil {

@@ -4,8 +4,11 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
+
+	"cirstag/internal/cirerr"
 )
 
 // The text netlist format is line oriented:
@@ -55,8 +58,19 @@ func Write(w io.Writer, nl *Netlist) error {
 	return bw.Flush()
 }
 
-// Read parses the text netlist format and validates the result.
+// Read parses the text netlist format and validates the result. Malformed
+// input of any kind — syntax errors, dangling references, non-finite
+// capacitances, structural violations — is reported as cirerr.ErrBadInput,
+// never a panic, so untrusted netlists can be fed straight in.
 func Read(r io.Reader) (*Netlist, error) {
+	nl, err := read(r)
+	if err != nil {
+		return nil, cirerr.Wrap("circuit.read", cirerr.ErrBadInput, err)
+	}
+	return nl, nil
+}
+
+func read(r io.Reader) (*Netlist, error) {
 	nl := &Netlist{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
@@ -96,6 +110,9 @@ func Read(r io.Reader) (*Netlist, error) {
 			if err1 != nil || err2 != nil || err3 != nil || id != len(nl.Pins) {
 				return nil, fmt.Errorf("circuit: line %d: malformed pin", lineNo)
 			}
+			if math.IsNaN(cap) || math.IsInf(cap, 0) || cap < 0 {
+				return nil, fmt.Errorf("circuit: line %d: pin cap %v must be finite and non-negative", lineNo, cap)
+			}
 			var dir PinDir
 			switch fields[3] {
 			case "in":
@@ -125,6 +142,9 @@ func Read(r io.Reader) (*Netlist, error) {
 			if err1 != nil || err2 != nil || err3 != nil || id != len(nl.Nets) {
 				return nil, fmt.Errorf("circuit: line %d: malformed net", lineNo)
 			}
+			if math.IsNaN(wc) || math.IsInf(wc, 0) || wc < 0 {
+				return nil, fmt.Errorf("circuit: line %d: wire cap %v must be finite and non-negative", lineNo, wc)
+			}
 			net := Net{ID: id, Driver: driver, WireCap: wc}
 			for _, f := range fields[4:] {
 				s, err := strconv.Atoi(f)
@@ -145,15 +165,21 @@ func Read(r io.Reader) (*Netlist, error) {
 			}
 			nl.Nets = append(nl.Nets, net)
 		case "pi":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("circuit: line %d: pi wants a cell id", lineNo)
+			}
 			id, err := strconv.Atoi(fields[1])
-			if err != nil {
-				return nil, fmt.Errorf("circuit: line %d: bad pi", lineNo)
+			if err != nil || id < 0 || id >= len(nl.Cells) {
+				return nil, fmt.Errorf("circuit: line %d: bad pi %q", lineNo, fields[1])
 			}
 			nl.PrimaryInputs = append(nl.PrimaryInputs, id)
 		case "po":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("circuit: line %d: po wants a cell id", lineNo)
+			}
 			id, err := strconv.Atoi(fields[1])
-			if err != nil {
-				return nil, fmt.Errorf("circuit: line %d: bad po", lineNo)
+			if err != nil || id < 0 || id >= len(nl.Cells) {
+				return nil, fmt.Errorf("circuit: line %d: bad po %q", lineNo, fields[1])
 			}
 			nl.PrimaryOutputs = append(nl.PrimaryOutputs, id)
 		case "size":
@@ -162,7 +188,8 @@ func Read(r io.Reader) (*Netlist, error) {
 			}
 			id, err1 := strconv.Atoi(fields[1])
 			f, err2 := strconv.ParseFloat(fields[2], 64)
-			if err1 != nil || err2 != nil || id < 0 || id >= len(nl.Cells) || f <= 0 {
+			// Note the order: !(f > 0) also rejects NaN, which f <= 0 would not.
+			if err1 != nil || err2 != nil || id < 0 || id >= len(nl.Cells) || !(f > 0) || math.IsInf(f, 0) {
 				return nil, fmt.Errorf("circuit: line %d: malformed size directive", lineNo)
 			}
 			if nl.CellSize == nil {

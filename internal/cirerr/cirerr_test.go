@@ -1,0 +1,113 @@
+package cirerr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestKindMatching(t *testing.T) {
+	err := New("netlist", ErrBadInput, "line %d: bad sink", 7)
+	if !errors.Is(err, ErrBadInput) {
+		t.Fatalf("errors.Is(err, ErrBadInput) = false")
+	}
+	if errors.Is(err, ErrCorruptArtifact) {
+		t.Fatalf("error matched the wrong kind")
+	}
+	if got := KindOf(err); got != ErrBadInput {
+		t.Fatalf("KindOf = %v, want ErrBadInput", got)
+	}
+	var ce *Error
+	if !errors.As(err, &ce) || ce.Stage != "netlist" {
+		t.Fatalf("errors.As stage = %+v", ce)
+	}
+}
+
+func TestWrapPreservesCauseAndKind(t *testing.T) {
+	cause := fmt.Errorf("disk on fire")
+	err := Wrap("cache", ErrCorruptArtifact, cause)
+	if !errors.Is(err, cause) {
+		t.Fatalf("wrapped cause not reachable via errors.Is")
+	}
+	if !errors.Is(err, ErrCorruptArtifact) {
+		t.Fatalf("kind not reachable via errors.Is")
+	}
+	if Wrap("cache", ErrCorruptArtifact, nil) != nil {
+		t.Fatalf("Wrap(nil) must be nil")
+	}
+}
+
+func TestWrapKeepsInnermostError(t *testing.T) {
+	inner := New("pgm", ErrDegenerateGeometry, "rank-deficient manifold")
+	outer := Wrap("core.run", ErrInternal, inner)
+	var ce *Error
+	if !errors.As(outer, &ce) || ce.Stage != "pgm" {
+		t.Fatalf("rewrapping replaced the inner stage: %v", outer)
+	}
+	if KindOf(outer) != ErrDegenerateGeometry {
+		t.Fatalf("rewrapping replaced the inner kind: %v", KindOf(outer))
+	}
+}
+
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, ExitOK},
+		{New("x", ErrBadInput, "m"), ExitBadInput},
+		{New("x", ErrCorruptArtifact, "m"), ExitCorruptArtifact},
+		{New("x", ErrNoConverge, "m"), ExitNoConverge},
+		{New("x", ErrDegenerateGeometry, "m"), ExitDegenerate},
+		{New("x", ErrInternal, "m"), ExitInternal},
+		{fmt.Errorf("plain"), ExitInternal},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+func TestRecoverTo(t *testing.T) {
+	run := func() (err error) {
+		defer RecoverTo(&err, "core.run")
+		panic("invariant violated: manifold sizes differ")
+	}
+	err := run()
+	if err == nil {
+		t.Fatalf("panic was not converted to an error")
+	}
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("recovered panic not tagged ErrInternal: %v", err)
+	}
+	if ExitCode(err) != ExitInternal {
+		t.Fatalf("recovered panic exit code = %d", ExitCode(err))
+	}
+	if !strings.Contains(err.Error(), "manifold sizes differ") {
+		t.Fatalf("panic message lost: %v", err)
+	}
+}
+
+func TestRecoverToNoPanic(t *testing.T) {
+	run := func() (err error) {
+		defer RecoverTo(&err, "core.run")
+		return nil
+	}
+	if err := run(); err != nil {
+		t.Fatalf("RecoverTo touched err without a panic: %v", err)
+	}
+}
+
+func TestErrorFormat(t *testing.T) {
+	err := New("netlist", ErrBadInput, "line 3: bad pin")
+	want := "netlist: bad input: line 3: bad pin"
+	if err.Error() != want {
+		t.Fatalf("Error() = %q, want %q", err.Error(), want)
+	}
+	wrapped := Wrap("timing", ErrCorruptArtifact, fmt.Errorf("gob: type mismatch"))
+	if got := wrapped.Error(); !strings.Contains(got, "timing: corrupt artifact: gob") {
+		t.Fatalf("wrapped format = %q", got)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"os"
 
 	"cirstag/internal/cache"
+	"cirstag/internal/cirerr"
+	"cirstag/internal/obs"
 )
 
 // CacheDirEnv names the environment variable consulted when no -cache-dir
@@ -79,6 +81,15 @@ func ValidateCacheFlags(cacheDir string, noCache bool) error {
 		NamedFlag{Name: "-cache-dir", Set: cacheDir != ""},
 		NamedFlag{Name: "-no-cache", Set: noCache},
 	)
+}
+
+// Fatal logs err prefixed with the tool name and exits with the process exit
+// code its cirerr kind maps to (see cirerr.ExitCode): bad input is 2 like any
+// other usage error, corrupt artifacts 3, solver non-convergence 4, degenerate
+// geometry 5, and everything else — including wrapped internal panics — 1.
+func Fatal(tool string, err error) {
+	obs.Errorf("%s: %v", tool, err)
+	os.Exit(cirerr.ExitCode(err))
 }
 
 // OpenCache resolves the artifact-cache store from the -cache-dir/-no-cache

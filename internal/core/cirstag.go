@@ -19,12 +19,12 @@
 package core
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 
 	"cirstag/internal/cache"
+	"cirstag/internal/cirerr"
 	"cirstag/internal/eig"
 	"cirstag/internal/embed"
 	"cirstag/internal/graph"
@@ -119,17 +119,20 @@ type Result struct {
 }
 
 // Run executes the CirSTAG pipeline.
-func Run(in Input, opts Options) (*Result, error) {
-	if in.Graph == nil || in.Output == nil {
-		return nil, fmt.Errorf("core: input graph and output embeddings are required")
+//
+// Failures follow the internal/cirerr contract: malformed input (nil or
+// mismatched matrices, non-finite embedding entries) returns an error tagged
+// cirerr.ErrBadInput; geometry degenerate enough to make any score NaN/±Inf
+// returns cirerr.ErrDegenerateGeometry; and an internal invariant panic
+// anywhere in the pipeline is recovered at this boundary and returned tagged
+// cirerr.ErrInternal instead of crashing the caller. A returned *Result
+// always carries finite node and edge scores.
+func Run(in Input, opts Options) (res *Result, err error) {
+	defer cirerr.RecoverTo(&err, "core.run")
+	if err := validateInput(in); err != nil {
+		return nil, err
 	}
 	n := in.Graph.N()
-	if in.Output.Rows != n {
-		return nil, fmt.Errorf("core: graph has %d nodes but output has %d rows", n, in.Output.Rows)
-	}
-	if n < 3 {
-		return nil, fmt.Errorf("core: need at least 3 nodes, got %d", n)
-	}
 	opts = opts.withDefaults()
 	// Every stochastic stage owns an RNG stream forked from Options.Seed
 	// (rather than sharing one sequential source), so the input- and
@@ -204,9 +207,43 @@ func Run(in Input, opts Options) (*Result, error) {
 		},
 	)
 
-	res := scorePhase(gx, gy, n, opts, rngEig, root)
+	res, err = scorePhase(gx, gy, n, opts, rngEig, root)
+	if err != nil {
+		return nil, err
+	}
 	res.Embedding = embedding
 	return res, nil
+}
+
+// validateInput checks the Run contract up front so violations surface as
+// typed bad-input errors instead of panics (or NaN scores) deep inside the
+// pipeline.
+func validateInput(in Input) error {
+	if in.Graph == nil || in.Output == nil {
+		return cirerr.New("core.run", cirerr.ErrBadInput, "input graph and output embeddings are required")
+	}
+	n := in.Graph.N()
+	if in.Output.Rows != n {
+		return cirerr.New("core.run", cirerr.ErrBadInput, "graph has %d nodes but output has %d rows", n, in.Output.Rows)
+	}
+	if n < 3 {
+		return cirerr.New("core.run", cirerr.ErrBadInput, "need at least 3 nodes, got %d", n)
+	}
+	if in.Output.Cols < 1 {
+		return cirerr.New("core.run", cirerr.ErrBadInput, "output embeddings need at least one column")
+	}
+	if r, c := in.Output.FirstNonFinite(); r >= 0 {
+		return cirerr.New("core.run", cirerr.ErrBadInput, "output embedding entry (%d,%d) is %v; GNN output must be finite", r, c, in.Output.At(r, c))
+	}
+	if in.Features != nil {
+		if in.Features.Rows != n {
+			return cirerr.New("core.run", cirerr.ErrBadInput, "graph has %d nodes but features have %d rows", n, in.Features.Rows)
+		}
+		if r, c := in.Features.FirstNonFinite(); r >= 0 {
+			return cirerr.New("core.run", cirerr.ErrBadInput, "feature entry (%d,%d) is %v; features must be finite", r, c, in.Features.At(r, c))
+		}
+	}
+	return nil
 }
 
 // Artifact kinds in the cache store. The embedding and the two manifolds are
@@ -252,11 +289,18 @@ func (o Options) artifactKeys(in Input) runKeys {
 	return keys
 }
 
+// degenerateRuns counts runs rejected because scoring produced a non-finite
+// value (collapsed manifold geometry).
+var degenerateRuns = obs.NewCounter("core.degenerate_geometry")
+
 // scorePhase runs the shared tail of the pipeline on prepared manifolds:
 // connectivity repair, the Phase-3 generalized eigensolve, and DMD scoring.
 // It is deterministic given (gx, gy, opts, rngEig), which is what makes
-// cache-warm and incremental runs bit-identical to cold ones.
-func scorePhase(gx, gy *graph.Graph, n int, opts Options, rngEig *rand.Rand, root *obs.Span) *Result {
+// cache-warm and incremental runs bit-identical to cold ones. When the
+// geometry is so degenerate that any eigenvalue or score comes out NaN/±Inf
+// it returns cirerr.ErrDegenerateGeometry — a Result never carries a
+// non-finite score.
+func scorePhase(gx, gy *graph.Graph, n int, opts Options, rngEig *rand.Rand, root *obs.Span) (*Result, error) {
 	// The generalized eigenproblem needs both Laplacians to share a single
 	// nontrivial kernel; bridge any stray components with weak edges.
 	cs := root.Child("connectivity")
@@ -322,13 +366,26 @@ func scorePhase(gx, gy *graph.Graph, n int, opts Options, rngEig *rand.Rand, roo
 		}
 	}
 
+	// Degenerate-geometry gate: SAGMAN-style manifold collapse (coincident
+	// embeddings, rank-deficient Laplacians) can push NaN/±Inf through the
+	// eigensolve. Rather than average garbage into the eq.-9 rankings, refuse
+	// the run with a typed error.
+	if i := eigenvalues.FirstNonFinite(); i >= 0 {
+		degenerateRuns.Inc()
+		return nil, cirerr.New("core.score", cirerr.ErrDegenerateGeometry, "generalized eigenvalue %d is %v", i, eigenvalues[i])
+	}
+	if p := nodeScores.FirstNonFinite(); p >= 0 {
+		degenerateRuns.Inc()
+		return nil, cirerr.New("core.score", cirerr.ErrDegenerateGeometry, "stability score of node %d is %v", p, nodeScores[p])
+	}
+
 	return &Result{
 		NodeScores:     nodeScores,
 		EdgeScores:     edgeScores,
 		InputManifold:  gx,
 		OutputManifold: gy,
 		Eigenvalues:    eigenvalues,
-	}
+	}, nil
 }
 
 // ensureConnected returns g if connected; otherwise it returns a copy with

@@ -2,10 +2,10 @@ package core
 
 import (
 	"fmt"
-	"math"
 
 	"cirstag/internal/effres"
 	"cirstag/internal/graph"
+	"cirstag/internal/obs"
 	"cirstag/internal/solver"
 )
 
@@ -36,9 +36,21 @@ func NewDMDCalculatorFromGraphs(gx, gy *graph.Graph) *DMDCalculator {
 	}
 }
 
+// MaxDMD caps the distortion DMD reports when the input distance vanishes
+// (or underflows) while the output distance does not — mathematically an
+// infinite distortion. The cap keeps every δ finite so downstream score
+// aggregation, ranking, and JSON serialization never see ±Inf; 1e12 is far
+// above any distortion a connected manifold pair produces (observed values
+// are O(1)–O(10³)), so capped pairs still rank strictly first.
+const MaxDMD = 1e12
+
+// dmdClamped counts DMD evaluations that hit MaxDMD — typically duplicate
+// embedding rows collapsing an input distance to zero.
+var dmdClamped = obs.NewCounter("core.dmd.clamped")
+
 // DMD returns δ(p,q) = Reff_Y(p,q) / Reff_X(p,q). It returns 0 when p == q
-// and +Inf when the input distance vanishes while the output distance does
-// not (an infinite distortion).
+// and clamps to MaxDMD (never ±Inf or NaN) when the input distance vanishes
+// while the output distance does not.
 func (d *DMDCalculator) DMD(p, q int) float64 {
 	if p == q {
 		return 0
@@ -49,9 +61,14 @@ func (d *DMDCalculator) DMD(p, q int) float64 {
 		if dy == 0 {
 			return 0
 		}
-		return math.Inf(1)
+		dmdClamped.Inc()
+		return MaxDMD
 	}
-	return dy / dx
+	if r := dy / dx; r <= MaxDMD {
+		return r
+	}
+	dmdClamped.Inc()
+	return MaxDMD
 }
 
 // InputDistance returns the effective-resistance distance on G_X.

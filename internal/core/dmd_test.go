@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cirstag/internal/graph"
+	"cirstag/internal/obs"
+)
+
+// TestDMDClampsExtremeDistortion reproduces the +Inf DMD bug: a near-zero
+// input-manifold distance paired with a huge output distance used to return
+// ±Inf from the ratio. The clamp must report exactly MaxDMD and count the
+// event.
+func TestDMDClampsExtremeDistortion(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	obs.Reset()
+
+	// Triangles with reciprocal extreme weights: Reff_X ≈ (2/3)·1e-8 and
+	// Reff_Y ≈ (2/3)·1e8, so δ ≈ 1e16 > MaxDMD.
+	gx, gy := graph.New(3), graph.New(3)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {0, 2}} {
+		gx.AddEdge(e[0], e[1], 1e8)
+		gy.AddEdge(e[0], e[1], 1e-8)
+	}
+	before := dmdClamped.Value()
+	d := NewDMDCalculatorFromGraphs(gx, gy)
+	got := d.DMD(0, 1)
+	if got != MaxDMD {
+		t.Fatalf("DMD = %v, want clamp to MaxDMD = %v", got, MaxDMD)
+	}
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("DMD returned non-finite %v", got)
+	}
+	if dmdClamped.Value() == before {
+		t.Fatal("clamp counter did not advance")
+	}
+	if v := d.DMD(1, 1); v != 0 {
+		t.Fatalf("DMD(p,p) = %v, want 0", v)
+	}
+}
+
+// TestRunDuplicateEmbeddingRowsFinite is the end-to-end regression: coincident
+// GNN output rows (zero-distance pairs on the output manifold) must not leak
+// a non-finite score out of Run.
+func TestRunDuplicateEmbeddingRowsFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	in := syntheticInput(rng, 80, map[int]bool{7: true})
+	// Collapse a cluster of output rows onto row 0.
+	for _, r := range []int{1, 2, 3, 4} {
+		for c := 0; c < in.Output.Cols; c++ {
+			in.Output.Set(r, c, in.Output.At(0, c))
+		}
+	}
+	res, err := Run(in, Options{Seed: 12})
+	if err != nil {
+		t.Fatalf("duplicate embedding rows must not fail the run: %v", err)
+	}
+	assertResultFinite(t, res)
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"errors"
+	"io/fs"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cirstag/internal/cache"
+	"cirstag/internal/circuit"
+	"cirstag/internal/cirerr"
+	"cirstag/internal/faultinject"
+	"cirstag/internal/timing"
+)
+
+// assertResultFinite fails if any score or eigenvalue in res is NaN/±Inf —
+// the documented invariant of every returned *Result.
+func assertResultFinite(t *testing.T, res *Result) {
+	t.Helper()
+	for i, v := range res.NodeScores {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("node %d score is %v", i, v)
+		}
+	}
+	for _, e := range res.EdgeScores {
+		if math.IsNaN(e.Score) || math.IsInf(e.Score, 0) {
+			t.Fatalf("edge (%d,%d) score is %v", e.U, e.V, e.Score)
+		}
+	}
+	for i, v := range res.Eigenvalues {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("eigenvalue %d is %v", i, v)
+		}
+	}
+}
+
+// TestFaultCacheFrameCorruptionRecomputes flips a bit in every artifact frame
+// as it is read back. The corrupted frames must fail verification and degrade
+// to cache misses, so the "warm" run silently recomputes and stays
+// bit-identical to the cold run.
+func TestFaultCacheFrameCorruptionRecomputes(t *testing.T) {
+	defer faultinject.Reset()
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(21))
+	in := syntheticInput(rng, 90, map[int]bool{5: true})
+	opts := Options{Seed: 4, Cache: store}
+
+	cold, err := Run(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.ArmBytes(faultinject.PointCacheFrame, func(b []byte) []byte {
+		if len(b) > 0 {
+			b[len(b)/2] ^= 0x40
+		}
+		return b
+	})
+	warm, err := Run(in, opts)
+	if err != nil {
+		t.Fatalf("run with corrupted cache frames must recompute, got %v", err)
+	}
+	if faultinject.Fires(faultinject.PointCacheFrame) == 0 {
+		t.Fatal("cache-frame injection point never reached")
+	}
+	resultsIdentical(t, cold, warm)
+}
+
+// TestFaultLanczosNoConverge caps the Krylov budget at one iteration. The
+// eigensolver cannot produce the requested subspace; the run must fail with a
+// typed ErrNoConverge — not a panic, and not a generic ErrInternal.
+func TestFaultLanczosNoConverge(t *testing.T) {
+	defer faultinject.Reset()
+	// Above 200 nodes the spectral embedding uses the Lanczos path (smaller
+	// graphs take a dense eigensolve and never reach the injection point).
+	rng := rand.New(rand.NewSource(22))
+	in := syntheticInput(rng, 240, nil)
+
+	faultinject.ArmInt(faultinject.PointLanczosMaxIter, func(int) int { return 1 })
+	res, err := Run(in, Options{Seed: 5})
+	if err == nil {
+		t.Fatal("run with a one-iteration Krylov budget must fail")
+	}
+	if res != nil {
+		t.Fatal("failed run returned a non-nil result")
+	}
+	if !errors.Is(err, cirerr.ErrNoConverge) {
+		t.Fatalf("error kind = %v (%v), want ErrNoConverge", cirerr.KindOf(err), err)
+	}
+	if faultinject.Fires(faultinject.PointLanczosMaxIter) == 0 {
+		t.Fatal("Lanczos injection point never reached")
+	}
+}
+
+// TestFaultGNNOutputNaN poisons one entry of the timing model's prediction
+// matrix, simulating a diverged GNN. core.Run must reject the matrix with
+// ErrBadInput at validation instead of scoring garbage.
+func TestFaultGNNOutputNaN(t *testing.T) {
+	defer faultinject.Reset()
+	spec := circuit.Spec{Name: "fault", Inputs: 4, Outputs: 3, Layers: 3, Width: 6, LocalBias: 0.6, WireCap: 1}
+	nl := circuit.Generate(spec, rand.New(rand.NewSource(6)))
+	m, err := timing.New(nl, timing.Config{Hidden: 8, Epochs: 20, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.ArmSlice(faultinject.PointGNNOutput, func(d []float64) {
+		d[len(d)/3] = math.NaN()
+	})
+	pred := m.Predict(nl)
+	if faultinject.Fires(faultinject.PointGNNOutput) == 0 {
+		t.Fatal("GNN-output injection point never reached")
+	}
+
+	res, err := Run(Input{Graph: nl.PinGraph(), Output: pred.Embeddings}, Options{Seed: 6})
+	if err == nil {
+		t.Fatal("run on a NaN-poisoned GNN output must fail")
+	}
+	if res != nil {
+		t.Fatal("failed run returned a non-nil result")
+	}
+	if !errors.Is(err, cirerr.ErrBadInput) {
+		t.Fatalf("error kind = %v (%v), want ErrBadInput", cirerr.KindOf(err), err)
+	}
+}
+
+// TestFaultKNNZeroDistance forces every merged squared neighbor distance to
+// zero, simulating fully coincident embedding points. The conditioning floor
+// downstream of the injection point must keep the pipeline finite: the run
+// either succeeds with finite scores or fails with a typed (non-internal)
+// error — never a panic.
+func TestFaultKNNZeroDistance(t *testing.T) {
+	defer faultinject.Reset()
+	rng := rand.New(rand.NewSource(23))
+	in := syntheticInput(rng, 70, nil)
+
+	faultinject.ArmFloat(faultinject.PointKNNDist2, func(float64) float64 { return 0 })
+	res, err := Run(in, Options{Seed: 7})
+	if faultinject.Fires(faultinject.PointKNNDist2) == 0 {
+		t.Fatal("kNN-distance injection point never reached")
+	}
+	if err != nil {
+		if cirerr.KindOf(err) == nil || errors.Is(err, cirerr.ErrInternal) {
+			t.Fatalf("zero-distance neighborhoods produced an untyped/internal failure: %v", err)
+		}
+		return
+	}
+	assertResultFinite(t, res)
+}
+
+// TestFaultPCGMaxIterNoPanic caps every inner Laplacian solve at one PCG
+// iteration. The solves return far-from-converged iterates; the pipeline must
+// degrade to either a finite result or a typed error, never a panic or a
+// non-finite score.
+func TestFaultPCGMaxIterNoPanic(t *testing.T) {
+	defer faultinject.Reset()
+	rng := rand.New(rand.NewSource(24))
+	in := syntheticInput(rng, 60, nil)
+
+	faultinject.ArmInt(faultinject.PointPCGMaxIter, func(int) int { return 1 })
+	res, err := Run(in, Options{Seed: 8})
+	if faultinject.Fires(faultinject.PointPCGMaxIter) == 0 {
+		t.Fatal("PCG injection point never reached")
+	}
+	if err != nil {
+		if cirerr.KindOf(err) == nil || errors.Is(err, cirerr.ErrInternal) {
+			t.Fatalf("starved PCG produced an untyped/internal failure: %v", err)
+		}
+		return
+	}
+	assertResultFinite(t, res)
+}
+
+// corruptArtifacts overwrites every .art file under dir with garbage that
+// cannot pass frame verification.
+func corruptArtifacts(t *testing.T, dir string) int {
+	t.Helper()
+	n := 0
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || filepath.Ext(path) != ".art" {
+			return nil
+		}
+		n++
+		return os.WriteFile(path, []byte("not an artifact frame"), 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no artifact files found to corrupt")
+	}
+	return n
+}
+
+// TestCorruptArtifactRunRecomputes is the on-disk variant of frame
+// corruption: after every cached artifact file is replaced with garbage, a
+// re-run must detect the corruption, fall back to recomputation, and produce
+// a bit-identical result.
+func TestCorruptArtifactRunRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	store, err := cache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(25))
+	in := syntheticInput(rng, 90, map[int]bool{11: true})
+	opts := Options{Seed: 9, Cache: store}
+
+	cold, err := Run(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptArtifacts(t, dir)
+
+	warm, err := Run(in, opts)
+	if err != nil {
+		t.Fatalf("run over corrupted artifacts must recompute, got %v", err)
+	}
+	resultsIdentical(t, cold, warm)
+}
+
+// TestCorruptArtifactIncrementalFullRebuild corrupts the baseline's cache
+// directory, then perturbs enough output rows to force the incremental
+// full-rebuild path. The rebuild must not be poisoned by the corrupted
+// artifacts and must stay bit-identical to a cold cacheless Run on the
+// perturbed output.
+func TestCorruptArtifactIncrementalFullRebuild(t *testing.T) {
+	dir := t.TempDir()
+	store, err := cache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(26))
+	in := syntheticInput(rng, 80, map[int]bool{2: true})
+	opts := Options{Seed: 10, Cache: store}
+
+	base, err := NewBaseline(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptArtifacts(t, dir)
+
+	// Move over half the rows so the changed fraction clears MaxChangedFrac.
+	newOutput := in.Output.Clone()
+	for i := 0; i < newOutput.Rows/2+1; i++ {
+		newOutput.Set(i, 0, newOutput.At(i, 0)+1.5)
+	}
+	res, info, err := base.RunIncremental(newOutput, IncrementalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.FullRebuild {
+		t.Fatalf("expected a full rebuild, got %+v", info)
+	}
+	assertResultFinite(t, res)
+
+	fresh, err := Run(Input{Graph: in.Graph, Output: newOutput}, Options{Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsIdentical(t, fresh, res)
+}

@@ -1,9 +1,9 @@
 package core
 
 import (
-	"fmt"
 	"math"
 
+	"cirstag/internal/cirerr"
 	"cirstag/internal/graph"
 	"cirstag/internal/mat"
 	"cirstag/internal/obs"
@@ -89,13 +89,17 @@ type IncrementalInfo struct {
 //     output.
 //
 // Phase 3 (eigensolve + scoring) always runs in full on its own RNG stream.
-func (b *Baseline) RunIncremental(newOutput *mat.Dense, iopts IncrementalOptions) (*Result, *IncrementalInfo, error) {
+func (b *Baseline) RunIncremental(newOutput *mat.Dense, iopts IncrementalOptions) (res *Result, info *IncrementalInfo, err error) {
+	defer cirerr.RecoverTo(&err, "core.incremental")
 	if b == nil || b.Result == nil {
-		return nil, nil, fmt.Errorf("core: incremental run requires a baseline")
+		return nil, nil, cirerr.New("core.incremental", cirerr.ErrBadInput, "incremental run requires a baseline")
 	}
 	n := b.Input.Graph.N()
 	if newOutput == nil || newOutput.Rows != n || newOutput.Cols != b.Input.Output.Cols {
-		return nil, nil, fmt.Errorf("core: perturbed output must be %dx%d", n, b.Input.Output.Cols)
+		return nil, nil, cirerr.New("core.incremental", cirerr.ErrBadInput, "perturbed output must be %dx%d", n, b.Input.Output.Cols)
+	}
+	if r, c := newOutput.FirstNonFinite(); r >= 0 {
+		return nil, nil, cirerr.New("core.incremental", cirerr.ErrBadInput, "perturbed output entry (%d,%d) is %v; GNN output must be finite", r, c, newOutput.At(r, c))
 	}
 	iopts = iopts.withDefaults()
 	incRuns.Inc()
@@ -106,7 +110,7 @@ func (b *Baseline) RunIncremental(newOutput *mat.Dense, iopts IncrementalOptions
 	ds := root.Child("diff")
 	changed := changedRows(b.Input.Output, newOutput, iopts.RelTol)
 	ds.End()
-	info := &IncrementalInfo{ChangedNodes: changed}
+	info = &IncrementalInfo{ChangedNodes: changed}
 	incChangedNodes.Add(int64(len(changed)))
 
 	if len(changed) == 0 {
@@ -133,7 +137,10 @@ func (b *Baseline) RunIncremental(newOutput *mat.Dense, iopts IncrementalOptions
 	}
 	gySpan.End()
 
-	res := scorePhase(b.Result.InputManifold, newGY, n, b.Opts, rngEig, root)
+	res, err = scorePhase(b.Result.InputManifold, newGY, n, b.Opts, rngEig, root)
+	if err != nil {
+		return nil, nil, err
+	}
 	res.Embedding = b.Result.Embedding
 	return res, info, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"cirstag/internal/faultinject"
 	"cirstag/internal/mat"
 	"cirstag/internal/obs"
 	"cirstag/internal/parallel"
@@ -62,6 +63,9 @@ func GeneralizedTopK(lx, ly *sparse.CSR, k int, rng *rand.Rand, opts Options) []
 	if opts.InnerTol <= 0 {
 		opts.InnerTol = 1e-6
 	}
+	// Fault-injection point: shared with plain Lanczos — tests shrink the
+	// Krylov budget to simulate a non-converging generalized eigensolve.
+	opts.MaxIter = faultinject.Int(faultinject.PointLanczosMaxIter, opts.MaxIter)
 	// Loose, iteration-capped Laplacian solves: the kNN manifolds are badly
 	// conditioned under 1/d² weights, and full 1e-8 solves would dominate
 	// the whole pipeline (the outer Lanczos reorthogonalization corrects the

@@ -11,6 +11,8 @@ import (
 	"math/rand"
 
 	"cirstag/internal/cache"
+	"cirstag/internal/cirerr"
+	"cirstag/internal/faultinject"
 	"cirstag/internal/mat"
 	"cirstag/internal/obs"
 	"cirstag/internal/parallel"
@@ -90,6 +92,9 @@ func Lanczos(a solver.Op, k int, which Which, rng *rand.Rand, opts Options) (mat
 	if opts.MaxIter < k {
 		opts.MaxIter = k
 	}
+	// Fault-injection point: tests shrink the Krylov budget here to simulate
+	// a non-converging eigensolve (no-op in production).
+	opts.MaxIter = faultinject.Int(faultinject.PointLanczosMaxIter, opts.MaxIter)
 
 	q := make([]mat.Vec, 0, opts.MaxIter)
 	alpha := make(mat.Vec, 0, opts.MaxIter)
@@ -151,6 +156,15 @@ func Lanczos(a solver.Op, k int, which Which, rng *rand.Rand, opts Options) (mat
 	}
 
 	m := len(alpha)
+	if m < k {
+		// The Krylov basis collapsed below the requested subspace dimension
+		// (repeated breakdown restarts, or an iteration cap under k). There
+		// are not k Ritz pairs to return, and silently padding would hand
+		// callers a wrong-rank basis; throw a typed error for the public
+		// pipeline boundary (cirerr.RecoverTo) to surface as ErrNoConverge.
+		panic(cirerr.New("eig.lanczos", cirerr.ErrNoConverge,
+			"Krylov basis dimension %d below requested k=%d (budget %d iterations)", m, k, opts.MaxIter))
+	}
 	vals, vecs := mat.TridiagEig(alpha[:m], beta[:min(len(beta), m-1)])
 	// Select the requested end of the spectrum.
 	idx := make([]int, k)

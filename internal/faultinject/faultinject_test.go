@@ -1,0 +1,105 @@
+package faultinject
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestUnarmedPassthroughIsIdentity is the production-path contract: with no
+// hook armed, every passthrough returns its input unchanged and records no
+// fires.
+func TestUnarmedPassthroughIsIdentity(t *testing.T) {
+	defer Reset()
+	b := []byte{1, 2, 3}
+	if got := Bytes(PointCacheFrame, b); !bytes.Equal(got, b) {
+		t.Fatalf("Bytes changed unarmed value: %v", got)
+	}
+	if got := Int(PointPCGMaxIter, 42); got != 42 {
+		t.Fatalf("Int changed unarmed value: %d", got)
+	}
+	if got := Float(PointKNNDist2, 1.5); got != 1.5 {
+		t.Fatalf("Float changed unarmed value: %v", got)
+	}
+	data := []float64{1, 2}
+	Slice(PointGNNOutput, data)
+	if data[0] != 1 || data[1] != 2 {
+		t.Fatalf("Slice mutated unarmed value: %v", data)
+	}
+	for _, p := range []string{PointCacheFrame, PointPCGMaxIter, PointKNNDist2, PointGNNOutput, PointLanczosMaxIter} {
+		if n := Fires(p); n != 0 {
+			t.Fatalf("unarmed point %q reports %d fires", p, n)
+		}
+	}
+}
+
+// TestArmedHooksTransformAndCount exercises each hook type end to end: the
+// armed transformation is applied and each application is counted.
+func TestArmedHooksTransformAndCount(t *testing.T) {
+	defer Reset()
+	ArmBytes(PointCacheFrame, func(b []byte) []byte { return b[:1] })
+	ArmInt(PointPCGMaxIter, func(int) int { return 1 })
+	ArmFloat(PointKNNDist2, func(float64) float64 { return 0 })
+	ArmSlice(PointGNNOutput, func(d []float64) {
+		for i := range d {
+			d[i] = -1
+		}
+	})
+
+	if got := Bytes(PointCacheFrame, []byte{9, 9, 9}); len(got) != 1 {
+		t.Fatalf("ArmBytes hook not applied: %v", got)
+	}
+	if got := Int(PointPCGMaxIter, 500); got != 1 {
+		t.Fatalf("ArmInt hook not applied: %d", got)
+	}
+	if got := Float(PointKNNDist2, 3.7); got != 0 {
+		t.Fatalf("ArmFloat hook not applied: %v", got)
+	}
+	data := []float64{5, 5}
+	Slice(PointGNNOutput, data)
+	if data[0] != -1 || data[1] != -1 {
+		t.Fatalf("ArmSlice hook not applied: %v", data)
+	}
+
+	Float(PointKNNDist2, 1) // second application
+	if n := Fires(PointKNNDist2); n != 2 {
+		t.Fatalf("PointKNNDist2 fires = %d, want 2", n)
+	}
+	for _, p := range []string{PointCacheFrame, PointPCGMaxIter, PointGNNOutput} {
+		if n := Fires(p); n != 1 {
+			t.Fatalf("point %q fires = %d, want 1", p, n)
+		}
+	}
+}
+
+// TestHookIsPointScoped: a hook armed at one point must not intercept a
+// different point, and passing through an unarmed point records no fire.
+func TestHookIsPointScoped(t *testing.T) {
+	defer Reset()
+	ArmInt(PointPCGMaxIter, func(int) int { return 1 })
+	if got := Int(PointLanczosMaxIter, 77); got != 77 {
+		t.Fatalf("hook leaked across points: %d", got)
+	}
+	if n := Fires(PointLanczosMaxIter); n != 0 {
+		t.Fatalf("unarmed point counted %d fires", n)
+	}
+	if n := Fires(PointPCGMaxIter); n != 0 {
+		t.Fatalf("never-exercised armed point counted %d fires", n)
+	}
+}
+
+// TestResetDisarmsAndZeroes: after Reset, hooks no longer apply and all fire
+// counts read zero.
+func TestResetDisarmsAndZeroes(t *testing.T) {
+	ArmFloat(PointKNNDist2, func(float64) float64 { return 0 })
+	Float(PointKNNDist2, 2)
+	if n := Fires(PointKNNDist2); n != 1 {
+		t.Fatalf("fires before Reset = %d, want 1", n)
+	}
+	Reset()
+	if got := Float(PointKNNDist2, 2); got != 2 {
+		t.Fatalf("hook survived Reset: %v", got)
+	}
+	if n := Fires(PointKNNDist2); n != 0 {
+		t.Fatalf("fires after Reset = %d, want 0", n)
+	}
+}

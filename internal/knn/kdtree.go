@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 
+	"cirstag/internal/faultinject"
 	"cirstag/internal/mat"
 	"cirstag/internal/obs"
 	"cirstag/internal/parallel"
@@ -328,7 +329,9 @@ func BuildGraph(pts *mat.Dense, k int) *Graph {
 	}
 	g := &Graph{N: n, Edges: make([]WeightedEdge, len(merged))}
 	for i, e := range merged {
-		dd := e.d2
+		// Fault-injection point: tests zero the distance here to simulate
+		// coincident points; the floor below must keep 1/d² finite.
+		dd := faultinject.Float(faultinject.PointKNNDist2, e.d2)
 		if dd < floor {
 			dd = floor
 		}

@@ -72,6 +72,15 @@ func (m *Dense) Clone() *Dense {
 	return out
 }
 
+// FirstNonFinite returns the (row, col) of the first NaN or ±Inf entry of m,
+// or (-1, -1) when every entry is finite.
+func (m *Dense) FirstNonFinite() (int, int) {
+	if i := Vec(m.Data).FirstNonFinite(); i >= 0 && m.Cols > 0 {
+		return i / m.Cols, i % m.Cols
+	}
+	return -1, -1
+}
+
 // T returns the transpose of m as a new matrix.
 func (m *Dense) T() *Dense {
 	out := NewDense(m.Cols, m.Rows)

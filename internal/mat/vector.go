@@ -34,6 +34,18 @@ func (v Vec) Fill(x float64) {
 // Zero sets every element of v to zero.
 func (v Vec) Zero() { v.Fill(0) }
 
+// FirstNonFinite returns the index of the first NaN or ±Inf entry of v, or
+// -1 when every entry is finite. Used by the pipeline's input validation and
+// degenerate-geometry checks.
+func (v Vec) FirstNonFinite() int {
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return i
+		}
+	}
+	return -1
+}
+
 // Dot returns the inner product of v and w. It panics if lengths differ.
 func Dot(v, w Vec) float64 {
 	if len(v) != len(w) {

@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"testing"
+
+	"cirstag/internal/mat"
+)
+
+// TestConstantVectorConvention pins the degenerate-input convention from the
+// package comment: indeterminate statistics return 0 (or 1 for a perfect R²
+// fit of a constant target), never NaN/±Inf, and the OK variants report
+// ok == false exactly on those inputs.
+func TestConstantVectorConvention(t *testing.T) {
+	konst := mat.Vec{3, 3, 3, 3}
+	vary := mat.Vec{1, 2, 3, 4}
+
+	if v, ok := R2OK(vary, konst); ok || v != 0 {
+		t.Fatalf("R2OK(varying, constant) = (%v, %v), want (0, false)", v, ok)
+	}
+	if v, ok := R2OK(konst, konst); ok || v != 1 {
+		t.Fatalf("R2OK(constant, constant exact) = (%v, %v), want (1, false)", v, ok)
+	}
+	if v, ok := R2OK(nil, nil); ok || v != 0 {
+		t.Fatalf("R2OK(empty) = (%v, %v), want (0, false)", v, ok)
+	}
+	if v, ok := R2OK(vary, vary); !ok || v != 1 {
+		t.Fatalf("R2OK(defined perfect fit) = (%v, %v), want (1, true)", v, ok)
+	}
+
+	if v, ok := PearsonOK(konst, vary); ok || v != 0 {
+		t.Fatalf("PearsonOK(constant, varying) = (%v, %v), want (0, false)", v, ok)
+	}
+	if v, ok := PearsonOK(vary, konst); ok || v != 0 {
+		t.Fatalf("PearsonOK(varying, constant) = (%v, %v), want (0, false)", v, ok)
+	}
+	if v, ok := PearsonOK(mat.Vec{1}, mat.Vec{2}); ok || v != 0 {
+		t.Fatalf("PearsonOK(length 1) = (%v, %v), want (0, false)", v, ok)
+	}
+	if v, ok := PearsonOK(vary, vary); !ok || v != 1 {
+		t.Fatalf("PearsonOK(defined) = (%v, %v), want (1, true)", v, ok)
+	}
+
+	if v, ok := SpearmanOK(konst, vary); ok || v != 0 {
+		t.Fatalf("SpearmanOK(constant, varying) = (%v, %v), want (0, false)", v, ok)
+	}
+	if v, ok := SpearmanOK(mat.Vec{1}, mat.Vec{1}); ok || v != 0 {
+		t.Fatalf("SpearmanOK(length 1) = (%v, %v), want (0, false)", v, ok)
+	}
+	if v, ok := SpearmanOK(vary, vary); !ok || v != 1 {
+		t.Fatalf("SpearmanOK(defined) = (%v, %v), want (1, true)", v, ok)
+	}
+
+	// The total wrappers must agree with the convention values.
+	if v := R2(vary, konst); v != 0 {
+		t.Fatalf("R2 convention value = %v, want 0", v)
+	}
+	if v := Pearson(vary, konst); v != 0 {
+		t.Fatalf("Pearson convention value = %v, want 0", v)
+	}
+	if v := Spearman(vary, konst); v != 0 {
+		t.Fatalf("Spearman convention value = %v, want 0", v)
+	}
+}

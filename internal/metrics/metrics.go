@@ -1,6 +1,18 @@
 // Package metrics collects the evaluation statistics used by the experiment
 // harness: R², macro-F1, cosine similarity, rank correlations, histograms,
 // and summary statistics.
+//
+// # Degenerate-input convention
+//
+// Every statistic in this package is total over finite inputs: when the
+// mathematical definition is indeterminate — a zero-variance (constant)
+// vector under Pearson/Spearman, a constant target under R², vectors too
+// short for a correlation — the function returns 0 (or 1 for a perfect R²
+// fit of a constant target) rather than NaN or ±Inf. This keeps experiment
+// tables and JSON reports NaN-free by construction. Callers that must
+// distinguish "correlation is zero" from "correlation is undefined" use the
+// OK variants (R2OK, PearsonOK, SpearmanOK), whose second result is false
+// exactly when the convention, not the data, produced the value.
 package metrics
 
 import (
@@ -13,13 +25,21 @@ import (
 
 // R2 returns the coefficient of determination of predictions against
 // targets: 1 − SS_res/SS_tot. A constant target yields R² = 0 by convention
-// unless predictions match exactly (then 1).
+// unless predictions match exactly (then 1); see the package comment.
 func R2(pred, target mat.Vec) float64 {
+	v, _ := R2OK(pred, target)
+	return v
+}
+
+// R2OK is R2 with an explicit definedness flag: ok is false when the target
+// has zero variance (SS_tot = 0), where R² is mathematically indeterminate
+// and the returned value follows the package convention.
+func R2OK(pred, target mat.Vec) (v float64, ok bool) {
 	if len(pred) != len(target) {
 		panic(fmt.Sprintf("metrics: R2 lengths %d vs %d", len(pred), len(target)))
 	}
 	if len(pred) == 0 {
-		return 0
+		return 0, false
 	}
 	mean := mat.Mean(target)
 	var ssRes, ssTot float64
@@ -31,11 +51,11 @@ func R2(pred, target mat.Vec) float64 {
 	}
 	if ssTot == 0 {
 		if ssRes == 0 {
-			return 1
+			return 1, false
 		}
-		return 0
+		return 0, false
 	}
-	return 1 - ssRes/ssTot
+	return 1 - ssRes/ssTot, true
 }
 
 // CosineSimilarity returns the cosine of the angle between two vectors
@@ -152,25 +172,44 @@ func ranks(v mat.Vec) mat.Vec {
 	return r
 }
 
-// Spearman returns the Spearman rank correlation between x and y.
+// Spearman returns the Spearman rank correlation between x and y, 0 when
+// undefined (fewer than two points or a constant vector; see the package
+// comment).
 func Spearman(x, y mat.Vec) float64 {
+	v, _ := SpearmanOK(x, y)
+	return v
+}
+
+// SpearmanOK is Spearman with an explicit definedness flag: ok is false for
+// vectors shorter than two or when either vector is constant (all ranks
+// tied), where rank correlation is mathematically indeterminate.
+func SpearmanOK(x, y mat.Vec) (v float64, ok bool) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("metrics: Spearman lengths %d vs %d", len(x), len(y)))
 	}
 	if len(x) < 2 {
-		return 0
+		return 0, false
 	}
-	return Pearson(ranks(x), ranks(y))
+	return PearsonOK(ranks(x), ranks(y))
 }
 
-// Pearson returns the Pearson correlation coefficient.
+// Pearson returns the Pearson correlation coefficient, 0 when undefined
+// (fewer than two points or a zero-variance vector; see the package comment).
 func Pearson(x, y mat.Vec) float64 {
+	v, _ := PearsonOK(x, y)
+	return v
+}
+
+// PearsonOK is Pearson with an explicit definedness flag: ok is false for
+// vectors shorter than two or when either vector has zero variance, where the
+// correlation is mathematically indeterminate (0/0).
+func PearsonOK(x, y mat.Vec) (v float64, ok bool) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("metrics: Pearson lengths %d vs %d", len(x), len(y)))
 	}
 	n := float64(len(x))
 	if n < 2 {
-		return 0
+		return 0, false
 	}
 	mx, my := mat.Mean(x), mat.Mean(y)
 	var sxy, sxx, syy float64
@@ -182,9 +221,9 @@ func Pearson(x, y mat.Vec) float64 {
 		syy += dy * dy
 	}
 	if sxx == 0 || syy == 0 {
-		return 0
+		return 0, false
 	}
-	return sxy / math.Sqrt(sxx*syy)
+	return sxy / math.Sqrt(sxx*syy), true
 }
 
 // KendallTau returns Kendall's τ-a rank correlation (O(n²); for the modest

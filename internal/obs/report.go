@@ -154,6 +154,57 @@ func snapshotSpan(s *Span) SpanReport {
 	return out
 }
 
+// ParseReport decodes and validates a JSON run report produced by WriteJSON /
+// WriteReportFile (the -report flag). It rejects unknown schema versions and
+// structurally inconsistent sections, so downstream consumers (CI assertions,
+// report-diff tooling) can trust a parsed report's shape without re-checking.
+func ParseReport(b []byte) (*Report, error) {
+	var rep Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("obs: parsing report: %w", err)
+	}
+	if rep.Schema != SchemaVersion {
+		return nil, fmt.Errorf("obs: report schema %q, want %q", rep.Schema, SchemaVersion)
+	}
+	for name, h := range rep.Histograms {
+		if len(h.Counts) != len(h.Bounds)+1 {
+			return nil, fmt.Errorf("obs: histogram %q has %d counts for %d bounds (want bounds+1)", name, len(h.Counts), len(h.Bounds))
+		}
+		if h.Count < 0 {
+			return nil, fmt.Errorf("obs: histogram %q has negative count %d", name, h.Count)
+		}
+		for i := 1; i < len(h.Bounds); i++ {
+			if !(h.Bounds[i] > h.Bounds[i-1]) {
+				return nil, fmt.Errorf("obs: histogram %q bounds not strictly increasing at %d", name, i)
+			}
+		}
+	}
+	var checkSpans func(spans []SpanReport) error
+	checkSpans = func(spans []SpanReport) error {
+		for _, s := range spans {
+			if s.Name == "" {
+				return fmt.Errorf("obs: report contains an unnamed span")
+			}
+			if math.IsNaN(s.DurationMS) || math.IsInf(s.DurationMS, 0) || s.DurationMS < 0 {
+				return fmt.Errorf("obs: span %q has invalid duration %v", s.Name, s.DurationMS)
+			}
+			if err := checkSpans(s.Children); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := checkSpans(rep.Spans); err != nil {
+		return nil, err
+	}
+	if c := rep.Cache; c != nil {
+		if c.Hits < 0 || c.Misses < 0 || c.Corruptions < 0 || c.BytesRead < 0 || c.BytesWritten < 0 {
+			return nil, fmt.Errorf("obs: report cache section has negative counters")
+		}
+	}
+	return &rep, nil
+}
+
 // WriteJSON writes the current Snapshot as indented JSON.
 func WriteJSON(w io.Writer) error {
 	b, err := json.MarshalIndent(Snapshot(), "", "  ")

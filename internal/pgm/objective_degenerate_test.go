@@ -1,0 +1,43 @@
+package pgm
+
+import (
+	"math"
+	"testing"
+
+	"cirstag/internal/graph"
+	"cirstag/internal/mat"
+)
+
+// TestObjectiveRankDeficientFinite is the log(0) regression: a disconnected
+// graph has a multi-dimensional Laplacian kernel, and with a huge σ² the
+// shift 1/σ² nearly vanishes, so log(λ + 1/σ²) used to reach −Inf on the zero
+// eigenvalues. The floored argument must keep the objective finite while
+// still signalling the near-singular Θ with a very negative value.
+func TestObjectiveRankDeficientFinite(t *testing.T) {
+	// Two components → rank deficiency 2.
+	g := graph.New(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(3, 4, 1)
+	g.AddEdge(4, 5, 1)
+
+	x := mat.NewDense(6, 2)
+	for i := 0; i < 6; i++ {
+		x.Set(i, 0, float64(i))
+		x.Set(i, 1, float64(i%2))
+	}
+
+	for _, sigma2 := range []float64{1, 1e12, math.MaxFloat64} {
+		f := Objective(g, x, sigma2)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			t.Fatalf("Objective(disconnected, σ²=%v) = %v, want finite", sigma2, f)
+		}
+	}
+
+	// Coincident data rows (zero pairwise distances) must also stay finite.
+	konst := mat.NewDense(6, 2)
+	f := Objective(g, konst, 1)
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		t.Fatalf("Objective(constant data) = %v, want finite", f)
+	}
+}

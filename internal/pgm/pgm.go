@@ -175,8 +175,8 @@ func PatchKNN(base *graph.Graph, y *mat.Dense, changed []int, opts Options) *gra
 // edge-sum identity Tr(XᵀLX) = Σ w_pq‖Xᵀe_pq‖². Only feasible for graphs up
 // to a few thousand nodes; intended for tests and ablation reporting.
 func Objective(g *graph.Graph, x *mat.Dense, sigma2 float64) float64 {
-	if sigma2 <= 0 {
-		panic(fmt.Sprintf("pgm: sigma2 must be positive, got %v", sigma2))
+	if !(sigma2 > 0) || math.IsInf(sigma2, 0) {
+		panic(fmt.Sprintf("pgm: sigma2 must be positive and finite, got %v", sigma2))
 	}
 	if x.Rows != g.N() {
 		panic(fmt.Sprintf("pgm: data rows %d, graph nodes %d", x.Rows, g.N()))
@@ -188,7 +188,17 @@ func Objective(g *graph.Graph, x *mat.Dense, sigma2 float64) float64 {
 		if lam < 0 {
 			lam = 0
 		}
-		f1 += math.Log(lam + 1/sigma2)
+		// Θ = L + I/σ² is positive definite, so λ + 1/σ² > 0 in exact
+		// arithmetic — but a rank-deficient L with a large σ² can underflow
+		// the shift to 0 (log → −Inf), and a NaN eigenvalue from a degenerate
+		// decomposition would poison the sum. Floor the argument so the
+		// objective stays finite (a huge negative term still signals the
+		// near-singular Θ) and treat NaN as the floor.
+		arg := lam + 1/sigma2
+		if !(arg > math.SmallestNonzeroFloat64) {
+			arg = math.SmallestNonzeroFloat64
+		}
+		f1 += math.Log(arg)
 	}
 	m := float64(x.Cols)
 	if m == 0 {

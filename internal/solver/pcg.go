@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"cirstag/internal/faultinject"
 	"cirstag/internal/mat"
 	"cirstag/internal/sparse"
 )
@@ -127,6 +128,9 @@ func PCG(a Op, m Preconditioner, b, x0 mat.Vec, opts Options) (mat.Vec, Result, 
 		panic(fmt.Sprintf("solver: PCG rhs length %d, operator dim %d", len(b), n))
 	}
 	opts = opts.withDefaults(n)
+	// Fault-injection point: tests cap the budget here to simulate a
+	// non-converging solve (no-op in production).
+	opts.MaxIter = faultinject.Int(faultinject.PointPCGMaxIter, opts.MaxIter)
 	x := make(mat.Vec, n)
 	if x0 != nil {
 		copy(x, x0)

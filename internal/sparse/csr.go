@@ -29,11 +29,26 @@ type CSR struct {
 
 // NewCSR assembles a CSR matrix from COO triplets, summing duplicates.
 // Entries whose summed value is exactly zero are kept (callers that want
-// pruning should use Prune).
+// pruning should use Prune). Out-of-bounds entries panic — internal callers
+// construct entry lists from already-validated structures; use FromEntries
+// for triplets of unknown provenance.
 func NewCSR(rows, cols int, entries []Entry) *CSR {
+	m, err := FromEntries(rows, cols, entries)
+	if err != nil {
+		panic(err.Error())
+	}
+	return m
+}
+
+// FromEntries is NewCSR with untrusted input: negative dimensions or an entry
+// outside rows×cols is a returned error instead of a panic.
+func FromEntries(rows, cols int, entries []Entry) (*CSR, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("sparse: negative dimensions %dx%d", rows, cols)
+	}
 	for _, e := range entries {
 		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
-			panic(fmt.Sprintf("sparse: entry (%d,%d) out of bounds %dx%d", e.Row, e.Col, rows, cols))
+			return nil, fmt.Errorf("sparse: entry (%d,%d) out of bounds %dx%d", e.Row, e.Col, rows, cols)
 		}
 	}
 	sorted := make([]Entry, len(entries))
@@ -60,7 +75,7 @@ func NewCSR(rows, cols int, entries []Entry) *CSR {
 	for r := 0; r < rows; r++ {
 		m.RowPtr[r+1] += m.RowPtr[r]
 	}
-	return m
+	return m, nil
 }
 
 // NNZ returns the number of stored entries.

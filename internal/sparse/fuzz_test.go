@@ -1,0 +1,75 @@
+package sparse
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzCSRFromEntries assembles CSR matrices from fuzzer-chosen dimensions and
+// triplets. FromEntries must never panic: bad input is a returned error, and
+// accepted input must produce a structurally valid CSR (monotone row pointers,
+// strictly increasing in-bounds columns per row).
+func FuzzCSRFromEntries(f *testing.F) {
+	pack := func(rows, cols int, entries []Entry) []byte {
+		b := make([]byte, 0, 8+20*len(entries))
+		b = binary.LittleEndian.AppendUint32(b, uint32(rows))
+		b = binary.LittleEndian.AppendUint32(b, uint32(cols))
+		for _, e := range entries {
+			b = binary.LittleEndian.AppendUint32(b, uint32(e.Row))
+			b = binary.LittleEndian.AppendUint32(b, uint32(e.Col))
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(e.Val))
+		}
+		return b
+	}
+	f.Add(pack(3, 3, []Entry{{0, 1, 1}, {1, 0, 1}, {2, 2, -2}}))
+	f.Add(pack(2, 2, []Entry{{0, 0, 1}, {0, 0, -1}})) // duplicate summing to 0
+	f.Add(pack(1, 1, []Entry{{0, 5, 1}}))             // out of bounds
+	f.Add(pack(0, 0, nil))
+	f.Add(pack(-1, 2, nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 8 {
+			return
+		}
+		// Dimensions capped so adversarial headers cannot demand huge
+		// allocations; entry coordinates stay full-range int32 to probe the
+		// bounds checks.
+		rows := int(int32(binary.LittleEndian.Uint32(data))) % 256
+		cols := int(int32(binary.LittleEndian.Uint32(data[4:]))) % 256
+		var entries []Entry
+		for off := 8; off+16 <= len(data) && len(entries) < 1024; off += 16 {
+			entries = append(entries, Entry{
+				Row: int(int32(binary.LittleEndian.Uint32(data[off:]))),
+				Col: int(int32(binary.LittleEndian.Uint32(data[off+4:]))),
+				Val: math.Float64frombits(binary.LittleEndian.Uint64(data[off+8:])),
+			})
+		}
+		m, err := FromEntries(rows, cols, entries)
+		if err != nil {
+			return
+		}
+		if m.Rows != rows || m.Cols != cols || len(m.RowPtr) != rows+1 {
+			t.Fatalf("CSR shape %dx%d RowPtr=%d, want %dx%d RowPtr=%d",
+				m.Rows, m.Cols, len(m.RowPtr), rows, cols, rows+1)
+		}
+		if m.RowPtr[0] != 0 || m.RowPtr[rows] != len(m.Val) || len(m.ColIdx) != len(m.Val) {
+			t.Fatalf("inconsistent storage: RowPtr[0]=%d RowPtr[n]=%d val=%d col=%d",
+				m.RowPtr[0], m.RowPtr[rows], len(m.Val), len(m.ColIdx))
+		}
+		for r := 0; r < rows; r++ {
+			if m.RowPtr[r] > m.RowPtr[r+1] {
+				t.Fatalf("row pointers not monotone at %d", r)
+			}
+			for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+				c := m.ColIdx[k]
+				if c < 0 || c >= cols {
+					t.Fatalf("row %d stores column %d outside %d", r, c, cols)
+				}
+				if k > m.RowPtr[r] && c <= m.ColIdx[k-1] {
+					t.Fatalf("row %d columns not strictly increasing", r)
+				}
+			}
+		}
+	})
+}

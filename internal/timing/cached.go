@@ -31,8 +31,17 @@ func modelKey(nl *circuit.Netlist, cfg Config) (string, error) {
 // reported as a plain miss (the store removes corrupt entries, and
 // TrainAndStore overwrites stale ones), so the cache can never surface a
 // wrong model.
-func LoadCached(nl *circuit.Netlist, cfg Config, store *cache.Store) (*Model, bool) {
-	if store == nil {
+func LoadCached(nl *circuit.Netlist, cfg Config, store *cache.Store) (m *Model, ok bool) {
+	// A panic while rebinding a decoded snapshot (a corrupt artifact that
+	// slipped past both integrity checks) degrades to a miss like every other
+	// load failure — the cache may never crash the pipeline.
+	defer func() {
+		if r := recover(); r != nil {
+			obs.Debugf("timing: cached model load panicked (%v), retraining", r)
+			m, ok = nil, false
+		}
+	}()
+	if store == nil || nl == nil {
 		return nil, false
 	}
 	key, err := modelKey(nl, cfg)
@@ -44,7 +53,7 @@ func LoadCached(nl *circuit.Netlist, cfg Config, store *cache.Store) (*Model, bo
 	if !ok {
 		return nil, false
 	}
-	m, err := Load(bytes.NewReader(payload), nl)
+	m, err = Load(bytes.NewReader(payload), nl)
 	if err != nil {
 		// The artifact passed the store's integrity check but gob refused it
 		// (e.g. weights saved by an incompatible snapshot layout that shares

@@ -18,6 +18,8 @@ import (
 	"time"
 
 	"cirstag/internal/circuit"
+	"cirstag/internal/cirerr"
+	"cirstag/internal/faultinject"
 	"cirstag/internal/gnn"
 	"cirstag/internal/mat"
 	"cirstag/internal/metrics"
@@ -234,15 +236,21 @@ func (d *dagProp) Backward(grad *mat.Dense) *mat.Dense {
 	return acc
 }
 
-// New trains a timing model for netlist nl.
-func New(nl *circuit.Netlist, cfg Config) (*Model, error) {
+// New trains a timing model for netlist nl. A netlist the STA engine rejects
+// (e.g. a combinational cycle) returns cirerr.ErrBadInput; an invariant panic
+// during training is recovered and returned tagged cirerr.ErrInternal.
+func New(nl *circuit.Netlist, cfg Config) (m *Model, err error) {
+	defer cirerr.RecoverTo(&err, "timing.train")
+	if nl == nil {
+		return nil, cirerr.New("timing.train", cirerr.ErrBadInput, "netlist is required")
+	}
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	base, err := sta.Analyze(nl)
 	if err != nil {
-		return nil, err
+		return nil, cirerr.Wrap("timing.train", cirerr.ErrBadInput, err)
 	}
-	m := &Model{cfg: cfg, nl: nl}
+	m = &Model{cfg: cfg, nl: nl}
 	m.scale = base.MaxDelay
 	if m.scale <= 0 {
 		m.scale = 1
@@ -433,6 +441,10 @@ func (m *Model) Predict(variant *circuit.Netlist) *Prediction {
 		full.Set(i, 1, req[i]-arr.Data[i])
 	}
 	out.Embeddings = full
+	// Fault-injection point: tests overwrite prediction rows with NaN here to
+	// simulate a diverged GNN; downstream core.Run must reject the matrix
+	// with a typed error rather than scoring garbage (no-op in production).
+	faultinject.Slice(faultinject.PointGNNOutput, full.Data)
 	for p := range out.Arrival {
 		out.Arrival[p] = arr.Data[p] * m.scale
 		out.Slack[p] = (req[p] - arr.Data[p]) * m.scale

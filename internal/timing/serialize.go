@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"cirstag/internal/circuit"
+	"cirstag/internal/cirerr"
 	"cirstag/internal/gnn"
 	"cirstag/internal/mat"
 	"cirstag/internal/nn"
@@ -59,14 +60,17 @@ func (m *Model) Save(w io.Writer) error {
 }
 
 // Load reads a model saved with Save and re-binds it to nl, which must be
-// structurally identical to the design the model was trained on.
+// structurally identical to the design the model was trained on. A snapshot
+// that fails to decode or whose shape disagrees with the netlist is reported
+// as cirerr.ErrCorruptArtifact; a structurally different design is
+// cirerr.ErrBadInput.
 func Load(r io.Reader, nl *circuit.Netlist) (*Model, error) {
 	var snap modelSnapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("timing: decoding model: %w", err)
+		return nil, cirerr.Wrap("timing", cirerr.ErrCorruptArtifact, fmt.Errorf("decoding model: %w", err))
 	}
 	if got := fingerprint(nl); got != snap.Fingerprint {
-		return nil, fmt.Errorf("timing: model fingerprint %q does not match design %q", snap.Fingerprint, got)
+		return nil, cirerr.New("timing", cirerr.ErrBadInput, "model fingerprint %q does not match design %q", snap.Fingerprint, got)
 	}
 	cfg := snap.Config.withDefaults()
 	m := &Model{cfg: snap.Config, nl: nl, scale: snap.Scale}
@@ -90,11 +94,11 @@ func Load(r io.Reader, nl *circuit.Netlist) (*Model, error) {
 	m.dag = newDAGProp(nl)
 	m.params = m.allParams()
 	if len(snap.Blocks) != len(m.params) {
-		return nil, fmt.Errorf("timing: snapshot has %d parameter blocks, model wants %d", len(snap.Blocks), len(m.params))
+		return nil, cirerr.New("timing", cirerr.ErrCorruptArtifact, "snapshot has %d parameter blocks, model wants %d", len(snap.Blocks), len(m.params))
 	}
 	for i, p := range m.params {
 		if len(snap.Blocks[i]) != len(p.W.Data) {
-			return nil, fmt.Errorf("timing: parameter block %d has %d values, want %d", i, len(snap.Blocks[i]), len(p.W.Data))
+			return nil, cirerr.New("timing", cirerr.ErrCorruptArtifact, "parameter block %d has %d values, want %d", i, len(snap.Blocks[i]), len(p.W.Data))
 		}
 		copy(p.W.Data, snap.Blocks[i])
 	}

@@ -14,6 +14,8 @@
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -21,10 +23,12 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 
 	"cirstag/internal/bench"
 	"cirstag/internal/circuit"
+	"cirstag/internal/obs/history"
 	"cirstag/internal/sta"
 )
 
@@ -43,6 +47,7 @@ func main() {
 		wirecap = flag.Float64("wirecap", 1.2, "custom: mean wire capacitance (fF)")
 
 		benchJSON    = flag.Bool("bench-json", false, "parse `go test -bench` output into a JSON benchmark report")
+		historyDir   = flag.String("history-dir", "", "bench-json: also append the results to DIR/ledger.jsonl (see cirstag -history-dir)")
 		benchCompare = flag.Bool("bench-compare", false, "compare a current benchmark report against a baseline")
 		benchIn      = flag.String("i", "", "bench-json: input file with go test -bench output (default stdin)")
 		benchSHA     = flag.String("sha", "", "bench-json: commit SHA to record in the report")
@@ -53,8 +58,12 @@ func main() {
 	)
 	flag.Parse()
 
+	if *historyDir != "" && !*benchJSON {
+		fmt.Fprintln(os.Stderr, "benchgen: -history-dir requires -bench-json (see -h)")
+		os.Exit(2)
+	}
 	if *benchJSON {
-		if err := emitBenchReport(*benchIn, *benchSHA, *out); err != nil {
+		if err := emitBenchReport(*benchIn, *benchSHA, *out, *historyDir); err != nil {
 			fatal(err)
 		}
 		return
@@ -125,8 +134,10 @@ func main() {
 }
 
 // emitBenchReport parses `go test -bench` output (from inPath or stdin) and
-// writes a cirstag.bench/v1 JSON report to outPath (or stdout).
-func emitBenchReport(inPath, sha, outPath string) error {
+// writes a cirstag.bench/v1 JSON report to outPath (or stdout). With
+// historyDir it also appends the sweep to the run-history ledger shared with
+// cirstag, so bench latencies accumulate in the same trajectory file.
+func emitBenchReport(inPath, sha, outPath, historyDir string) error {
 	var in io.Reader = os.Stdin
 	if inPath != "" {
 		f, err := os.Open(inPath)
@@ -155,10 +166,38 @@ func emitBenchReport(inPath, sha, outPath string) error {
 	}
 	b = append(b, '\n')
 	if outPath == "" {
-		_, err = os.Stdout.Write(b)
+		if _, err = os.Stdout.Write(b); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(outPath, b, 0o644); err != nil {
 		return err
 	}
-	return os.WriteFile(outPath, b, 0o644)
+	if historyDir != "" {
+		if err := history.Append(historyDir, benchEntry(results)); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "benchgen: appended %d benchmark(s) to %s\n",
+			len(results), historyDir+"/"+history.LedgerFile)
+	}
+	return nil
+}
+
+// benchEntry converts a bench sweep into a ledger entry: each benchmark name
+// becomes a "phase" with its ns/op in milliseconds, and the input hash is the
+// sorted benchmark-name set, so the budgets machinery compares a benchmark
+// only against prior runs of the same sweep.
+func benchEntry(results []bench.BenchResult) history.Entry {
+	names := make([]string, 0, len(results))
+	phases := make(map[string]float64, len(results))
+	for _, r := range results {
+		names = append(names, r.Name)
+		phases[r.Name] = r.NsPerOp / 1e6
+	}
+	sort.Strings(names)
+	h := sha256.Sum256([]byte(strings.Join(names, "\n")))
+	e := history.NewEntry("benchgen", "bench:"+hex.EncodeToString(h[:])[:16], false)
+	e.PhasesMS = phases
+	return e
 }
 
 // compareBenchReports loads both reports and applies the regression gate,

@@ -7,24 +7,44 @@
 //	cirstag -netlist design.net [-top 20] [-seed 1] [-epochs 300]
 //	benchgen -name sasc -o sasc.net && cirstag -netlist sasc.net
 //	cirstag -bench sasc -report run.json -debug-addr :6060
+//	cirstag -bench sasc -trace trace.json -log-format json
+//	cirstag -bench sasc -history-dir runs/ -check-budgets
 //
 // Observability: -report writes a machine-readable JSON run report (per-phase
 // spans, eigensolver convergence, worker-pool utilization; schema
 // cirstag.report/v1), -v adds a human-readable span-tree summary on exit and
 // debug logging, -quiet suppresses progress output, and -debug-addr serves
-// net/http/pprof and expvar while the run executes.
+// net/http/pprof, expvar, and the Prometheus text exposition (/metrics) while
+// the run executes (-metrics-out snapshots the exposition body to a file at
+// exit).
+//
+// Telemetry export: -trace writes the span tree, worker-pool lanes, and cache
+// events as Chrome-trace/Perfetto JSON; -log-format=json switches the logger
+// to one JSON object per line stamped with the run ID and current span ID so
+// logs correlate with traces and reports; -history-dir appends this run's
+// per-phase latencies to an append-only JSONL ledger, and -check-budgets
+// gates the run against the per-phase latency budgets in
+// <history-dir>/budgets.json, exiting with code 6 and the breaching phase's
+// name on violation.
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"path/filepath"
 
 	"cirstag/internal/circuit"
 	"cirstag/internal/cirerr"
 	"cirstag/internal/cliutil"
 	"cirstag/internal/core"
 	"cirstag/internal/obs"
+	"cirstag/internal/obs/export"
+	"cirstag/internal/obs/history"
 	"cirstag/internal/perturb"
 	"cirstag/internal/timing"
 )
@@ -43,7 +63,12 @@ func main() {
 		cacheDir    = flag.String("cache-dir", "", "artifact cache directory (default $CIRSTAG_CACHE_DIR; empty disables)")
 		noCache     = flag.Bool("no-cache", false, "disable the artifact cache even when $CIRSTAG_CACHE_DIR is set")
 		report      = flag.String("report", "", "write a JSON run report (spans + metrics) to this file")
-		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. :6060)")
+		tracePath   = flag.String("trace", "", "write a Chrome-trace/Perfetto JSON export to this file")
+		logFormat   = flag.String("log-format", "text", "log line encoding: text or json (run/span correlated)")
+		historyDir  = flag.String("history-dir", "", "append this run's phase latencies to DIR/ledger.jsonl")
+		checkBudget = flag.Bool("check-budgets", false, "check phase latencies against <history-dir>/budgets.json (exit 6 on breach)")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof, expvar and /metrics on this address (e.g. :6060)")
+		metricsOut  = flag.String("metrics-out", "", "with -debug-addr: write the served /metrics exposition to this file at exit")
 		verbose     = flag.Bool("v", false, "debug logging and a span-tree summary on exit")
 		quiet       = flag.Bool("quiet", false, "errors only")
 	)
@@ -51,7 +76,14 @@ func main() {
 
 	// Validate the flag combination up front so misuse exits with a usage
 	// message instead of failing deep inside the pipeline.
-	if err := validateFlags(*netlistPath, *benchName, *cacheDir, *top, *epochs, *hidden, *embedDims, *scoreDims, *verbose, *quiet, *noCache); err != nil {
+	warning, err := validateFlags(flagValues{
+		netlist: *netlistPath, bench: *benchName, cacheDir: *cacheDir,
+		top: *top, epochs: *epochs, hidden: *hidden, embedDims: *embedDims, scoreDims: *scoreDims,
+		verbose: *verbose, quiet: *quiet, noCache: *noCache,
+		logFormat: *logFormat, historyDir: *historyDir, checkBudgets: *checkBudget,
+		metricsOut: *metricsOut, debugAddr: *debugAddr,
+	})
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "cirstag: %v (see -h)\n", err)
 		os.Exit(cirerr.ExitBadInput)
 	}
@@ -62,15 +94,27 @@ func main() {
 	case *verbose:
 		obs.SetLevel(obs.LevelDebug)
 	}
-	if *report != "" || *debugAddr != "" || *verbose {
+	if *logFormat == "json" {
+		obs.SetLogFormat(obs.FormatJSON)
+	}
+	if *report != "" || *debugAddr != "" || *verbose || *tracePath != "" || *historyDir != "" {
 		obs.Enable()
 	}
+	if *tracePath != "" {
+		obs.EnableTrace()
+	}
+	if warning != "" {
+		obs.Errorf("cirstag: warning: %s", warning)
+	}
+	var debugBound string
 	if *debugAddr != "" {
-		addr, err := obs.ServeDebug(*debugAddr)
+		addr, closer, err := obs.ServeDebug(*debugAddr)
 		if err != nil {
 			fatal(err)
 		}
-		obs.Infof("debug server listening on http://%s/debug/pprof/ (expvar at /debug/vars)", addr)
+		defer closer.Close()
+		debugBound = addr
+		obs.Infof("debug server listening on http://%s/debug/pprof/ (expvar at /debug/vars, Prometheus at /metrics)", addr)
 	}
 
 	store, err := cliutil.OpenCache(*cacheDir, *noCache)
@@ -178,31 +222,138 @@ func main() {
 		}
 		obs.Infof("wrote run report to %s", *report)
 	}
+	if *tracePath != "" {
+		if err := export.WriteTraceFile(*tracePath); err != nil {
+			fatal(err)
+		}
+		obs.Infof("wrote trace export to %s (load in ui.perfetto.dev or chrome://tracing)", *tracePath)
+	}
+	if *metricsOut != "" {
+		if err := fetchMetrics(debugBound, *metricsOut); err != nil {
+			fatal(err)
+		}
+		obs.Infof("wrote /metrics exposition to %s", *metricsOut)
+	}
+	if *historyDir != "" {
+		if err := recordHistory(*historyDir, *checkBudget, nl, store == nil); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// recordHistory appends this run's phase profile to the ledger and, when
+// requested, gates it against the budgets file. Budgets are checked against
+// the history as it was BEFORE this run, so a slow run cannot poison its own
+// baseline.
+func recordHistory(dir string, checkBudgets bool, nl *circuit.Netlist, cold bool) error {
+	entry := history.NewEntry("cirstag", netlistHash(nl), cold)
+	prior, skipped, err := history.Load(dir)
+	if err != nil {
+		return err
+	}
+	if skipped > 0 {
+		obs.Errorf("cirstag: warning: skipped %d unreadable ledger line(s) in %s", skipped, dir)
+	}
+	if err := history.Append(dir, entry); err != nil {
+		return err
+	}
+	obs.Infof("appended run %s to %s (%d prior entries)", entry.RunID, filepath.Join(dir, history.LedgerFile), len(prior))
+	if !checkBudgets {
+		return nil
+	}
+	budgets, err := history.LoadBudgets(filepath.Join(dir, history.BudgetsFile))
+	if err != nil {
+		return err
+	}
+	breaches := history.CheckBudgets(entry, prior, budgets)
+	if len(breaches) == 0 {
+		obs.Infof("all %d budgeted phases within budget", len(budgets.Phases))
+		return nil
+	}
+	for _, b := range breaches {
+		obs.Errorf("cirstag: budget breach: %s", b)
+	}
+	os.Exit(cirerr.ExitBudgetBreach)
+	return nil // unreachable
+}
+
+// netlistHash fingerprints the analyzed design by its serialized content, so
+// ledger baselines only ever compare runs of the same input.
+func netlistHash(nl *circuit.Netlist) string {
+	h := sha256.New()
+	if err := circuit.Write(h, nl); err != nil {
+		// Serialization of an in-memory netlist cannot fail into a hasher;
+		// degrade to the name rather than aborting telemetry.
+		return "name:" + nl.Name
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// fetchMetrics snapshots the live /metrics exposition through the debug
+// server's real HTTP path (not a direct render), so what lands in the file is
+// exactly what a scraper would have seen.
+func fetchMetrics(addr, outPath string) error {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /metrics: status %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, body, 0o644)
+}
+
+// flagValues bundles the validated flag set (the list outgrew a readable
+// parameter list).
+type flagValues struct {
+	netlist, bench, cacheDir       string
+	top, epochs, hidden, embedDims int
+	scoreDims                      int
+	verbose, quiet, noCache        bool
+	logFormat, historyDir          string
+	checkBudgets                   bool
+	metricsOut, debugAddr          string
 }
 
 // validateFlags rejects invalid flag combinations before any work starts.
-func validateFlags(netlist, bench, cacheDir string, top, epochs, hidden, embedDims, scoreDims int, verbose, quiet, noCache bool) error {
+// The returned warning (if any) is surfaced after logging is configured.
+func validateFlags(v flagValues) (string, error) {
 	if err := cliutil.ExactlyOne(
-		cliutil.NamedFlag{Name: "-netlist", Set: netlist != ""},
-		cliutil.NamedFlag{Name: "-bench", Set: bench != ""},
+		cliutil.NamedFlag{Name: "-netlist", Set: v.netlist != ""},
+		cliutil.NamedFlag{Name: "-bench", Set: v.bench != ""},
 	); err != nil {
-		return err
+		return "", err
 	}
 	if err := cliutil.MutuallyExclusive(
-		cliutil.NamedFlag{Name: "-v", Set: verbose},
-		cliutil.NamedFlag{Name: "-quiet", Set: quiet},
+		cliutil.NamedFlag{Name: "-v", Set: v.verbose},
+		cliutil.NamedFlag{Name: "-quiet", Set: v.quiet},
 	); err != nil {
-		return err
+		return "", err
 	}
-	if err := cliutil.ValidateCacheFlags(cacheDir, noCache); err != nil {
-		return err
+	if err := cliutil.ValidateCacheFlags(v.cacheDir, v.noCache); err != nil {
+		return "", err
 	}
-	return cliutil.Positive(
-		cliutil.NamedInt{Name: "-top", Value: top},
-		cliutil.NamedInt{Name: "-epochs", Value: epochs},
-		cliutil.NamedInt{Name: "-hidden", Value: hidden},
-		cliutil.NamedInt{Name: "-embed-dims", Value: embedDims},
-		cliutil.NamedInt{Name: "-score-dims", Value: scoreDims},
+	if err := cliutil.OneOf("-log-format", v.logFormat, "text", "json"); err != nil {
+		return "", err
+	}
+	if v.metricsOut != "" && v.debugAddr == "" {
+		return "", fmt.Errorf("-metrics-out requires -debug-addr")
+	}
+	warning, err := cliutil.ValidateHistoryFlags(v.historyDir, v.checkBudgets, v.noCache)
+	if err != nil {
+		return "", err
+	}
+	return warning, cliutil.Positive(
+		cliutil.NamedInt{Name: "-top", Value: v.top},
+		cliutil.NamedInt{Name: "-epochs", Value: v.epochs},
+		cliutil.NamedInt{Name: "-hidden", Value: v.hidden},
+		cliutil.NamedInt{Name: "-embed-dims", Value: v.embedDims},
+		cliutil.NamedInt{Name: "-score-dims", Value: v.scoreDims},
 	)
 }
 

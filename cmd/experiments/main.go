@@ -23,6 +23,7 @@ import (
 	"cirstag/internal/cliutil"
 	"cirstag/internal/core"
 	"cirstag/internal/obs"
+	"cirstag/internal/obs/export"
 	"cirstag/internal/timing"
 )
 
@@ -38,12 +39,14 @@ func main() {
 		cacheDir   = flag.String("cache-dir", "", "artifact cache directory (default $CIRSTAG_CACHE_DIR; empty disables)")
 		noCache    = flag.Bool("no-cache", false, "disable the artifact cache even when $CIRSTAG_CACHE_DIR is set")
 		report     = flag.String("report", "", "write a JSON run report (spans + metrics) to this file")
+		tracePath  = flag.String("trace", "", "write a Chrome-trace/Perfetto JSON export to this file")
+		logFormat  = flag.String("log-format", "text", "log line encoding: text or json (run/span correlated)")
 		verbose    = flag.Bool("v", false, "debug logging and a span-tree summary on exit")
 		quiet      = flag.Bool("quiet", false, "errors only")
 	)
 	flag.Parse()
 
-	if err := validateFlags(*cacheDir, *epochs, *hidden, *embedDims, *scoreDims, *verbose, *quiet, *noCache); err != nil {
+	if err := validateFlags(*cacheDir, *epochs, *hidden, *embedDims, *scoreDims, *verbose, *quiet, *noCache, *logFormat); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v (see -h)\n", err)
 		os.Exit(cirerr.ExitBadInput)
 	}
@@ -53,8 +56,14 @@ func main() {
 	case *verbose:
 		obs.SetLevel(obs.LevelDebug)
 	}
-	if *report != "" || *verbose {
+	if *logFormat == "json" {
+		obs.SetLogFormat(obs.FormatJSON)
+	}
+	if *report != "" || *verbose || *tracePath != "" {
 		obs.Enable()
+	}
+	if *tracePath != "" {
+		obs.EnableTrace()
 	}
 
 	store, err := cliutil.OpenCache(*cacheDir, *noCache)
@@ -188,9 +197,15 @@ func main() {
 		}
 		obs.Infof("wrote run report to %s", *report)
 	}
+	if *tracePath != "" {
+		if err := export.WriteTraceFile(*tracePath); err != nil {
+			cliutil.Fatal("experiments", err)
+		}
+		obs.Infof("wrote trace export to %s (load in ui.perfetto.dev or chrome://tracing)", *tracePath)
+	}
 }
 
-func validateFlags(cacheDir string, epochs, hidden, embedDims, scoreDims int, verbose, quiet, noCache bool) error {
+func validateFlags(cacheDir string, epochs, hidden, embedDims, scoreDims int, verbose, quiet, noCache bool, logFormat string) error {
 	if err := cliutil.MutuallyExclusive(
 		cliutil.NamedFlag{Name: "-v", Set: verbose},
 		cliutil.NamedFlag{Name: "-quiet", Set: quiet},
@@ -198,6 +213,9 @@ func validateFlags(cacheDir string, epochs, hidden, embedDims, scoreDims int, ve
 		return err
 	}
 	if err := cliutil.ValidateCacheFlags(cacheDir, noCache); err != nil {
+		return err
+	}
+	if err := cliutil.OneOf("-log-format", logFormat, "text", "json"); err != nil {
 		return err
 	}
 	return cliutil.Positive(

@@ -1,0 +1,114 @@
+// Command obslint validates CirSTAG telemetry artifacts in CI without
+// external tooling: it lint-checks a Prometheus text exposition (the strict
+// subset of checks promtool would apply to our exporter's output) and
+// structurally validates a Chrome-trace/Perfetto JSON export.
+//
+// Usage:
+//
+//	obslint -metrics metrics.txt
+//	obslint -trace trace.json
+//
+// Both modes exit 0 when the artifact is well-formed and 1 with a diagnostic
+// on stderr when it is not; missing files and flag misuse exit 2.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"cirstag/internal/obs/export"
+)
+
+func main() {
+	var (
+		metricsPath = flag.String("metrics", "", "lint a Prometheus text exposition file")
+		tracePath   = flag.String("trace", "", "validate a Chrome-trace JSON export file")
+	)
+	flag.Parse()
+
+	if (*metricsPath == "") == (*tracePath == "") {
+		fmt.Fprintln(os.Stderr, "obslint: need exactly one of -metrics or -trace (see -h)")
+		os.Exit(2)
+	}
+	if *metricsPath != "" {
+		run(*metricsPath, lintMetrics)
+	} else {
+		run(*tracePath, lintTrace)
+	}
+}
+
+func run(path string, lint func([]byte) error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "obslint: %v\n", err)
+		os.Exit(2)
+	}
+	if err := lint(b); err != nil {
+		fmt.Fprintf(os.Stderr, "obslint: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("obslint: %s: OK\n", path)
+}
+
+func lintMetrics(b []byte) error {
+	return export.LintExposition(bytes.NewReader(b))
+}
+
+// traceShape mirrors the subset of the Chrome trace-event format the export
+// package emits; unknown fields are ignored so the check stays forward
+// compatible with extra args.
+type traceShape struct {
+	TraceEvents []struct {
+		Name string   `json:"name"`
+		Ph   string   `json:"ph"`
+		TS   *float64 `json:"ts"`
+		Dur  *float64 `json:"dur"`
+		PID  *int     `json:"pid"`
+		TID  *int     `json:"tid"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func lintTrace(b []byte) error {
+	var t traceShape
+	if err := json.Unmarshal(b, &t); err != nil {
+		return fmt.Errorf("not valid JSON: %v", err)
+	}
+	if len(t.TraceEvents) == 0 {
+		return fmt.Errorf("no traceEvents")
+	}
+	var complete int
+	for i, ev := range t.TraceEvents {
+		if ev.Name == "" {
+			return fmt.Errorf("event %d has no name", i)
+		}
+		switch ev.Ph {
+		case "X":
+			complete++
+			if ev.TS == nil || ev.Dur == nil {
+				return fmt.Errorf("complete event %d (%s) missing ts/dur", i, ev.Name)
+			}
+			if *ev.Dur < 0 {
+				return fmt.Errorf("complete event %d (%s) has negative dur", i, ev.Name)
+			}
+		case "i":
+			if ev.TS == nil {
+				return fmt.Errorf("instant event %d (%s) missing ts", i, ev.Name)
+			}
+		case "M":
+			// Metadata events carry no timestamps.
+		default:
+			return fmt.Errorf("event %d (%s) has unexpected phase %q", i, ev.Name, ev.Ph)
+		}
+		if ev.Ph != "M" && (ev.PID == nil || ev.TID == nil) {
+			return fmt.Errorf("event %d (%s) missing pid/tid", i, ev.Name)
+		}
+	}
+	if complete == 0 {
+		return fmt.Errorf("no complete (ph=X) span events")
+	}
+	return nil
+}

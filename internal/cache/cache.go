@@ -155,6 +155,7 @@ func (s *Store) Get(kind, key string) ([]byte, bool) {
 	if err != nil {
 		s.misses.Add(1)
 		missCounter.Inc()
+		obs.TraceInstant("cache.miss", kind)
 		return nil, false
 	}
 	// Fault-injection point: tests corrupt the raw frame here to prove the
@@ -167,6 +168,7 @@ func (s *Store) Get(kind, key string) ([]byte, bool) {
 		s.misses.Add(1)
 		corruptionCounter.Inc()
 		missCounter.Inc()
+		obs.TraceInstant("cache.corrupt", kind)
 		os.Remove(s.path(kind, key)) // best-effort hygiene
 		return nil, false
 	}
@@ -174,6 +176,7 @@ func (s *Store) Get(kind, key string) ([]byte, bool) {
 	s.bytesRead.Add(int64(len(payload)))
 	hitCounter.Inc()
 	bytesReadCounter.Add(int64(len(payload)))
+	obs.TraceInstant("cache.hit", kind)
 	return payload, true
 }
 
@@ -210,6 +213,7 @@ func (s *Store) Put(kind, key string, payload []byte) error {
 	}
 	s.bytesWritten.Add(int64(len(payload)))
 	bytesWriteCounter.Add(int64(len(payload)))
+	obs.TraceInstant("cache.put", kind)
 	return nil
 }
 

@@ -130,6 +130,11 @@ const (
 	ExitCorruptArtifact = 3
 	ExitNoConverge      = 4
 	ExitDegenerate      = 5
+	// ExitBudgetBreach is not an error kind: the run itself succeeded, but
+	// -check-budgets found a phase over its latency budget (internal/obs/
+	// history). Scripts gate deploys on it without conflating it with
+	// pipeline failures.
+	ExitBudgetBreach = 6
 )
 
 // ExitCode maps an error onto the CLI exit code for its kind.

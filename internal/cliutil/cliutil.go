@@ -83,6 +83,39 @@ func ValidateCacheFlags(cacheDir string, noCache bool) error {
 	)
 }
 
+// OneOf rejects a string flag whose value is outside the allowed set.
+func OneOf(name, value string, allowed ...string) error {
+	for _, a := range allowed {
+		if value == a {
+			return nil
+		}
+	}
+	opts := ""
+	for i, a := range allowed {
+		if i > 0 {
+			opts += " or "
+		}
+		opts += a
+	}
+	return fmt.Errorf("%s must be %s, got %q", name, opts, value)
+}
+
+// ValidateHistoryFlags checks the run-history flag combination shared by the
+// binaries. -check-budgets without -history-dir is a hard usage error (there
+// is no ledger or budgets file to check against). -no-cache together with
+// -check-budgets is legal but suspicious — cold runs re-execute phases that
+// warm runs skip, so budgets seeded from warm history will spuriously breach
+// — and returns a warning string for the CLI to surface without failing.
+func ValidateHistoryFlags(historyDir string, checkBudgets, noCache bool) (warning string, err error) {
+	if checkBudgets && historyDir == "" {
+		return "", fmt.Errorf("-check-budgets requires -history-dir")
+	}
+	if checkBudgets && noCache {
+		warning = "-no-cache with -check-budgets: cold-run phase timings differ from warm-run budgets (baselines compare cold runs only against cold runs)"
+	}
+	return warning, nil
+}
+
 // Fatal logs err prefixed with the tool name and exits with the process exit
 // code its cirerr kind maps to (see cirerr.ExitCode): bad input is 2 like any
 // other usage error, corrupt artifacts 3, solver non-convergence 4, degenerate

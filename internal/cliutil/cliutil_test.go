@@ -82,6 +82,32 @@ func TestConflictTable(t *testing.T) {
 			name: "all positive",
 			err:  Positive(NamedInt{Name: "-top", Value: 20}, NamedInt{Name: "-epochs", Value: 300}),
 		},
+		{
+			name:    "unknown log format",
+			err:     OneOf("-log-format", "yaml", "text", "json"),
+			wantErr: `-log-format must be text or json, got "yaml"`,
+		},
+		{
+			name: "text log format",
+			err:  OneOf("-log-format", "text", "text", "json"),
+		},
+		{
+			name: "json log format",
+			err:  OneOf("-log-format", "json", "text", "json"),
+		},
+		{
+			name:    "check-budgets without history dir",
+			err:     second(ValidateHistoryFlags("", true, false)),
+			wantErr: "-check-budgets requires -history-dir",
+		},
+		{
+			name: "check-budgets with history dir",
+			err:  second(ValidateHistoryFlags("runs", true, false)),
+		},
+		{
+			name: "history dir alone",
+			err:  second(ValidateHistoryFlags("runs", false, false)),
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -95,6 +121,25 @@ func TestConflictTable(t *testing.T) {
 				t.Fatalf("error = %v, want substring %q", tc.err, tc.wantErr)
 			}
 		})
+	}
+}
+
+// second drops the warning from ValidateHistoryFlags so the conflict table
+// stays uniform.
+func second(_ string, err error) error { return err }
+
+// TestValidateHistoryFlagsWarning: -no-cache with -check-budgets is legal but
+// must surface a warning (cold runs compare against cold baselines only).
+func TestValidateHistoryFlagsWarning(t *testing.T) {
+	warning, err := ValidateHistoryFlags("runs", true, true)
+	if err != nil {
+		t.Fatalf("legal combination rejected: %v", err)
+	}
+	if !strings.Contains(warning, "-no-cache") || !strings.Contains(warning, "cold") {
+		t.Fatalf("warning = %q, want mention of -no-cache and cold runs", warning)
+	}
+	if w, err := ValidateHistoryFlags("runs", false, true); err != nil || w != "" {
+		t.Fatalf("no -check-budgets: warning=%q err=%v, want silence", w, err)
 	}
 }
 

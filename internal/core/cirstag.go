@@ -145,9 +145,14 @@ func Run(in Input, opts Options) (res *Result, err error) {
 
 	// Trace: one root span per run, one child per pipeline phase. Spans are
 	// nil no-ops unless obs is enabled, and recording only reads the clock,
-	// so enabling observability cannot change any Result byte.
+	// so enabling observability cannot change any Result byte. The run-ID
+	// stamp is what joins this span tree with the JSON log stream, the
+	// Perfetto trace export, and the run-history ledger entry.
 	root := obs.Start("core.run")
 	defer root.End()
+	if obs.Enabled() {
+		obs.Debugf("core.run start: run_id=%s span=%d n=%d seed=%d", obs.RunID(), root.ID(), n, opts.Seed)
+	}
 
 	// Artifact-cache keys. Each key covers every input that can change the
 	// artifact's bytes (graph/feature/output content, options, seed) plus the

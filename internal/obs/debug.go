@@ -2,9 +2,11 @@ package obs
 
 import (
 	"expvar"
+	"io"
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
 	// Registers /debug/pprof/* on http.DefaultServeMux; expvar's own init
 	// registers /debug/vars there too.
@@ -13,19 +15,45 @@ import (
 
 var publishOnce sync.Once
 
+// metricsHandler serves GET /metrics on the debug server. It is installed by
+// internal/obs/export (whose init registers the Prometheus exposition
+// renderer); obs cannot import the export package — it sits below it — so the
+// dependency is inverted through this hook, mirroring SetCacheReporter.
+var metricsHandler atomic.Pointer[http.Handler]
+
+// SetMetricsHandler installs (or, with nil, removes) the handler behind the
+// debug server's /metrics endpoint.
+func SetMetricsHandler(h http.Handler) {
+	if h == nil {
+		metricsHandler.Store(nil)
+		return
+	}
+	metricsHandler.Store(&h)
+}
+
 // ServeDebug starts an HTTP debug server on addr (e.g. ":6060") exposing
-// net/http/pprof profiles under /debug/pprof/ and expvar — including the
-// live run report as the "cirstag" variable — under /debug/vars. It returns
-// the bound address (useful with ":0") and never blocks; the listener stays
-// open for the life of the process.
-func ServeDebug(addr string) (string, error) {
+// net/http/pprof profiles under /debug/pprof/, expvar — including the live
+// run report as the "cirstag" variable — under /debug/vars, and (when a
+// telemetry exporter is linked, see SetMetricsHandler) the Prometheus text
+// exposition under /metrics. It returns the bound address (useful with ":0")
+// and an io.Closer that shuts the listener down, and never blocks. Callers
+// that discard the closer keep the previous behavior: the listener stays open
+// for the life of the process.
+func ServeDebug(addr string) (string, io.Closer, error) {
 	publishOnce.Do(func() {
 		expvar.Publish("cirstag", expvar.Func(func() any { return Snapshot() }))
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			if h := metricsHandler.Load(); h != nil {
+				(*h).ServeHTTP(w, r)
+				return
+			}
+			http.Error(w, "metrics exporter not linked (import cirstag/internal/obs/export)", http.StatusNotImplemented)
+		})
 	})
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	go http.Serve(ln, nil) //nolint:errcheck // best-effort debug endpoint
-	return ln.Addr().String(), nil
+	return ln.Addr().String(), ln, nil
 }

@@ -1,0 +1,290 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cirstag/internal/obs"
+)
+
+func TestWritePrometheusPassesLint(t *testing.T) {
+	obs.Reset()
+	obs.Enable()
+	defer func() {
+		obs.Disable()
+		obs.Reset()
+	}()
+	obs.NewCounter("export.test.counter").Add(5)
+	obs.NewGauge("export.test.gauge").Set(-2.5)
+	h := obs.NewHistogram("export.test.hist", 1, 10, 100)
+	for _, v := range []float64{0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	obs.NewHistogram("export.test.empty_hist", 1, 2) // zero observations
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	if err := LintExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("own exposition fails lint: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# TYPE cirstag_export_test_counter_total counter",
+		"cirstag_export_test_counter_total 5",
+		"# TYPE cirstag_export_test_gauge gauge",
+		"cirstag_export_test_gauge -2.5",
+		"# TYPE cirstag_export_test_hist histogram",
+		`cirstag_export_test_hist_bucket{le="1"} 1`,
+		`cirstag_export_test_hist_bucket{le="10"} 2`,
+		`cirstag_export_test_hist_bucket{le="100"} 3`,
+		`cirstag_export_test_hist_bucket{le="+Inf"} 4`,
+		"cirstag_export_test_hist_count 4",
+		`cirstag_export_test_empty_hist_bucket{le="+Inf"} 0`,
+		"cirstag_export_test_empty_hist_sum 0",
+		"cirstag_export_test_empty_hist_count 0",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestPrometheusHandlerServesExposition(t *testing.T) {
+	obs.Reset()
+	obs.Enable()
+	defer func() {
+		obs.Disable()
+		obs.Reset()
+	}()
+	obs.NewCounter("export.test.handler").Inc()
+
+	rec := httptest.NewRecorder()
+	PrometheusHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if err := LintExposition(rec.Body); err != nil {
+		t.Fatalf("served exposition fails lint: %v", err)
+	}
+}
+
+func TestLintExpositionCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{
+			name:    "sample without type",
+			body:    "mystery_metric 1\n",
+			wantErr: "no TYPE",
+		},
+		{
+			name:    "type without help",
+			body:    "# TYPE x counter\nx_total 1\n",
+			wantErr: "not preceded by HELP",
+		},
+		{
+			name:    "counter missing _total",
+			body:    "# HELP x c.\n# TYPE x counter\nx 1\n",
+			wantErr: "should end in _total",
+		},
+		{
+			name:    "negative counter",
+			body:    "# HELP x_total c.\n# TYPE x_total counter\nx_total -3\n",
+			wantErr: "invalid value",
+		},
+		{
+			name: "non-cumulative buckets",
+			body: "# HELP h hist.\n# TYPE h histogram\n" +
+				"h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+			wantErr: "not cumulative",
+		},
+		{
+			name:    "missing inf bucket",
+			body:    "# HELP h hist.\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			wantErr: "no le=\"+Inf\" bucket",
+		},
+		{
+			name: "inf bucket disagrees with count",
+			body: "# HELP h hist.\n# TYPE h histogram\n" +
+				"h_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+			wantErr: "!= _count",
+		},
+		{
+			name:    "unsupported type",
+			body:    "# HELP s sum.\n# TYPE s summary\n",
+			wantErr: "unsupported type",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := LintExposition(strings.NewReader(tc.body))
+			if err == nil {
+				t.Fatalf("lint accepted invalid exposition:\n%s", tc.body)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	// A well-formed counter (TYPE family carries the _total name, matching
+	// what client libraries and our exporter emit) passes.
+	if err := LintExposition(strings.NewReader("# HELP ok_total c.\n# TYPE ok_total counter\nok_total 1\n")); err != nil {
+		t.Fatalf("valid counter rejected: %v", err)
+	}
+}
+
+// span builds a synthetic SpanReport for lane-layout tests (times in ms).
+func span(name string, id uint64, start, dur float64, children ...obs.SpanReport) obs.SpanReport {
+	return obs.SpanReport{Name: name, ID: id, StartMS: start, DurationMS: dur, Children: children}
+}
+
+func TestLaneLayoutNestingAndOverlap(t *testing.T) {
+	// root [0,100] with sequential child seq [5,15], then overlapping
+	// siblings a [20,60] and b [40,90]; a has nested child aa [25,35].
+	root := span("root", 1, 0, 100,
+		span("seq", 2, 5, 10),
+		span("a", 3, 20, 40, span("aa", 5, 25, 10)),
+		span("b", 4, 40, 50),
+	)
+	lanes := map[string]int{}
+	l := &laneLayout{}
+	l.placeForest([]obs.SpanReport{root}, func(s obs.SpanReport, lane int) {
+		lanes[s.Name] = lane
+	})
+	if lanes["root"] != 0 {
+		t.Fatalf("root on lane %d, want 0", lanes["root"])
+	}
+	// Sequential child and first overlapping sibling nest inside the parent
+	// lane; the overlapping sibling must be pushed off it.
+	if lanes["seq"] != 0 || lanes["a"] != 0 {
+		t.Fatalf("non-overlapping children left parent lane: seq=%d a=%d", lanes["seq"], lanes["a"])
+	}
+	if lanes["aa"] != lanes["a"] {
+		t.Fatalf("nested child of a on lane %d, want %d", lanes["aa"], lanes["a"])
+	}
+	if lanes["b"] == 0 {
+		t.Fatal("overlapping sibling b shares lane 0 with a — viewers cannot nest it")
+	}
+}
+
+func TestLaneLayoutSequentialRootsShareLane(t *testing.T) {
+	roots := []obs.SpanReport{
+		span("r1", 1, 0, 10),
+		span("r2", 2, 20, 10),
+		span("r3", 3, 5, 30), // overlaps r1
+	}
+	lanes := map[string]int{}
+	l := &laneLayout{}
+	l.placeForest(roots, func(s obs.SpanReport, lane int) { lanes[s.Name] = lane })
+	if lanes["r1"] != 0 {
+		t.Fatalf("r1 on lane %d", lanes["r1"])
+	}
+	if lanes["r3"] == 0 {
+		t.Fatal("overlapping root r3 shares lane 0 with r1")
+	}
+	if lanes["r2"] != 0 {
+		t.Fatalf("sequential root r2 pushed to lane %d, want reuse of 0", lanes["r2"])
+	}
+}
+
+func TestWriteTraceStructure(t *testing.T) {
+	obs.Reset()
+	obs.Enable()
+	obs.EnableTrace()
+	defer func() {
+		obs.DisableTrace()
+		obs.Disable()
+		obs.Reset()
+	}()
+
+	root := obs.Start("trace-root")
+	root.Child("trace-phase").End()
+	root.End()
+	now := time.Now()
+	obs.TraceChunk(0, now, time.Millisecond)
+	obs.TraceChunk(1, now, 2*time.Millisecond)
+	obs.TraceInstant("cache.hit", "timing.model")
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Dur  *float64       `json:"dur"`
+			S    string         `json:"s"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		OtherData       map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if tf.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", tf.DisplayTimeUnit)
+	}
+	if tf.OtherData["schema"] != "cirstag.trace/v1" {
+		t.Fatalf("schema = %v", tf.OtherData["schema"])
+	}
+	if tf.OtherData["run_id"] == "" {
+		t.Fatal("no run_id in otherData")
+	}
+
+	var phases, chunks, instants, procNames, laneNames int
+	workerLanes := map[int]bool{}
+	for _, ev := range tf.TraceEvents {
+		switch {
+		case ev.Ph == "X" && ev.PID == tracePIDPipeline:
+			phases++
+			if ev.Args["span_id"] == nil {
+				t.Fatalf("phase event %q has no span_id arg", ev.Name)
+			}
+			if ev.Dur == nil || *ev.Dur < 0 {
+				t.Fatalf("phase event %q has bad dur", ev.Name)
+			}
+		case ev.Ph == "X" && ev.PID == tracePIDWorkers:
+			chunks++
+			workerLanes[ev.TID] = true
+		case ev.Ph == "i":
+			instants++
+			if ev.S != "p" {
+				t.Fatalf("instant %q scope = %q, want p", ev.Name, ev.S)
+			}
+		case ev.Ph == "M" && ev.Name == "process_name":
+			procNames++
+		case ev.Ph == "M" && ev.Name == "thread_name":
+			laneNames++
+		}
+	}
+	if phases != 2 {
+		t.Fatalf("phase events = %d, want 2", phases)
+	}
+	if chunks != 2 || !workerLanes[0] || !workerLanes[1] {
+		t.Fatalf("chunk events = %d on lanes %v, want one each on 0 and 1", chunks, workerLanes)
+	}
+	if instants != 1 {
+		t.Fatalf("instant events = %d, want 1", instants)
+	}
+	if procNames != 2 {
+		t.Fatalf("process_name metadata = %d, want 2 (pipeline + workers)", procNames)
+	}
+	if laneNames < 3 {
+		t.Fatalf("thread_name metadata = %d, want >= 3 (1 phase lane + 2 worker lanes)", laneNames)
+	}
+}

@@ -1,0 +1,332 @@
+// Package export turns the in-process telemetry of internal/obs into
+// operable, externally consumable signals: a Prometheus text-format
+// exposition of the metric registry (served as /metrics on the obs debug
+// server) and a Chrome-trace/Perfetto JSON export of the span tree, worker
+// lanes, and instant events.
+//
+// Importing the package is enough to light up /metrics: init installs the
+// exposition renderer as the obs debug server's metrics handler. Both CLIs
+// import it, so any -debug-addr server scrapes out of the box.
+package export
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cirstag/internal/obs"
+)
+
+func init() {
+	obs.SetMetricsHandler(PrometheusHandler())
+}
+
+// namePrefix namespaces every exported series; the dotted obs metric names
+// map underneath it with dots flattened to underscores.
+const namePrefix = "cirstag_"
+
+// promName sanitizes a dotted obs metric name into a Prometheus metric name:
+// "cache.bytes_read" -> "cirstag_cache_bytes_read". Any byte outside
+// [a-zA-Z0-9_] becomes '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(namePrefix) + len(name))
+	b.WriteString(namePrefix)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatValue renders a sample value the way Prometheus expects: shortest
+// round-trip decimal, with +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the current obs metric registry in Prometheus text
+// exposition format 0.0.4. Counters gain the conventional _total suffix;
+// histograms expose cumulative le-labelled buckets (always ending in
+// le="+Inf"), _sum, and _count. Every family carries stable # HELP and
+// # TYPE lines and families appear in sorted name order, so successive
+// scrapes differ only in sample values.
+func WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range obs.MetricsSnapshot() {
+		name := promName(m.Name)
+		switch m.Kind {
+		case obs.KindCounter:
+			name += "_total"
+			fmt.Fprintf(bw, "# HELP %s CirSTAG counter %s.\n", name, m.Name)
+			fmt.Fprintf(bw, "# TYPE %s counter\n", name)
+			fmt.Fprintf(bw, "%s %s\n", name, formatValue(m.Value))
+		case obs.KindGauge:
+			fmt.Fprintf(bw, "# HELP %s CirSTAG gauge %s.\n", name, m.Name)
+			fmt.Fprintf(bw, "# TYPE %s gauge\n", name)
+			fmt.Fprintf(bw, "%s %s\n", name, formatValue(m.Value))
+		case obs.KindHistogram:
+			fmt.Fprintf(bw, "# HELP %s CirSTAG histogram %s.\n", name, m.Name)
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+			var cum int64
+			for i, bound := range m.Hist.Bounds {
+				cum += m.Hist.Counts[i]
+				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", name, formatValue(bound), cum)
+			}
+			cum += m.Hist.Counts[len(m.Hist.Counts)-1]
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+			sum := m.Hist.Sum
+			if m.Hist.Count == 0 {
+				sum = 0
+			}
+			fmt.Fprintf(bw, "%s_sum %s\n", name, formatValue(sum))
+			fmt.Fprintf(bw, "%s_count %d\n", name, m.Hist.Count)
+		}
+	}
+	return bw.Flush()
+}
+
+// PrometheusHandler returns an http.Handler serving WritePrometheus, suitable
+// for the obs debug server's /metrics endpoint.
+func PrometheusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WritePrometheus(w); err != nil {
+			// Headers are already gone; nothing useful left to do.
+			obs.Debugf("export: writing /metrics: %v", err)
+		}
+	})
+}
+
+// LintExposition structurally validates a Prometheus text exposition (what CI
+// runs against the smoke job's /metrics body instead of pulling in promtool):
+//
+//   - every sample belongs to a family announced by # TYPE, and every # TYPE
+//     is preceded by a # HELP for the same family;
+//   - counter samples end in _total and are finite and non-negative;
+//   - histogram bucket series are le-labelled, cumulative (monotone
+//     non-decreasing), end in an le="+Inf" bucket, and that bucket equals the
+//     family's _count sample;
+//   - no family or sample name appears under two different types.
+//
+// It returns nil for an empty exposition and a descriptive error for the
+// first violation found.
+func LintExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+
+	helped := map[string]bool{}
+	typed := map[string]string{} // family -> type
+	type histState struct {
+		lastCum  float64
+		seenInf  bool
+		infValue float64
+		count    *float64
+	}
+	hists := map[string]*histState{}
+	line := 0
+
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "# HELP ") {
+			fields := strings.SplitN(strings.TrimPrefix(text, "# HELP "), " ", 2)
+			if fields[0] == "" {
+				return fmt.Errorf("line %d: HELP without a metric name", line)
+			}
+			helped[fields[0]] = true
+			continue
+		}
+		if strings.HasPrefix(text, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(text, "# TYPE "))
+			if len(fields) != 2 {
+				return fmt.Errorf("line %d: malformed TYPE line %q", line, text)
+			}
+			name, typ := fields[0], fields[1]
+			if !helped[name] {
+				return fmt.Errorf("line %d: TYPE %s not preceded by HELP", line, name)
+			}
+			if prev, ok := typed[name]; ok && prev != typ {
+				return fmt.Errorf("line %d: %s declared both %s and %s", line, name, prev, typ)
+			}
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				return fmt.Errorf("line %d: unsupported type %q", line, typ)
+			}
+			typed[name] = typ
+			if typ == "histogram" {
+				hists[name] = &histState{}
+			}
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			continue // other comments are legal
+		}
+
+		name, labels, value, err := parseSample(text)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", line, err)
+		}
+		family, role := sampleFamily(name, typed)
+		if family == "" {
+			return fmt.Errorf("line %d: sample %s has no TYPE declaration", line, name)
+		}
+		switch typed[family] {
+		case "counter":
+			if !strings.HasSuffix(name, "_total") {
+				return fmt.Errorf("line %d: counter sample %s should end in _total", line, name)
+			}
+			if math.IsNaN(value) || math.IsInf(value, 0) || value < 0 {
+				return fmt.Errorf("line %d: counter %s has invalid value %v", line, name, value)
+			}
+		case "histogram":
+			h := hists[family]
+			switch role {
+			case "bucket":
+				le, ok := labels["le"]
+				if !ok {
+					return fmt.Errorf("line %d: %s bucket without le label", line, name)
+				}
+				if h.seenInf {
+					return fmt.Errorf("line %d: %s bucket after le=\"+Inf\"", line, family)
+				}
+				if value+1e-9 < h.lastCum {
+					return fmt.Errorf("line %d: %s buckets not cumulative (%v < %v)", line, family, value, h.lastCum)
+				}
+				h.lastCum = value
+				if le == "+Inf" {
+					h.seenInf = true
+					h.infValue = value
+				}
+			case "count":
+				v := value
+				h.count = &v
+			case "sum":
+				// any finite value is fine
+				if math.IsNaN(value) || math.IsInf(value, 0) {
+					return fmt.Errorf("line %d: %s_sum is %v", line, family, value)
+				}
+			default:
+				return fmt.Errorf("line %d: unexpected histogram sample %s", line, name)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for _, family := range sortedNames(hists) {
+		h := hists[family]
+		if !h.seenInf {
+			return fmt.Errorf("histogram %s has no le=\"+Inf\" bucket", family)
+		}
+		if h.count == nil {
+			return fmt.Errorf("histogram %s has no _count sample", family)
+		}
+		if *h.count != h.infValue {
+			return fmt.Errorf("histogram %s: le=\"+Inf\" bucket %v != _count %v", family, h.infValue, *h.count)
+		}
+	}
+	return nil
+}
+
+// sampleFamily maps a sample name onto its declared family: exact match, or
+// the histogram the _bucket/_sum/_count suffix belongs to. The second return
+// is the histogram sample role ("" for plain samples).
+func sampleFamily(name string, typed map[string]string) (string, string) {
+	if _, ok := typed[name]; ok {
+		return name, ""
+	}
+	for _, suf := range []struct{ suffix, role string }{
+		{"_bucket", "bucket"}, {"_count", "count"}, {"_sum", "sum"},
+	} {
+		if base, found := strings.CutSuffix(name, suf.suffix); found {
+			if typed[base] == "histogram" {
+				return base, suf.role
+			}
+		}
+	}
+	return "", ""
+}
+
+// parseSample splits a text-format sample line into name, labels, and value.
+func parseSample(text string) (string, map[string]string, float64, error) {
+	nameEnd := strings.IndexAny(text, "{ \t")
+	if nameEnd <= 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", text)
+	}
+	name := text[:nameEnd]
+	rest := text[nameEnd:]
+	labels := map[string]string{}
+	if strings.HasPrefix(rest, "{") {
+		close := strings.Index(rest, "}")
+		if close < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", text)
+		}
+		for _, pair := range strings.Split(rest[1:close], ",") {
+			if pair = strings.TrimSpace(pair); pair == "" {
+				continue
+			}
+			k, v, found := strings.Cut(pair, "=")
+			if !found {
+				return "", nil, 0, fmt.Errorf("malformed label %q", pair)
+			}
+			unq, err := strconv.Unquote(strings.TrimSpace(v))
+			if err != nil {
+				return "", nil, 0, fmt.Errorf("label value %s not quoted: %v", v, err)
+			}
+			labels[strings.TrimSpace(k)] = unq
+		}
+		rest = rest[close+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return "", nil, 0, fmt.Errorf("malformed sample tail %q", rest)
+	}
+	var value float64
+	var err error
+	switch fields[0] {
+	case "+Inf":
+		value = math.Inf(1)
+	case "-Inf":
+		value = math.Inf(-1)
+	case "NaN":
+		value = math.NaN()
+	default:
+		value, err = strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return "", nil, 0, fmt.Errorf("bad sample value %q", fields[0])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// sortedNames is a tiny helper kept for symmetry with obs.sortedKeys; it
+// returns the map's keys sorted.
+func sortedNames[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

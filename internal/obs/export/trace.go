@@ -1,0 +1,241 @@
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"cirstag/internal/obs"
+)
+
+// Chrome trace-event / Perfetto export. The span tree becomes complete ("X")
+// events on pid 1, laid out on as few "phase lanes" (tids) as correct nesting
+// allows: a child shares its parent's lane when nothing else occupies it, and
+// concurrently overlapping siblings (the G_X/G_Y manifold builds) are pushed
+// to separate lanes so no viewer ever has to render two non-nested events on
+// one thread row. Worker-pool chunk events land on pid 2 with tid = worker
+// index (one lane per pool worker), and instant events (cache hits/misses)
+// appear as process-scoped instants on pid 1.
+
+// Trace process IDs: phase spans + instants vs. worker-pool lanes.
+const (
+	tracePIDPipeline = 1
+	tracePIDWorkers  = 2
+)
+
+// traceEvent is one Chrome trace-event JSON object. ts/dur are microseconds.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON object container format (the one Perfetto and
+// chrome://tracing both load).
+type traceFile struct {
+	TraceEvents     []traceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteTrace renders the current obs span forest, worker-chunk events, and
+// instant events as Chrome trace-event JSON.
+func WriteTrace(w io.Writer) error {
+	rep := obs.Snapshot()
+	chunks, instants := obs.TraceSnapshot()
+	epoch := obs.Epoch()
+
+	var events []traceEvent
+	dur := func(d float64) *float64 { return &d }
+
+	// Phase spans: lay the forest out on nesting-correct lanes.
+	roots := append([]obs.SpanReport(nil), rep.Spans...)
+	sort.SliceStable(roots, func(a, b int) bool { return roots[a].StartMS < roots[b].StartMS })
+	maxLane := 0
+	l := &laneLayout{}
+	l.placeForest(roots, func(s obs.SpanReport, lane int) {
+		if lane > maxLane {
+			maxLane = lane
+		}
+		events = append(events, traceEvent{
+			Name: s.Name,
+			Cat:  "phase",
+			Ph:   "X",
+			TS:   s.StartMS * 1000,
+			Dur:  dur(s.DurationMS * 1000),
+			PID:  tracePIDPipeline,
+			TID:  lane,
+			Args: map[string]any{"span_id": s.ID},
+		})
+	})
+
+	// Instant events on the pipeline process (thread-scoped on lane 0 would
+	// hide them under phase slices; process scope draws a full-height line).
+	for _, in := range instants {
+		events = append(events, traceEvent{
+			Name: in.Name,
+			Cat:  "cache",
+			Ph:   "i",
+			TS:   float64(in.TS.Sub(epoch)) / float64(time.Microsecond),
+			PID:  tracePIDPipeline,
+			TID:  0,
+			S:    "p",
+			Args: map[string]any{"detail": in.Detail},
+		})
+	}
+
+	// Worker-pool chunk executions: tid = worker index.
+	maxWorker := -1
+	for _, c := range chunks {
+		if c.Worker > maxWorker {
+			maxWorker = c.Worker
+		}
+		events = append(events, traceEvent{
+			Name: "chunk",
+			Cat:  "parallel",
+			Ph:   "X",
+			TS:   float64(c.Start.Sub(epoch)) / float64(time.Microsecond),
+			Dur:  dur(float64(c.Dur) / float64(time.Microsecond)),
+			PID:  tracePIDWorkers,
+			TID:  c.Worker,
+		})
+	}
+
+	// Name the processes and lanes so the viewer reads like the DESIGN.md
+	// phase tree. Metadata events carry no timestamp semantics (ts 0).
+	meta := []traceEvent{
+		{Name: "process_name", Ph: "M", PID: tracePIDPipeline, TID: 0,
+			Args: map[string]any{"name": "cirstag pipeline"}},
+	}
+	for lane := 0; lane <= maxLane; lane++ {
+		meta = append(meta, traceEvent{Name: "thread_name", Ph: "M", PID: tracePIDPipeline, TID: lane,
+			Args: map[string]any{"name": fmt.Sprintf("phases-%d", lane)}})
+	}
+	if maxWorker >= 0 {
+		meta = append(meta, traceEvent{Name: "process_name", Ph: "M", PID: tracePIDWorkers, TID: 0,
+			Args: map[string]any{"name": "cirstag worker pool"}})
+		for wk := 0; wk <= maxWorker; wk++ {
+			meta = append(meta, traceEvent{Name: "thread_name", Ph: "M", PID: tracePIDWorkers, TID: wk,
+				Args: map[string]any{"name": fmt.Sprintf("worker %d", wk)}})
+		}
+	}
+	events = append(meta, events...)
+
+	tf := traceFile{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"run_id":     obs.RunID(),
+			"go_version": runtime.Version(),
+			"schema":     "cirstag.trace/v1",
+		},
+	}
+	if dropped := obs.TraceDropped(); dropped > 0 {
+		tf.OtherData["dropped_events"] = dropped
+	}
+	b, err := json.MarshalIndent(&tf, "", " ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteTraceFile writes the trace JSON to path (the -trace flag of
+// cmd/cirstag and cmd/experiments).
+func WriteTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// laneEps tolerates float rounding when deciding whether two spans abut
+// rather than overlap (milliseconds).
+const laneEps = 1e-6
+
+// laneLayout assigns spans to viewer lanes. ends[i] is the latest end time
+// (ms) of any span placed on lane i so far, used when allocating lanes for
+// spans that cannot share their parent's lane.
+type laneLayout struct {
+	ends []float64
+}
+
+// placeForest lays out the root spans as children of a virtual always-free
+// lane-0 parent.
+func (l *laneLayout) placeForest(roots []obs.SpanReport, emit func(obs.SpanReport, int)) {
+	childEnds := map[int]float64{0: math.Inf(-1)}
+	for _, r := range roots {
+		lane := l.pick(r, 0, childEnds)
+		childEnds[lane] = r.StartMS + r.DurationMS
+		l.placeTree(r, lane, emit)
+	}
+}
+
+// placeTree emits s on lane and recursively places its children: each child
+// prefers the parent's lane (free inside the parent whenever no earlier
+// sibling subtree still occupies it) and falls back to the first globally
+// free lane, so overlapping siblings — and only those — get distinct lanes.
+func (l *laneLayout) placeTree(s obs.SpanReport, lane int, emit func(obs.SpanReport, int)) {
+	emit(s, lane)
+	l.occupy(lane, s.StartMS+s.DurationMS)
+	// Within the parent's own lane, the parent slice does not block its
+	// children (viewers nest contained events); track sibling occupancy only.
+	childEnds := map[int]float64{lane: math.Inf(-1)}
+	kids := append([]obs.SpanReport(nil), s.Children...)
+	sort.SliceStable(kids, func(a, b int) bool { return kids[a].StartMS < kids[b].StartMS })
+	for _, c := range kids {
+		cl := l.pick(c, lane, childEnds)
+		childEnds[cl] = c.StartMS + c.DurationMS
+		l.placeTree(c, cl, emit)
+	}
+}
+
+// pick chooses the lane for child c of a parent on parentLane. childEnds maps
+// lanes used by earlier siblings (and the parent lane) to the end of the last
+// sibling subtree placed there.
+func (l *laneLayout) pick(c obs.SpanReport, parentLane int, childEnds map[int]float64) int {
+	if end, ok := childEnds[parentLane]; !ok || end <= c.StartMS+laneEps {
+		return parentLane
+	}
+	for lane := range l.ends {
+		if lane == parentLane {
+			continue
+		}
+		if sibEnd, used := childEnds[lane]; used && sibEnd > c.StartMS+laneEps {
+			continue
+		}
+		if l.ends[lane] <= c.StartMS+laneEps {
+			return lane
+		}
+	}
+	l.ends = append(l.ends, math.Inf(-1))
+	return len(l.ends) - 1
+}
+
+// occupy records that lane is busy until end.
+func (l *laneLayout) occupy(lane int, end float64) {
+	for lane >= len(l.ends) {
+		l.ends = append(l.ends, math.Inf(-1))
+	}
+	if end > l.ends[lane] {
+		l.ends[lane] = end
+	}
+}

@@ -1,0 +1,241 @@
+package history
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cirstag/internal/cirerr"
+	"cirstag/internal/obs"
+)
+
+func entry(hash string, cold bool, phases map[string]float64) Entry {
+	return Entry{
+		Schema:    SchemaVersion,
+		RunID:     "test-run",
+		Time:      "2026-08-06T00:00:00Z",
+		Tool:      "test",
+		InputHash: hash,
+		Cold:      cold,
+		PhasesMS:  phases,
+	}
+}
+
+func TestAppendLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	e1 := entry("abc", false, map[string]float64{"core.run": 12.5, "train_gnn": 900})
+	e2 := entry("abc", true, map[string]float64{"core.run": 13})
+	if err := Append(dir, e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(dir, e2); err != nil {
+		t.Fatal(err)
+	}
+	got, skipped, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("skipped %d lines on a clean ledger", skipped)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d entries, want 2", len(got))
+	}
+	if got[0].PhasesMS["core.run"] != 12.5 || !got[1].Cold {
+		t.Fatalf("entries corrupted in round trip: %+v", got)
+	}
+}
+
+func TestLoadMissingLedgerIsEmpty(t *testing.T) {
+	got, skipped, err := Load(t.TempDir())
+	if err != nil || skipped != 0 || len(got) != 0 {
+		t.Fatalf("missing ledger: entries=%d skipped=%d err=%v", len(got), skipped, err)
+	}
+}
+
+func TestLoadSkipsCorruptAndForeignLines(t *testing.T) {
+	dir := t.TempDir()
+	if err := Append(dir, entry("abc", false, map[string]float64{"p": 1})); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, LedgerFile), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A torn line (crash mid-append) and a line from a future schema.
+	f.WriteString(`{"schema":"cirstag.history/v1","run_id":"torn`)
+	f.WriteString("\n")
+	f.WriteString(`{"schema":"cirstag.history/v9","run_id":"future","phases_ms":{}}` + "\n")
+	f.Close()
+	if err := Append(dir, entry("def", false, map[string]float64{"p": 2})); err != nil {
+		t.Fatal(err)
+	}
+
+	got, skipped, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 2 {
+		t.Fatalf("skipped = %d, want 2", skipped)
+	}
+	if len(got) != 2 || got[0].InputHash != "abc" || got[1].InputHash != "def" {
+		t.Fatalf("readable entries lost: %+v", got)
+	}
+}
+
+func TestAppendEmptyDirIsBadInput(t *testing.T) {
+	err := Append("", entry("x", false, nil))
+	if !errors.Is(err, cirerr.ErrBadInput) {
+		t.Fatalf("err = %v, want ErrBadInput", err)
+	}
+}
+
+func TestNewEntryFlattensSpans(t *testing.T) {
+	obs.Reset()
+	obs.Enable()
+	defer func() {
+		obs.Disable()
+		obs.Reset()
+	}()
+	root := obs.Start("hist-root")
+	root.Child("hist-phase").End()
+	root.Child("hist-phase").End() // duplicate name: durations sum
+	root.End()
+
+	e := NewEntry("cirstag", "hash123", true)
+	if e.Schema != SchemaVersion || e.Tool != "cirstag" || e.InputHash != "hash123" || !e.Cold {
+		t.Fatalf("entry header wrong: %+v", e)
+	}
+	if e.RunID == "" || e.Time == "" || e.GoVersion == "" {
+		t.Fatalf("entry missing provenance: %+v", e)
+	}
+	if _, ok := e.PhasesMS["hist-root"]; !ok {
+		t.Fatalf("root phase missing: %v", e.PhasesMS)
+	}
+	if _, ok := e.PhasesMS["hist-phase"]; !ok {
+		t.Fatalf("child phase missing: %v", e.PhasesMS)
+	}
+	if len(e.PhasesMS) != 2 {
+		t.Fatalf("phases = %v, want exactly hist-root and hist-phase (duplicates summed)", e.PhasesMS)
+	}
+}
+
+func writeBudgets(t *testing.T, dir, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, BudgetsFile)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadBudgetsValidation(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"bad schema", `{"schema":"nope","phases":{"p":{"max_ms":1}}}`, "schema"},
+		{"no phases", `{"schema":"cirstag.budgets/v1","phases":{}}`, "no phases"},
+		{"negative max", `{"schema":"cirstag.budgets/v1","phases":{"p":{"max_ms":-1}}}`, "negative max_ms"},
+		{"negative tolerance", `{"schema":"cirstag.budgets/v1","phases":{"p":{"tolerance_pct":-5}}}`, "negative tolerance_pct"},
+		{"empty budget", `{"schema":"cirstag.budgets/v1","phases":{"p":{}}}`, "neither max_ms nor tolerance_pct"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadBudgets(writeBudgets(t, dir, tc.body))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.wantErr)
+			}
+			if err != nil && !errors.Is(err, cirerr.ErrBadInput) {
+				t.Fatalf("err = %v, want ErrBadInput", err)
+			}
+		})
+	}
+
+	b, err := LoadBudgets(writeBudgets(t, dir,
+		`{"schema":"cirstag.budgets/v1","phases":{"core.run":{"max_ms":100,"tolerance_pct":0}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bud := b.Phases["core.run"]
+	if bud.MaxMS != 100 || bud.TolerancePct == nil || *bud.TolerancePct != 0 {
+		t.Fatalf("parsed budget = %+v (explicit tolerance_pct 0 must survive)", bud)
+	}
+}
+
+func TestCheckBudgetsAbsolute(t *testing.T) {
+	budgets := &Budgets{Schema: BudgetsSchemaVersion, Phases: map[string]Budget{
+		"slow.phase": {MaxMS: 10},
+		"fast.phase": {MaxMS: 10},
+		"not.run":    {MaxMS: 1},
+	}}
+	e := entry("abc", false, map[string]float64{"slow.phase": 25, "fast.phase": 5})
+	breaches := CheckBudgets(e, nil, budgets)
+	if len(breaches) != 1 {
+		t.Fatalf("breaches = %+v, want exactly one", breaches)
+	}
+	b := breaches[0]
+	if b.Phase != "slow.phase" || b.ActualMS != 25 || b.LimitMS != 10 || b.Why != "max_ms" {
+		t.Fatalf("breach = %+v", b)
+	}
+	if !strings.Contains(b.String(), `"slow.phase"`) {
+		t.Fatalf("breach message does not name the phase: %s", b)
+	}
+}
+
+func TestCheckBudgetsRelativeZeroTolerance(t *testing.T) {
+	zero := 0.0
+	budgets := &Budgets{Schema: BudgetsSchemaVersion, Phases: map[string]Budget{
+		"core.run": {TolerancePct: &zero},
+	}}
+	prior := []Entry{
+		entry("abc", false, map[string]float64{"core.run": 30}),
+		entry("abc", false, map[string]float64{"core.run": 20}), // best baseline
+		entry("abc", true, map[string]float64{"core.run": 5}),   // cold: other population
+		entry("zzz", false, map[string]float64{"core.run": 1}),  // other input
+	}
+
+	// First run of an input passes vacuously (seeds the baseline).
+	if br := CheckBudgets(entry("new", false, map[string]float64{"core.run": 999}), prior, budgets); len(br) != 0 {
+		t.Fatalf("no-baseline run breached: %+v", br)
+	}
+	// At the baseline: fine.
+	if br := CheckBudgets(entry("abc", false, map[string]float64{"core.run": 20}), prior, budgets); len(br) != 0 {
+		t.Fatalf("run at baseline breached: %+v", br)
+	}
+	// Slower than the best prior same-input warm run: breach naming the phase.
+	br := CheckBudgets(entry("abc", false, map[string]float64{"core.run": 20.5}), prior, budgets)
+	if len(br) != 1 || br[0].Phase != "core.run" || br[0].LimitMS != 20 || br[0].Why != "baseline+tolerance" {
+		t.Fatalf("breaches = %+v, want core.run over 20ms baseline", br)
+	}
+}
+
+func TestCheckBudgetsToleranceScaling(t *testing.T) {
+	fifty := 50.0
+	budgets := &Budgets{Schema: BudgetsSchemaVersion, Phases: map[string]Budget{
+		"p": {TolerancePct: &fifty},
+	}}
+	prior := []Entry{entry("abc", false, map[string]float64{"p": 100})}
+	if br := CheckBudgets(entry("abc", false, map[string]float64{"p": 149}), prior, budgets); len(br) != 0 {
+		t.Fatalf("within tolerance breached: %+v", br)
+	}
+	br := CheckBudgets(entry("abc", false, map[string]float64{"p": 151}), prior, budgets)
+	if len(br) != 1 || br[0].LimitMS != 150 {
+		t.Fatalf("breaches = %+v, want limit 150", br)
+	}
+}
+
+func TestCheckBudgetsSortedByPhase(t *testing.T) {
+	budgets := &Budgets{Schema: BudgetsSchemaVersion, Phases: map[string]Budget{
+		"z.phase": {MaxMS: 1},
+		"a.phase": {MaxMS: 1},
+		"m.phase": {MaxMS: 1},
+	}}
+	e := entry("abc", false, map[string]float64{"z.phase": 9, "a.phase": 9, "m.phase": 9})
+	br := CheckBudgets(e, nil, budgets)
+	if len(br) != 3 || br[0].Phase != "a.phase" || br[1].Phase != "m.phase" || br[2].Phase != "z.phase" {
+		t.Fatalf("breaches not sorted by phase: %+v", br)
+	}
+}

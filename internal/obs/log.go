@@ -1,11 +1,14 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Level is a logger verbosity threshold.
@@ -20,13 +23,31 @@ const (
 	LevelDebug
 )
 
+// Format selects the logger's line encoding.
+type Format int32
+
+const (
+	// FormatText is the human-readable default: the formatted message and a
+	// trailing newline, nothing else.
+	FormatText Format = iota
+	// FormatJSON emits one JSON object per line with ts/level/run_id/span/msg
+	// fields, so log lines correlate with trace exports and run reports (the
+	// -log-format=json CLI mode). Span IDs match SpanReport.ID in the report.
+	FormatJSON
+)
+
 // The logger is independent of the Enable/Disable recording switch: CLI
 // progress output stays useful whether or not spans and metrics are being
 // collected.
+//
+// A level-gated-out call (e.g. Debugf at the default level) returns after one
+// atomic load and never allocates — the hot-path guard is
+// TestLoggerGatedZeroAllocs.
 var (
-	logLevel atomic.Int32 // holds a Level; default LevelInfo
-	logMu    sync.Mutex
-	logOut   io.Writer = os.Stderr
+	logLevel  atomic.Int32 // holds a Level; default LevelInfo
+	logFormat atomic.Int32 // holds a Format; default FormatText
+	logMu     sync.Mutex
+	logOut    io.Writer = os.Stderr
 )
 
 func init() { logLevel.Store(int32(LevelInfo)) }
@@ -36,6 +57,12 @@ func SetLevel(l Level) { logLevel.Store(int32(l)) }
 
 // LogLevel returns the current verbosity threshold.
 func LogLevel() Level { return Level(logLevel.Load()) }
+
+// SetLogFormat selects text (default) or JSON line encoding.
+func SetLogFormat(f Format) { logFormat.Store(int32(f)) }
+
+// LogFormat returns the current line encoding.
+func LogFormat() Format { return Format(logFormat.Load()) }
 
 // SetLogOutput redirects log output (default os.Stderr). Pass nil to restore
 // stderr. Intended for tests.
@@ -48,13 +75,66 @@ func SetLogOutput(w io.Writer) {
 	logOut = w
 }
 
+// jsonLine is the FormatJSON line layout. Field order is fixed by the struct;
+// Span is a decimal span ID string, omitted between spans.
+type jsonLine struct {
+	TS    string `json:"ts"`
+	Level string `json:"level"`
+	RunID string `json:"run_id"`
+	Span  string `json:"span,omitempty"`
+	Msg   string `json:"msg"`
+}
+
+func levelName(l Level) string {
+	switch l {
+	case LevelError:
+		return "error"
+	case LevelDebug:
+		return "debug"
+	default:
+		return "info"
+	}
+}
+
+// logf renders one log line and writes it with a single Write call while
+// holding the output lock, so concurrent loggers can never interleave partial
+// lines (a torn line would be invalid JSON in FormatJSON mode). A format
+// string with no args is written verbatim — a literal '%' in a pre-composed
+// message cannot corrupt the output with spurious %!(NOVERB) noise.
 func logf(l Level, format string, args ...any) {
 	if Level(logLevel.Load()) < l {
 		return
 	}
+	msg := format
+	if len(args) > 0 {
+		msg = fmt.Sprintf(format, args...)
+	}
+	var line []byte
+	if Format(logFormat.Load()) == FormatJSON {
+		jl := jsonLine{
+			TS:    time.Now().Format(time.RFC3339Nano),
+			Level: levelName(l),
+			RunID: RunID(),
+			Msg:   msg,
+		}
+		if id := CurrentSpanID(); id != 0 {
+			jl.Span = strconv.FormatUint(id, 10)
+		}
+		b, err := json.Marshal(&jl)
+		if err != nil {
+			// Marshalling a flat string struct cannot fail; keep the message
+			// anyway if it somehow does.
+			b = []byte(fmt.Sprintf(`{"level":%q,"msg":"log marshal error"}`, levelName(l)))
+		}
+		line = append(b, '\n')
+	} else {
+		line = make([]byte, 0, len(msg)+1)
+		line = append(line, msg...)
+		line = append(line, '\n')
+	}
 	logMu.Lock()
-	defer logMu.Unlock()
-	fmt.Fprintf(logOut, format+"\n", args...)
+	logOut.Write(line) //nolint:errcheck // logging is best-effort
+	logMu.Unlock()
 }
 
 // Errorf logs at LevelError (always shown).

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -217,6 +218,70 @@ func atomicMaxFloat(bits *atomic.Uint64, v float64) {
 			return
 		}
 	}
+}
+
+// MetricSnapshot is one registered metric with its current value, as consumed
+// by exposition exporters (internal/obs/export). Unlike the run report —
+// which omits zero-activity metrics for readability — the snapshot includes
+// every registration, so a scraped exposition has a stable series set from
+// the first scrape on.
+type MetricSnapshot struct {
+	Name string
+	Kind MetricKind
+	// Value is the counter count or gauge value (unused for histograms).
+	Value float64
+	// Hist is set for histograms only; a never-observed histogram reports
+	// Count 0 with all-zero bucket counts.
+	Hist *HistReport
+}
+
+// MetricKind discriminates MetricSnapshot entries.
+type MetricKind int
+
+const (
+	KindCounter MetricKind = iota
+	KindGauge
+	KindHistogram
+)
+
+// MetricsSnapshot returns every registered metric with its current value,
+// sorted by name.
+func MetricsSnapshot() []MetricSnapshot {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make([]MetricSnapshot, 0, len(registry.counters)+len(registry.gauges)+len(registry.histograms))
+	for name, c := range registry.counters {
+		out = append(out, MetricSnapshot{Name: name, Kind: KindCounter, Value: float64(c.v.Load())})
+	}
+	for name, g := range registry.gauges {
+		out = append(out, MetricSnapshot{Name: name, Kind: KindGauge, Value: math.Float64frombits(g.bits.Load())})
+	}
+	for name, h := range registry.histograms {
+		hr := snapshotHist(h)
+		out = append(out, MetricSnapshot{Name: name, Kind: KindHistogram, Hist: &hr})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// snapshotHist copies a histogram's current state into its report form.
+func snapshotHist(h *Histogram) HistReport {
+	n := h.count.Load()
+	hr := HistReport{
+		Count:  n,
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+		Min:    math.Float64frombits(h.minBits.Load()),
+		Max:    math.Float64frombits(h.maxBits.Load()),
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+	}
+	if n > 0 {
+		hr.Mean = hr.Sum / float64(n)
+	}
+	for i := range h.counts {
+		hr.Counts[i] = h.counts[i].Load()
+	}
+	return hr
 }
 
 // ExpBuckets returns n exponentially spaced bucket bounds

@@ -14,10 +14,19 @@
 //     nil-receiver safe no-ops.
 //   - Counter/Gauge/Histogram handles are allocated once at package init;
 //     their record methods load one atomic bool and return when disabled.
+//   - Trace recording (worker chunks, instant events) sits behind its own
+//     atomic switch (EnableTrace) with the same zero-alloc disabled path.
 //
 // Recording never influences computation: spans and metrics only read the
 // clock and update atomics, so enabling observability cannot change a
 // Result byte (enforced by TestRunObsEquivalence in internal/core).
+//
+// # Correlation
+//
+// Every span carries a process-unique ID and every process carries a run ID
+// (RunID, stamped into JSON log lines and export artifacts), so logs, traces
+// (internal/obs/export), run reports, and the run-history ledger
+// (internal/obs/history) produced by one invocation can be joined offline.
 //
 // # Concurrency
 //
@@ -27,6 +36,8 @@
 package obs
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,7 +47,57 @@ var (
 	stateMu sync.Mutex // guards the span forest and enable/disable/reset
 	on      atomic.Bool
 	roots   []*Span
+
+	// spanIDs hands out process-unique span identifiers (never 0, so 0 can
+	// mean "no span" in logs and exports).
+	spanIDs atomic.Uint64
+
+	// current tracks the most recently started, not-yet-ended span for log
+	// correlation. Concurrent spans race on it benignly: whichever wins, the
+	// recorded ID names a real span of the same run.
+	current atomic.Pointer[Span]
+
+	// epoch anchors relative span timestamps (SpanReport.StartMS, trace
+	// export ts values) to one process-wide origin.
+	epoch = time.Now()
 )
+
+// Epoch returns the process-wide time origin that relative span timestamps
+// (SpanReport.StartMS and trace-event ts values) are measured from.
+func Epoch() time.Time { return epoch }
+
+var runID struct {
+	mu sync.Mutex
+	id string
+}
+
+// RunID returns the process run identifier, generating a random 16-hex-digit
+// one on first use. It stamps JSON log lines, trace exports, and run-history
+// ledger entries so artifacts from one invocation can be correlated.
+func RunID() string {
+	runID.mu.Lock()
+	defer runID.mu.Unlock()
+	if runID.id == "" {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			// Fall back to a clock-derived ID; uniqueness per host is enough.
+			v := uint64(time.Now().UnixNano())
+			for i := range b {
+				b[i] = byte(v >> (8 * i))
+			}
+		}
+		runID.id = hex.EncodeToString(b[:])
+	}
+	return runID.id
+}
+
+// SetRunID overrides the process run identifier (tests, or callers that
+// coordinate IDs across processes). An empty string re-arms generation.
+func SetRunID(id string) {
+	runID.mu.Lock()
+	runID.id = id
+	runID.mu.Unlock()
+}
 
 // Enabled reports whether observability recording is on.
 func Enabled() bool { return on.Load() }
@@ -49,14 +110,16 @@ func Enable() { on.Store(true) }
 // kept until Reset.
 func Disable() { on.Store(false) }
 
-// Reset clears all recorded spans and zeroes every registered metric (the
-// registrations themselves survive, so package-level handles stay valid).
-// Intended for tests and for reusing one process for several runs.
+// Reset clears all recorded spans, trace events, and zeroes every registered
+// metric (the registrations themselves survive, so package-level handles stay
+// valid). Intended for tests and for reusing one process for several runs.
 func Reset() {
 	stateMu.Lock()
 	roots = nil
 	stateMu.Unlock()
+	current.Store(nil)
 	resetMetrics()
+	resetTrace()
 }
 
 // Span is one node of the wall-time trace tree. A nil *Span (what Start and
@@ -64,10 +127,20 @@ func Reset() {
 // every method, so callers never branch on the enabled state themselves.
 type Span struct {
 	name     string
+	id       uint64
+	parent   *Span // nil for roots
 	start    time.Time
 	dur      time.Duration // set by End; 0 while running
 	ended    bool
 	children []*Span
+}
+
+// ID returns the span's process-unique identifier (0 for a nil span).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
 }
 
 // Start begins a new root span. Returns nil (a no-op span) when disabled.
@@ -75,10 +148,11 @@ func Start(name string) *Span {
 	if !on.Load() {
 		return nil
 	}
-	s := &Span{name: name, start: time.Now()}
+	s := &Span{name: name, id: spanIDs.Add(1), start: time.Now()}
 	stateMu.Lock()
 	roots = append(roots, s)
 	stateMu.Unlock()
+	current.Store(s)
 	return s
 }
 
@@ -89,10 +163,11 @@ func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{name: name, start: time.Now()}
+	c := &Span{name: name, id: spanIDs.Add(1), parent: s, start: time.Now()}
 	stateMu.Lock()
 	s.children = append(s.children, c)
 	stateMu.Unlock()
+	current.Store(c)
 	return c
 }
 
@@ -108,4 +183,16 @@ func (s *Span) End() {
 		s.ended = true
 	}
 	stateMu.Unlock()
+	// Restore the parent as the log-correlation target, but only if no other
+	// span took over in the meantime.
+	current.CompareAndSwap(s, s.parent)
+}
+
+// CurrentSpanID returns the ID of the most recently started, not-yet-ended
+// span (0 when none). It is what JSON log lines are stamped with.
+func CurrentSpanID() uint64 {
+	if s := current.Load(); s != nil {
+		return s.id
+	}
+	return 0
 }

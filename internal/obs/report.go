@@ -20,9 +20,12 @@ const SchemaVersion = "cirstag.report/v1"
 // Report is the machine-readable snapshot of everything recorded since the
 // last Reset. Field names and JSON tags are a stable public contract (see
 // DESIGN.md §8). The cache section is additive to schema v1: it is present
-// exactly when an artifact cache was opened for the run.
+// exactly when an artifact cache was opened for the run; run_id and the span
+// id/start_ms fields are additive too (they joined with the telemetry export
+// layer so logs and traces correlate with reports).
 type Report struct {
 	Schema     string                `json:"schema"`
+	RunID      string                `json:"run_id,omitempty"`
 	GoVersion  string                `json:"go_version"`
 	GoMaxProcs int                   `json:"gomaxprocs"`
 	Spans      []SpanReport          `json:"spans,omitempty"`
@@ -59,9 +62,14 @@ func SetCacheReporter(f func() *CacheReport) {
 	cacheReporter.Store(&f)
 }
 
-// SpanReport is one node of the serialized span tree.
+// SpanReport is one node of the serialized span tree. ID is the span's
+// process-unique identifier (the value JSON log lines carry in their "span"
+// field); StartMS is the span's start offset from the process epoch, which is
+// what lets the trace exporter lay sibling spans out on a shared timeline.
 type SpanReport struct {
 	Name       string       `json:"name"`
+	ID         uint64       `json:"id,omitempty"`
+	StartMS    float64      `json:"start_ms"`
 	DurationMS float64      `json:"duration_ms"`
 	Children   []SpanReport `json:"children,omitempty"`
 }
@@ -85,6 +93,7 @@ type HistReport struct {
 func Snapshot() *Report {
 	rep := &Report{
 		Schema:     SchemaVersion,
+		RunID:      RunID(),
 		GoVersion:  runtime.Version(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Counters:   map[string]int64{},
@@ -110,23 +119,10 @@ func Snapshot() *Report {
 		}
 	}
 	for name, h := range registry.histograms {
-		n := h.count.Load()
-		if n == 0 {
+		if h.count.Load() == 0 {
 			continue
 		}
-		hr := HistReport{
-			Count:  n,
-			Sum:    math.Float64frombits(h.sumBits.Load()),
-			Min:    math.Float64frombits(h.minBits.Load()),
-			Max:    math.Float64frombits(h.maxBits.Load()),
-			Bounds: append([]float64(nil), h.bounds...),
-			Counts: make([]int64, len(h.counts)),
-		}
-		hr.Mean = hr.Sum / float64(n)
-		for i := range h.counts {
-			hr.Counts[i] = h.counts[i].Load()
-		}
-		rep.Histograms[name] = hr
+		rep.Histograms[name] = snapshotHist(h)
 	}
 	registry.mu.Unlock()
 
@@ -145,7 +141,12 @@ func snapshotSpan(s *Span) SpanReport {
 	if !s.ended {
 		d = time.Since(s.start)
 	}
-	out := SpanReport{Name: s.name, DurationMS: float64(d) / float64(time.Millisecond)}
+	out := SpanReport{
+		Name:       s.name,
+		ID:         s.id,
+		StartMS:    float64(s.start.Sub(epoch)) / float64(time.Millisecond),
+		DurationMS: float64(d) / float64(time.Millisecond),
+	}
 	kids := append([]*Span(nil), s.children...)
 	sort.SliceStable(kids, func(a, b int) bool { return kids[a].start.Before(kids[b].start) })
 	for _, c := range kids {
@@ -187,6 +188,9 @@ func ParseReport(b []byte) (*Report, error) {
 			}
 			if math.IsNaN(s.DurationMS) || math.IsInf(s.DurationMS, 0) || s.DurationMS < 0 {
 				return fmt.Errorf("obs: span %q has invalid duration %v", s.Name, s.DurationMS)
+			}
+			if math.IsNaN(s.StartMS) || math.IsInf(s.StartMS, 0) {
+				return fmt.Errorf("obs: span %q has invalid start %v", s.Name, s.StartMS)
 			}
 			if err := checkSpans(s.Children); err != nil {
 				return err

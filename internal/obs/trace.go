@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace recording collects the flat event streams that the span tree cannot
+// express: which worker-pool lane executed which chunk (internal/parallel)
+// and point-in-time happenings such as cache hits and misses. The streams are
+// exported together with the span forest as Chrome-trace / Perfetto JSON by
+// internal/obs/export.
+//
+// Tracing has its own switch (EnableTrace) independent of the span/metric
+// switch: traces are bulky, so they are only collected when a -trace output
+// file was requested. The disabled path is a single atomic load with zero
+// allocations (guarded by TestTraceDisabledZeroAllocs).
+
+var (
+	traceOn  atomic.Bool
+	traceMu  sync.Mutex
+	chunks   []ChunkEvent
+	instants []InstantEvent
+)
+
+// maxTraceEvents bounds each event stream so a pathological run cannot grow
+// the trace buffer without limit; events beyond the cap are counted in
+// TraceDropped and dropped.
+const maxTraceEvents = 1 << 17
+
+// traceDropped counts events discarded after a stream hit maxTraceEvents.
+var traceDropped atomic.Int64
+
+// ChunkEvent records one worker-pool chunk execution: worker is the pool
+// lane (0-based worker index) that claimed the chunk.
+type ChunkEvent struct {
+	Worker int
+	Start  time.Time
+	Dur    time.Duration
+}
+
+// InstantEvent records a point-in-time happening (e.g. a cache hit). Name is
+// a stable dotted identifier ("cache.hit"); Detail is free-form context (the
+// artifact kind).
+type InstantEvent struct {
+	Name   string
+	Detail string
+	TS     time.Time
+}
+
+// TraceEnabled reports whether trace-event recording is on.
+func TraceEnabled() bool { return traceOn.Load() }
+
+// EnableTrace turns trace-event recording on. Callers normally also Enable()
+// span recording, since the exported trace is built around the span tree.
+func EnableTrace() { traceOn.Store(true) }
+
+// DisableTrace turns trace-event recording off; recorded events are kept
+// until Reset.
+func DisableTrace() { traceOn.Store(false) }
+
+// TraceChunk records one executed worker-pool chunk. A no-op unless tracing
+// is enabled; the disabled path is one atomic load and never allocates.
+func TraceChunk(worker int, start time.Time, dur time.Duration) {
+	if !traceOn.Load() {
+		return
+	}
+	traceMu.Lock()
+	if len(chunks) < maxTraceEvents {
+		chunks = append(chunks, ChunkEvent{Worker: worker, Start: start, Dur: dur})
+	} else {
+		traceDropped.Add(1)
+	}
+	traceMu.Unlock()
+}
+
+// TraceInstant records a point-in-time event. A no-op unless tracing is
+// enabled; the disabled path is one atomic load and never allocates (which is
+// why name and detail are separate arguments — callers never concatenate on
+// the disabled path).
+func TraceInstant(name, detail string) {
+	if !traceOn.Load() {
+		return
+	}
+	traceMu.Lock()
+	if len(instants) < maxTraceEvents {
+		instants = append(instants, InstantEvent{Name: name, Detail: detail, TS: time.Now()})
+	} else {
+		traceDropped.Add(1)
+	}
+	traceMu.Unlock()
+}
+
+// TraceSnapshot returns copies of the recorded chunk and instant event
+// streams.
+func TraceSnapshot() ([]ChunkEvent, []InstantEvent) {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	return append([]ChunkEvent(nil), chunks...), append([]InstantEvent(nil), instants...)
+}
+
+// TraceDropped returns how many events were discarded because a stream hit
+// its buffer cap.
+func TraceDropped() int64 { return traceDropped.Load() }
+
+func resetTrace() {
+	traceMu.Lock()
+	chunks, instants = nil, nil
+	traceMu.Unlock()
+	traceDropped.Store(0)
+}

@@ -133,6 +133,12 @@ func For(n, grain int, fn func(lo, hi int)) {
 		w = chunks
 	}
 	rec := obs.Enabled()
+	// Trace recording sits behind its own switch: when a -trace export was
+	// requested, every executed chunk is recorded with the worker lane (pool
+	// index) that claimed it, which is what gives the Perfetto export one
+	// timeline lane per worker.
+	tr := obs.TraceEnabled()
+	timed := rec || tr
 	if rec {
 		forCalls.Inc()
 		forChunks.Add(int64(chunks))
@@ -145,7 +151,14 @@ func For(n, grain int, fn func(lo, hi int)) {
 			if hi > n {
 				hi = n
 			}
+			var cs time.Time
+			if tr {
+				cs = time.Now()
+			}
 			fn(lo, hi)
+			if tr {
+				obs.TraceChunk(0, cs, time.Since(cs))
+			}
 		}
 		if rec {
 			// A single worker runs chunks back-to-back on the calling
@@ -156,7 +169,7 @@ func For(n, grain int, fn func(lo, hi int)) {
 	}
 	var t0 time.Time
 	var busyNS atomic.Int64
-	if rec {
+	if timed {
 		t0 = time.Now()
 	}
 	var next atomic.Int64
@@ -165,7 +178,7 @@ func For(n, grain int, fn func(lo, hi int)) {
 	var wg sync.WaitGroup
 	for i := 0; i < w; i++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
@@ -184,19 +197,25 @@ func For(n, grain int, fn func(lo, hi int)) {
 					hi = n
 				}
 				var cs time.Time
-				if rec {
+				if timed {
 					cs = time.Now()
-					if first {
+					if rec && first {
 						spawnWaitUS.Observe(float64(cs.Sub(t0)) / float64(time.Microsecond))
 						first = false
 					}
 				}
 				fn(lo, hi)
-				if rec {
-					busyNS.Add(int64(time.Since(cs)))
+				if timed {
+					busy := time.Since(cs)
+					if rec {
+						busyNS.Add(int64(busy))
+					}
+					if tr {
+						obs.TraceChunk(worker, cs, busy)
+					}
 				}
 			}
-		}()
+		}(i)
 	}
 	wg.Wait()
 	if rec {

@@ -3,6 +3,8 @@ package parallel
 import (
 	"sync/atomic"
 	"testing"
+
+	"cirstag/internal/obs"
 )
 
 func TestForCoversAllIndicesOnce(t *testing.T) {
@@ -149,5 +151,51 @@ func TestNewRNGIndependentStreams(t *testing.T) {
 		if c.Int63() != d.Int63() {
 			t.Fatal("same stream must replay identically")
 		}
+	}
+}
+
+// TestForRecordsChunkTraceEvents: with tracing on, every executed chunk lands
+// in the trace buffer tagged with the worker lane that claimed it, and lanes
+// stay within the pool size — this is what the Perfetto export renders as one
+// timeline row per worker.
+func TestForRecordsChunkTraceEvents(t *testing.T) {
+	defer SetWorkers(0)
+	defer func() {
+		obs.DisableTrace()
+		obs.Reset()
+	}()
+
+	for _, w := range []int{1, 3} {
+		SetWorkers(w)
+		obs.Reset()
+		obs.EnableTrace()
+		const n, grain = 40, 5 // 8 chunks
+		var total atomic.Int64
+		For(n, grain, func(lo, hi int) {
+			total.Add(int64(hi - lo))
+		})
+		chunks, _ := obs.TraceSnapshot()
+		if total.Load() != n {
+			t.Fatalf("w=%d: covered %d indices, want %d", w, total.Load(), n)
+		}
+		if len(chunks) != 8 {
+			t.Fatalf("w=%d: recorded %d chunk events, want 8", w, len(chunks))
+		}
+		for _, c := range chunks {
+			if c.Worker < 0 || c.Worker >= w {
+				t.Fatalf("w=%d: chunk on worker lane %d, want [0,%d)", w, c.Worker, w)
+			}
+			if c.Dur < 0 || c.Start.IsZero() {
+				t.Fatalf("w=%d: chunk event missing timing: %+v", w, c)
+			}
+		}
+	}
+
+	// Tracing off: the hooks must leave nothing behind.
+	obs.DisableTrace()
+	obs.Reset()
+	For(40, 5, func(lo, hi int) {})
+	if chunks, _ := obs.TraceSnapshot(); len(chunks) != 0 {
+		t.Fatalf("trace disabled but %d chunk events recorded", len(chunks))
 	}
 }

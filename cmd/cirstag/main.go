@@ -60,6 +60,8 @@ func main() {
 		embedDims   = flag.Int("embed-dims", 16, "spectral embedding dimension M")
 		scoreDims   = flag.Int("score-dims", 8, "stability score dimension s")
 		edges       = flag.Bool("edges", false, "also print the most-distorted manifold edges")
+		approxDMD   = flag.Bool("approx-dmd", false, "answer DMD queries from JL resistance sketches (near-linear engine) and print top-pair distortions")
+		dmdEps      = flag.Float64("dmd-eps", 0.5, "with -approx-dmd: sketch relative-error target, in (0,1)")
 		cacheDir    = flag.String("cache-dir", "", "artifact cache directory (default $CIRSTAG_CACHE_DIR; empty disables)")
 		noCache     = flag.Bool("no-cache", false, "disable the artifact cache even when $CIRSTAG_CACHE_DIR is set")
 		report      = flag.String("report", "", "write a JSON run report (spans + metrics) to this file")
@@ -73,15 +75,22 @@ func main() {
 		quiet       = flag.Bool("quiet", false, "errors only")
 	)
 	flag.Parse()
+	dmdEpsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "dmd-eps" {
+			dmdEpsSet = true
+		}
+	})
 
 	// Validate the flag combination up front so misuse exits with a usage
 	// message instead of failing deep inside the pipeline.
-	warning, err := validateFlags(flagValues{
+	warnings, err := validateFlags(flagValues{
 		netlist: *netlistPath, bench: *benchName, cacheDir: *cacheDir,
 		top: *top, epochs: *epochs, hidden: *hidden, embedDims: *embedDims, scoreDims: *scoreDims,
 		verbose: *verbose, quiet: *quiet, noCache: *noCache,
 		logFormat: *logFormat, historyDir: *historyDir, checkBudgets: *checkBudget,
 		metricsOut: *metricsOut, debugAddr: *debugAddr,
+		approxDMD: *approxDMD, dmdEps: *dmdEps, dmdEpsSet: dmdEpsSet,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cirstag: %v (see -h)\n", err)
@@ -103,8 +112,8 @@ func main() {
 	if *tracePath != "" {
 		obs.EnableTrace()
 	}
-	if warning != "" {
-		obs.Errorf("cirstag: warning: %s", warning)
+	for _, w := range warnings {
+		obs.Errorf("cirstag: warning: %s", w)
 	}
 	var debugBound string
 	if *debugAddr != "" {
@@ -196,6 +205,22 @@ func main() {
 			dir = "out"
 		}
 		fmt.Printf("%6d  %12.6g  cell=%d  %-6s %s\n", p, ranking.Scores[i], pin.Cell, cell.Type, dir)
+	}
+	if *approxDMD {
+		// Exercise the near-linear resistance engine on the run's own
+		// manifolds: sketch-backed distance-mapping distortions between
+		// consecutive top-ranked nodes. The cache store (when enabled)
+		// persists the sketches, so repeat analyses skip the build.
+		dmdSpan := obs.Start("dmd_queries")
+		cal := core.NewDMDCalculatorOpts(res.InputManifold, res.OutputManifold, core.DMDOptions{
+			Approx: true, Eps: *dmdEps, Seed: *seed, Cache: store,
+		})
+		fmt.Printf("\n# DMD between consecutive top nodes (sketch-backed, eps=%g)\n", *dmdEps)
+		for i := 0; i+1 < n; i++ {
+			p, q := ranking.Order[i], ranking.Order[i+1]
+			fmt.Printf("%6d %6d  %12.6g\n", p, q, cal.DMD(p, q))
+		}
+		dmdSpan.End()
 	}
 	if *edges {
 		fmt.Printf("\n# most distorted manifold edges (u, v, score)\n")
@@ -318,37 +343,51 @@ type flagValues struct {
 	logFormat, historyDir          string
 	checkBudgets                   bool
 	metricsOut, debugAddr          string
+	approxDMD                      bool
+	dmdEps                         float64
+	dmdEpsSet                      bool
 }
 
 // validateFlags rejects invalid flag combinations before any work starts.
-// The returned warning (if any) is surfaced after logging is configured.
-func validateFlags(v flagValues) (string, error) {
+// The returned warnings (if any) are surfaced after logging is configured.
+func validateFlags(v flagValues) ([]string, error) {
 	if err := cliutil.ExactlyOne(
 		cliutil.NamedFlag{Name: "-netlist", Set: v.netlist != ""},
 		cliutil.NamedFlag{Name: "-bench", Set: v.bench != ""},
 	); err != nil {
-		return "", err
+		return nil, err
 	}
 	if err := cliutil.MutuallyExclusive(
 		cliutil.NamedFlag{Name: "-v", Set: v.verbose},
 		cliutil.NamedFlag{Name: "-quiet", Set: v.quiet},
 	); err != nil {
-		return "", err
+		return nil, err
 	}
 	if err := cliutil.ValidateCacheFlags(v.cacheDir, v.noCache); err != nil {
-		return "", err
+		return nil, err
 	}
 	if err := cliutil.OneOf("-log-format", v.logFormat, "text", "json"); err != nil {
-		return "", err
+		return nil, err
 	}
 	if v.metricsOut != "" && v.debugAddr == "" {
-		return "", fmt.Errorf("-metrics-out requires -debug-addr")
+		return nil, fmt.Errorf("-metrics-out requires -debug-addr")
 	}
+	var warnings []string
 	warning, err := cliutil.ValidateHistoryFlags(v.historyDir, v.checkBudgets, v.noCache)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	return warning, cliutil.Positive(
+	if warning != "" {
+		warnings = append(warnings, warning)
+	}
+	warning, err = cliutil.ValidateApproxDMDFlags(v.approxDMD, v.dmdEps, v.dmdEpsSet, v.noCache)
+	if err != nil {
+		return nil, err
+	}
+	if warning != "" {
+		warnings = append(warnings, warning)
+	}
+	return warnings, cliutil.Positive(
 		cliutil.NamedInt{Name: "-top", Value: v.top},
 		cliutil.NamedInt{Name: "-epochs", Value: v.epochs},
 		cliutil.NamedInt{Name: "-hidden", Value: v.hidden},

@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1, fig3, fig4, fig5, table2, sizing, ablation-sparsify, ablation-output, ablation-dims, all")
+		exp        = flag.String("exp", "all", "experiment: table1, fig3, fig4, fig5, table2, sizing, ablation-sparsify, ablation-output, ablation-dims, dmd, all")
 		benchmarks = flag.String("benchmarks", "", "comma-separated benchmark names (default: first three; 'all' for all nine)")
 		seed       = flag.Int64("seed", 1, "master random seed")
 		epochs     = flag.Int("epochs", 300, "GNN training epochs for Case Study A")
@@ -43,10 +43,20 @@ func main() {
 		logFormat  = flag.String("log-format", "text", "log line encoding: text or json (run/span correlated)")
 		verbose    = flag.Bool("v", false, "debug logging and a span-tree summary on exit")
 		quiet      = flag.Bool("quiet", false, "errors only")
+		approxDMD  = flag.Bool("approx-dmd", false, "with -exp dmd: exercise the sketch-backed (near-linear) DMD engine against the exact one")
+		dmdEps     = flag.Float64("dmd-eps", 0.5, "with -approx-dmd: sketch relative-error target, in (0,1)")
 	)
 	flag.Parse()
+	dmdEpsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "dmd-eps" {
+			dmdEpsSet = true
+		}
+	})
 
-	if err := validateFlags(*cacheDir, *epochs, *hidden, *embedDims, *scoreDims, *verbose, *quiet, *noCache, *logFormat); err != nil {
+	warning, err := validateFlags(*cacheDir, *epochs, *hidden, *embedDims, *scoreDims, *verbose, *quiet, *noCache, *logFormat,
+		*exp, *approxDMD, *dmdEps, dmdEpsSet)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v (see -h)\n", err)
 		os.Exit(cirerr.ExitBadInput)
 	}
@@ -58,6 +68,9 @@ func main() {
 	}
 	if *logFormat == "json" {
 		obs.SetLogFormat(obs.FormatJSON)
+	}
+	if warning != "" {
+		obs.Errorf("experiments: warning: %s", warning)
 	}
 	if *report != "" || *verbose || *tracePath != "" {
 		obs.Enable()
@@ -177,6 +190,18 @@ func main() {
 		fmt.Println()
 		return nil
 	})
+	// The dmd experiment is explicit-only (not part of "all"): it validates
+	// the near-linear resistance engine rather than reproducing a paper
+	// artifact, and it deliberately burns a minute of sketch builds.
+	if *exp == "dmd" {
+		obs.Infof("running experiment dmd...")
+		sp := obs.Start("experiment.dmd")
+		rep := bench.RunResistanceEngine(20000, 500, 16, *dmdEps, *seed)
+		sp.End()
+		fmt.Print(bench.FormatResistanceEngine(rep))
+		fmt.Println()
+	}
+
 	run("ablation-dims", func() error {
 		rows, err := bench.RunDimsAblation(firstName(names), *seed,
 			[]int{4, 16, 32}, []int{4, 8, 16}, caseA)
@@ -205,20 +230,28 @@ func main() {
 	}
 }
 
-func validateFlags(cacheDir string, epochs, hidden, embedDims, scoreDims int, verbose, quiet, noCache bool, logFormat string) error {
+func validateFlags(cacheDir string, epochs, hidden, embedDims, scoreDims int, verbose, quiet, noCache bool, logFormat string,
+	exp string, approxDMD bool, dmdEps float64, dmdEpsSet bool) (warning string, err error) {
 	if err := cliutil.MutuallyExclusive(
 		cliutil.NamedFlag{Name: "-v", Set: verbose},
 		cliutil.NamedFlag{Name: "-quiet", Set: quiet},
 	); err != nil {
-		return err
+		return "", err
 	}
 	if err := cliutil.ValidateCacheFlags(cacheDir, noCache); err != nil {
-		return err
+		return "", err
 	}
 	if err := cliutil.OneOf("-log-format", logFormat, "text", "json"); err != nil {
-		return err
+		return "", err
 	}
-	return cliutil.Positive(
+	if exp == "dmd" && !approxDMD {
+		return "", fmt.Errorf("-exp dmd requires -approx-dmd (it exercises the sketch-backed engine)")
+	}
+	warning, err = cliutil.ValidateApproxDMDFlags(approxDMD, dmdEps, dmdEpsSet, noCache)
+	if err != nil {
+		return "", err
+	}
+	return warning, cliutil.Positive(
 		cliutil.NamedInt{Name: "-epochs", Value: epochs},
 		cliutil.NamedInt{Name: "-hidden", Value: hidden},
 		cliutil.NamedInt{Name: "-embed-dims", Value: embedDims},

@@ -42,7 +42,11 @@ import (
 // mixed into every key and stamped into every artifact header; bump it when
 // the codec or the meaning of any fingerprinted field changes, and all old
 // entries become unreachable (and unreadable) rather than wrong.
-const SchemaVersion = "cirstag.cache/v1"
+//
+// v2: Phase-2 sparsification ranks edges by sketched effective resistances
+// above a node threshold, so cached manifold bytes for large inputs differ
+// from v1 even with identical options and seed.
+const SchemaVersion = "cirstag.cache/v2"
 
 // magic marks a CirSTAG artifact file; 8 bytes so headers stay aligned.
 var magic = [8]byte{'C', 'S', 'T', 'G', 'A', 'R', 'T', '\n'}

@@ -33,6 +33,45 @@ func Positive(flags ...NamedInt) error {
 	return nil
 }
 
+// NamedFloat is a float flag with its user-facing name, for validation
+// messages.
+type NamedFloat struct {
+	Name  string
+	Value float64
+}
+
+// InUnitInterval returns an error naming the first flag outside the open
+// interval (0, 1). NaN is outside.
+func InUnitInterval(flags ...NamedFloat) error {
+	for _, f := range flags {
+		if !(f.Value > 0 && f.Value < 1) {
+			return fmt.Errorf("%s must be in (0,1), got %v", f.Name, f.Value)
+		}
+	}
+	return nil
+}
+
+// ValidateApproxDMDFlags checks the approximate-DMD flag combination shared
+// by the binaries. -dmd-eps only means anything with -approx-dmd, so setting
+// it alone is a usage error; with -approx-dmd the value must be a valid
+// relative-error target in (0,1). -approx-dmd with -no-cache is legal but
+// loses sketch persistence — every run re-pays the q Laplacian solves of the
+// sketch build — and returns a warning for the CLI to surface.
+func ValidateApproxDMDFlags(approxDMD bool, dmdEps float64, dmdEpsSet, noCache bool) (warning string, err error) {
+	if dmdEpsSet && !approxDMD {
+		return "", fmt.Errorf("-dmd-eps requires -approx-dmd")
+	}
+	if approxDMD {
+		if err := InUnitInterval(NamedFloat{Name: "-dmd-eps", Value: dmdEps}); err != nil {
+			return "", err
+		}
+		if noCache {
+			warning = "-approx-dmd with -no-cache: resistance sketches will not persist, every run re-pays the sketch build"
+		}
+	}
+	return warning, nil
+}
+
 // NamedFlag is a boolean "was this flag given" with its user-facing name.
 type NamedFlag struct {
 	Name string

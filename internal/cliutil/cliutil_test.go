@@ -108,6 +108,34 @@ func TestConflictTable(t *testing.T) {
 			name: "history dir alone",
 			err:  second(ValidateHistoryFlags("runs", false, false)),
 		},
+		{
+			name:    "dmd-eps without approx-dmd",
+			err:     second(ValidateApproxDMDFlags(false, 0.3, true, false)),
+			wantErr: "-dmd-eps requires -approx-dmd",
+		},
+		{
+			name:    "dmd-eps of zero",
+			err:     second(ValidateApproxDMDFlags(true, 0, true, false)),
+			wantErr: "-dmd-eps must be in (0,1)",
+		},
+		{
+			name:    "dmd-eps of one",
+			err:     second(ValidateApproxDMDFlags(true, 1, true, false)),
+			wantErr: "-dmd-eps must be in (0,1)",
+		},
+		{
+			name:    "negative dmd-eps",
+			err:     second(ValidateApproxDMDFlags(true, -0.5, true, false)),
+			wantErr: "-dmd-eps must be in (0,1)",
+		},
+		{
+			name: "approx-dmd with default eps",
+			err:  second(ValidateApproxDMDFlags(true, 0.5, false, false)),
+		},
+		{
+			name: "approx-dmd with explicit valid eps",
+			err:  second(ValidateApproxDMDFlags(true, 0.25, true, false)),
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -140,6 +168,21 @@ func TestValidateHistoryFlagsWarning(t *testing.T) {
 	}
 	if w, err := ValidateHistoryFlags("runs", false, true); err != nil || w != "" {
 		t.Fatalf("no -check-budgets: warning=%q err=%v, want silence", w, err)
+	}
+}
+
+// TestValidateApproxDMDFlagsWarning: -approx-dmd with -no-cache is legal but
+// must warn that sketches will not persist across runs.
+func TestValidateApproxDMDFlagsWarning(t *testing.T) {
+	warning, err := ValidateApproxDMDFlags(true, 0.5, false, true)
+	if err != nil {
+		t.Fatalf("legal combination rejected: %v", err)
+	}
+	if !strings.Contains(warning, "-no-cache") || !strings.Contains(warning, "sketch") {
+		t.Fatalf("warning = %q, want mention of -no-cache and sketches", warning)
+	}
+	if w, err := ValidateApproxDMDFlags(false, 0.5, false, true); err != nil || w != "" {
+		t.Fatalf("no -approx-dmd: warning=%q err=%v, want silence", w, err)
 	}
 }
 

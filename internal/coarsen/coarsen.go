@@ -112,7 +112,18 @@ func CoarsenOnce(g *graph.Graph, rng *rand.Rand) (*graph.Graph, []int) {
 		}
 		next++
 	}
-	// Aggregate edges.
+	return Project(g, mapping, next), mapping
+}
+
+// Project pushes g through a node-aggregation mapping onto coarseN coarse
+// nodes: edge weights between distinct aggregates are summed (in sorted
+// aggregate order, so the result is deterministic for a given mapping) and
+// contracted edges disappear. It is the aggregation half of CoarsenOnce,
+// exposed so a second graph on the same node set — e.g. the output manifold
+// G_Y — can be pushed through a hierarchy built from G_X via ProlongMap,
+// giving a coarse version of the *generalized* eigenproblem rather than of
+// one graph alone.
+func Project(g *graph.Graph, mapping []int, coarseN int) *graph.Graph {
 	type key struct{ a, b int }
 	agg := make(map[key]float64)
 	for _, e := range g.Edges() {
@@ -135,11 +146,11 @@ func CoarsenOnce(g *graph.Graph, rng *rand.Rand) (*graph.Graph, []int) {
 		}
 		return keys[i].b < keys[j].b
 	})
-	coarse := graph.New(next)
+	coarse := graph.New(coarseN)
 	for _, k := range keys {
 		coarse.AddEdge(k.a, k.b, agg[k])
 	}
-	return coarse, mapping
+	return coarse
 }
 
 // ProlongMap composes the hierarchy's mappings so that the returned slice

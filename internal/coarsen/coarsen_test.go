@@ -162,3 +162,35 @@ func TestEigenvalueError(t *testing.T) {
 		t.Fatalf("EigenvalueError = %v", e)
 	}
 }
+
+// Project must be exactly the aggregation half of CoarsenOnce: pushing the
+// fine graph through its own matching reproduces the coarse graph edge for
+// edge, and a second graph on the same nodes aggregates deterministically.
+func TestProjectMatchesCoarsenOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	g := randomConnectedGraph(rng, 120, 240)
+	coarse, mapping := CoarsenOnce(g, rng)
+	again := Project(g, mapping, coarse.N())
+	ce, ae := coarse.Edges(), again.Edges()
+	if len(ce) != len(ae) {
+		t.Fatalf("edge counts differ: %d vs %d", len(ce), len(ae))
+	}
+	for i := range ce {
+		if ce[i] != ae[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, ce[i], ae[i])
+		}
+	}
+	// A different graph through the same mapping: total weight is conserved
+	// minus contracted edges.
+	h := randomConnectedGraph(rng, 120, 100)
+	ph := Project(h, mapping, coarse.N())
+	var want float64
+	for _, e := range h.Edges() {
+		if mapping[e.U] != mapping[e.V] {
+			want += e.W
+		}
+	}
+	if got := ph.TotalWeight(); math.Abs(got-want) > 1e-9*math.Abs(want) {
+		t.Fatalf("projected total weight %v, want %v", got, want)
+	}
+}

@@ -25,6 +25,7 @@ import (
 
 	"cirstag/internal/cache"
 	"cirstag/internal/cirerr"
+	"cirstag/internal/coarsen"
 	"cirstag/internal/eig"
 	"cirstag/internal/embed"
 	"cirstag/internal/graph"
@@ -318,8 +319,9 @@ func scorePhase(gx, gy *graph.Graph, n int, opts Options, rngEig *rand.Rand, roo
 	if s > n-1 {
 		s = n - 1
 	}
+	seeds := multilevelSeeds(gx, gy, s, opts, root)
 	eigSpan := root.Child("eigensolve")
-	pairs := eig.GeneralizedTopK(gx.Laplacian(), gy.Laplacian(), s, rngEig, opts.Eig)
+	pairs := eig.GeneralizedTopKSeeded(gx.Laplacian(), gy.Laplacian(), s, seeds, rngEig, opts.Eig)
 	eigSpan.End()
 
 	// Weighted eigensubspace V_s = [v_i √ζ_i].
@@ -391,6 +393,65 @@ func scorePhase(gx, gy *graph.Graph, n int, opts Options, rngEig *rand.Rand, roo
 		OutputManifold: gy,
 		Eigenvalues:    eigenvalues,
 	}, nil
+}
+
+// multilevelSeedMinNodes gates the multilevel warm start: below it the fine
+// eigensolve is already cheap and the coarse solve would be pure overhead.
+const multilevelSeedMinNodes = 1024
+
+// mlSeedBuilds counts score phases that warm-started the generalized
+// eigensolve from a coarse-level solve.
+var mlSeedBuilds = obs.NewCounter("core.multilevel_seed.builds")
+
+// multilevelSeeds warm-starts the Phase-3 generalized eigensolve on large
+// manifolds (Options.Multilevel, n ≥ multilevelSeedMinNodes): it coarsens G_X
+// by heavy-edge matching, pushes G_Y through the same aggregation so the
+// coarse problem is still L_X·v = ζ·L_Y·v in miniature, solves it there, and
+// prolongates the coarse eigenvectors back to the fine node set. The fine
+// iteration then starts (and restarts) from directions already rich in the
+// dominant generalized eigenspace instead of from noise. Seeding draws from
+// its own RNG stream (4), so it never perturbs the streams of the embedding,
+// manifold, or fine-eigensolve stages. Returns nil — meaning "run unseeded,
+// exactly as before" — when disabled, below threshold, or when coarsening
+// cannot shrink the graph.
+func multilevelSeeds(gx, gy *graph.Graph, s int, opts Options, root *obs.Span) []mat.Vec {
+	n := gx.N()
+	if !opts.Multilevel || n < multilevelSeedMinNodes {
+		return nil
+	}
+	span := root.Child("multilevel_seed")
+	defer span.End()
+	rngML := parallel.NewRNG(opts.Seed, 4)
+	h := coarsen.Build(gx, rngML, coarsen.Options{MinNodes: 256})
+	if len(h.Levels) == 0 {
+		return nil
+	}
+	mapping := h.ProlongMap(len(h.Levels) - 1)
+	cgx := h.Coarsest()
+	cgy := coarsen.Project(gy, mapping, cgx.N())
+	k := s
+	if k > cgx.N()-1 {
+		k = cgx.N() - 1
+	}
+	if k < 1 {
+		return nil
+	}
+	pairs := eig.GeneralizedTopK(
+		ensureConnected(cgx).Laplacian(), ensureConnected(cgy).Laplacian(),
+		k, rngML, opts.Eig)
+	if len(pairs) == 0 {
+		return nil
+	}
+	mlSeedBuilds.Inc()
+	seeds := make([]mat.Vec, len(pairs))
+	for j, p := range pairs {
+		v := make(mat.Vec, n)
+		for i := 0; i < n; i++ {
+			v[i] = p.Vector[mapping[i]]
+		}
+		seeds[j] = v
+	}
+	return seeds
 }
 
 // ensureConnected returns g if connected; otherwise it returns a copy with

@@ -365,3 +365,62 @@ func TestRunMultilevelOption(t *testing.T) {
 		t.Fatalf("multilevel scores poorly correlated: %.2f concordance", concordant/total)
 	}
 }
+
+// Multilevel seeding: above the node threshold and behind the flag, the score
+// phase derives warm-start vectors from a coarse generalized solve — one per
+// requested eigenpair, full fine-level length, all finite. Below the
+// threshold or with the flag off it must stay out of the way entirely.
+func TestMultilevelSeedsGatingAndShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	n := multilevelSeedMinNodes + 200
+	build := func(extra int) *graph.Graph {
+		g := graph.New(n)
+		for i := 1; i < n; i++ {
+			g.AddEdge(i, rng.Intn(i), 0.2+rng.Float64())
+		}
+		for k := 0; k < extra; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				g.AddEdge(u, v, 0.2+rng.Float64())
+			}
+		}
+		return g
+	}
+	gx, gy := build(2*n), build(n)
+
+	if s := multilevelSeeds(gx, gy, 4, Options{Seed: 3}, nil); s != nil {
+		t.Fatal("seeding must be off without Options.Multilevel")
+	}
+	small := graph.New(8)
+	for i := 1; i < 8; i++ {
+		small.AddEdge(i-1, i, 1)
+	}
+	if s := multilevelSeeds(small, small, 2, Options{Multilevel: true, Seed: 3}, nil); s != nil {
+		t.Fatal("seeding must be off below the node threshold")
+	}
+
+	seeds := multilevelSeeds(gx, gy, 4, Options{Multilevel: true, Seed: 3}, nil)
+	if len(seeds) == 0 {
+		t.Fatal("no seeds above the threshold with Multilevel set")
+	}
+	if len(seeds) > 4 {
+		t.Fatalf("got %d seeds, want at most 4", len(seeds))
+	}
+	for j, v := range seeds {
+		if len(v) != n {
+			t.Fatalf("seed %d has length %d, want %d", j, len(v), n)
+		}
+		if i := v.FirstNonFinite(); i >= 0 {
+			t.Fatalf("seed %d entry %d is non-finite", j, i)
+		}
+	}
+	// Determinism: seeding draws only from stream 4 of the run seed.
+	again := multilevelSeeds(gx, gy, 4, Options{Multilevel: true, Seed: 3}, nil)
+	for j := range seeds {
+		for i := range seeds[j] {
+			if math.Float64bits(seeds[j][i]) != math.Float64bits(again[j][i]) {
+				t.Fatalf("seed %d not deterministic at entry %d", j, i)
+			}
+		}
+	}
+}

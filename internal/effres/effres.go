@@ -17,10 +17,21 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"cirstag/internal/graph"
 	"cirstag/internal/mat"
+	"cirstag/internal/obs"
 	"cirstag/internal/solver"
+)
+
+// Sketch-construction metrics: builds are the expensive part of the
+// approximate-DMD path (q Laplacian solves each), so their count, width, and
+// wall time are exported for the Prometheus and trace layers.
+var (
+	sketchBuilds  = obs.NewCounter("effres.sketch.builds")
+	sketchRows    = obs.NewHistogram("effres.sketch.rows", obs.ExpBuckets(8, 2, 10)...)
+	sketchBuildMS = obs.NewHistogram("effres.sketch.build_ms", obs.ExpBuckets(0.25, 2, 20)...)
 )
 
 // Exact computes R_eff(u, v) with a single Laplacian solve. For nodes in
@@ -68,8 +79,34 @@ type Sketch struct {
 	Z *mat.Dense // n x q
 }
 
+// SketchQ returns the projection count q for a target relative error eps on
+// sketched resistances: q = ceil(9·ln(n+2)/eps²), clamped to [1, 1024] and to
+// 2n. The constant is empirical (the JL theory constant of 24 is far too
+// conservative in practice); eps outside (0,1) falls back to 0.3.
+func SketchQ(n int, eps float64) int {
+	if eps <= 0 || eps >= 1 {
+		eps = 0.3
+	}
+	q := int(math.Ceil(9 * math.Log(float64(n)+2) / (eps * eps)))
+	if q > 1024 {
+		q = 1024
+	}
+	if q > 2*n {
+		q = 2 * n
+	}
+	if q < 1 {
+		q = 1
+	}
+	return q
+}
+
 // NewSketch builds an effective-resistance sketch with q projection rows
 // (q <= 0 selects q = ceil(24·ln n / ε²) with ε = 0.3, capped to 64).
+// All q right-hand sides y_r = Bᵀ W^{1/2} ξ_r are generated first (consuming
+// rng in the same order as the historical one-solve-at-a-time construction)
+// and solved in one blocked multi-RHS PCG call, so building the sketch costs
+// q batched solves sharing one preconditioner and fused SpMVs instead of q
+// serial solves — with bit-identical Z for a fixed seed.
 func NewSketch(g *graph.Graph, q int, rng *rand.Rand, opts solver.Options) *Sketch {
 	n := g.N()
 	if q <= 0 {
@@ -84,25 +121,30 @@ func NewSketch(g *graph.Graph, q int, rng *rand.Rand, opts solver.Options) *Sket
 	if q < 1 {
 		q = 1
 	}
+	span := obs.Start("effres.sketch_build")
+	defer span.End()
+	start := time.Now()
 	s := solver.NewLaplacian(g, opts)
 	edges := g.Edges()
-	// y_r = Bᵀ W^{1/2} ξ_r accumulated edge by edge, ξ_r ∈ {±1/√q}^m.
-	z := mat.NewDense(n, q)
+	b := mat.NewDense(n, q)
 	invSqrtQ := 1 / math.Sqrt(float64(q))
 	for r := 0; r < q; r++ {
-		y := make(mat.Vec, n)
 		for _, e := range edges {
 			sgn := invSqrtQ
 			if rng.Intn(2) == 0 {
 				sgn = -sgn
 			}
 			c := sgn * math.Sqrt(e.W)
-			y[e.U] += c
-			y[e.V] -= c
+			b.Data[e.U*q+r] += c
+			b.Data[e.V*q+r] -= c
 		}
-		x, _ := s.Solve(y)
-		z.SetCol(r, x)
 	}
+	// Column r of the block solution is L⁺ y_r — exactly the r-th column the
+	// serial construction stored, so Z's layout and bits are unchanged.
+	z, _ := s.SolveBlock(b)
+	sketchBuilds.Inc()
+	sketchRows.Observe(float64(q))
+	sketchBuildMS.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 	return &Sketch{Z: z}
 }
 

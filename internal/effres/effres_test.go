@@ -234,3 +234,54 @@ func TestEdgeResistancesMatchesPointQueries(t *testing.T) {
 		}
 	}
 }
+
+// Property test (paper §2 / Spielman–Srivastava): with q = SketchQ(n, eps)
+// projection rows, every sampled pair's sketched resistance lies within
+// (1±eps) of the exact value, on random connected graphs across several
+// seeds. This is the accuracy contract the approximate-DMD path relies on.
+func TestSketchWithinEpsilonOfExactAcrossSeeds(t *testing.T) {
+	const eps = 0.5
+	for _, seed := range []int64{11, 22, 33, 44} {
+		rng := rand.New(rand.NewSource(seed))
+		n := 60 + rng.Intn(60)
+		g := randomConnectedGraph(rng, n, 2*n)
+		q := SketchQ(n, eps)
+		sk := NewSketch(g, q, rng, solver.Options{Tol: 1e-10})
+		s := solver.NewLaplacian(g, solver.Options{Tol: 1e-10})
+		for trial := 0; trial < 40; trial++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			exact := Exact(s, u, v)
+			approx := sk.Resistance(u, v)
+			if exact <= 0 {
+				t.Fatalf("seed %d: exact Reff(%d,%d) = %v on a connected graph", seed, u, v, exact)
+			}
+			if rel := math.Abs(approx-exact) / exact; rel > eps {
+				t.Fatalf("seed %d n=%d q=%d: Reff(%d,%d) sketch %v vs exact %v (rel %.3f > eps %.2f)",
+					seed, n, q, u, v, approx, exact, rel, eps)
+			}
+		}
+	}
+}
+
+func TestSketchQMonotoneInEps(t *testing.T) {
+	n := 10000
+	qLoose := SketchQ(n, 0.9)
+	qTight := SketchQ(n, 0.2)
+	if qLoose >= qTight {
+		t.Fatalf("SketchQ not monotone: q(0.9)=%d q(0.2)=%d", qLoose, qTight)
+	}
+	if q := SketchQ(3, 0.1); q > 6 {
+		t.Fatalf("SketchQ must clamp to 2n on tiny graphs, got %d", q)
+	}
+	if q := SketchQ(1<<20, 0.05); q != 1024 {
+		t.Fatalf("SketchQ must cap at 1024, got %d", q)
+	}
+	// Out-of-range eps falls back to the historical default rather than
+	// exploding or returning a degenerate width.
+	if q := SketchQ(1000, -1); q != SketchQ(1000, 0.3) {
+		t.Fatalf("SketchQ(-1) fallback mismatch: %d", q)
+	}
+}

@@ -261,3 +261,56 @@ func TestLanczosSeedDeterminism(t *testing.T) {
 		t.Fatal("same seed should give identical results")
 	}
 }
+
+// Nil seeds must leave GeneralizedTopKSeeded bit-identical to the historical
+// unseeded iteration (same RNG consumption, same floating-point path).
+func TestGeneralizedSeededNilMatchesUnseeded(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	gx := randomConnectedGraph(rng, 30, 45)
+	gy := randomConnectedGraph(rng, 30, 45)
+	a := GeneralizedTopK(gx.Laplacian(), gy.Laplacian(), 4, rand.New(rand.NewSource(5)), Options{})
+	b := GeneralizedTopKSeeded(gx.Laplacian(), gy.Laplacian(), 4, nil, rand.New(rand.NewSource(5)), Options{})
+	if len(a) != len(b) {
+		t.Fatalf("pair counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if math.Float64bits(a[i].Value) != math.Float64bits(b[i].Value) {
+			t.Fatalf("eigenvalue %d differs: %v vs %v", i, a[i].Value, b[i].Value)
+		}
+		for j := range a[i].Vector {
+			if math.Float64bits(a[i].Vector[j]) != math.Float64bits(b[i].Vector[j]) {
+				t.Fatalf("eigenvector %d entry %d differs", i, j)
+			}
+		}
+	}
+}
+
+// Warm-starting from the problem's own eigenvectors must still reproduce the
+// dense-oracle eigenvalues — seeding changes the start subspace, never the
+// answer — and skip unusable seeds without derailing.
+func TestGeneralizedSeededMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	gx := randomConnectedGraph(rng, 25, 35)
+	gy := randomConnectedGraph(rng, 25, 35)
+	lx, ly := gx.Laplacian(), gy.Laplacian()
+	ref := GeneralizedTopK(lx, ly, 3, rand.New(rand.NewSource(9)), Options{})
+
+	// Seeds: one wrong-length, one non-finite, then real eigenvector seeds.
+	seeds := []mat.Vec{
+		make(mat.Vec, 7),
+		append(mat.Vec{math.NaN()}, make(mat.Vec, 24)...),
+	}
+	for _, p := range ref {
+		seeds = append(seeds, p.Vector)
+	}
+	got := GeneralizedTopKSeeded(lx, ly, 3, seeds, rand.New(rand.NewSource(10)), Options{})
+	if len(got) != len(ref) {
+		t.Fatalf("pair counts differ: %d vs %d", len(got), len(ref))
+	}
+	for i := range got {
+		denom := math.Max(math.Abs(ref[i].Value), 1e-8)
+		if rel := math.Abs(got[i].Value-ref[i].Value) / denom; rel > 2e-2 {
+			t.Fatalf("seeded eigenvalue %d = %v, reference %v (rel %.3g)", i, got[i].Value, ref[i].Value, rel)
+		}
+	}
+}

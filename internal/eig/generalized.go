@@ -19,6 +19,7 @@ import (
 var (
 	genIters    = obs.NewCounter("eig.generalized.iterations")
 	genRestarts = obs.NewCounter("eig.generalized.restarts")
+	genSeeded   = obs.NewCounter("eig.generalized.seeded")
 	genResidual = obs.NewHistogram("eig.generalized.residual", obs.ExpBuckets(1e-14, 10, 16)...)
 	genBasis    = obs.NewGauge("eig.generalized.basis")
 )
@@ -40,6 +41,18 @@ type GeneralizedPair struct {
 // eigenvectors weighted by √ζ embed the input manifold so that edge lengths
 // approximate cubed distance-mapping distortions.
 func GeneralizedTopK(lx, ly *sparse.CSR, k int, rng *rand.Rand, opts Options) []GeneralizedPair {
+	return GeneralizedTopKSeeded(lx, ly, k, nil, rng, opts)
+}
+
+// GeneralizedTopKSeeded is GeneralizedTopK with warm-start directions. Seeds
+// (typically prolongated coarse-level eigenvectors from a coarsening
+// hierarchy) are consumed in order: the first usable seed becomes the Krylov
+// start vector and later ones replace the random directions injected at
+// breakdown restarts, before the iteration falls back to random vectors.
+// Each consumed seed advances eig.generalized.seeded. Unusable seeds (wrong
+// length, non-finite, or in the span of the current basis) are skipped.
+// With nil seeds the iteration is bit-identical to GeneralizedTopK.
+func GeneralizedTopKSeeded(lx, ly *sparse.CSR, k int, seeds []mat.Vec, rng *rand.Rand, opts Options) []GeneralizedPair {
 	n := lx.Rows
 	if lx.Cols != n || ly.Rows != n || ly.Cols != n {
 		panic(fmt.Sprintf("eig: GeneralizedTopK dims L_X %dx%d, L_Y %dx%d", lx.Rows, lx.Cols, ly.Rows, ly.Cols))
@@ -97,11 +110,42 @@ func GeneralizedTopK(lx, ly *sparse.CSR, k int, rng *rand.Rand, opts Options) []
 		return true
 	}
 
-	// Start vector: random, mean-free, B-normalized.
-	q0 := randomUnit(rng, n)
-	deflate(q0)
-	if !appendBasis(q0) {
-		return nil
+	// nextStart yields the next candidate Krylov direction: remaining warm-
+	// start seeds in order, then fresh random vectors. Either way the
+	// candidate comes back mean-free; fromSeed tells restart logic whether a
+	// rejection should try again (more seeds may remain) or give up (a
+	// rejected random vector means the space is exhausted, as before).
+	seedIdx := 0
+	nextStart := func() (v mat.Vec, fromSeed bool) {
+		for seedIdx < len(seeds) {
+			s := seeds[seedIdx]
+			seedIdx++
+			if len(s) != n {
+				continue
+			}
+			v = s.Clone()
+			deflate(v)
+			if i := v.FirstNonFinite(); i >= 0 {
+				continue
+			}
+			genSeeded.Inc()
+			return v, true
+		}
+		v = randomUnit(rng, n)
+		deflate(v)
+		return v, false
+	}
+
+	// Start vector: first usable seed when provided, else random; mean-free,
+	// B-normalized.
+	for {
+		v, fromSeed := nextStart()
+		if appendBasis(v) {
+			break
+		}
+		if !fromSeed {
+			return nil
+		}
 	}
 
 	var alpha, beta mat.Vec
@@ -143,14 +187,23 @@ func GeneralizedTopK(lx, ly *sparse.CSR, k int, rng *rand.Rand, opts Options) []
 		// seed (beta = 0 decouples the blocks).
 		if bj < 50*opts.InnerTol*scale {
 			genRestarts.Inc()
-			nv := randomUnit(rng, n)
-			deflate(nv)
-			for pass := 0; pass < 2; pass++ {
-				for i := range q {
-					mat.Axpy(-mat.Dot(nv, lq[i]), q[i], nv)
+			restarted := false
+			for {
+				nv, fromSeed := nextStart()
+				for pass := 0; pass < 2; pass++ {
+					for i := range q {
+						mat.Axpy(-mat.Dot(nv, lq[i]), q[i], nv)
+					}
+				}
+				if appendBasis(nv) {
+					restarted = true
+					break
+				}
+				if !fromSeed {
+					break
 				}
 			}
-			if !appendBasis(nv) {
+			if !restarted {
 				break
 			}
 			beta = append(beta, 0)
@@ -178,7 +231,7 @@ func GeneralizedTopK(lx, ly *sparse.CSR, k int, rng *rand.Rand, opts Options) []
 	// fan out across the worker pool with a private scratch vector per pair.
 	parallel.ForEach(k, 1, func(c int) {
 		ii := m - 1 - c // descending
-		x := make(mat.Vec, len(q0))
+		x := make(mat.Vec, n)
 		for j := 0; j < m; j++ {
 			mat.Axpy(vecs.At(j, ii), q[j], x)
 		}

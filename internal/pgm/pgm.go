@@ -39,6 +39,17 @@ type Options struct {
 	Span *obs.Span
 }
 
+// sketchAboveNodes is the manifold size at which Phase-2 sparsification
+// switches from tree-path resistance bounds to sketched effective
+// resistances (see sparsify.Options.SketchAboveNodes). Below it the tree
+// bound is accurate enough and the q sketch solves would dominate the
+// phase; above it the tree stretch distorts the η ranking materially.
+const sketchAboveNodes = 8192
+
+// sketchEps is the sketch error target for Phase-2 resistance ranking —
+// loose, because only the η *ordering* matters, not the values.
+const sketchEps = 0.5
+
 func (o Options) withDefaults() Options {
 	if o.K <= 0 {
 		o.K = 10
@@ -75,6 +86,8 @@ func Build(x *mat.Dense, rng *rand.Rand, opts Options) *graph.Graph {
 	res := sparsify.Sparsify(g, nil, rng, sparsify.Options{
 		TargetEdges:       target,
 		UseTreeResistance: true,
+		SketchAboveNodes:  sketchAboveNodes,
+		SketchEps:         sketchEps,
 	})
 	ss.End()
 	return res.Graph
@@ -96,6 +109,8 @@ func FromGraph(g *graph.Graph, rng *rand.Rand, opts Options) *graph.Graph {
 	res := sparsify.Sparsify(g, nil, rng, sparsify.Options{
 		TargetEdges:       target,
 		UseTreeResistance: true,
+		SketchAboveNodes:  sketchAboveNodes,
+		SketchEps:         sketchEps,
 	})
 	ss.End()
 	return res.Graph

@@ -135,21 +135,11 @@ func (s *Laplacian) Solve(b mat.Vec) (mat.Vec, error) {
 }
 
 // SolveMany solves L⁺ applied to each column of B (n x k), returning an n x k
-// matrix of solutions.
+// matrix of solutions. It delegates to the blocked solver, which shares the
+// preconditioner and fuses the SpMV across columns; every column is
+// bit-identical to a standalone Solve call, for any worker count.
 func (s *Laplacian) SolveMany(b *mat.Dense) (*mat.Dense, error) {
-	if b.Rows != s.L.Rows {
-		panic(fmt.Sprintf("solver: SolveMany rows %d vs dim %d", b.Rows, s.L.Rows))
-	}
-	out := mat.NewDense(b.Rows, b.Cols)
-	var firstErr error
-	for j := 0; j < b.Cols; j++ {
-		x, err := s.Solve(b.Col(j))
-		if err != nil && firstErr == nil {
-			firstErr = err
-		}
-		out.SetCol(j, x)
-	}
-	return out, firstErr
+	return s.SolveBlock(b)
 }
 
 // Dim returns the number of nodes.

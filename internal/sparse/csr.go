@@ -161,6 +161,55 @@ func (m *CSR) MulDense(b *mat.Dense) *mat.Dense {
 	return out
 }
 
+// MulDenseColsTo computes y[:,j] = m·x[:,j] for the selected columns j of a
+// narrow dense x, into a caller-provided y of the same shape. This is the
+// fused SpMV of the blocked PCG: one pass over the CSR structure updates all
+// selected right-hand sides, so the matrix is streamed once per iteration
+// instead of once per column. Rows shard across the worker pool (per-row
+// output, fixed accumulation order within a row), so each selected column's
+// result is bit-identical to MulVecTo on that column for any worker count.
+// Columns outside cols are left untouched.
+func (m *CSR) MulDenseColsTo(y, x *mat.Dense, cols []int) {
+	if x.Rows != m.Cols || y.Rows != m.Rows || x.Cols != y.Cols {
+		panic(fmt.Sprintf("sparse: MulDenseColsTo dims y=%dx%d x=%dx%d for %dx%d",
+			y.Rows, y.Cols, x.Rows, x.Cols, m.Rows, m.Cols))
+	}
+	w := x.Cols
+	full := len(cols) == w // dense fast path: every column selected
+	mulRange := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			yrow := y.Data[i*w : (i+1)*w]
+			if full {
+				for j := range yrow {
+					yrow[j] = 0
+				}
+			} else {
+				for _, j := range cols {
+					yrow[j] = 0
+				}
+			}
+			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+				v := m.Val[k]
+				xrow := x.Data[m.ColIdx[k]*w : (m.ColIdx[k]+1)*w]
+				if full {
+					for j, xv := range xrow {
+						yrow[j] += v * xv
+					}
+				} else {
+					for _, j := range cols {
+						yrow[j] += v * xrow[j]
+					}
+				}
+			}
+		}
+	}
+	if len(m.Val)*len(cols) >= parallelNNZ {
+		parallel.For(m.Rows, 0, mulRange)
+	} else {
+		mulRange(0, m.Rows)
+	}
+}
+
 // T returns the transpose as a new CSR.
 func (m *CSR) T() *CSR {
 	entries := make([]Entry, 0, m.NNZ())

@@ -7,6 +7,7 @@ import (
 
 	"cirstag/internal/effres"
 	"cirstag/internal/graph"
+	"cirstag/internal/obs"
 	"cirstag/internal/solver"
 )
 
@@ -233,5 +234,59 @@ func TestUnionFind(t *testing.T) {
 	}
 	if u.find(0) != u.find(2) || u.find(3) == u.find(0) {
 		t.Fatal("find wrong")
+	}
+}
+
+// Above the node threshold Sparsify must rank by sketched resistances: the
+// counter advances, the spanning forest survives, the budget holds, and a
+// fixed seed gives a deterministic edge set. Below the threshold the output
+// is byte-identical to the tree-resistance path.
+func TestSparsifySketchResistancePath(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	rng := rand.New(rand.NewSource(66))
+	n := 200
+	g := randomConnectedGraph(rng, n, 500)
+	base := Options{TargetEdges: 2 * n, UseTreeResistance: true}
+
+	// Threshold above n: SketchAboveNodes set but inactive — identical output.
+	plain := Sparsify(g, nil, rand.New(rand.NewSource(5)), base)
+	gated := base
+	gated.SketchAboveNodes = n + 1
+	gated.SketchEps = 0.5
+	same := Sparsify(g, nil, rand.New(rand.NewSource(5)), gated)
+	if len(plain.KeptEdges) != len(same.KeptEdges) {
+		t.Fatalf("inactive sketch option changed the result: %d vs %d edges", len(plain.KeptEdges), len(same.KeptEdges))
+	}
+	for i := range plain.KeptEdges {
+		if plain.KeptEdges[i] != same.KeptEdges[i] {
+			t.Fatalf("inactive sketch option changed kept edge %d", i)
+		}
+	}
+
+	// Threshold at n: sketch path active.
+	active := base
+	active.SketchAboveNodes = n
+	active.SketchEps = 0.5
+	before := sketchResistanceUses.Value()
+	res := Sparsify(g, nil, rand.New(rand.NewSource(5)), active)
+	if sketchResistanceUses.Value() != before+1 {
+		t.Fatal("sketch-resistance counter did not advance")
+	}
+	if res.Graph.M() > 2*n+2 {
+		t.Fatalf("budget blown: %d edges kept", res.Graph.M())
+	}
+	if _, nc := res.Graph.ConnectedComponents(); nc != 1 {
+		t.Fatalf("sparsifier disconnected the graph into %d components", nc)
+	}
+	// Deterministic per seed.
+	res2 := Sparsify(g, nil, rand.New(rand.NewSource(5)), active)
+	if len(res.KeptEdges) != len(res2.KeptEdges) {
+		t.Fatal("sketch path not deterministic")
+	}
+	for i := range res.KeptEdges {
+		if res.KeptEdges[i] != res2.KeptEdges[i] {
+			t.Fatalf("sketch path not deterministic at kept edge %d", i)
+		}
 	}
 }

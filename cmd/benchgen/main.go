@@ -29,6 +29,7 @@ import (
 	"cirstag/internal/bench"
 	"cirstag/internal/circuit"
 	"cirstag/internal/obs/history"
+	"cirstag/internal/obs/resource"
 	"cirstag/internal/sta"
 )
 
@@ -158,6 +159,7 @@ func emitBenchReport(inPath, sha, outPath, historyDir string) error {
 		Schema:    bench.BenchSchemaVersion,
 		SHA:       sha,
 		GoVersion: runtime.Version(),
+		Env:       resource.CaptureEnv(),
 		Results:   results,
 	}
 	b, err := json.MarshalIndent(&rep, "", "  ")

@@ -11,12 +11,15 @@
 //	cirstag -bench sasc -history-dir runs/ -check-budgets
 //
 // Observability: -report writes a machine-readable JSON run report (per-phase
-// spans, eigensolver convergence, worker-pool utilization; schema
-// cirstag.report/v1), -v adds a human-readable span-tree summary on exit and
-// debug logging, -quiet suppresses progress output, and -debug-addr serves
-// net/http/pprof, expvar, and the Prometheus text exposition (/metrics) while
-// the run executes (-metrics-out snapshots the exposition body to a file at
-// exit).
+// spans with wall time and resource deltas, eigensolver convergence,
+// worker-pool utilization; schema cirstag.report/v2), -v adds a human-readable
+// span-tree summary on exit and debug logging, -quiet suppresses progress
+// output, -debug-addr serves net/http/pprof, expvar, and the Prometheus text
+// exposition (/metrics) while the run executes (-metrics-out snapshots the
+// exposition body to a file at exit), and -profile-dir captures pprof profiles
+// per run (one CPU profile plus a heap snapshot at every top-level phase
+// boundary, indexed by a content-hash manifest; diff two runs with
+// cmd/runcmp or `go tool pprof -base`).
 //
 // Telemetry export: -trace writes the span tree, worker-pool lanes, and cache
 // events as Chrome-trace/Perfetto JSON; -log-format=json switches the logger
@@ -71,6 +74,7 @@ func main() {
 		checkBudget = flag.Bool("check-budgets", false, "check phase latencies against <history-dir>/budgets.json (exit 6 on breach)")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof, expvar and /metrics on this address (e.g. :6060)")
 		metricsOut  = flag.String("metrics-out", "", "with -debug-addr: write the served /metrics exposition to this file at exit")
+		profileDir  = flag.String("profile-dir", "", "capture pprof profiles under DIR/<run_id>/ (run CPU profile + per-phase heap snapshots + manifest)")
 		verbose     = flag.Bool("v", false, "debug logging and a span-tree summary on exit")
 		quiet       = flag.Bool("quiet", false, "errors only")
 	)
@@ -106,14 +110,25 @@ func main() {
 	if *logFormat == "json" {
 		obs.SetLogFormat(obs.FormatJSON)
 	}
-	if *report != "" || *debugAddr != "" || *verbose || *tracePath != "" || *historyDir != "" {
+	if *report != "" || *debugAddr != "" || *verbose || *tracePath != "" || *historyDir != "" || *profileDir != "" {
 		obs.Enable()
+		// Every consumer of span data benefits from the resource columns and
+		// sampling only runs at span boundaries, so the switch rides along
+		// with span recording rather than needing its own flag.
+		obs.EnableResources()
 	}
 	if *tracePath != "" {
 		obs.EnableTrace()
 	}
 	for _, w := range warnings {
 		obs.Errorf("cirstag: warning: %s", w)
+	}
+	capturer, err := cliutil.StartProfile(*profileDir)
+	if err != nil {
+		fatal(err)
+	}
+	if capturer != nil {
+		obs.Infof("capturing profiles under %s", capturer.Dir())
 	}
 	var debugBound string
 	if *debugAddr != "" {
@@ -159,6 +174,7 @@ func main() {
 	// report (CI asserts this).
 	tcfg := timing.Config{Epochs: *epochs, Hidden: *hidden, Seed: *seed}
 	var model *timing.Model
+	trained := false
 	if m, ok := timing.LoadCached(nl, tcfg, store); ok {
 		obs.Infof("loaded cached timing GNN for %s (%d pins)", nl.Name, nl.NumPins())
 		loadSpan := obs.Start("load_gnn")
@@ -166,6 +182,7 @@ func main() {
 		loadSpan.End()
 	} else {
 		obs.Infof("training timing GNN on %s (%d pins)...", nl.Name, nl.NumPins())
+		trained = true
 		trainSpan := obs.Start("train_gnn")
 		model, err = timing.TrainAndStore(nl, tcfg, store)
 		if err != nil {
@@ -173,6 +190,11 @@ func main() {
 		}
 		trainSpan.End()
 	}
+	// For profile matching "cold" means the run did the full training work —
+	// either the cache was disabled or the model was not cached yet. That is
+	// the axis a profile diff cares about, and it splits the CI smoke pair
+	// (cold run trains, warm run loads) even though both enable the cache.
+	capturer.SetMeta(netlistHash(nl), store == nil || trained)
 	pred := model.Predict(nl)
 
 	obs.Infof("running CirSTAG...")
@@ -258,6 +280,14 @@ func main() {
 			fatal(err)
 		}
 		obs.Infof("wrote /metrics exposition to %s", *metricsOut)
+	}
+	// Close the capture before the budget gate below: a breach exits the
+	// process and must not lose the CPU profile explaining it.
+	if err := capturer.Close(); err != nil {
+		fatal(err)
+	}
+	if capturer != nil {
+		obs.Infof("wrote profiles to %s", capturer.Dir())
 	}
 	if *historyDir != "" {
 		if err := recordHistory(*historyDir, *checkBudget, nl, store == nil); err != nil {

@@ -40,6 +40,7 @@ func main() {
 		noCache    = flag.Bool("no-cache", false, "disable the artifact cache even when $CIRSTAG_CACHE_DIR is set")
 		report     = flag.String("report", "", "write a JSON run report (spans + metrics) to this file")
 		tracePath  = flag.String("trace", "", "write a Chrome-trace/Perfetto JSON export to this file")
+		profileDir = flag.String("profile-dir", "", "capture pprof profiles under DIR/<run_id>/ (run CPU profile + per-experiment heap snapshots + manifest)")
 		logFormat  = flag.String("log-format", "text", "log line encoding: text or json (run/span correlated)")
 		verbose    = flag.Bool("v", false, "debug logging and a span-tree summary on exit")
 		quiet      = flag.Bool("quiet", false, "errors only")
@@ -72,11 +73,22 @@ func main() {
 	if warning != "" {
 		obs.Errorf("experiments: warning: %s", warning)
 	}
-	if *report != "" || *verbose || *tracePath != "" {
+	if *report != "" || *verbose || *tracePath != "" || *profileDir != "" {
 		obs.Enable()
+		obs.EnableResources()
 	}
 	if *tracePath != "" {
 		obs.EnableTrace()
+	}
+	capturer, err := cliutil.StartProfile(*profileDir)
+	if err != nil {
+		cliutil.Fatal("experiments", err)
+	}
+	if capturer != nil {
+		// The experiment sweep has no single input netlist; the experiment
+		// selector is the closest input identity for cross-run matching.
+		capturer.SetMeta("exp:"+*exp, false)
+		obs.Infof("capturing profiles under %s", capturer.Dir())
 	}
 
 	store, err := cliutil.OpenCache(*cacheDir, *noCache)
@@ -227,6 +239,12 @@ func main() {
 			cliutil.Fatal("experiments", err)
 		}
 		obs.Infof("wrote trace export to %s (load in ui.perfetto.dev or chrome://tracing)", *tracePath)
+	}
+	if err := capturer.Close(); err != nil {
+		cliutil.Fatal("experiments", err)
+	}
+	if capturer != nil {
+		obs.Infof("wrote profiles to %s", capturer.Dir())
 	}
 }
 

@@ -1,14 +1,16 @@
 // Command obslint validates CirSTAG telemetry artifacts in CI without
 // external tooling: it lint-checks a Prometheus text exposition (the strict
-// subset of checks promtool would apply to our exporter's output) and
-// structurally validates a Chrome-trace/Perfetto JSON export.
+// subset of checks promtool would apply to our exporter's output),
+// structurally validates a Chrome-trace/Perfetto JSON export, and sanity
+// checks a JSON run report's per-phase resource accounting.
 //
 // Usage:
 //
 //	obslint -metrics metrics.txt
 //	obslint -trace trace.json
+//	obslint -report run.json
 //
-// Both modes exit 0 when the artifact is well-formed and 1 with a diagnostic
+// All modes exit 0 when the artifact is well-formed and 1 with a diagnostic
 // on stderr when it is not; missing files and flag misuse exit 2.
 package main
 
@@ -19,6 +21,7 @@ import (
 	"fmt"
 	"os"
 
+	"cirstag/internal/obs"
 	"cirstag/internal/obs/export"
 )
 
@@ -26,17 +29,27 @@ func main() {
 	var (
 		metricsPath = flag.String("metrics", "", "lint a Prometheus text exposition file")
 		tracePath   = flag.String("trace", "", "validate a Chrome-trace JSON export file")
+		reportPath  = flag.String("report", "", "validate a JSON run report's resource accounting")
 	)
 	flag.Parse()
 
-	if (*metricsPath == "") == (*tracePath == "") {
-		fmt.Fprintln(os.Stderr, "obslint: need exactly one of -metrics or -trace (see -h)")
+	var set int
+	for _, p := range []string{*metricsPath, *tracePath, *reportPath} {
+		if p != "" {
+			set++
+		}
+	}
+	if set != 1 {
+		fmt.Fprintln(os.Stderr, "obslint: need exactly one of -metrics, -trace or -report (see -h)")
 		os.Exit(2)
 	}
-	if *metricsPath != "" {
+	switch {
+	case *metricsPath != "":
 		run(*metricsPath, lintMetrics)
-	} else {
+	case *tracePath != "":
 		run(*tracePath, lintTrace)
+	default:
+		run(*reportPath, lintReport)
 	}
 }
 
@@ -109,6 +122,58 @@ func lintTrace(b []byte) error {
 	}
 	if complete == 0 {
 		return fmt.Errorf("no complete (ph=X) span events")
+	}
+	return nil
+}
+
+// lintReport structurally validates a run report (obs.ParseReport already
+// rejects bad schemas and negative/NaN resource counters) and then applies
+// the resource-accounting consistency checks ParseReport cannot: resource
+// deltas must be present on either every span or none (a mix means sampling
+// was toggled mid-run or a span's delta was lost), and a span's CPU time
+// cannot exceed wall time times the parallelism available to the process.
+func lintReport(b []byte) error {
+	rep, err := obs.ParseReport(b)
+	if err != nil {
+		return err
+	}
+	var withRes, withoutRes int
+	var walk func(path string, s obs.SpanReport) error
+	walk = func(path string, s obs.SpanReport) error {
+		name := path + s.Name
+		if s.Res != nil {
+			withRes++
+			// GOMAXPROCS bounds runnable goroutines, so CPU time per span is
+			// at most wall × procs. Allow 5% + 5ms slack for rusage-vs-clock
+			// measurement skew on very short spans.
+			maxProcs := rep.GoMaxProcs
+			if rep.Env != nil && rep.Env.GoMaxProcs > 0 {
+				maxProcs = rep.Env.GoMaxProcs
+			}
+			if maxProcs > 0 {
+				limit := s.DurationMS*float64(maxProcs)*1.05 + 5
+				if s.Res.CPUMS > limit {
+					return fmt.Errorf("span %q: cpu_ms %.1f exceeds wall_ms %.1f x %d procs (limit %.1f)",
+						name, s.Res.CPUMS, s.DurationMS, maxProcs, limit)
+				}
+			}
+		} else {
+			withoutRes++
+		}
+		for _, c := range s.Children {
+			if err := walk(name+"/", c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, s := range rep.Spans {
+		if err := walk("", s); err != nil {
+			return err
+		}
+	}
+	if withRes > 0 && withoutRes > 0 {
+		return fmt.Errorf("inconsistent resource accounting: %d span(s) carry res, %d do not", withRes, withoutRes)
 	}
 	return nil
 }

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"cirstag/internal/obs/resource"
 )
 
 // Benchmark-regression tooling: parse `go test -bench` output into a stable
@@ -29,11 +31,15 @@ type BenchResult struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
-// BenchReport is the persisted form of one benchmark sweep.
+// BenchReport is the persisted form of one benchmark sweep. Env (additive to
+// schema v1) fingerprints the machine the sweep ran on, so comparison tooling
+// (cmd/runcmp, -bench-compare consumers) can flag cross-environment diffs
+// instead of attributing them to code.
 type BenchReport struct {
 	Schema    string        `json:"schema"`
 	SHA       string        `json:"sha,omitempty"`
 	GoVersion string        `json:"go_version,omitempty"`
+	Env       *resource.Env `json:"env,omitempty"`
 	Results   []BenchResult `json:"results"`
 }
 

@@ -10,6 +10,7 @@ import (
 	"cirstag/internal/cache"
 	"cirstag/internal/cirerr"
 	"cirstag/internal/obs"
+	"cirstag/internal/obs/profile"
 )
 
 // CacheDirEnv names the environment variable consulted when no -cache-dir
@@ -179,4 +180,15 @@ func OpenCache(cacheDir string, noCache bool) (*cache.Store, error) {
 		return nil, nil
 	}
 	return cache.Open(cacheDir)
+}
+
+// StartProfile starts phase-scoped profile capture (the -profile-dir flag
+// shared by cmd/cirstag and cmd/experiments). An empty dir disables capture
+// and returns a nil Capturer, whose methods are all no-op safe, so callers
+// thread it unconditionally.
+func StartProfile(dir string) (*profile.Capturer, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	return profile.Start(dir)
 }

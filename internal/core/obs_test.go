@@ -11,12 +11,15 @@ import (
 )
 
 // TestRunObsReport runs the pipeline on a small benchmark circuit with
-// observability enabled and checks that the run report contains every
-// expected phase span and non-zero eigensolver convergence metrics.
+// observability (including resource accounting) enabled and checks that the
+// run report contains every expected phase span, per-phase resource deltas,
+// and non-zero eigensolver convergence metrics.
 func TestRunObsReport(t *testing.T) {
 	obs.Reset()
 	obs.Enable()
+	obs.EnableResources()
 	defer func() {
+		obs.DisableResources()
 		obs.Disable()
 		obs.Reset()
 	}()
@@ -57,6 +60,31 @@ func TestRunObsReport(t *testing.T) {
 		if !names[want] {
 			t.Errorf("report is missing phase span %q (got %v)", want, names)
 		}
+	}
+
+	// With resource accounting on, every pipeline span carries its resource
+	// delta, and a phase that allocates (the kNN build) shows it.
+	var checkRes func(s obs.SpanReport)
+	checkRes = func(s obs.SpanReport) {
+		if s.Res == nil {
+			t.Errorf("span %q has no resource delta", s.Name)
+			return
+		}
+		if s.Res.CPUMS < 0 || s.Res.Allocs < 0 || s.Res.AllocBytes < 0 || s.Res.GCPauseMS < 0 {
+			t.Errorf("span %q has negative resource delta: %+v", s.Name, *s.Res)
+		}
+		if s.Name == "knn" && s.Res.Allocs == 0 {
+			t.Errorf("knn span reports zero allocations: %+v", *s.Res)
+		}
+		for _, c := range s.Children {
+			checkRes(c)
+		}
+	}
+	for _, s := range rep.Spans {
+		checkRes(s)
+	}
+	if rep.Env == nil || rep.Env.GoMaxProcs < 1 {
+		t.Errorf("report missing environment fingerprint: %+v", rep.Env)
 	}
 
 	for _, want := range []string{

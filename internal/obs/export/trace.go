@@ -68,6 +68,15 @@ func WriteTrace(w io.Writer) error {
 		if lane > maxLane {
 			maxLane = lane
 		}
+		args := map[string]any{"span_id": s.ID}
+		if r := s.Res; r != nil {
+			// Resource deltas surface in the viewer's slice-details pane.
+			args["cpu_ms"] = r.CPUMS
+			args["allocs"] = r.Allocs
+			args["alloc_bytes"] = r.AllocBytes
+			args["gc_pause_ms"] = r.GCPauseMS
+			args["goroutines"] = r.Goroutines
+		}
 		events = append(events, traceEvent{
 			Name: s.Name,
 			Cat:  "phase",
@@ -76,7 +85,7 @@ func WriteTrace(w io.Writer) error {
 			Dur:  dur(s.DurationMS * 1000),
 			PID:  tracePIDPipeline,
 			TID:  lane,
-			Args: map[string]any{"span_id": s.ID},
+			Args: args,
 		})
 	})
 

@@ -4,7 +4,7 @@
 // absolute limits or the best prior run of the same input.
 //
 // The ledger is the cross-run complement of the single-run report
-// (cirstag.report/v1): every `cirstag -history-dir DIR` invocation appends
+// (cirstag.report/v2): every `cirstag -history-dir DIR` invocation appends
 // one line, `benchgen -bench-json -history-dir DIR` appends bench sweeps to
 // the same file, and `-check-budgets` turns the ledger plus a budgets file
 // into a latency regression gate that exits nonzero naming the breaching
@@ -23,6 +23,7 @@ import (
 
 	"cirstag/internal/cirerr"
 	"cirstag/internal/obs"
+	"cirstag/internal/obs/resource"
 )
 
 // SchemaVersion identifies the ledger entry layout. Entries with an
@@ -58,13 +59,23 @@ type Entry struct {
 	// cold and warm populations separately.
 	Cold bool `json:"cold,omitempty"`
 	// PhasesMS maps phase (span) name to total wall milliseconds.
-	PhasesMS  map[string]float64 `json:"phases_ms"`
-	GoVersion string             `json:"go_version,omitempty"`
+	PhasesMS map[string]float64 `json:"phases_ms"`
+	// PhasesRes maps phase name to its summed resource deltas. Present only
+	// for runs recorded with resource accounting on (obs.EnableResources);
+	// additive to schema v1 — old binaries ignore it, old entries omit it.
+	PhasesRes map[string]obs.SpanResources `json:"phases_res,omitempty"`
+	// Env fingerprints the environment the run executed in, so cross-run
+	// comparison tooling (cmd/runcmp) can flag incomparable entries.
+	// Additive to schema v1.
+	Env       *resource.Env `json:"env,omitempty"`
+	GoVersion string        `json:"go_version,omitempty"`
 }
 
 // NewEntry builds a ledger entry for the current obs snapshot: PhasesMS is
-// the flattened span forest (duplicate span names sum).
+// the flattened span forest (duplicate span names sum), PhasesRes the
+// matching resource deltas when the snapshot carries any.
 func NewEntry(tool, inputHash string, cold bool) Entry {
+	rep := obs.Snapshot()
 	return Entry{
 		Schema:    SchemaVersion,
 		RunID:     obs.RunID(),
@@ -72,7 +83,9 @@ func NewEntry(tool, inputHash string, cold bool) Entry {
 		Tool:      tool,
 		InputHash: inputHash,
 		Cold:      cold,
-		PhasesMS:  PhasesFromReport(obs.Snapshot()),
+		PhasesMS:  PhasesFromReport(rep),
+		PhasesRes: ResourcesFromReport(rep),
+		Env:       rep.Env,
 		GoVersion: runtime.Version(),
 	}
 }
@@ -91,6 +104,37 @@ func PhasesFromReport(rep *obs.Report) map[string]float64 {
 	}
 	for _, s := range rep.Spans {
 		walk(s)
+	}
+	return phases
+}
+
+// ResourcesFromReport flattens a report's span forest into phase name ->
+// summed resource deltas, mirroring PhasesFromReport's aggregation (repeated
+// span names sum their deltas; Goroutines keeps the last observation, matching
+// its point-in-time semantics). Returns nil when no span carries a delta, so
+// entries from resource-less runs omit the phases_res field entirely.
+func ResourcesFromReport(rep *obs.Report) map[string]obs.SpanResources {
+	phases := map[string]obs.SpanResources{}
+	var walk func(s obs.SpanReport)
+	walk = func(s obs.SpanReport) {
+		if r := s.Res; r != nil {
+			acc := phases[s.Name]
+			acc.CPUMS += r.CPUMS
+			acc.Allocs += r.Allocs
+			acc.AllocBytes += r.AllocBytes
+			acc.GCPauseMS += r.GCPauseMS
+			acc.Goroutines = r.Goroutines
+			phases[s.Name] = acc
+		}
+		for _, c := range s.Children {
+			walk(c)
+		}
+	}
+	for _, s := range rep.Spans {
+		walk(s)
+	}
+	if len(phases) == 0 {
+		return nil
 	}
 	return phases
 }

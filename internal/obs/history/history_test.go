@@ -122,6 +122,81 @@ func TestNewEntryFlattensSpans(t *testing.T) {
 	}
 }
 
+func TestNewEntryCarriesResources(t *testing.T) {
+	obs.Reset()
+	obs.Enable()
+	obs.EnableResources()
+	defer func() {
+		obs.DisableResources()
+		obs.Disable()
+		obs.Reset()
+	}()
+	root := obs.Start("res-root")
+	root.Child("res-phase").End()
+	root.Child("res-phase").End() // duplicate name: deltas sum
+	root.End()
+
+	e := NewEntry("cirstag", "hash456", false)
+	if e.Env == nil || e.Env.GoVersion == "" {
+		t.Fatalf("entry missing environment fingerprint: %+v", e.Env)
+	}
+	if len(e.PhasesRes) != 2 {
+		t.Fatalf("phases_res = %v, want res-root and res-phase", e.PhasesRes)
+	}
+	rootRes, phaseRes := e.PhasesRes["res-root"], e.PhasesRes["res-phase"]
+	if rootRes.Allocs <= 0 {
+		t.Fatalf("root span saw no allocations (span machinery alone allocates): %+v", rootRes)
+	}
+	if phaseRes.Goroutines < 1 {
+		t.Fatalf("goroutine point reading missing: %+v", phaseRes)
+	}
+
+	// Round trip through the ledger file: additive fields must survive.
+	dir := t.TempDir()
+	if err := Append(dir, e); err != nil {
+		t.Fatal(err)
+	}
+	got, skipped, err := Load(dir)
+	if err != nil || skipped != 0 || len(got) != 1 {
+		t.Fatalf("round trip: entries=%d skipped=%d err=%v", len(got), skipped, err)
+	}
+	if got[0].Env == nil || got[0].Env.GoVersion != e.Env.GoVersion {
+		t.Fatalf("env lost in round trip: %+v", got[0].Env)
+	}
+	if got[0].PhasesRes["res-root"].Allocs != rootRes.Allocs {
+		t.Fatalf("phases_res lost in round trip: %+v", got[0].PhasesRes)
+	}
+}
+
+func TestResourcesFromReportSumsDuplicates(t *testing.T) {
+	rep := &obs.Report{
+		Spans: []obs.SpanReport{{
+			Name: "root",
+			Res:  &obs.SpanResources{CPUMS: 10, Allocs: 100, AllocBytes: 1000, GCPauseMS: 1, Goroutines: 2},
+			Children: []obs.SpanReport{
+				{Name: "phase", Res: &obs.SpanResources{CPUMS: 3, Allocs: 30, AllocBytes: 300, GCPauseMS: 0.5, Goroutines: 2}},
+				{Name: "phase", Res: &obs.SpanResources{CPUMS: 4, Allocs: 40, AllocBytes: 400, GCPauseMS: 0.25, Goroutines: 7}},
+				{Name: "bare"}, // no delta recorded: contributes nothing
+			},
+		}},
+	}
+	got := ResourcesFromReport(rep)
+	if len(got) != 2 {
+		t.Fatalf("got %d phases, want 2 (bare span has no delta): %v", len(got), got)
+	}
+	p := got["phase"]
+	if p.CPUMS != 7 || p.Allocs != 70 || p.AllocBytes != 700 || p.GCPauseMS != 0.75 {
+		t.Fatalf("duplicate-name deltas not summed: %+v", p)
+	}
+	if p.Goroutines != 7 {
+		t.Fatalf("goroutines should keep the last observation, got %d", p.Goroutines)
+	}
+
+	if ResourcesFromReport(&obs.Report{Spans: []obs.SpanReport{{Name: "x"}}}) != nil {
+		t.Fatal("resource-less report must yield nil (omitted phases_res)")
+	}
+}
+
 func writeBudgets(t *testing.T, dir, body string) string {
 	t.Helper()
 	path := filepath.Join(dir, BudgetsFile)

@@ -41,6 +41,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"cirstag/internal/obs/resource"
 )
 
 var (
@@ -129,10 +131,19 @@ type Span struct {
 	name     string
 	id       uint64
 	parent   *Span // nil for roots
+	depth    int   // 0 for roots; parent depth + 1 otherwise
 	start    time.Time
 	dur      time.Duration // set by End; 0 while running
 	ended    bool
 	children []*Span
+
+	// Resource accounting (EnableResources). sampled is written once at
+	// creation, before the span is shared; res/hasRes are written by End under
+	// stateMu and read by snapshotSpan under the same lock.
+	sampled  bool
+	resStart resource.Usage
+	res      resource.Delta
+	hasRes   bool
 }
 
 // ID returns the span's process-unique identifier (0 for a nil span).
@@ -149,10 +160,15 @@ func Start(name string) *Span {
 		return nil
 	}
 	s := &Span{name: name, id: spanIDs.Add(1), start: time.Now()}
+	if resOn.Load() {
+		s.sampled = true
+		s.resStart = sampleUsage()
+	}
 	stateMu.Lock()
 	roots = append(roots, s)
 	stateMu.Unlock()
 	current.Store(s)
+	notifySpan(s, false)
 	return s
 }
 
@@ -163,11 +179,16 @@ func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{name: name, id: spanIDs.Add(1), parent: s, start: time.Now()}
+	c := &Span{name: name, id: spanIDs.Add(1), parent: s, depth: s.depth + 1, start: time.Now()}
+	if resOn.Load() {
+		c.sampled = true
+		c.resStart = sampleUsage()
+	}
 	stateMu.Lock()
 	s.children = append(s.children, c)
 	stateMu.Unlock()
 	current.Store(c)
+	notifySpan(c, false)
 	return c
 }
 
@@ -177,15 +198,33 @@ func (s *Span) End() {
 	if s == nil {
 		return
 	}
+	// Sample before taking stateMu: sampleUsage briefly stops the world
+	// (ReadMemStats) and must not do so while holding the span-forest lock.
+	var end resource.Usage
+	sample := s.sampled && resOn.Load()
+	if sample {
+		end = sampleUsage()
+	}
+	var endedNow bool
 	stateMu.Lock()
 	if !s.ended {
 		s.dur = time.Since(s.start)
 		s.ended = true
+		endedNow = true
+		if sample {
+			s.res = end.Sub(s.resStart)
+			s.hasRes = true
+		}
 	}
 	stateMu.Unlock()
 	// Restore the parent as the log-correlation target, but only if no other
 	// span took over in the meantime.
 	current.CompareAndSwap(s, s.parent)
+	// Notify after the duration and delta are final, so an observer that
+	// forces a GC (heap profiling) charges nothing to this span.
+	if endedNow {
+		notifySpan(s, true)
+	}
 }
 
 // CurrentSpanID returns the ID of the most recently started, not-yet-ended

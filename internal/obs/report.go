@@ -10,12 +10,21 @@ import (
 	"sort"
 	"sync/atomic"
 	"time"
+	"unicode/utf8"
+
+	"cirstag/internal/obs/resource"
 )
 
 // SchemaVersion identifies the JSON run-report layout. Consumers should
 // reject reports whose schema field they do not recognize; additive changes
-// keep the version, field removals or renames bump it.
-const SchemaVersion = "cirstag.report/v1"
+// keep the version, field removals or renames bump it. v2 added per-span
+// resource deltas (SpanReport.Res) and the environment fingerprint
+// (Report.Env); ParseReport still accepts v1 documents, whose new fields are
+// simply absent.
+const (
+	SchemaVersion   = "cirstag.report/v2"
+	SchemaVersionV1 = "cirstag.report/v1"
+)
 
 // Report is the machine-readable snapshot of everything recorded since the
 // last Reset. Field names and JSON tags are a stable public contract (see
@@ -28,6 +37,7 @@ type Report struct {
 	RunID      string                `json:"run_id,omitempty"`
 	GoVersion  string                `json:"go_version"`
 	GoMaxProcs int                   `json:"gomaxprocs"`
+	Env        *resource.Env         `json:"env,omitempty"`
 	Spans      []SpanReport          `json:"spans,omitempty"`
 	Counters   map[string]int64      `json:"counters,omitempty"`
 	Gauges     map[string]float64    `json:"gauges,omitempty"`
@@ -67,11 +77,25 @@ func SetCacheReporter(f func() *CacheReport) {
 // field); StartMS is the span's start offset from the process epoch, which is
 // what lets the trace exporter lay sibling spans out on a shared timeline.
 type SpanReport struct {
-	Name       string       `json:"name"`
-	ID         uint64       `json:"id,omitempty"`
-	StartMS    float64      `json:"start_ms"`
-	DurationMS float64      `json:"duration_ms"`
-	Children   []SpanReport `json:"children,omitempty"`
+	Name       string         `json:"name"`
+	ID         uint64         `json:"id,omitempty"`
+	StartMS    float64        `json:"start_ms"`
+	DurationMS float64        `json:"duration_ms"`
+	Res        *SpanResources `json:"res,omitempty"`
+	Children   []SpanReport   `json:"children,omitempty"`
+}
+
+// SpanResources is the per-span resource delta recorded when resource
+// accounting (EnableResources) is on. All counters are process-wide — a span
+// that overlaps concurrent work sees that work's consumption too — and all
+// fields except Goroutines are deltas over the span; Goroutines is the live
+// count at span end.
+type SpanResources struct {
+	CPUMS      float64 `json:"cpu_ms"`
+	Allocs     int64   `json:"allocs"`
+	AllocBytes int64   `json:"alloc_bytes"`
+	GCPauseMS  float64 `json:"gc_pause_ms"`
+	Goroutines int     `json:"goroutines"`
 }
 
 // HistReport is the serialized form of a Histogram. Counts has one entry per
@@ -96,6 +120,7 @@ func Snapshot() *Report {
 		RunID:      RunID(),
 		GoVersion:  runtime.Version(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Env:        resource.CaptureEnv(),
 		Counters:   map[string]int64{},
 		Gauges:     map[string]float64{},
 		Histograms: map[string]HistReport{},
@@ -147,6 +172,15 @@ func snapshotSpan(s *Span) SpanReport {
 		StartMS:    float64(s.start.Sub(epoch)) / float64(time.Millisecond),
 		DurationMS: float64(d) / float64(time.Millisecond),
 	}
+	if s.hasRes {
+		out.Res = &SpanResources{
+			CPUMS:      s.res.CPUMS,
+			Allocs:     s.res.Allocs,
+			AllocBytes: s.res.AllocBytes,
+			GCPauseMS:  s.res.GCPauseMS,
+			Goroutines: s.res.Goroutines,
+		}
+	}
 	kids := append([]*Span(nil), s.children...)
 	sort.SliceStable(kids, func(a, b int) bool { return kids[a].start.Before(kids[b].start) })
 	for _, c := range kids {
@@ -164,8 +198,8 @@ func ParseReport(b []byte) (*Report, error) {
 	if err := json.Unmarshal(b, &rep); err != nil {
 		return nil, fmt.Errorf("obs: parsing report: %w", err)
 	}
-	if rep.Schema != SchemaVersion {
-		return nil, fmt.Errorf("obs: report schema %q, want %q", rep.Schema, SchemaVersion)
+	if rep.Schema != SchemaVersion && rep.Schema != SchemaVersionV1 {
+		return nil, fmt.Errorf("obs: report schema %q, want %q (or legacy %q)", rep.Schema, SchemaVersion, SchemaVersionV1)
 	}
 	for name, h := range rep.Histograms {
 		if len(h.Counts) != len(h.Bounds)+1 {
@@ -191,6 +225,15 @@ func ParseReport(b []byte) (*Report, error) {
 			}
 			if math.IsNaN(s.StartMS) || math.IsInf(s.StartMS, 0) {
 				return fmt.Errorf("obs: span %q has invalid start %v", s.Name, s.StartMS)
+			}
+			if r := s.Res; r != nil {
+				if math.IsNaN(r.CPUMS) || math.IsInf(r.CPUMS, 0) || r.CPUMS < 0 ||
+					math.IsNaN(r.GCPauseMS) || math.IsInf(r.GCPauseMS, 0) || r.GCPauseMS < 0 {
+					return fmt.Errorf("obs: span %q has invalid resource times (cpu_ms=%v gc_pause_ms=%v)", s.Name, r.CPUMS, r.GCPauseMS)
+				}
+				if r.Allocs < 0 || r.AllocBytes < 0 || r.Goroutines < 0 {
+					return fmt.Errorf("obs: span %q has negative resource counters", s.Name)
+				}
 			}
 			if err := checkSpans(s.Children); err != nil {
 				return err
@@ -240,9 +283,7 @@ func WriteTree(w io.Writer) {
 	rep := Snapshot()
 	if len(rep.Spans) > 0 {
 		fmt.Fprintf(w, "--- span tree (wall time) ---\n")
-		for _, s := range rep.Spans {
-			writeSpanTree(w, s, 0)
-		}
+		SpanTreeSummary(w, rep)
 	}
 	if len(rep.Counters) > 0 {
 		fmt.Fprintf(w, "--- counters ---\n")
@@ -270,11 +311,48 @@ func WriteTree(w io.Writer) {
 	}
 }
 
-func writeSpanTree(w io.Writer, s SpanReport, depth int) {
-	fmt.Fprintf(w, "  %-*s%-*s %10.1fms\n", 2*depth, "", 42-2*depth, s.Name, s.DurationMS)
-	for _, c := range s.Children {
-		writeSpanTree(w, c, depth+1)
+// SpanTreeSummary renders rep's span forest as an indented table: one row per
+// span, wall time always, resource columns (CPU, allocations, GC pause) when
+// the report carries per-span deltas (schema v2 with EnableResources).
+//
+// The name column is sized to the widest indented name, measured in runes —
+// a %-*s pad counts bytes, which mis-aligns every row after a multi-byte name
+// (span names derived from netlist identifiers can carry non-ASCII) — and
+// never truncates, so deep trees of long shared-prefix names stay readable.
+func SpanTreeSummary(w io.Writer, rep *Report) {
+	nameWidth, hasRes := 0, false
+	var measure func(spans []SpanReport, depth int)
+	measure = func(spans []SpanReport, depth int) {
+		for _, s := range spans {
+			if n := 2*depth + utf8.RuneCountInString(s.Name); n > nameWidth {
+				nameWidth = n
+			}
+			if s.Res != nil {
+				hasRes = true
+			}
+			measure(s.Children, depth+1)
+		}
 	}
+	measure(rep.Spans, 0)
+
+	var emit func(spans []SpanReport, depth int)
+	emit = func(spans []SpanReport, depth int) {
+		for _, s := range spans {
+			indent := 2 * depth
+			pad := nameWidth - indent - utf8.RuneCountInString(s.Name)
+			fmt.Fprintf(w, "  %*s%s%*s %10.1fms", indent, "", s.Name, pad, "", s.DurationMS)
+			if hasRes {
+				if r := s.Res; r != nil {
+					fmt.Fprintf(w, "  cpu %9.1fms  allocs %11d  bytes %13d  gc %7.2fms", r.CPUMS, r.Allocs, r.AllocBytes, r.GCPauseMS)
+				} else {
+					fmt.Fprintf(w, "  %s", "(no resource sample)")
+				}
+			}
+			fmt.Fprintln(w)
+			emit(s.Children, depth+1)
+		}
+	}
+	emit(rep.Spans, 0)
 }
 
 func sortedKeys[V any](m map[string]V) []string {

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package resource
+
+import "time"
+
+// cpuTime is unavailable without getrusage(2); CPU deltas degrade to zero and
+// downstream consumers (run reports, runcmp) simply see no cpu_ms signal.
+func cpuTime() time.Duration { return 0 }

@@ -1,0 +1,24 @@
+//go:build unix
+
+package resource
+
+import (
+	"syscall"
+	"time"
+)
+
+// cpuTime returns the user+system CPU time consumed by the process via
+// getrusage(2). The /cpu/classes runtime/metrics hierarchy would avoid the
+// syscall, but those estimates only refresh on GC cycles — useless for
+// attributing CPU to a phase that runs between collections.
+func cpuTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return tvDuration(ru.Utime) + tvDuration(ru.Stime)
+}
+
+func tvDuration(tv syscall.Timeval) time.Duration {
+	return time.Duration(tv.Sec)*time.Second + time.Duration(tv.Usec)*time.Microsecond
+}

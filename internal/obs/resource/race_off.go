@@ -1,0 +1,6 @@
+//go:build !race
+
+package resource
+
+// RaceEnabled reports whether the binary was built with -race. See race_on.go.
+const RaceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package resource
+
+// RaceEnabled reports whether the binary was built with -race. Stamped into
+// environment fingerprints: race-instrumented timings (typically 5-20x
+// slower, much heavier allocation) must never be compared against
+// uninstrumented baselines.
+const RaceEnabled = true

@@ -1,0 +1,214 @@
+// Package resource samples process-wide resource counters — CPU time, heap
+// allocation totals, cumulative GC pause time, and the live goroutine count —
+// so the observability layer (internal/obs) can attach per-phase resource
+// deltas to its wall-time spans, and captures a stable fingerprint of the
+// execution environment (Go version, GOMAXPROCS, CPU model, race detector)
+// so cross-machine comparisons of those deltas are interpretable.
+//
+// The package is a stdlib-only leaf: it imports nothing from the rest of the
+// repository, which lets internal/obs consume it directly without a hook
+// inversion. Counters come from three sources:
+//
+//   - runtime/metrics for heap allocation totals ("/gc/heap/allocs:objects",
+//     "/gc/heap/allocs:bytes") and the goroutine count
+//     ("/sched/goroutines:goroutines") — cheap, no stop-the-world;
+//   - getrusage(2) for user+system CPU time on unix (runtime/metrics'
+//     /cpu/classes hierarchy only refreshes on GC cycles, far too coarse for
+//     per-phase attribution); zero on other platforms;
+//   - runtime.ReadMemStats for the cumulative GC pause total (runtime/metrics
+//     exposes pauses only as a bucketed histogram). ReadMemStats briefly
+//     stops the world, which is why sampling sits behind an explicit switch
+//     (obs.EnableResources) and only ever runs at span boundaries.
+//
+// All counters except the goroutine count are monotonically non-decreasing,
+// so the difference of two samples is a meaningful per-interval delta. Note
+// that the counters are process-wide: the delta over a span that overlaps
+// concurrent work (e.g. the G_X/G_Y manifold builds) includes that concurrent
+// work too.
+package resource
+
+import (
+	"os"
+	"runtime"
+	"runtime/metrics"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Usage is a point-in-time snapshot of the process-wide resource counters.
+type Usage struct {
+	// CPU is the user+system CPU time consumed by the process so far
+	// (zero on platforms without getrusage).
+	CPU time.Duration
+	// Allocs is the cumulative count of heap objects allocated.
+	Allocs uint64
+	// AllocBytes is the cumulative total of heap bytes allocated.
+	AllocBytes uint64
+	// GCPause is the cumulative stop-the-world GC pause time.
+	GCPause time.Duration
+	// Goroutines is the live goroutine count at sampling time (the one
+	// non-monotonic field).
+	Goroutines int
+}
+
+// Metric indices into the runtime/metrics batch read by Sample.
+const (
+	metricAllocObjects = "/gc/heap/allocs:objects"
+	metricAllocBytes   = "/gc/heap/allocs:bytes"
+	metricGoroutines   = "/sched/goroutines:goroutines"
+)
+
+// Sample reads the current resource counters. It allocates a small sample
+// batch per call; callers on hot paths gate it behind their own disabled-path
+// check (internal/obs samples only at span boundaries, and only when resource
+// accounting is switched on).
+func Sample() Usage {
+	samples := []metrics.Sample{
+		{Name: metricAllocObjects},
+		{Name: metricAllocBytes},
+		{Name: metricGoroutines},
+	}
+	metrics.Read(samples)
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return Usage{
+		CPU:        cpuTime(),
+		Allocs:     samples[0].Value.Uint64(),
+		AllocBytes: samples[1].Value.Uint64(),
+		GCPause:    time.Duration(ms.PauseTotalNs),
+		Goroutines: int(samples[2].Value.Uint64()),
+	}
+}
+
+// Delta is the resource consumption between two samples, in the units the run
+// report serializes (milliseconds for times). All fields except Goroutines
+// are clamped to be non-negative — the underlying counters are monotonic, so
+// a negative difference can only be measurement skew.
+type Delta struct {
+	// CPUMS is process CPU time consumed over the interval, in milliseconds.
+	CPUMS float64
+	// Allocs is the number of heap objects allocated over the interval.
+	Allocs int64
+	// AllocBytes is the number of heap bytes allocated over the interval.
+	AllocBytes int64
+	// GCPauseMS is stop-the-world GC pause time over the interval, in
+	// milliseconds.
+	GCPauseMS float64
+	// Goroutines is the live goroutine count at the END of the interval (a
+	// point-in-time reading, not a difference).
+	Goroutines int
+}
+
+// Sub returns the delta from start to u (u being the later sample).
+func (u Usage) Sub(start Usage) Delta {
+	d := Delta{
+		CPUMS:      float64(u.CPU-start.CPU) / float64(time.Millisecond),
+		Allocs:     int64(u.Allocs - start.Allocs),
+		AllocBytes: int64(u.AllocBytes - start.AllocBytes),
+		GCPauseMS:  float64(u.GCPause-start.GCPause) / float64(time.Millisecond),
+		Goroutines: u.Goroutines,
+	}
+	if d.CPUMS < 0 {
+		d.CPUMS = 0
+	}
+	if d.Allocs < 0 {
+		d.Allocs = 0
+	}
+	if d.AllocBytes < 0 {
+		d.AllocBytes = 0
+	}
+	if d.GCPauseMS < 0 {
+		d.GCPauseMS = 0
+	}
+	return d
+}
+
+// Env fingerprints the execution environment of a run. It is stamped into v2
+// run reports, bench reports, and run-history ledger rows so comparison
+// tooling (cmd/runcmp) can warn when two measurements come from incomparable
+// environments instead of attributing bogus regressions.
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// CPUModel is the "model name" line of /proc/cpuinfo (empty where that
+	// file does not exist).
+	CPUModel string `json:"cpu_model,omitempty"`
+	// Race reports whether the binary was built with the race detector —
+	// race-instrumented timings are not comparable with uninstrumented ones.
+	Race bool   `json:"race,omitempty"`
+	OS   string `json:"os"`
+	Arch string `json:"arch"`
+}
+
+var cpuModel = sync.OnceValue(readCPUModel)
+
+// readCPUModel extracts the first "model name" entry from /proc/cpuinfo.
+// Missing file or unexpected layout degrade to "" rather than erroring:
+// the fingerprint is advisory.
+func readCPUModel() string {
+	b, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		key, val, found := strings.Cut(line, ":")
+		if !found {
+			continue
+		}
+		if strings.TrimSpace(key) == "model name" {
+			return strings.TrimSpace(val)
+		}
+	}
+	return ""
+}
+
+// CaptureEnv returns the environment fingerprint of the running process.
+func CaptureEnv() *Env {
+	return &Env{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		CPUModel:   cpuModel(),
+		Race:       RaceEnabled,
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+	}
+}
+
+// Mismatches compares two environment fingerprints and returns one
+// human-readable line per field that differs. A nil side means "unknown
+// environment" and reports a single mismatch line when the other side is
+// known. Equal (or both-unknown) environments return nil.
+func Mismatches(a, b *Env) []string {
+	if a == nil && b == nil {
+		return nil
+	}
+	if a == nil || b == nil {
+		return []string{"one side has no environment fingerprint (recorded by an older tool version)"}
+	}
+	var out []string
+	add := func(field, av, bv string) {
+		if av != bv {
+			out = append(out, field+": "+av+" vs "+bv)
+		}
+	}
+	add("go_version", a.GoVersion, b.GoVersion)
+	add("gomaxprocs", strconv.Itoa(a.GoMaxProcs), strconv.Itoa(b.GoMaxProcs))
+	add("num_cpu", strconv.Itoa(a.NumCPU), strconv.Itoa(b.NumCPU))
+	add("cpu_model", a.CPUModel, b.CPUModel)
+	if a.Race != b.Race {
+		out = append(out, "race detector: "+boolStr(a.Race)+" vs "+boolStr(b.Race))
+	}
+	add("os/arch", a.OS+"/"+a.Arch, b.OS+"/"+b.Arch)
+	return out
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}

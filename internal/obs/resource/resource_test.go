@@ -1,0 +1,112 @@
+package resource
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSampleMonotonic: the monotonic counters never decrease between
+// samples, and burning CPU + allocating between two samples shows up in the
+// deltas.
+func TestSampleMonotonic(t *testing.T) {
+	a := Sample()
+
+	// Burn enough CPU for getrusage's granularity (typically 1ms or finer)
+	// and allocate enough objects to be unmissable.
+	sink := 0.0
+	hold := make([][]byte, 0, 4096)
+	deadline := time.Now().Add(20 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 1000; i++ {
+			sink += float64(i) * 1.0000001
+		}
+		hold = append(hold, make([]byte, 1024))
+	}
+	runtime.KeepAlive(sink)
+	runtime.KeepAlive(hold)
+
+	b := Sample()
+	if b.CPU < a.CPU {
+		t.Fatalf("CPU went backwards: %v -> %v", a.CPU, b.CPU)
+	}
+	if b.Allocs < a.Allocs || b.AllocBytes < a.AllocBytes {
+		t.Fatalf("alloc counters went backwards: %+v -> %+v", a, b)
+	}
+	if b.GCPause < a.GCPause {
+		t.Fatalf("GC pause total went backwards: %v -> %v", a.GCPause, b.GCPause)
+	}
+	if a.Goroutines < 1 || b.Goroutines < 1 {
+		t.Fatalf("goroutine count must be >= 1: %d, %d", a.Goroutines, b.Goroutines)
+	}
+
+	d := b.Sub(a)
+	if d.Allocs <= 0 || d.AllocBytes <= 0 {
+		t.Fatalf("allocation burst not visible in delta: %+v", d)
+	}
+	if d.CPUMS < 0 || d.GCPauseMS < 0 {
+		t.Fatalf("delta has negative time fields: %+v", d)
+	}
+	if runtime.GOOS == "linux" && d.CPUMS == 0 {
+		t.Fatalf("20ms CPU burn invisible to getrusage: %+v", d)
+	}
+	if d.Goroutines != b.Goroutines {
+		t.Fatalf("delta goroutines = %d, want end-sample count %d", d.Goroutines, b.Goroutines)
+	}
+}
+
+// TestSubClampsSkew: crossed samples (end taken before start) clamp to zero
+// instead of reporting negative consumption.
+func TestSubClampsSkew(t *testing.T) {
+	later := Usage{CPU: time.Second, Allocs: 100, AllocBytes: 1000, GCPause: time.Millisecond, Goroutines: 3}
+	earlier := Usage{CPU: 0, Allocs: 0, AllocBytes: 0, GCPause: 0, Goroutines: 5}
+	d := earlier.Sub(later)
+	if d.CPUMS != 0 || d.Allocs != 0 || d.AllocBytes != 0 || d.GCPauseMS != 0 {
+		t.Fatalf("crossed samples must clamp to zero, got %+v", d)
+	}
+}
+
+func TestCaptureEnv(t *testing.T) {
+	env := CaptureEnv()
+	if env.GoVersion != runtime.Version() {
+		t.Fatalf("go_version = %q, want %q", env.GoVersion, runtime.Version())
+	}
+	if env.GoMaxProcs < 1 || env.NumCPU < 1 {
+		t.Fatalf("impossible processor counts: %+v", env)
+	}
+	if env.OS != runtime.GOOS || env.Arch != runtime.GOARCH {
+		t.Fatalf("os/arch = %s/%s, want %s/%s", env.OS, env.Arch, runtime.GOOS, runtime.GOARCH)
+	}
+	if runtime.GOOS == "linux" && env.CPUModel == "" {
+		t.Log("warning: no model name in /proc/cpuinfo (unusual but not fatal)")
+	}
+}
+
+func TestMismatches(t *testing.T) {
+	a := CaptureEnv()
+	if got := Mismatches(a, a); got != nil {
+		t.Fatalf("identical envs mismatch: %v", got)
+	}
+	if got := Mismatches(nil, nil); got != nil {
+		t.Fatalf("both-unknown envs mismatch: %v", got)
+	}
+	if got := Mismatches(a, nil); len(got) != 1 {
+		t.Fatalf("known-vs-unknown should yield one line, got %v", got)
+	}
+
+	b := *a
+	b.GoVersion = "go0.0"
+	b.GoMaxProcs = a.GoMaxProcs + 1
+	b.Race = !a.Race
+	got := Mismatches(a, &b)
+	if len(got) != 3 {
+		t.Fatalf("want 3 mismatch lines, got %d: %v", len(got), got)
+	}
+	joined := strings.Join(got, "\n")
+	for _, want := range []string{"go_version", "gomaxprocs", "race detector"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("mismatch lines missing %q:\n%s", want, joined)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"sync/atomic"
+
+	"cirstag/internal/obs/resource"
+)
+
+// Resource accounting sits behind its own atomic switch, exactly like trace
+// recording (EnableTrace): spans always record wall time when obs is enabled,
+// but sampling the process resource counters costs a runtime.ReadMemStats
+// stop-the-world per span boundary, so it is opt-in. The CLIs switch it on
+// together with obs.Enable; libraries never touch it.
+var resOn atomic.Bool
+
+// EnableResources turns on per-span resource accounting. Spans started while
+// enabled carry CPU, allocation, GC-pause, and goroutine deltas in the run
+// report (SpanReport.Res, schema cirstag.report/v2).
+func EnableResources() { resOn.Store(true) }
+
+// DisableResources turns per-span resource accounting off. Spans already
+// carrying deltas keep them.
+func DisableResources() { resOn.Store(false) }
+
+// ResourcesEnabled reports whether per-span resource accounting is on.
+func ResourcesEnabled() bool { return resOn.Load() }
+
+// Process-wide resource gauges, refreshed at every span-boundary sample.
+// They surface the same counters the span deltas are computed from as
+// Prometheus families (cirstag_proc_*) on the debug server's /metrics.
+var (
+	procCPUMS      = NewGauge("proc.cpu_ms")
+	procAllocs     = NewGauge("proc.heap_allocs")
+	procAllocBytes = NewGauge("proc.heap_alloc_bytes")
+	procGCPauseMS  = NewGauge("proc.gc_pause_ms")
+	procGoroutines = NewGauge("proc.goroutines")
+)
+
+// sampleUsage reads the process resource counters and mirrors them into the
+// proc.* gauges. Only called from span boundaries with resOn checked by the
+// caller.
+func sampleUsage() resource.Usage {
+	u := resource.Sample()
+	procCPUMS.Set(float64(u.CPU) / 1e6)
+	procAllocs.Set(float64(u.Allocs))
+	procAllocBytes.Set(float64(u.AllocBytes))
+	procGCPauseMS.Set(float64(u.GCPause) / 1e6)
+	procGoroutines.Set(float64(u.Goroutines))
+	return u
+}
+
+// SpanEvent describes a span lifecycle transition delivered to the installed
+// span observer. Depth is 0 for roots; End distinguishes the start
+// notification from the end one.
+type SpanEvent struct {
+	Name  string
+	ID    uint64
+	Depth int
+	End   bool
+}
+
+// spanObserver is the optional span lifecycle hook. The profile capture layer
+// (internal/obs/profile) installs one to write phase-boundary heap snapshots;
+// obs cannot import it (import cycle with the CLIs' wiring), so the dependency
+// is inverted through this pointer, mirroring SetMetricsHandler.
+var spanObserver atomic.Pointer[func(SpanEvent)]
+
+// SetSpanObserver installs (or, with nil, removes) a callback invoked at every
+// span start and end while observability is enabled. The callback runs on the
+// goroutine driving the span, outside obs locks, AFTER the span's duration and
+// resource delta are finalized — so an observer that forces a GC (heap
+// profiling) cannot pollute the measurements of the span that triggered it.
+func SetSpanObserver(f func(SpanEvent)) {
+	if f == nil {
+		spanObserver.Store(nil)
+		return
+	}
+	spanObserver.Store(&f)
+}
+
+// notifySpan delivers a lifecycle event to the observer, if one is installed.
+// The nil fast path is a single atomic load so uninstrumented runs pay
+// nothing.
+func notifySpan(s *Span, end bool) {
+	if f := spanObserver.Load(); f != nil {
+		(*f)(SpanEvent{Name: s.name, ID: s.id, Depth: s.depth, End: end})
+	}
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// fixedTreeReport builds a deterministic report (no clocks, no sampling) for
+// golden rendering: a non-ASCII name and a name longer than the old fixed
+// 42-column budget, both of which broke the original byte-counted padding.
+func fixedTreeReport(withRes bool) *Report {
+	res := func(cpu float64, allocs, bytes int64) *SpanResources {
+		if !withRes {
+			return nil
+		}
+		return &SpanResources{CPUMS: cpu, Allocs: allocs, AllocBytes: bytes, GCPauseMS: 0.25, Goroutines: 4}
+	}
+	return &Report{
+		Schema:     SchemaVersion,
+		GoVersion:  "go1.22.0",
+		GoMaxProcs: 4,
+		Spans: []SpanReport{{
+			Name: "core.run", StartMS: 0, DurationMS: 120.5, Res: res(200, 5000, 1<<20),
+			Children: []SpanReport{
+				{Name: "input_manifold.φ-embed", StartMS: 1, DurationMS: 40.25, Res: res(60, 2000, 1<<18)},
+				{Name: "scoring.connectivity_filter_and_eigensolve", StartMS: 42, DurationMS: 77.75, Res: res(130, 2500, 1<<19)},
+			},
+		}},
+	}
+}
+
+func TestSpanTreeSummaryGolden(t *testing.T) {
+	var buf bytes.Buffer
+	SpanTreeSummary(&buf, fixedTreeReport(false))
+	want := "" +
+		"  core.run                                          120.5ms\n" +
+		"    input_manifold.φ-embed                           40.2ms\n" +
+		"    scoring.connectivity_filter_and_eigensolve       77.8ms\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("golden mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestSpanTreeSummaryGoldenWithResources(t *testing.T) {
+	var buf bytes.Buffer
+	SpanTreeSummary(&buf, fixedTreeReport(true))
+	want := "" +
+		"  core.run                                          120.5ms  cpu     200.0ms  allocs        5000  bytes       1048576  gc    0.25ms\n" +
+		"    input_manifold.φ-embed                           40.2ms  cpu      60.0ms  allocs        2000  bytes        262144  gc    0.25ms\n" +
+		"    scoring.connectivity_filter_and_eigensolve       77.8ms  cpu     130.0ms  allocs        2500  bytes        524288  gc    0.25ms\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("golden mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestSpanTreeSummaryAlignment asserts the structural property behind the
+// goldens: every wall-time column starts at the same rune offset regardless of
+// multi-byte names or names past the old fixed-width budget.
+func TestSpanTreeSummaryAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	SpanTreeSummary(&buf, fixedTreeReport(true))
+	col := -1
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		i := strings.Index(line, "ms")
+		if i < 0 {
+			t.Fatalf("row without wall time: %q", line)
+		}
+		at := utf8.RuneCountInString(line[:i])
+		if col == -1 {
+			col = at
+		} else if at != col {
+			t.Fatalf("wall-time column drifts: %d vs %d in %q", at, col, line)
+		}
+	}
+}

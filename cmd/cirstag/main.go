@@ -32,8 +32,6 @@
 package main
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"flag"
 	"fmt"
 	"io"
@@ -48,8 +46,7 @@ import (
 	"cirstag/internal/obs"
 	"cirstag/internal/obs/export"
 	"cirstag/internal/obs/history"
-	"cirstag/internal/perturb"
-	"cirstag/internal/timing"
+	"cirstag/internal/service"
 )
 
 func main() {
@@ -167,66 +164,28 @@ func main() {
 			fatal(err)
 		}
 	}
-	obs.Debugf("loaded %s: %d cells, %d pins, %d nets", nl.Name, len(nl.Cells), nl.NumPins(), len(nl.Nets))
-
-	// A cache hit on the trained model records a "load_gnn" span instead of
-	// "train_gnn", so warm runs are recognizable by span absence in the
-	// report (CI asserts this).
-	tcfg := timing.Config{Epochs: *epochs, Hidden: *hidden, Seed: *seed}
-	var model *timing.Model
-	trained := false
-	if m, ok := timing.LoadCached(nl, tcfg, store); ok {
-		obs.Infof("loaded cached timing GNN for %s (%d pins)", nl.Name, nl.NumPins())
-		loadSpan := obs.Start("load_gnn")
-		model = m
-		loadSpan.End()
-	} else {
-		obs.Infof("training timing GNN on %s (%d pins)...", nl.Name, nl.NumPins())
-		trained = true
-		trainSpan := obs.Start("train_gnn")
-		model, err = timing.TrainAndStore(nl, tcfg, store)
-		if err != nil {
-			fatal(err)
-		}
-		trainSpan.End()
+	// The analysis itself — train (or load) the timing GNN, run CirSTAG, rank
+	// node stability — is the shared service pipeline; cmd/cirstagd runs the
+	// identical code per job. A nil parent span keeps the CLI's historical
+	// root-span structure (train_gnn or load_gnn, then core.run).
+	runRes, err := service.Run(nl, service.Params{
+		Seed: *seed, Epochs: *epochs, Hidden: *hidden,
+		EmbedDims: *embedDims, ScoreDims: *scoreDims, Top: *top,
+	}, store, nil)
+	if err != nil {
+		fatal(err)
 	}
 	// For profile matching "cold" means the run did the full training work —
 	// either the cache was disabled or the model was not cached yet. That is
 	// the axis a profile diff cares about, and it splits the CI smoke pair
 	// (cold run trains, warm run loads) even though both enable the cache.
-	capturer.SetMeta(netlistHash(nl), store == nil || trained)
-	pred := model.Predict(nl)
+	capturer.SetMeta(runRes.InputHash, store == nil || runRes.Trained)
+	os.Stdout.Write(runRes.Text) //nolint:errcheck
 
-	obs.Infof("running CirSTAG...")
-	res, err := core.Run(core.Input{
-		Graph:    nl.PinGraph(),
-		Output:   pred.Embeddings,
-		Features: nl.Features(),
-	}, core.Options{
-		Seed: *seed, EmbedDims: *embedDims, ScoreDims: *scoreDims, FeatureAlpha: 1,
-		Cache: store,
-	})
-	if err != nil {
-		fatal(err)
-	}
-	obs.Debugf("manifolds: G_X %d edges, G_Y %d edges; top eigenvalue %.6g",
-		res.InputManifold.M(), res.OutputManifold.M(), firstOr(res.Eigenvalues, 0))
-
-	ranking := core.Rank(res.NodeScores, perturb.PrimaryOutputPinSet(nl))
+	res, ranking := runRes.Core, runRes.Ranking
 	n := *top
 	if n > len(ranking.Order) {
 		n = len(ranking.Order)
-	}
-	fmt.Printf("# most unstable nodes of %s (pin id, score, cell, gate type, pin dir)\n", nl.Name)
-	for i := 0; i < n; i++ {
-		p := ranking.Order[i]
-		pin := nl.Pins[p]
-		cell := nl.Cells[pin.Cell]
-		dir := "in"
-		if pin.Dir == circuit.DirOut {
-			dir = "out"
-		}
-		fmt.Printf("%6d  %12.6g  cell=%d  %-6s %s\n", p, ranking.Scores[i], pin.Cell, cell.Type, dir)
 	}
 	if *approxDMD {
 		// Exercise the near-linear resistance engine on the run's own
@@ -301,7 +260,7 @@ func main() {
 // the history as it was BEFORE this run, so a slow run cannot poison its own
 // baseline.
 func recordHistory(dir string, checkBudgets bool, nl *circuit.Netlist, cold bool) error {
-	entry := history.NewEntry("cirstag", netlistHash(nl), cold)
+	entry := history.NewEntry("cirstag", service.NetlistHash(nl), cold)
 	prior, skipped, err := history.Load(dir)
 	if err != nil {
 		return err
@@ -330,18 +289,6 @@ func recordHistory(dir string, checkBudgets bool, nl *circuit.Netlist, cold bool
 	}
 	os.Exit(cirerr.ExitBudgetBreach)
 	return nil // unreachable
-}
-
-// netlistHash fingerprints the analyzed design by its serialized content, so
-// ledger baselines only ever compare runs of the same input.
-func netlistHash(nl *circuit.Netlist) string {
-	h := sha256.New()
-	if err := circuit.Write(h, nl); err != nil {
-		// Serialization of an in-memory netlist cannot fail into a hasher;
-		// degrade to the name rather than aborting telemetry.
-		return "name:" + nl.Name
-	}
-	return hex.EncodeToString(h.Sum(nil))[:16]
 }
 
 // fetchMetrics snapshots the live /metrics exposition through the debug
@@ -424,13 +371,6 @@ func validateFlags(v flagValues) ([]string, error) {
 		cliutil.NamedInt{Name: "-embed-dims", Value: v.embedDims},
 		cliutil.NamedInt{Name: "-score-dims", Value: v.scoreDims},
 	)
-}
-
-func firstOr(v []float64, def float64) float64 {
-	if len(v) > 0 {
-		return v[0]
-	}
-	return def
 }
 
 // fatal exits with the code the error's cirerr kind maps to (1 internal,

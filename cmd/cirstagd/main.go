@@ -1,0 +1,165 @@
+// Command cirstagd serves CirSTAG analyses as a job service: an HTTP/JSON
+// API over the same pipeline cmd/cirstag runs per invocation, with an async
+// bounded queue, per-tenant concurrency limits, admission control, and
+// coalescing of concurrent identical submissions onto one computation.
+//
+// Usage:
+//
+//	cirstagd -addr :8344 -cache-dir /var/cache/cirstag -history-dir runs/
+//	cirstagd -addr 127.0.0.1:0 -addr-file /tmp/cirstagd.addr   # tests/CI
+//
+// API:
+//
+//	POST /v1/jobs             submit a job; 202 + job ID (coalesced onto an
+//	                          existing identical job when one is in flight),
+//	                          429 + Retry-After when the queue is saturated,
+//	                          503 + Retry-After while draining
+//	GET  /v1/jobs/{id}        status with live per-phase progress
+//	GET  /v1/jobs/{id}/report the job's JSON run report (cirstag.report/v2)
+//	GET  /metrics             Prometheus text exposition
+//	GET  /healthz             liveness; 503 "draining" during shutdown
+//
+// A submission body is JSON: {"bench":"sasc"} or {"netlist":"<inline text>"},
+// plus optional tenant/seed/epochs/hidden/embed_dims/score_dims/top (the
+// cmd/cirstag defaults apply). The job ID is the content hash of the
+// materialized netlist and every output-affecting parameter, so resubmitting
+// identical work — from any tenant — returns the same job.
+//
+// Shutdown: SIGTERM/SIGINT stops admission, finishes every admitted job
+// within -drain-timeout, then exits 0. Jobs still in flight when the deadline
+// passes make the exit code 1.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cirstag/internal/cirerr"
+	"cirstag/internal/cliutil"
+	"cirstag/internal/obs"
+	"cirstag/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8344", "listen address (host:port; port 0 picks a free port)")
+		addrFile     = flag.String("addr-file", "", "write the bound listen address to this file (for port-0 discovery)")
+		maxInflight  = flag.Int("max-inflight", 64, "admission bound: max queued+running jobs before 429")
+		perTenant    = flag.Int("per-tenant", 4, "max concurrently running jobs per tenant")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight jobs on SIGTERM/SIGINT")
+		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint attached to 429/503 rejections")
+		cacheDir     = flag.String("cache-dir", "", "artifact cache directory (default $CIRSTAG_CACHE_DIR; empty disables)")
+		noCache      = flag.Bool("no-cache", false, "disable the artifact cache even when $CIRSTAG_CACHE_DIR is set")
+		historyDir   = flag.String("history-dir", "", "append each completed job's phase latencies to DIR/ledger.jsonl")
+		logFormat    = flag.String("log-format", "text", "log line encoding: text or json")
+		verbose      = flag.Bool("v", false, "debug logging")
+		quiet        = flag.Bool("quiet", false, "errors only")
+	)
+	flag.Parse()
+
+	if err := validateFlags(*addr, *maxInflight, *perTenant, *drainTimeout, *retryAfter,
+		*cacheDir, *noCache, *logFormat, *verbose, *quiet); err != nil {
+		fmt.Fprintf(os.Stderr, "cirstagd: %v (see -h)\n", err)
+		os.Exit(cirerr.ExitBadInput)
+	}
+
+	switch {
+	case *quiet:
+		obs.SetLevel(obs.LevelError)
+	case *verbose:
+		obs.SetLevel(obs.LevelDebug)
+	}
+	if *logFormat == "json" {
+		obs.SetLogFormat(obs.FormatJSON)
+	}
+	// The server always records spans and resource deltas: per-job reports are
+	// part of the API contract, not an opt-in flag like the CLI's -report.
+	obs.Enable()
+	obs.EnableResources()
+
+	store, err := cliutil.OpenCache(*cacheDir, *noCache)
+	if err != nil {
+		cliutil.Fatal("cirstagd", err)
+	}
+	if store != nil {
+		obs.Infof("artifact cache at %s", store.Dir())
+	}
+
+	srv := service.NewServer(service.Config{
+		MaxInflight: *maxInflight,
+		PerTenant:   *perTenant,
+		Store:       store,
+		HistoryDir:  *historyDir,
+		RetryAfter:  *retryAfter,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		cliutil.Fatal("cirstagd", err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			cliutil.Fatal("cirstagd", err)
+		}
+	}
+	obs.Infof("cirstagd listening on %s (max-inflight %d, per-tenant %d)", bound, *maxInflight, *perTenant)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case s := <-sig:
+		obs.Infof("received %v, draining (timeout %v)", s, *drainTimeout)
+	case err := <-serveErr:
+		cliutil.Fatal("cirstagd", err)
+	}
+
+	// Drain first with the HTTP listener still up: admission flips to 503,
+	// but clients polling admitted jobs keep getting statuses and reports
+	// until their work finishes.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(ctx)
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		obs.Errorf("cirstagd: http shutdown: %v", err)
+	}
+	if drainErr != nil {
+		obs.Errorf("cirstagd: %v", drainErr)
+		os.Exit(1)
+	}
+	obs.Infof("drained cleanly, exiting")
+}
+
+// validateFlags rejects invalid daemon flag combinations before any work
+// starts (exit 2 with a usage hint, same contract as the other binaries).
+func validateFlags(addr string, maxInflight, perTenant int, drainTimeout, retryAfter time.Duration,
+	cacheDir string, noCache bool, logFormat string, verbose, quiet bool) error {
+	if err := cliutil.ValidateServerFlags(addr, maxInflight, perTenant, drainTimeout); err != nil {
+		return err
+	}
+	if retryAfter <= 0 {
+		return fmt.Errorf("-retry-after must be positive, got %v", retryAfter)
+	}
+	if err := cliutil.MutuallyExclusive(
+		cliutil.NamedFlag{Name: "-v", Set: verbose},
+		cliutil.NamedFlag{Name: "-quiet", Set: quiet},
+	); err != nil {
+		return err
+	}
+	if err := cliutil.ValidateCacheFlags(cacheDir, noCache); err != nil {
+		return err
+	}
+	return cliutil.OneOf("-log-format", logFormat, "text", "json")
+}

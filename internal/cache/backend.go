@@ -1,0 +1,106 @@
+package cache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cirstag/internal/cirerr"
+)
+
+// Backend is the byte-level storage layer under a Store: it moves opaque
+// framed artifacts (the output of encodeArtifact) between (kind, key)
+// addresses and durable storage. The Store owns framing, integrity checking,
+// and accounting; a Backend owns only placement and atomicity, which is what
+// makes the storage side pluggable — a local directory today, a shared remote
+// CAS for multi-replica deployments later.
+//
+// Contract:
+//
+//   - Read returns the raw frame previously written under (kind, key); any
+//     error is treated as a miss by the Store, never surfaced to callers.
+//   - Write publishes a frame atomically: a concurrent Read sees either the
+//     complete previous frame, the complete new frame, or a miss — never a
+//     partial write. Writes of the same key are last-writer-wins.
+//   - Remove is best-effort hygiene (the Store calls it on corrupt frames);
+//     failures are ignored.
+//   - Location is a human-readable root for logs and the run report's cache
+//     section.
+//
+// Implementations must be safe for concurrent use.
+type Backend interface {
+	Read(kind, key string) ([]byte, error)
+	Write(kind, key string, frame []byte) error
+	Remove(kind, key string)
+	Location() string
+}
+
+// dirBackend is the local-filesystem Backend: one file per artifact under
+// <dir>/<kind>/<key>.art, published atomically via temp-file + rename.
+type dirBackend struct {
+	dir string
+}
+
+// OpenDir opens (creating if needed) a local-directory backend rooted at dir.
+// An unusable root — empty path, a path that is a file, a directory the
+// process cannot create or write into — is cirerr.ErrBadInput, detected here
+// rather than as a put-error storm mid-pipeline.
+func OpenDir(dir string) (Backend, error) {
+	if dir == "" {
+		return nil, cirerr.New("cache.open", cirerr.ErrBadInput, "empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, cirerr.Wrap("cache.open", cirerr.ErrBadInput, err)
+	}
+	// Probe writability up front: Put swallows write errors by design (the
+	// cache is advisory), so a read-only root would otherwise degrade every
+	// run silently instead of failing the one misconfigured invocation.
+	probe, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return nil, cirerr.Wrap("cache.open", cirerr.ErrBadInput, fmt.Errorf("cache directory not writable: %w", err))
+	}
+	probe.Close()
+	os.Remove(probe.Name())
+	return &dirBackend{dir: dir}, nil
+}
+
+// path maps (kind, key) to the artifact file. Kinds are short dotted names
+// ("timing.model", "core.embed"); keys are hex digests from Key.Sum.
+func (b *dirBackend) path(kind, key string) string {
+	return filepath.Join(b.dir, kind, key+".art")
+}
+
+func (b *dirBackend) Read(kind, key string) ([]byte, error) {
+	return os.ReadFile(b.path(kind, key))
+}
+
+func (b *dirBackend) Write(kind, key string, frame []byte) error {
+	dst := b.path(kind, key)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(frame)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr == nil {
+			werr = cerr
+		}
+		return werr
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+func (b *dirBackend) Remove(kind, key string) {
+	os.Remove(b.path(kind, key)) // best-effort hygiene
+}
+
+func (b *dirBackend) Location() string { return b.dir }

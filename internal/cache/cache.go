@@ -29,11 +29,8 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sync/atomic"
 
-	"cirstag/internal/cirerr"
 	"cirstag/internal/faultinject"
 	"cirstag/internal/obs"
 )
@@ -62,10 +59,11 @@ var (
 	putErrorCounter   = obs.NewCounter("cache.put_errors")
 )
 
-// Store is an on-disk artifact store rooted at one directory. All methods are
+// Store is a content-addressed artifact store over one storage Backend (a
+// local directory via Open, anything else via NewStore). All methods are
 // safe for concurrent use and safe on a nil receiver (disabled cache).
 type Store struct {
-	dir string
+	backend Backend
 
 	// Stats are tracked on the store itself (independently of whether obs
 	// recording is enabled) so the run-report cache section is always exact.
@@ -79,32 +77,28 @@ type Stats struct {
 	BytesRead, BytesWritten   int64
 }
 
-// Open creates (if needed) and opens an artifact store rooted at dir, and
-// installs the store as the source of the obs run report's "cache" section.
-// An unusable root — empty path, a path that is a file, a directory the
-// process cannot create or write into — is cirerr.ErrBadInput, detected here
-// rather than as a put-error storm mid-pipeline.
+// Open creates (if needed) and opens an artifact store rooted at a local
+// directory, and installs the store as the source of the obs run report's
+// "cache" section. An unusable root is cirerr.ErrBadInput (see OpenDir).
 func Open(dir string) (*Store, error) {
-	if dir == "" {
-		return nil, cirerr.New("cache.open", cirerr.ErrBadInput, "empty cache directory")
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, cirerr.Wrap("cache.open", cirerr.ErrBadInput, err)
-	}
-	// Probe writability up front: Put swallows write errors by design (the
-	// cache is advisory), so a read-only root would otherwise degrade every
-	// run silently instead of failing the one misconfigured invocation.
-	probe, err := os.CreateTemp(dir, ".probe-*")
+	b, err := OpenDir(dir)
 	if err != nil {
-		return nil, cirerr.Wrap("cache.open", cirerr.ErrBadInput, fmt.Errorf("cache directory not writable: %w", err))
+		return nil, err
 	}
-	probe.Close()
-	os.Remove(probe.Name())
-	s := &Store{dir: dir}
+	return NewStore(b), nil
+}
+
+// NewStore wraps a storage Backend in a Store and installs it as the source
+// of the obs run report's "cache" section. Framing, integrity verification,
+// and activity accounting are the Store's regardless of backend, so every
+// backend inherits the corruption-detection and atomicity guarantees
+// documented on Backend.
+func NewStore(b Backend) *Store {
+	s := &Store{backend: b}
 	obs.SetCacheReporter(func() *obs.CacheReport {
 		st := s.Snapshot()
 		rep := &obs.CacheReport{
-			Dir:          s.dir,
+			Dir:          b.Location(),
 			Hits:         st.Hits,
 			Misses:       st.Misses,
 			Corruptions:  st.Corruptions,
@@ -116,15 +110,16 @@ func Open(dir string) (*Store, error) {
 		}
 		return rep
 	})
-	return s, nil
+	return s
 }
 
-// Dir returns the store root ("" for a disabled store).
+// Dir returns the backend's human-readable location — the root directory for
+// a local store — or "" for a disabled store.
 func (s *Store) Dir() string {
 	if s == nil {
 		return ""
 	}
-	return s.dir
+	return s.backend.Location()
 }
 
 // Snapshot returns the current activity counters (zero for a disabled store).
@@ -141,21 +136,15 @@ func (s *Store) Snapshot() Stats {
 	}
 }
 
-// path maps (kind, key) to the artifact file. Kinds are short dotted names
-// ("timing.model", "core.embed"); keys are hex digests from Key.Sum.
-func (s *Store) path(kind, key string) string {
-	return filepath.Join(s.dir, kind, key+".art")
-}
-
 // Get returns the payload stored under (kind, key). The boolean is false on
-// a miss; corruption of any form (truncated file, flipped bytes, stale
+// a miss; corruption of any form (truncated frame, flipped bytes, stale
 // schema) is detected by the header check, counted, and reported as a miss so
-// callers fall back to recomputing. Corrupt files are removed best-effort.
+// callers fall back to recomputing. Corrupt entries are removed best-effort.
 func (s *Store) Get(kind, key string) ([]byte, bool) {
 	if s == nil {
 		return nil, false
 	}
-	raw, err := os.ReadFile(s.path(kind, key))
+	raw, err := s.backend.Read(kind, key)
 	if err != nil {
 		s.misses.Add(1)
 		missCounter.Inc()
@@ -173,7 +162,7 @@ func (s *Store) Get(kind, key string) ([]byte, bool) {
 		corruptionCounter.Inc()
 		missCounter.Inc()
 		obs.TraceInstant("cache.corrupt", kind)
-		os.Remove(s.path(kind, key)) // best-effort hygiene
+		s.backend.Remove(kind, key)
 		return nil, false
 	}
 	s.hits.Add(1)
@@ -184,36 +173,16 @@ func (s *Store) Get(kind, key string) ([]byte, bool) {
 	return payload, true
 }
 
-// Put stores payload under (kind, key) atomically: the artifact is written to
-// a temporary file in the destination directory and renamed into place.
+// Put stores payload under (kind, key) atomically (the backend publishes the
+// framed artifact with its atomicity contract — temp-file + rename for the
+// local directory backend).
 func (s *Store) Put(kind, key string, payload []byte) error {
 	if s == nil {
 		return nil
 	}
-	dst := s.path(kind, key)
-	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+	if err := s.backend.Write(kind, key, encodeArtifact(payload)); err != nil {
 		putErrorCounter.Inc()
-		return fmt.Errorf("cache: %w", err)
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(dst), ".tmp-*")
-	if err != nil {
-		putErrorCounter.Inc()
-		return fmt.Errorf("cache: %w", err)
-	}
-	_, werr := tmp.Write(encodeArtifact(payload))
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		putErrorCounter.Inc()
-		if werr == nil {
-			werr = cerr
-		}
-		return fmt.Errorf("cache: writing %s/%s: %w", kind, key[:8], werr)
-	}
-	if err := os.Rename(tmp.Name(), dst); err != nil {
-		os.Remove(tmp.Name())
-		putErrorCounter.Inc()
-		return fmt.Errorf("cache: %w", err)
+		return fmt.Errorf("cache: writing %s/%s: %w", kind, key[:8], err)
 	}
 	s.bytesWritten.Add(int64(len(payload)))
 	bytesWriteCounter.Add(int64(len(payload)))

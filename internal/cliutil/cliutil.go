@@ -5,7 +5,9 @@ package cliutil
 
 import (
 	"fmt"
+	"net"
 	"os"
+	"time"
 
 	"cirstag/internal/cache"
 	"cirstag/internal/cirerr"
@@ -154,6 +156,35 @@ func ValidateHistoryFlags(historyDir string, checkBudgets, noCache bool) (warnin
 		warning = "-no-cache with -check-budgets: cold-run phase timings differ from warm-run budgets (baselines compare cold runs only against cold runs)"
 	}
 	return warning, nil
+}
+
+// ValidateServerFlags checks cmd/cirstagd's daemon flag combination. -addr
+// must be a listenable host:port (":8080" and "127.0.0.1:0" are fine; a bare
+// port or hostname is not). -max-inflight and -per-tenant must be positive,
+// and -per-tenant must not exceed -max-inflight — a per-tenant budget larger
+// than the whole admission bound is a configuration contradiction, not a
+// generous limit. -drain-timeout must be positive: a zero drain window would
+// turn every SIGTERM into an immediate abandon of in-flight jobs.
+func ValidateServerFlags(addr string, maxInflight, perTenant int, drainTimeout time.Duration) error {
+	if addr == "" {
+		return fmt.Errorf("-addr must not be empty")
+	}
+	if _, _, err := net.SplitHostPort(addr); err != nil {
+		return fmt.Errorf("-addr must be host:port: %v", err)
+	}
+	if err := Positive(
+		NamedInt{Name: "-max-inflight", Value: maxInflight},
+		NamedInt{Name: "-per-tenant", Value: perTenant},
+	); err != nil {
+		return err
+	}
+	if perTenant > maxInflight {
+		return fmt.Errorf("-per-tenant (%d) must not exceed -max-inflight (%d)", perTenant, maxInflight)
+	}
+	if drainTimeout <= 0 {
+		return fmt.Errorf("-drain-timeout must be positive, got %v", drainTimeout)
+	}
+	return nil
 }
 
 // Fatal logs err prefixed with the tool name and exits with the process exit

@@ -4,6 +4,7 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"cirstag/internal/obs"
 )
@@ -135,6 +136,48 @@ func TestConflictTable(t *testing.T) {
 		{
 			name: "approx-dmd with explicit valid eps",
 			err:  second(ValidateApproxDMDFlags(true, 0.25, true, false)),
+		},
+		{
+			name:    "server empty addr",
+			err:     ValidateServerFlags("", 64, 4, time.Minute),
+			wantErr: "-addr must not be empty",
+		},
+		{
+			name:    "server bare port addr",
+			err:     ValidateServerFlags("8080", 64, 4, time.Minute),
+			wantErr: "-addr must be host:port",
+		},
+		{
+			name: "server wildcard addr",
+			err:  ValidateServerFlags(":8080", 64, 4, time.Minute),
+		},
+		{
+			name: "server ephemeral port addr",
+			err:  ValidateServerFlags("127.0.0.1:0", 64, 4, time.Minute),
+		},
+		{
+			name:    "server non-positive max-inflight",
+			err:     ValidateServerFlags(":8080", 0, 4, time.Minute),
+			wantErr: "-max-inflight must be positive",
+		},
+		{
+			name:    "server non-positive per-tenant",
+			err:     ValidateServerFlags(":8080", 64, -1, time.Minute),
+			wantErr: "-per-tenant must be positive",
+		},
+		{
+			name:    "server per-tenant above max-inflight",
+			err:     ValidateServerFlags(":8080", 4, 8, time.Minute),
+			wantErr: "-per-tenant (8) must not exceed -max-inflight (4)",
+		},
+		{
+			name:    "server zero drain timeout",
+			err:     ValidateServerFlags(":8080", 64, 4, 0),
+			wantErr: "-drain-timeout must be positive",
+		},
+		{
+			name: "server defaults valid",
+			err:  ValidateServerFlags(":8080", 64, 4, 30*time.Second),
 		},
 	}
 	for _, tc := range cases {

@@ -69,6 +69,22 @@ type Options struct {
 	// Caching never changes a Result byte: artifacts are stored bit-exactly
 	// and every key covers all result-affecting inputs.
 	Cache *cache.Store
+	// Span, when non-nil, parents the run's trace under an existing span
+	// instead of starting a new root: the "core.run" span becomes a child of
+	// it. Processes that execute many runs concurrently (the cirstagd job
+	// server runs one analysis per job) use this to keep each run's spans
+	// inside its own unit-of-work subtree. Never fingerprinted into cache
+	// keys — tracing cannot change a Result byte.
+	Span *obs.Span
+}
+
+// startRoot begins the run's top span: a child of Options.Span when a parent
+// was supplied, a fresh root otherwise (the CLI path).
+func (o Options) startRoot(name string) *obs.Span {
+	if o.Span != nil {
+		return o.Span.Child(name)
+	}
+	return obs.Start(name)
 }
 
 func (o Options) withDefaults() Options {
@@ -144,12 +160,13 @@ func Run(in Input, opts Options) (res *Result, err error) {
 	rngGY := parallel.NewRNG(opts.Seed, 2)
 	rngEig := parallel.NewRNG(opts.Seed, 3)
 
-	// Trace: one root span per run, one child per pipeline phase. Spans are
-	// nil no-ops unless obs is enabled, and recording only reads the clock,
-	// so enabling observability cannot change any Result byte. The run-ID
-	// stamp is what joins this span tree with the JSON log stream, the
-	// Perfetto trace export, and the run-history ledger entry.
-	root := obs.Start("core.run")
+	// Trace: one top span per run (a root, or a child of Options.Span), one
+	// child per pipeline phase. Spans are nil no-ops unless obs is enabled,
+	// and recording only reads the clock, so enabling observability cannot
+	// change any Result byte. The run-ID stamp is what joins this span tree
+	// with the JSON log stream, the Perfetto trace export, and the
+	// run-history ledger entry.
+	root := opts.startRoot("core.run")
 	defer root.End()
 	if obs.Enabled() {
 		obs.Debugf("core.run start: run_id=%s span=%d n=%d seed=%d", obs.RunID(), root.ID(), n, opts.Seed)

@@ -104,7 +104,7 @@ func (b *Baseline) RunIncremental(newOutput *mat.Dense, iopts IncrementalOptions
 	iopts = iopts.withDefaults()
 	incRuns.Inc()
 
-	root := obs.Start("core.incremental")
+	root := b.Opts.startRoot("core.incremental")
 	defer root.End()
 
 	ds := root.Child("diff")

@@ -75,10 +75,20 @@ type Entry struct {
 // the flattened span forest (duplicate span names sum), PhasesRes the
 // matching resource deltas when the snapshot carries any.
 func NewEntry(tool, inputHash string, cold bool) Entry {
-	rep := obs.Snapshot()
+	return EntryFromReport(obs.Snapshot(), tool, inputHash, cold)
+}
+
+// EntryFromReport builds a ledger entry from an explicit report snapshot
+// rather than the process-global one. This is what lets a long-running
+// process ledger many units of work independently: the cirstagd job server
+// snapshots each job's span subtree (obs.SnapshotRoot) and appends one entry
+// per completed job. The entry's RunID is taken from the report; callers that
+// want a per-unit identifier (the server uses the job ID) overwrite it before
+// Append.
+func EntryFromReport(rep *obs.Report, tool, inputHash string, cold bool) Entry {
 	return Entry{
 		Schema:    SchemaVersion,
-		RunID:     obs.RunID(),
+		RunID:     rep.RunID,
 		Time:      time.Now().Format(time.RFC3339Nano),
 		Tool:      tool,
 		InputHash: inputHash,

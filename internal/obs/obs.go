@@ -227,6 +227,29 @@ func (s *Span) End() {
 	}
 }
 
+// ReleaseRoot removes a root span (and with it the whole subtree) from the
+// recorded forest. Long-running processes that start one root span per unit
+// of work — the cirstagd job server starts one per job — call this after
+// snapshotting the subtree (SnapshotRoot), so the forest stays bounded by the
+// number of in-flight units instead of growing for the life of the process.
+// Safe on a nil receiver and on spans that are not roots or were already
+// released (no-op). Metric values are unaffected — they are cumulative by
+// design.
+func ReleaseRoot(s *Span) {
+	if s == nil {
+		return
+	}
+	stateMu.Lock()
+	for i, r := range roots {
+		if r == s {
+			roots = append(roots[:i], roots[i+1:]...)
+			break
+		}
+	}
+	stateMu.Unlock()
+	current.CompareAndSwap(s, nil)
+}
+
 // CurrentSpanID returns the ID of the most recently started, not-yet-ended
 // span (0 when none). It is what JSON log lines are stamped with.
 func CurrentSpanID() uint64 {

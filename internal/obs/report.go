@@ -157,6 +157,25 @@ func Snapshot() *Report {
 	return rep
 }
 
+// SnapshotRoot captures a report scoped to one root span's subtree: the span
+// forest contains exactly s and its descendants, while the metric registry,
+// environment fingerprint, and cache section remain process-wide (counters
+// are cumulative across the process by design — a scoped report documents
+// "the state of the world when this unit of work finished", which is what a
+// job server hands back per job). Returns nil for a nil span, so disabled-obs
+// callers need no branch.
+func SnapshotRoot(s *Span) *Report {
+	if s == nil {
+		return nil
+	}
+	rep := Snapshot()
+	rep.Spans = nil
+	stateMu.Lock()
+	rep.Spans = append(rep.Spans, snapshotSpan(s))
+	stateMu.Unlock()
+	return rep
+}
+
 // snapshotSpan deep-copies a span subtree; must hold stateMu. Unfinished
 // spans report the elapsed time so far. Children are ordered by start time,
 // which makes the tree stable regardless of which concurrent sibling

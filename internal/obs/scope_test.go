@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"testing"
+)
+
+// TestSnapshotRootScopesSpans proves a root-scoped snapshot carries exactly
+// that root's subtree while concurrent roots stay out — the property the job
+// server's per-job reports rely on.
+func TestSnapshotRootScopesSpans(t *testing.T) {
+	Reset()
+	Enable()
+	defer func() { Disable(); Reset() }()
+
+	jobA := Start("job")
+	childA := jobA.Child("core.run")
+	jobB := Start("job")
+	childA.End()
+	jobA.End()
+
+	rep := SnapshotRoot(jobA)
+	if len(rep.Spans) != 1 {
+		t.Fatalf("scoped report has %d roots, want 1", len(rep.Spans))
+	}
+	if rep.Spans[0].ID != jobA.ID() {
+		t.Fatalf("scoped report root id = %d, want %d", rep.Spans[0].ID, jobA.ID())
+	}
+	if len(rep.Spans[0].Children) != 1 || rep.Spans[0].Children[0].Name != "core.run" {
+		t.Fatalf("scoped report children = %+v", rep.Spans[0].Children)
+	}
+	// The full snapshot still sees both roots.
+	if full := Snapshot(); len(full.Spans) != 2 {
+		t.Fatalf("full snapshot has %d roots, want 2", len(full.Spans))
+	}
+	jobB.End()
+
+	if got := SnapshotRoot(nil); got != nil {
+		t.Fatalf("SnapshotRoot(nil) = %v, want nil", got)
+	}
+}
+
+// TestReleaseRootBoundsForest proves releasing a finished root removes it
+// (and only it) from the forest, and that double-release and non-root release
+// are harmless.
+func TestReleaseRootBoundsForest(t *testing.T) {
+	Reset()
+	Enable()
+	defer func() { Disable(); Reset() }()
+
+	a := Start("job")
+	aChild := a.Child("phase")
+	aChild.End()
+	a.End()
+	b := Start("job")
+	b.End()
+
+	ReleaseRoot(a)
+	rep := Snapshot()
+	if len(rep.Spans) != 1 || rep.Spans[0].ID != b.ID() {
+		t.Fatalf("after release, forest = %+v, want only span %d", rep.Spans, b.ID())
+	}
+	ReleaseRoot(a)      // double release: no-op
+	ReleaseRoot(aChild) // non-root: no-op
+	ReleaseRoot(nil)    // nil: no-op
+	if rep := Snapshot(); len(rep.Spans) != 1 {
+		t.Fatalf("no-op releases changed the forest: %+v", rep.Spans)
+	}
+	ReleaseRoot(b)
+	if rep := Snapshot(); len(rep.Spans) != 0 {
+		t.Fatalf("forest not empty after releasing all roots: %+v", rep.Spans)
+	}
+}

@@ -1,0 +1,36 @@
+package service
+
+import "testing"
+
+// FuzzJobRequestJSON drives the job-submission decode boundary: ParseRequest
+// must never panic, and anything it accepts must survive Normalize and reach a
+// deterministic Validate verdict (no panics downstream of a successful parse).
+func FuzzJobRequestJSON(f *testing.F) {
+	f.Add([]byte(`{"bench":"ss_pcm"}`))
+	f.Add([]byte(`{"tenant":"t","bench":"ss_pcm","seed":7,"epochs":10,"hidden":8,"embed_dims":4,"score_dims":2,"top":5}`))
+	f.Add([]byte(`{"netlist":"netlist g1\n"}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"bench":"ss_pcm","seed":-9223372036854775808}`))
+	f.Add([]byte("{\"bench\":\"\x00\"}"))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ParseRequest(data)
+		if err != nil {
+			return
+		}
+		req.Normalize()
+		if verr := req.Validate(); verr != nil {
+			return
+		}
+		// A validated request must materialize without panicking; errors are
+		// fine (unknown benchmark, malformed inline netlist).
+		nl, merr := req.Materialize()
+		if merr != nil || nl == nil {
+			return
+		}
+		if _, kerr := JobKey(nl, req.Params); kerr != nil {
+			t.Fatalf("valid materialized job failed to key: %v", kerr)
+		}
+	})
+}

@@ -1,0 +1,135 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+
+	"cirstag/internal/obs/export"
+)
+
+// SubmitResponse acknowledges a submission. Coalesced reports that the
+// submission merged onto an existing job (same content hash) instead of
+// starting a new computation; polling the returned ID behaves identically
+// either way.
+type SubmitResponse struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Coalesced bool   `json:"coalesced"`
+}
+
+// errorBody is the uniform JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the server's HTTP surface:
+//
+//	POST /v1/jobs             submit a job (JSON Request body)
+//	GET  /v1/jobs/{id}        job status + live per-phase progress
+//	GET  /v1/jobs/{id}/report the job's JSON run report (cirstag.report/v2)
+//	GET  /metrics             Prometheus text exposition (process-wide)
+//	GET  /healthz             liveness ("ok", or "draining" during shutdown)
+//
+// Admission rejections carry machine-usable backpressure: 429 (saturated)
+// and 503 (draining) both set Retry-After.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
+	mux.Handle("GET /metrics", export.PrometheusHandler())
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
+	if err != nil {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{Error: fmt.Sprintf("reading request body: %v", err)})
+		return
+	}
+	req, err := ParseRequest(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	// The body's tenant field wins; the X-Cirstag-Tenant header covers
+	// clients that template one request body across tenants.
+	if req.Tenant == "" {
+		req.Tenant = r.Header.Get("X-Cirstag-Tenant")
+	}
+	job, coalesced, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrSaturated):
+		s.writeBackpressure(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		s.writeBackpressure(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: job.ID, State: s.Status(job).State, Coalesced: coalesced})
+}
+
+// writeBackpressure emits a rejection with the Retry-After hint (whole
+// seconds, rounded up — a zero Retry-After would tell clients to hammer).
+func (s *Server) writeBackpressure(w http.ResponseWriter, code int, err error) {
+	secs := int(math.Ceil(s.cfg.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job := s.Job(r.PathValue("id"))
+	if job == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Status(job))
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	job := s.Job(r.PathValue("id"))
+	if job == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
+		return
+	}
+	report := s.Report(job)
+	if report == nil {
+		writeJSON(w, http.StatusConflict, errorBody{Error: "job not finished (or telemetry disabled); poll /v1/jobs/" + job.ID})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(report) //nolint:errcheck // client went away; nothing to do
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away; nothing to do
+}

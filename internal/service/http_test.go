@@ -1,0 +1,274 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func postJob(t *testing.T, ts *httptest.Server, body string, hdr map[string]string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest("POST", ts.URL+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeSubmit(t *testing.T, resp *http.Response) SubmitResponse {
+	t.Helper()
+	defer resp.Body.Close()
+	var sr SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatalf("decoding submit response: %v", err)
+	}
+	return sr
+}
+
+func TestHTTPSubmitPollReport(t *testing.T) {
+	enableObs(t)
+	s := NewServer(Config{MaxInflight: 4, PerTenant: 2, Runner: blockingRunner(closedChan())})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postJob(t, ts, `{"bench":"ss_pcm","seed":7,"epochs":5,"top":3}`, nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+	}
+	loc := resp.Header.Get("Location")
+	sr := decodeSubmit(t, resp)
+	if sr.ID == "" || loc != "/v1/jobs/"+sr.ID {
+		t.Fatalf("submit response %+v, Location %q", sr, loc)
+	}
+
+	// Poll until terminal.
+	var status Status
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r, err := ts.Client().Get(ts.URL + loc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("status endpoint = %d, want 200", r.StatusCode)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&status); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if status.State == StateDone || status.State == StateFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %s", status.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if status.State != StateDone || status.Result == "" {
+		t.Fatalf("final status %+v, want done with result text", status)
+	}
+
+	r, err := ts.Client().Get(ts.URL + loc + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("report endpoint = %d, want 200", r.StatusCode)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(r.Body) //nolint:errcheck
+	if !bytes.Contains(buf.Bytes(), []byte(`"schema"`)) {
+		t.Fatalf("report body does not look like a run report: %.120s", buf.String())
+	}
+}
+
+func TestHTTPSaturationReturns429WithRetryAfter(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	s := NewServer(Config{MaxInflight: 1, PerTenant: 1, RetryAfter: 2 * time.Second, Runner: blockingRunner(release)})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postJob(t, ts, `{"bench":"ss_pcm","seed":1,"epochs":5}`, nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit = %d, want 202", resp.StatusCode)
+	}
+	// Distinct content while the only slot is taken → backpressure.
+	resp = postJob(t, ts, `{"bench":"ss_pcm","seed":2,"epochs":5}`, nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated submit = %d, want 429", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want integer >= 1", resp.Header.Get("Retry-After"))
+	}
+	// An identical duplicate still coalesces through the same saturated server.
+	resp = postJob(t, ts, `{"bench":"ss_pcm","seed":1,"epochs":5}`, nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("coalescing submit under saturation = %d, want 202", resp.StatusCode)
+	}
+	if sr := decodeSubmit(t, resp); !sr.Coalesced {
+		t.Fatalf("duplicate submit not marked coalesced: %+v", sr)
+	}
+}
+
+func TestHTTPTenantHeaderFallback(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	s := NewServer(Config{MaxInflight: 4, PerTenant: 1, Runner: blockingRunner(release)})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postJob(t, ts, `{"bench":"ss_pcm","seed":1,"epochs":5}`, map[string]string{"X-Cirstag-Tenant": "acme"})
+	sr := decodeSubmit(t, resp)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", resp.StatusCode)
+	}
+	if got := s.Job(sr.ID).Tenant; got != "acme" {
+		t.Fatalf("tenant = %q, want header fallback acme", got)
+	}
+	// Body tenant wins over header.
+	resp = postJob(t, ts, `{"tenant":"body-tenant","bench":"ss_pcm","seed":2,"epochs":5}`, map[string]string{"X-Cirstag-Tenant": "acme"})
+	sr = decodeSubmit(t, resp)
+	if got := s.Job(sr.ID).Tenant; got != "body-tenant" {
+		t.Fatalf("tenant = %q, want body-tenant", got)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	s := NewServer(Config{Runner: blockingRunner(closedChan())})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		name string
+		body string
+		want int
+	}{
+		{"malformed JSON", `{"bench":`, http.StatusBadRequest},
+		{"unknown field", `{"bench":"ss_pcm","bogus":1}`, http.StatusBadRequest},
+		{"trailing data", `{"bench":"ss_pcm"} extra`, http.StatusBadRequest},
+		{"no input", `{}`, http.StatusBadRequest},
+		{"unknown benchmark", `{"bench":"nope"}`, http.StatusBadRequest},
+	} {
+		resp := postJob(t, ts, tc.body, nil)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+
+	r, err := ts.Client().Get(ts.URL + "/v1/jobs/doesnotexist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job status = %d, want 404", r.StatusCode)
+	}
+	r, err = ts.Client().Get(ts.URL + "/v1/jobs/doesnotexist/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job report = %d, want 404", r.StatusCode)
+	}
+}
+
+func TestHTTPReportConflictWhileRunning(t *testing.T) {
+	release := make(chan struct{})
+	s := NewServer(Config{MaxInflight: 2, PerTenant: 1, Runner: blockingRunner(release)})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postJob(t, ts, `{"bench":"ss_pcm","seed":1,"epochs":5}`, nil)
+	sr := decodeSubmit(t, resp)
+	r, err := ts.Client().Get(ts.URL + "/v1/jobs/" + sr.ID + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusConflict {
+		t.Fatalf("report of running job = %d, want 409", r.StatusCode)
+	}
+	close(release)
+	waitDone(t, s.Job(sr.ID))
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	s := NewServer(Config{Runner: blockingRunner(closedChan())})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	r, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", r.StatusCode)
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	r, err = ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining = %d, want 503", r.StatusCode)
+	}
+}
+
+func TestHTTPMetricsExposed(t *testing.T) {
+	s := NewServer(Config{Runner: blockingRunner(closedChan())})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postJob(t, ts, `{"bench":"ss_pcm","seed":1,"epochs":5}`, nil)
+	sr := decodeSubmit(t, resp)
+	waitDone(t, s.Job(sr.ID))
+	// Duplicate → the coalescing counter moves.
+	resp = postJob(t, ts, `{"bench":"ss_pcm","seed":1,"epochs":5}`, nil)
+	resp.Body.Close()
+
+	r, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(r.Body) //nolint:errcheck
+	body := buf.String()
+	for _, family := range []string{"cirstag_service_jobs_submitted_total", "cirstag_service_coalesced_total"} {
+		if !strings.Contains(body, family) {
+			t.Errorf("/metrics missing family %s", family)
+		}
+	}
+}
+
+// closedChan returns an already-released gate: the runner completes instantly.
+func closedChan() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}

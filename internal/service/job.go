@@ -1,0 +1,193 @@
+// Package service is the job-execution layer of CirSTAG-as-a-service: the
+// run logic of cmd/cirstag refactored into a reusable pipeline runner, plus a
+// job server that accepts netlist-analysis submissions, runs them through an
+// async bounded queue with per-tenant concurrency limits and admission
+// control, and coalesces concurrent identical jobs onto one computation via
+// the same content-addressed hashing the artifact cache uses.
+//
+// The package deliberately splits into three layers:
+//
+//   - job.go: the submission contract — request decoding, validation,
+//     defaulting, and the content-addressed job identity;
+//   - run.go: one analysis, start to finish (what cmd/cirstag does per
+//     invocation), parented under an optional obs span;
+//   - server.go / http.go: the queue, coalescing, backpressure, drain, and
+//     the HTTP/JSON surface cmd/cirstagd serves.
+package service
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"cirstag/internal/cache"
+	"cirstag/internal/circuit"
+)
+
+// Limits on the decode boundary. Submissions breaching them are rejected at
+// admission, before any parsing work proportional to the payload happens.
+const (
+	// MaxRequestBytes bounds an entire submission body (the HTTP layer
+	// enforces it with http.MaxBytesReader).
+	MaxRequestBytes = 32 << 20
+	// MaxNetlistBytes bounds an inline netlist within a submission.
+	MaxNetlistBytes = 24 << 20
+	// MaxTenantLen bounds the tenant identifier.
+	MaxTenantLen = 64
+)
+
+// Params are the analysis parameters of one job — the service-side mirror of
+// cmd/cirstag's flags. The zero value of every numeric field means "use the
+// CLI default" (seed 1, epochs 300, hidden 32, embed_dims 16, score_dims 8,
+// top 20); negative values are rejected. Exactly one of Bench and Netlist
+// selects the input: a standard benchmark generated on the fly, or an inline
+// netlist in the text format cmd/benchgen emits.
+type Params struct {
+	Bench     string `json:"bench,omitempty"`
+	Netlist   string `json:"netlist,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
+	Epochs    int    `json:"epochs,omitempty"`
+	Hidden    int    `json:"hidden,omitempty"`
+	EmbedDims int    `json:"embed_dims,omitempty"`
+	ScoreDims int    `json:"score_dims,omitempty"`
+	Top       int    `json:"top,omitempty"`
+}
+
+// Request is one job submission: analysis parameters plus the tenant the job
+// is accounted to. An empty tenant lands in the "default" tenant.
+type Request struct {
+	Tenant string `json:"tenant,omitempty"`
+	Params
+}
+
+// ParseRequest decodes a submission body. The boundary is strict — unknown
+// fields are rejected, trailing garbage is rejected — because a malformed
+// submission should fail the one client that sent it, loudly, rather than be
+// half-understood. The fuzz target FuzzJobRequestJSON drives this function.
+func ParseRequest(b []byte) (*Request, error) {
+	if len(b) > MaxRequestBytes {
+		return nil, fmt.Errorf("request body %d bytes exceeds limit %d", len(b), MaxRequestBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("decoding job request: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("trailing data after job request object")
+	}
+	return &req, nil
+}
+
+// Normalize applies the CLI defaults to zero-valued fields (in place).
+// Callers validate after normalizing, so explicit negatives still fail.
+func (r *Request) Normalize() {
+	if r.Tenant == "" {
+		r.Tenant = "default"
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.Epochs == 0 {
+		r.Epochs = 300
+	}
+	if r.Hidden == 0 {
+		r.Hidden = 32
+	}
+	if r.EmbedDims == 0 {
+		r.EmbedDims = 16
+	}
+	if r.ScoreDims == 0 {
+		r.ScoreDims = 8
+	}
+	if r.Top == 0 {
+		r.Top = 20
+	}
+}
+
+// Validate rejects structurally invalid submissions. It mirrors the
+// validation cmd/cirstag applies to its flags (exactly one input source,
+// positive tuning parameters), plus the service-only tenant constraints.
+func (r *Request) Validate() error {
+	switch {
+	case r.Bench == "" && r.Netlist == "":
+		return fmt.Errorf("need bench or netlist")
+	case r.Bench != "" && r.Netlist != "":
+		return fmt.Errorf("bench and netlist are mutually exclusive")
+	}
+	if len(r.Netlist) > MaxNetlistBytes {
+		return fmt.Errorf("inline netlist %d bytes exceeds limit %d", len(r.Netlist), MaxNetlistBytes)
+	}
+	for _, f := range []struct {
+		name  string
+		value int
+	}{
+		{"epochs", r.Epochs}, {"hidden", r.Hidden},
+		{"embed_dims", r.EmbedDims}, {"score_dims", r.ScoreDims}, {"top", r.Top},
+	} {
+		if f.value <= 0 {
+			return fmt.Errorf("%s must be positive, got %d", f.name, f.value)
+		}
+	}
+	if len(r.Tenant) > MaxTenantLen {
+		return fmt.Errorf("tenant longer than %d bytes", MaxTenantLen)
+	}
+	for i := 0; i < len(r.Tenant); i++ {
+		c := r.Tenant[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return fmt.Errorf("tenant contains byte %q; allowed: [a-zA-Z0-9._-]", c)
+		}
+	}
+	return nil
+}
+
+// Materialize resolves the request's input into a netlist: parsing the inline
+// text, or generating the named standard benchmark with the job's seed
+// (exactly what cmd/cirstag -bench does).
+func (r *Request) Materialize() (*circuit.Netlist, error) {
+	if r.Netlist != "" {
+		return circuit.Read(strings.NewReader(r.Netlist))
+	}
+	return circuit.BenchmarkByName(r.Bench, r.Seed)
+}
+
+// JobKey derives the content-addressed job identity: the SHA-256 fingerprint
+// (via the cache key builder, so the derivation is collision-safe and schema
+// versioned) of the materialized netlist content plus every parameter that
+// can change the job's output bytes. Two submissions with equal keys are the
+// same computation — the pipeline is deterministic given (input, params) —
+// which is what makes coalescing semantically safe: followers receive
+// bit-identical results to what their own run would have produced. The tenant
+// is deliberately NOT part of the key; identical jobs coalesce across
+// tenants.
+func JobKey(nl *circuit.Netlist, p Params) (string, error) {
+	var buf bytes.Buffer
+	if err := circuit.Write(&buf, nl); err != nil {
+		return "", fmt.Errorf("fingerprinting netlist: %w", err)
+	}
+	k := cache.NewKey("service.job").Bytes(buf.Bytes()).
+		Int(p.Seed).Int(int64(p.Epochs)).Int(int64(p.Hidden)).
+		Int(int64(p.EmbedDims)).Int(int64(p.ScoreDims)).Int(int64(p.Top))
+	return k.Sum()[:16], nil
+}
+
+// NetlistHash fingerprints a design by its serialized content (16 hex
+// digits), the identity the run-history ledger and profile manifests key
+// baselines by. It is content-only — two jobs with different parameters over
+// the same design share it, so the ledger can compare their phase profiles.
+func NetlistHash(nl *circuit.Netlist) string {
+	h := sha256.New()
+	if err := circuit.Write(h, nl); err != nil {
+		// Serialization of an in-memory netlist cannot fail into a hasher;
+		// degrade to the name rather than aborting telemetry.
+		return "name:" + nl.Name
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}

@@ -1,0 +1,141 @@
+package service
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRequest(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		body    string
+		wantErr bool
+	}{
+		{"minimal bench", `{"bench":"ss_pcm"}`, false},
+		{"all fields", `{"tenant":"t1","bench":"ss_pcm","seed":7,"epochs":10,"hidden":8,"embed_dims":4,"score_dims":2,"top":5}`, false},
+		{"inline netlist field", `{"netlist":"whatever"}`, false}, // parse-time only; validity checked later
+		{"empty object", `{}`, false},
+		{"empty body", ``, true},
+		{"not an object", `42`, true},
+		{"unknown field", `{"bench":"ss_pcm","workers":4}`, true},
+		{"trailing garbage", `{"bench":"ss_pcm"}{}`, true},
+		{"trailing text", `{"bench":"ss_pcm"} x`, true},
+		{"wrong type", `{"seed":"seven"}`, true},
+	} {
+		_, err := ParseRequest([]byte(tc.body))
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: err = %v, wantErr %v", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestNormalizeAppliesCLIDefaults(t *testing.T) {
+	r := &Request{Params: Params{Bench: "ss_pcm"}}
+	r.Normalize()
+	want := Params{Bench: "ss_pcm", Seed: 1, Epochs: 300, Hidden: 32, EmbedDims: 16, ScoreDims: 8, Top: 20}
+	if r.Params != want {
+		t.Fatalf("normalized params = %+v, want %+v", r.Params, want)
+	}
+	if r.Tenant != "default" {
+		t.Fatalf("tenant = %q, want default", r.Tenant)
+	}
+	// Explicit values survive normalization.
+	r = &Request{Tenant: "x", Params: Params{Bench: "b", Seed: 9, Epochs: 1, Hidden: 2, EmbedDims: 3, ScoreDims: 4, Top: 5}}
+	r.Normalize()
+	if r.Tenant != "x" || r.Seed != 9 || r.Epochs != 1 || r.Hidden != 2 || r.EmbedDims != 3 || r.ScoreDims != 4 || r.Top != 5 {
+		t.Fatalf("explicit values clobbered: %+v", r)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	base := func() *Request {
+		r := &Request{Params: Params{Bench: "ss_pcm"}}
+		r.Normalize()
+		return r
+	}
+	for _, tc := range []struct {
+		name    string
+		mutate  func(*Request)
+		wantErr string
+	}{
+		{"valid", func(r *Request) {}, ""},
+		{"no input", func(r *Request) { r.Bench = "" }, "need bench or netlist"},
+		{"both inputs", func(r *Request) { r.Netlist = "x" }, "mutually exclusive"},
+		{"negative epochs", func(r *Request) { r.Epochs = -1 }, "epochs must be positive"},
+		{"zero top after explicit", func(r *Request) { r.Top = -3 }, "top must be positive"},
+		{"tenant too long", func(r *Request) { r.Tenant = strings.Repeat("a", MaxTenantLen+1) }, "tenant longer"},
+		{"tenant bad byte", func(r *Request) { r.Tenant = "a b" }, "tenant contains byte"},
+		{"tenant slash", func(r *Request) { r.Tenant = "a/b" }, "tenant contains byte"},
+		{"netlist too large", func(r *Request) { r.Bench = ""; r.Netlist = strings.Repeat("x", MaxNetlistBytes+1) }, "exceeds limit"},
+	} {
+		r := base()
+		tc.mutate(r)
+		err := r.Validate()
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestJobKeyContentAddressing(t *testing.T) {
+	mk := func(seed int64) *Request {
+		r := &Request{Params: Params{Bench: "ss_pcm", Seed: seed}}
+		r.Normalize()
+		return r
+	}
+	r1 := mk(1)
+	nl1, err := r1.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, err := JobKey(nl1, r1.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same content, same params → same key (regenerate independently).
+	nl1b, _ := mk(1).Materialize()
+	k1b, _ := JobKey(nl1b, mk(1).Params)
+	if k1 != k1b {
+		t.Fatalf("identical jobs keyed differently: %s vs %s", k1, k1b)
+	}
+	// Different seed → different netlist AND different params → different key.
+	r2 := mk(2)
+	nl2, _ := r2.Materialize()
+	k2, _ := JobKey(nl2, r2.Params)
+	if k1 == k2 {
+		t.Fatal("distinct jobs share a key")
+	}
+	// Same netlist, different analysis params → different key.
+	p := r1.Params
+	p.Top = 5
+	k3, _ := JobKey(nl1, p)
+	if k3 == k1 {
+		t.Fatal("param change did not change the job key")
+	}
+	// Tenant is not part of the key (coalescing crosses tenants): JobKey takes
+	// Params only, so this is structural — assert the signature stays that way
+	// by compiling this very call.
+	if len(k1) != 16 {
+		t.Fatalf("key length = %d, want 16", len(k1))
+	}
+}
+
+func TestNetlistHashIgnoresParams(t *testing.T) {
+	r := &Request{Params: Params{Bench: "ss_pcm", Seed: 3}}
+	r.Normalize()
+	nl, err := r.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := NetlistHash(nl)
+	h2 := NetlistHash(nl)
+	if h1 != h2 || len(h1) != 16 {
+		t.Fatalf("hash unstable or wrong length: %q vs %q", h1, h2)
+	}
+}

@@ -1,0 +1,134 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+
+	"cirstag/internal/cache"
+	"cirstag/internal/circuit"
+	"cirstag/internal/core"
+	"cirstag/internal/obs"
+	"cirstag/internal/perturb"
+	"cirstag/internal/timing"
+)
+
+// RunResult is everything one analysis produced: the ranked-node listing in
+// the exact format cmd/cirstag prints, plus the structured pieces callers
+// layer extras on (the CLI's -edges and -approx-dmd tables, the server's
+// report and ledger entry).
+type RunResult struct {
+	Netlist *circuit.Netlist
+	Core    *core.Result
+	Ranking *core.Ranking
+	// Text is the ranked most-unstable-nodes listing (Params.Top rows).
+	Text []byte
+	// InputHash is the netlist content fingerprint (NetlistHash) — the
+	// ledger/profile identity of the analyzed design.
+	InputHash string
+	// Trained reports that the timing GNN was trained this run rather than
+	// loaded from the artifact cache. "Cold" for ledger and profile purposes
+	// is Trained || no cache attached: the run did the full training work.
+	Trained bool
+}
+
+// Run executes one complete netlist analysis — the run logic of cmd/cirstag,
+// extracted so the CLI and the job server share it byte for byte: train (or
+// load) the timing GNN for the design, run CirSTAG over its embeddings, and
+// rank node stability.
+//
+// Spans: with a nil parent the phases record as root spans (train_gnn or
+// load_gnn, then core.run) exactly as the CLI always has; with a parent they
+// become its children, which is how the server keeps concurrent jobs' spans
+// in separate per-job subtrees.
+func Run(nl *circuit.Netlist, p Params, store *cache.Store, parent *obs.Span) (*RunResult, error) {
+	obs.Debugf("loaded %s: %d cells, %d pins, %d nets", nl.Name, len(nl.Cells), nl.NumPins(), len(nl.Nets))
+
+	// A cache hit on the trained model records a "load_gnn" span instead of
+	// "train_gnn", so warm runs are recognizable by span absence in the
+	// report (CI asserts this).
+	tcfg := timing.Config{Epochs: p.Epochs, Hidden: p.Hidden, Seed: p.Seed}
+	var model *timing.Model
+	trained := false
+	if m, ok := timing.LoadCached(nl, tcfg, store); ok {
+		obs.Infof("loaded cached timing GNN for %s (%d pins)", nl.Name, nl.NumPins())
+		loadSpan := startSpan(parent, "load_gnn")
+		model = m
+		loadSpan.End()
+	} else {
+		obs.Infof("training timing GNN on %s (%d pins)...", nl.Name, nl.NumPins())
+		trained = true
+		trainSpan := startSpan(parent, "train_gnn")
+		m, err := timing.TrainAndStore(nl, tcfg, store)
+		if err != nil {
+			trainSpan.End()
+			return nil, err
+		}
+		model = m
+		trainSpan.End()
+	}
+	pred := model.Predict(nl)
+
+	obs.Infof("running CirSTAG...")
+	res, err := core.Run(core.Input{
+		Graph:    nl.PinGraph(),
+		Output:   pred.Embeddings,
+		Features: nl.Features(),
+	}, core.Options{
+		Seed: p.Seed, EmbedDims: p.EmbedDims, ScoreDims: p.ScoreDims, FeatureAlpha: 1,
+		Cache: store, Span: parent,
+	})
+	if err != nil {
+		return nil, err
+	}
+	obs.Debugf("manifolds: G_X %d edges, G_Y %d edges; top eigenvalue %.6g",
+		res.InputManifold.M(), res.OutputManifold.M(), firstOr(res.Eigenvalues, 0))
+
+	ranking := core.Rank(res.NodeScores, perturb.PrimaryOutputPinSet(nl))
+	return &RunResult{
+		Netlist:   nl,
+		Core:      res,
+		Ranking:   ranking,
+		Text:      FormatRanking(nl, ranking, p.Top),
+		InputHash: NetlistHash(nl),
+		Trained:   trained,
+	}, nil
+}
+
+// FormatRanking renders the top-n most-unstable-nodes listing in the stable
+// format cmd/cirstag has always printed (CI smoke compares these bytes across
+// cache-cold and cache-warm runs).
+func FormatRanking(nl *circuit.Netlist, ranking *core.Ranking, top int) []byte {
+	n := top
+	if n > len(ranking.Order) {
+		n = len(ranking.Order)
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "# most unstable nodes of %s (pin id, score, cell, gate type, pin dir)\n", nl.Name)
+	for i := 0; i < n; i++ {
+		p := ranking.Order[i]
+		pin := nl.Pins[p]
+		cell := nl.Cells[pin.Cell]
+		dir := "in"
+		if pin.Dir == circuit.DirOut {
+			dir = "out"
+		}
+		fmt.Fprintf(&buf, "%6d  %12.6g  cell=%d  %-6s %s\n", p, ranking.Scores[i], pin.Cell, cell.Type, dir)
+	}
+	return buf.Bytes()
+}
+
+// startSpan begins a phase span: a child of parent when the caller supplied
+// one, a root span otherwise.
+func startSpan(parent *obs.Span, name string) *obs.Span {
+	if parent != nil {
+		return parent.Child(name)
+	}
+	return obs.Start(name)
+}
+
+func firstOr(v []float64, def float64) float64 {
+	if len(v) > 0 {
+		return v[0]
+	}
+	return def
+}

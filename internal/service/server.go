@@ -1,0 +1,424 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cirstag/internal/cache"
+	"cirstag/internal/circuit"
+	"cirstag/internal/obs"
+	"cirstag/internal/obs/history"
+)
+
+// Admission errors. The HTTP layer maps them to status codes (429 with
+// Retry-After, 503); embedded callers branch on them with errors.Is.
+var (
+	// ErrSaturated rejects a submission because queued+running jobs already
+	// fill the admission bound. Clients should back off and retry.
+	ErrSaturated = errors.New("service: job queue saturated")
+	// ErrDraining rejects a submission because the server is shutting down.
+	ErrDraining = errors.New("service: server is draining")
+)
+
+// Job states, as served in status documents.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// Service-level metrics (exported on /metrics with the cirstag_service_
+// prefix; counters gain _total).
+var (
+	submittedCounter = obs.NewCounter("service.jobs_submitted")
+	coalescedCounter = obs.NewCounter("service.coalesced")
+	saturatedCounter = obs.NewCounter("service.rejected_saturated")
+	drainingCounter  = obs.NewCounter("service.rejected_draining")
+	completedCounter = obs.NewCounter("service.jobs_completed")
+	failedCounter    = obs.NewCounter("service.jobs_failed")
+	queueDepthGauge  = obs.NewGauge("service.queue_depth")
+	runningGauge     = obs.NewGauge("service.jobs_running")
+	queueWaitHist    = obs.NewHistogram("service.queue_wait_ms", obs.ExpBuckets(1, 4, 10)...)
+)
+
+// Config sizes and wires a Server.
+type Config struct {
+	// MaxInflight bounds admitted jobs (queued + running) across all
+	// tenants; submissions beyond it are rejected with ErrSaturated.
+	// Default 64.
+	MaxInflight int
+	// PerTenant bounds concurrently RUNNING jobs per tenant. A tenant at
+	// its limit queues; other tenants' queued jobs are dispatched past it
+	// (no head-of-line starvation). Default 4.
+	PerTenant int
+	// Store is the artifact cache shared by all jobs (nil disables caching).
+	Store *cache.Store
+	// HistoryDir, when non-empty, appends one run-history ledger entry per
+	// completed job (tool "cirstagd", RunID = job ID).
+	HistoryDir string
+	// RetryAfter is the client backoff hint attached to saturated/draining
+	// rejections. Default 1s.
+	RetryAfter time.Duration
+	// Runner executes one analysis. Nil means the real pipeline (Run);
+	// tests inject controllable stand-ins.
+	Runner func(nl *circuit.Netlist, p Params, store *cache.Store, span *obs.Span) (*RunResult, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 64
+	}
+	if c.PerTenant <= 0 {
+		c.PerTenant = 4
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Runner == nil {
+		c.Runner = Run
+	}
+	return c
+}
+
+// Job is one admitted analysis job. All mutable fields are guarded by the
+// owning Server's mutex; Done exposes completion to waiters.
+type Job struct {
+	ID     string
+	Tenant string
+	Params Params
+
+	nl        *circuit.Netlist
+	state     string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	span      *obs.Span
+	result    *RunResult
+	report    []byte
+	err       error
+	coalesced int64 // submissions merged onto this job
+	done      chan struct{}
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Stats is a point-in-time snapshot of server activity (server-local, unlike
+// the process-global obs counters, so tests and status endpoints read exact
+// per-server numbers).
+type Stats struct {
+	Submitted, Coalesced                int64
+	RejectedSaturated, RejectedDraining int64
+	Completed, Failed                   int64
+}
+
+// Server is the job-execution engine: a bounded FIFO queue with per-tenant
+// dispatch, content-hash coalescing, and drain-aware admission.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	jobs     map[string]*Job // by content-addressed ID
+	queue    []*Job          // admitted, not yet running (FIFO)
+	running  map[string]int  // tenant -> running count
+	inflight int             // queued + running
+	draining bool
+	drained  chan struct{} // closed when draining && inflight == 0
+	wg       sync.WaitGroup
+
+	stats struct {
+		submitted, coalesced, satRejected, drainRejected atomic.Int64
+		completed, failed                                atomic.Int64
+	}
+}
+
+// NewServer builds a Server from cfg (zero fields take defaults).
+func NewServer(cfg Config) *Server {
+	return &Server{
+		cfg:     cfg.withDefaults(),
+		jobs:    map[string]*Job{},
+		running: map[string]int{},
+	}
+}
+
+// Stats snapshots server activity.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Submitted:         s.stats.submitted.Load(),
+		Coalesced:         s.stats.coalesced.Load(),
+		RejectedSaturated: s.stats.satRejected.Load(),
+		RejectedDraining:  s.stats.drainRejected.Load(),
+		Completed:         s.stats.completed.Load(),
+		Failed:            s.stats.failed.Load(),
+	}
+}
+
+// Inflight returns the number of admitted, not-yet-finished jobs.
+func (s *Server) Inflight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inflight
+}
+
+// Submit admits one job. The request is normalized, validated, and
+// materialized into a netlist; the job's identity is the content hash of
+// (netlist, params). Outcomes, in decision order:
+//
+//   - an existing non-failed job has the same identity → the submission
+//     coalesces onto it (returned coalesced=true) without consuming queue
+//     capacity, even across tenants and even when that job already finished
+//     (the pipeline is deterministic, so the finished bytes ARE this job's
+//     result);
+//   - the server is draining → ErrDraining;
+//   - queued+running == MaxInflight → ErrSaturated;
+//   - otherwise the job is enqueued and dispatched as tenant capacity
+//     allows.
+//
+// A failed job does not absorb resubmissions: submitting the same content
+// again replaces it with a fresh attempt.
+func (s *Server) Submit(req *Request) (job *Job, coalesced bool, err error) {
+	r := *req // callers keep their copy unmodified
+	r.Normalize()
+	if err := r.Validate(); err != nil {
+		return nil, false, fmt.Errorf("invalid job request: %w", err)
+	}
+	nl, err := r.Materialize()
+	if err != nil {
+		return nil, false, fmt.Errorf("invalid job request: %w", err)
+	}
+	id, err := JobKey(nl, r.Params)
+	if err != nil {
+		return nil, false, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok && j.state != StateFailed {
+		j.coalesced++
+		s.stats.coalesced.Add(1)
+		coalescedCounter.Inc()
+		return j, true, nil
+	}
+	if s.draining {
+		s.stats.drainRejected.Add(1)
+		drainingCounter.Inc()
+		return nil, false, ErrDraining
+	}
+	if s.inflight >= s.cfg.MaxInflight {
+		s.stats.satRejected.Add(1)
+		saturatedCounter.Inc()
+		return nil, false, ErrSaturated
+	}
+	j := &Job{
+		ID:        id,
+		Tenant:    r.Tenant,
+		Params:    r.Params,
+		nl:        nl,
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	s.jobs[id] = j
+	s.queue = append(s.queue, j)
+	s.inflight++
+	s.stats.submitted.Add(1)
+	submittedCounter.Inc()
+	s.dispatchLocked()
+	return j, false, nil
+}
+
+// Job returns the admitted job with the given ID, or nil.
+func (s *Server) Job(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// dispatchLocked starts every queued job whose tenant has running capacity,
+// preserving FIFO order per scan but skipping over tenants at their limit so
+// one tenant's backlog cannot starve another's queued work. Must hold s.mu.
+func (s *Server) dispatchLocked() {
+	kept := s.queue[:0]
+	for _, j := range s.queue {
+		if s.running[j.Tenant] < s.cfg.PerTenant {
+			s.running[j.Tenant]++
+			j.state = StateRunning
+			j.started = time.Now()
+			queueWaitHist.Observe(float64(j.started.Sub(j.submitted)) / float64(time.Millisecond))
+			s.wg.Add(1)
+			go s.execute(j)
+		} else {
+			kept = append(kept, j)
+		}
+	}
+	// Zero the tail so finished jobs don't linger in the backing array.
+	for i := len(kept); i < len(s.queue); i++ {
+		s.queue[i] = nil
+	}
+	s.queue = kept
+	queueDepthGauge.Set(float64(len(s.queue)))
+	runningGauge.Set(float64(s.inflight - len(s.queue)))
+}
+
+// execute runs one job to completion: the pipeline under a fresh "job" root
+// span, the per-job report snapshot, the ledger append, and the dispatch of
+// whatever the freed tenant slot unblocks.
+func (s *Server) execute(j *Job) {
+	defer s.wg.Done()
+	span := obs.Start("job")
+	s.mu.Lock()
+	j.span = span
+	s.mu.Unlock()
+
+	res, err := s.cfg.Runner(j.nl, j.Params, s.cfg.Store, span)
+	span.End()
+
+	// The job's report is its span subtree — the same machinery as the CLI's
+	// -report, scoped to this job — snapshotted after the root ends so every
+	// span carries its resource delta (obslint -report checks all-or-none).
+	var reportBytes []byte
+	if rep := obs.SnapshotRoot(span); rep != nil {
+		if b, merr := json.MarshalIndent(rep, "", "  "); merr == nil {
+			reportBytes = append(b, '\n')
+		}
+		if err == nil && s.cfg.HistoryDir != "" {
+			entry := history.EntryFromReport(rep, "cirstagd", res.InputHash, s.cfg.Store == nil || res.Trained)
+			entry.RunID = j.ID
+			if herr := history.Append(s.cfg.HistoryDir, entry); herr != nil {
+				obs.Errorf("cirstagd: appending job %s to ledger: %v", j.ID, herr)
+			}
+		}
+	}
+	// Release the subtree so a long-lived server's span forest stays bounded
+	// by in-flight jobs, not total jobs served.
+	obs.ReleaseRoot(span)
+
+	s.mu.Lock()
+	j.finished = time.Now()
+	j.report = reportBytes
+	if err != nil {
+		j.state = StateFailed
+		j.err = err
+		s.stats.failed.Add(1)
+		failedCounter.Inc()
+		obs.Errorf("cirstagd: job %s failed: %v", j.ID, err)
+	} else {
+		j.state = StateDone
+		j.result = res
+		s.stats.completed.Add(1)
+		completedCounter.Inc()
+		obs.Infof("job %s done (tenant %s, %.0fms)", j.ID, j.Tenant, float64(j.finished.Sub(j.started))/float64(time.Millisecond))
+	}
+	s.running[j.Tenant]--
+	if s.running[j.Tenant] == 0 {
+		delete(s.running, j.Tenant)
+	}
+	s.inflight--
+	s.dispatchLocked()
+	if s.draining && s.inflight == 0 && s.drained != nil {
+		close(s.drained)
+		s.drained = nil
+	}
+	s.mu.Unlock()
+	close(j.done)
+}
+
+// Drain stops admission (new submissions fail with ErrDraining; coalescing
+// onto already-admitted jobs still works, so polling clients keep their
+// results) and blocks until every admitted job — queued and running — has
+// finished, or ctx expires. A nil return means the queue fully drained.
+// Drain is idempotent; concurrent callers all unblock.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	if s.inflight == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	if s.drained == nil {
+		s.drained = make(chan struct{})
+	}
+	ch := s.drained
+	s.mu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain interrupted with %d job(s) in flight: %w", s.Inflight(), ctx.Err())
+	}
+}
+
+// Status is the externally served view of one job. PhasesMS streams live
+// per-phase progress while the job runs (snapshotted from its span subtree)
+// and the final profile once done; Result carries the ranked listing once
+// the job succeeds.
+type Status struct {
+	ID        string             `json:"id"`
+	Tenant    string             `json:"tenant"`
+	State     string             `json:"state"`
+	Submitted string             `json:"submitted"`
+	Started   string             `json:"started,omitempty"`
+	Finished  string             `json:"finished,omitempty"`
+	Coalesced int64              `json:"coalesced,omitempty"`
+	Error     string             `json:"error,omitempty"`
+	PhasesMS  map[string]float64 `json:"phases_ms,omitempty"`
+	Result    string             `json:"result,omitempty"`
+}
+
+// Status builds the served view of j. The live-progress snapshot happens
+// outside the server mutex (obs has its own locking).
+func (s *Server) Status(j *Job) Status {
+	s.mu.Lock()
+	st := Status{
+		ID:        j.ID,
+		Tenant:    j.Tenant,
+		State:     j.state,
+		Submitted: j.submitted.Format(time.RFC3339Nano),
+		Coalesced: j.coalesced,
+	}
+	if !j.started.IsZero() {
+		st.Started = j.started.Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		st.Finished = j.finished.Format(time.RFC3339Nano)
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if j.result != nil {
+		st.Result = string(j.result.Text)
+	}
+	span := j.span
+	state := j.state
+	report := j.report
+	s.mu.Unlock()
+
+	switch state {
+	case StateRunning:
+		if rep := obs.SnapshotRoot(span); rep != nil {
+			st.PhasesMS = history.PhasesFromReport(rep)
+		}
+	case StateDone, StateFailed:
+		if rep, err := obs.ParseReport(report); err == nil {
+			st.PhasesMS = history.PhasesFromReport(rep)
+		}
+	}
+	return st
+}
+
+// Report returns the job's final report bytes (nil until the job finishes or
+// when obs recording is off).
+func (s *Server) Report(j *Job) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state != StateDone && j.state != StateFailed {
+		return nil
+	}
+	return j.report
+}

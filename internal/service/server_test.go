@@ -1,0 +1,302 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"cirstag/internal/cache"
+	"cirstag/internal/circuit"
+	"cirstag/internal/obs"
+)
+
+// enableObs turns span recording (and resource sampling) on for one test and
+// restores the disabled state afterwards.
+func enableObs(t *testing.T) {
+	t.Helper()
+	obs.Enable()
+	obs.EnableResources()
+	t.Cleanup(func() {
+		obs.DisableResources()
+		obs.Disable()
+		obs.Reset()
+	})
+}
+
+// blockingRunner returns a Runner stand-in that records a child span, parks
+// until release is closed, and then reports success with recognizable bytes.
+func blockingRunner(release <-chan struct{}) func(*circuit.Netlist, Params, *cache.Store, *obs.Span) (*RunResult, error) {
+	return func(nl *circuit.Netlist, p Params, _ *cache.Store, span *obs.Span) (*RunResult, error) {
+		s := span.Child("stub.analysis")
+		<-release
+		s.End()
+		return &RunResult{
+			Netlist:   nl,
+			Text:      []byte(fmt.Sprintf("result %s seed %d top %d\n", nl.Name, p.Seed, p.Top)),
+			InputHash: NetlistHash(nl),
+			Trained:   true,
+		}, nil
+	}
+}
+
+func benchRequest(tenant string, seed int64) *Request {
+	return &Request{Tenant: tenant, Params: Params{Bench: "ss_pcm", Seed: seed, Epochs: 5, Top: 3}}
+}
+
+func waitDone(t *testing.T, j *Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatalf("job %s did not finish", j.ID)
+	}
+}
+
+// waitState polls until the job reaches the wanted state (for non-terminal
+// states that have no completion channel).
+func waitState(t *testing.T, s *Server, j *Job, want string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Status(j).State == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s state = %s, want %s", j.ID, s.Status(j).State, want)
+}
+
+func TestSubmitCoalescesIdenticalJobs(t *testing.T) {
+	enableObs(t)
+	release := make(chan struct{})
+	s := NewServer(Config{MaxInflight: 8, PerTenant: 4, Runner: blockingRunner(release)})
+
+	first, coalesced, err := s.Submit(benchRequest("alice", 1))
+	if err != nil || coalesced {
+		t.Fatalf("first submit: job=%v coalesced=%v err=%v", first, coalesced, err)
+	}
+	// Three more identical submissions — different tenants included — must
+	// merge onto the same in-flight computation.
+	for i, tenant := range []string{"alice", "bob", "carol"} {
+		j, c, err := s.Submit(benchRequest(tenant, 1))
+		if err != nil {
+			t.Fatalf("duplicate submit %d: %v", i, err)
+		}
+		if !c || j != first {
+			t.Fatalf("duplicate submit %d: coalesced=%v job=%p want %p", i, c, j, first)
+		}
+	}
+	if st := s.Stats(); st.Submitted != 1 || st.Coalesced != 3 {
+		t.Fatalf("stats = %+v, want 1 submitted, 3 coalesced", st)
+	}
+	if got := s.Inflight(); got != 1 {
+		t.Fatalf("inflight = %d, want 1 (coalesced submissions consume no capacity)", got)
+	}
+	close(release)
+	waitDone(t, first)
+
+	// Every coalesced submission observes the same bytes: one job, one
+	// report, one result.
+	report := s.Report(first)
+	if len(report) == 0 {
+		t.Fatal("finished job has no report")
+	}
+	if _, err := obs.ParseReport(report); err != nil {
+		t.Fatalf("job report does not parse: %v", err)
+	}
+	j, c, err := s.Submit(benchRequest("dave", 1))
+	if err != nil || !c || j != first {
+		t.Fatalf("post-completion submit: job=%p coalesced=%v err=%v, want merge onto %p", j, c, err, first)
+	}
+	if !bytes.Equal(s.Report(j), report) {
+		t.Fatal("coalesced submission observed different report bytes")
+	}
+	if s.Status(j).Result == "" {
+		t.Fatal("finished job status carries no result text")
+	}
+}
+
+func TestSaturationRejectsWithErrSaturated(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	s := NewServer(Config{MaxInflight: 2, PerTenant: 1, Runner: blockingRunner(release)})
+
+	// Fill the admission bound: one running (per-tenant limit 1), one queued.
+	if _, _, err := s.Submit(benchRequest("t", 1)); err != nil {
+		t.Fatal(err)
+	}
+	queued, _, err := s.Submit(benchRequest("t", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Status(queued).State; got != StateQueued {
+		t.Fatalf("second job state = %s, want queued", got)
+	}
+	// The queue is saturated: queued + running == MaxInflight.
+	if _, _, err := s.Submit(benchRequest("t", 3)); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("third submit err = %v, want ErrSaturated", err)
+	}
+	// A duplicate of an admitted job still coalesces while saturated —
+	// coalescing consumes no capacity.
+	if _, c, err := s.Submit(benchRequest("other", 2)); err != nil || !c {
+		t.Fatalf("duplicate under saturation: coalesced=%v err=%v", c, err)
+	}
+	if st := s.Stats(); st.RejectedSaturated != 1 {
+		t.Fatalf("stats = %+v, want 1 saturated rejection", st)
+	}
+}
+
+func TestPerTenantLimitDoesNotStarveOtherTenants(t *testing.T) {
+	release := make(chan struct{})
+	s := NewServer(Config{MaxInflight: 8, PerTenant: 1, Runner: blockingRunner(release)})
+
+	a1, _, err := s.Submit(benchRequest("alice", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _, err := s.Submit(benchRequest("alice", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _, err := s.Submit(benchRequest("bob", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// alice's first job occupies her whole per-tenant budget; her second
+	// queues. bob's job, submitted AFTER alice's queued one, must dispatch
+	// past it immediately.
+	waitState(t, s, a1, StateRunning)
+	waitState(t, s, b1, StateRunning)
+	if got := s.Status(a2).State; got != StateQueued {
+		t.Fatalf("alice's second job state = %s, want queued behind her limit", got)
+	}
+	close(release)
+	waitDone(t, a1)
+	waitDone(t, b1)
+	waitDone(t, a2) // the freed slot dispatches her queued job
+	for _, j := range []*Job{a1, a2, b1} {
+		if got := s.Status(j).State; got != StateDone {
+			t.Fatalf("job %s state = %s, want done", j.ID, got)
+		}
+	}
+}
+
+func TestDrainStopsAdmissionAndCompletesInflight(t *testing.T) {
+	release := make(chan struct{})
+	s := NewServer(Config{MaxInflight: 8, PerTenant: 2, Runner: blockingRunner(release)})
+
+	running, _, err := s.Submit(benchRequest("t", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, running, StateRunning)
+
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- s.Drain(context.Background()) }()
+
+	// Admission must flip off once the drain begins. A probe can race ahead
+	// of the drain goroutine and get admitted (or then coalesce onto itself),
+	// so probe with a fresh seed whenever the previous one was admitted.
+	deadline := time.Now().Add(5 * time.Second)
+	for seed := int64(2); ; {
+		_, coalesced, err := s.Submit(benchRequest("t", seed))
+		if errors.Is(err, ErrDraining) {
+			break
+		}
+		if err == nil && !coalesced {
+			seed++ // admitted before the flag flipped; probe with new content
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("submit during drain: err = %v, want ErrDraining", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Coalescing onto the in-flight job still works during drain.
+	if _, c, err := s.Submit(benchRequest("t", 1)); err != nil || !c {
+		t.Fatalf("coalesce during drain: coalesced=%v err=%v", c, err)
+	}
+	close(release)
+	if err := <-drainErr; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if got := s.Status(running).State; got != StateDone {
+		t.Fatalf("in-flight job state after drain = %s, want done", got)
+	}
+	// A second drain returns immediately.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("idempotent drain: %v", err)
+	}
+}
+
+func TestDrainTimeoutReportsInflight(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	s := NewServer(Config{MaxInflight: 2, PerTenant: 1, Runner: blockingRunner(release)})
+	j, _, err := s.Submit(benchRequest("t", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, j, StateRunning)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err == nil {
+		t.Fatal("drain with a stuck job returned nil")
+	}
+}
+
+func TestFailedJobIsRetriable(t *testing.T) {
+	var fail bool
+	s := NewServer(Config{MaxInflight: 4, PerTenant: 2, Runner: func(nl *circuit.Netlist, p Params, _ *cache.Store, _ *obs.Span) (*RunResult, error) {
+		if fail {
+			return nil, errors.New("injected failure")
+		}
+		return &RunResult{Netlist: nl, Text: []byte("ok\n"), InputHash: NetlistHash(nl), Trained: true}, nil
+	}})
+	fail = true
+	j1, _, err := s.Submit(benchRequest("t", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j1)
+	if got := s.Status(j1).State; got != StateFailed {
+		t.Fatalf("state = %s, want failed", got)
+	}
+	if s.Status(j1).Error == "" {
+		t.Fatal("failed job status carries no error")
+	}
+	// Resubmitting the same content must NOT coalesce onto the failure.
+	fail = false
+	j2, coalesced, err := s.Submit(benchRequest("t", 1))
+	if err != nil || coalesced || j2 == j1 {
+		t.Fatalf("resubmit after failure: job=%p coalesced=%v err=%v", j2, coalesced, err)
+	}
+	waitDone(t, j2)
+	if got := s.Status(j2).State; got != StateDone {
+		t.Fatalf("retry state = %s, want done", got)
+	}
+	if st := s.Stats(); st.Failed != 1 || st.Completed != 1 {
+		t.Fatalf("stats = %+v, want 1 failed, 1 completed", st)
+	}
+}
+
+func TestInvalidSubmissionsRejected(t *testing.T) {
+	s := NewServer(Config{})
+	for _, req := range []*Request{
+		{Params: Params{}}, // no input
+		{Params: Params{Bench: "ss_pcm", Netlist: "netlist x\n"}},  // both inputs
+		{Params: Params{Bench: "no_such_bench"}},                   // unknown benchmark
+		{Params: Params{Bench: "ss_pcm", Epochs: -1}},              // negative tuning
+		{Tenant: "bad tenant!", Params: Params{Bench: "ss_pcm"}},   // tenant charset
+		{Params: Params{Netlist: "this is not a valid netlist\n"}}, // unparseable inline netlist
+	} {
+		if _, _, err := s.Submit(req); err == nil {
+			t.Fatalf("submit %+v succeeded, want rejection", req)
+		}
+	}
+	if st := s.Stats(); st.Submitted != 0 {
+		t.Fatalf("invalid submissions were admitted: %+v", st)
+	}
+}

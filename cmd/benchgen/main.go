@@ -9,6 +9,7 @@
 //	benchgen -name sasc -seed 1 -o sasc.net
 //	benchgen -list
 //	benchgen -custom -inputs 32 -outputs 16 -layers 10 -width 80 -o my.net
+//	benchgen -name sasc -seq-example 10 -o edits.json
 //	go test -bench=. -benchtime=1x -run='^$' ./... | benchgen -bench-json -sha $SHA -o BENCH_$SHA.json
 //	benchgen -bench-compare -baseline ci/bench_baseline.json -current BENCH_$SHA.json
 package main
@@ -30,6 +31,7 @@ import (
 	"cirstag/internal/circuit"
 	"cirstag/internal/obs/history"
 	"cirstag/internal/obs/resource"
+	"cirstag/internal/seq"
 	"cirstag/internal/sta"
 )
 
@@ -46,6 +48,7 @@ func main() {
 		layers  = flag.Int("layers", 10, "custom: logic depth")
 		width   = flag.Int("width", 60, "custom: gates per layer")
 		wirecap = flag.Float64("wirecap", 1.2, "custom: mean wire capacitance (fF)")
+		seqEx   = flag.Int("seq-example", 0, "emit an N-step example transformation script (cirstag.seq/v1 JSON) for the design instead of the netlist")
 
 		benchJSON    = flag.Bool("bench-json", false, "parse `go test -bench` output into a JSON benchmark report")
 		historyDir   = flag.String("history-dir", "", "bench-json: also append the results to DIR/ledger.jsonl (see cirstag -history-dir)")
@@ -128,6 +131,20 @@ func main() {
 		}
 		defer f.Close()
 		w = f
+	}
+	if *seqEx > 0 {
+		// A ready-to-run sequence script for the generated design, consumable
+		// by `cirstag -sequence` and the cirstagd "script" job parameter.
+		script := seq.Example(nl, *seqEx, *seed)
+		b, err := json.MarshalIndent(script, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		b = append(b, '\n')
+		if _, err := w.Write(b); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	if err := circuit.Write(w, nl); err != nil {
 		fatal(err)

@@ -9,6 +9,13 @@
 //	cirstag -bench sasc -report run.json -debug-addr :6060
 //	cirstag -bench sasc -trace trace.json -log-format json
 //	cirstag -bench sasc -history-dir runs/ -check-budgets
+//	benchgen -name sasc -seq-example 10 -o edits.json && cirstag -bench sasc -sequence edits.json
+//
+// Sequence scoring: -sequence applies a cirstag.seq/v1 script of netlist
+// edits (resize, scale_caps, buffer, merge, rewire) one step at a time,
+// re-scoring the design incrementally after every step (internal/seq). The
+// output is a per-step table (operation, changed nodes, incremental path,
+// latency) followed by the final design's ranked listing.
 //
 // Observability: -report writes a machine-readable JSON run report (per-phase
 // spans with wall time and resource deltas, eigensolver convergence,
@@ -59,6 +66,7 @@ func main() {
 		hidden      = flag.Int("hidden", 32, "timing-GNN hidden width")
 		embedDims   = flag.Int("embed-dims", 16, "spectral embedding dimension M")
 		scoreDims   = flag.Int("score-dims", 8, "stability score dimension s")
+		sequence    = flag.String("sequence", "", "score a transformation sequence: path to a cirstag.seq/v1 script JSON (see internal/seq)")
 		edges       = flag.Bool("edges", false, "also print the most-distorted manifold edges")
 		approxDMD   = flag.Bool("approx-dmd", false, "answer DMD queries from JL resistance sketches (near-linear engine) and print top-pair distortions")
 		dmdEps      = flag.Float64("dmd-eps", 0.5, "with -approx-dmd: sketch relative-error target, in (0,1)")
@@ -92,6 +100,7 @@ func main() {
 		logFormat: *logFormat, historyDir: *historyDir, checkBudgets: *checkBudget,
 		metricsOut: *metricsOut, debugAddr: *debugAddr,
 		approxDMD: *approxDMD, dmdEps: *dmdEps, dmdEpsSet: dmdEpsSet,
+		sequence: *sequence, edges: *edges,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cirstag: %v (see -h)\n", err)
@@ -167,10 +176,21 @@ func main() {
 	// The analysis itself — train (or load) the timing GNN, run CirSTAG, rank
 	// node stability — is the shared service pipeline; cmd/cirstagd runs the
 	// identical code per job. A nil parent span keeps the CLI's historical
-	// root-span structure (train_gnn or load_gnn, then core.run).
+	// root-span structure (train_gnn or load_gnn, then core.run). With
+	// -sequence the pipeline instead applies the script step by step and
+	// re-scores incrementally after each one.
+	var script string
+	if *sequence != "" {
+		b, err := os.ReadFile(*sequence)
+		if err != nil {
+			fatal(err)
+		}
+		script = string(b)
+	}
 	runRes, err := service.Run(nl, service.Params{
 		Seed: *seed, Epochs: *epochs, Hidden: *hidden,
 		EmbedDims: *embedDims, ScoreDims: *scoreDims, Top: *top,
+		Script: script,
 	}, store, nil)
 	if err != nil {
 		fatal(err)
@@ -323,6 +343,8 @@ type flagValues struct {
 	approxDMD                      bool
 	dmdEps                         float64
 	dmdEpsSet                      bool
+	sequence                       string
+	edges                          bool
 }
 
 // validateFlags rejects invalid flag combinations before any work starts.
@@ -363,6 +385,9 @@ func validateFlags(v flagValues) ([]string, error) {
 	}
 	if warning != "" {
 		warnings = append(warnings, warning)
+	}
+	if err := cliutil.ValidateSequenceFlags(v.sequence, v.edges, v.approxDMD); err != nil {
+		return nil, err
 	}
 	return warnings, cliutil.Positive(
 		cliutil.NamedInt{Name: "-top", Value: v.top},

@@ -75,6 +75,23 @@ func ValidateApproxDMDFlags(approxDMD bool, dmdEps float64, dmdEpsSet, noCache b
 	return warning, nil
 }
 
+// ValidateSequenceFlags checks cirstag's -sequence flag combination: a
+// sequence run re-scores the design after every scripted edit, so the
+// single-result extras (-edges, -approx-dmd) have no step to attach to and
+// are rejected rather than silently applied to only the final design.
+func ValidateSequenceFlags(sequencePath string, edges, approxDMD bool) error {
+	if sequencePath == "" {
+		return nil
+	}
+	if edges {
+		return fmt.Errorf("-sequence is mutually exclusive with -edges")
+	}
+	if approxDMD {
+		return fmt.Errorf("-sequence is mutually exclusive with -approx-dmd")
+	}
+	return nil
+}
+
 // NamedFlag is a boolean "was this flag given" with its user-facing name.
 type NamedFlag struct {
 	Name string

@@ -130,9 +130,44 @@ type Result struct {
 	// Eigenvalues are the top-s generalized eigenvalues ζ₁ ≥ … ≥ ζ_s of
 	// L_Y⁺·L_X.
 	Eigenvalues mat.Vec
+	// Eigenvectors are the matching B-normalized generalized eigenvectors
+	// (vᵀ·L_Y·v = 1, unweighted). Retained so incremental re-analysis can
+	// warm-start the next solve from them.
+	Eigenvectors []mat.Vec
 	// Embedding is the Phase-1 spectral embedding actually used (nil when
 	// SkipDimReduction is set).
 	Embedding *mat.Dense
+}
+
+// Clone deep-copies a Result: scores, manifolds, spectra, and embedding share
+// no storage with the receiver, so mutating one cannot corrupt the other.
+// Incremental baselines rely on this — every Result handed out by
+// RunIncremental is a clone of (or disjoint from) the retained baseline state.
+func (r *Result) Clone() *Result {
+	if r == nil {
+		return nil
+	}
+	cp := &Result{
+		NodeScores:  r.NodeScores.Clone(),
+		EdgeScores:  append([]EdgeScore(nil), r.EdgeScores...),
+		Eigenvalues: r.Eigenvalues.Clone(),
+	}
+	if r.InputManifold != nil {
+		cp.InputManifold = r.InputManifold.Clone()
+	}
+	if r.OutputManifold != nil {
+		cp.OutputManifold = r.OutputManifold.Clone()
+	}
+	if r.Eigenvectors != nil {
+		cp.Eigenvectors = make([]mat.Vec, len(r.Eigenvectors))
+		for i, v := range r.Eigenvectors {
+			cp.Eigenvectors[i] = v.Clone()
+		}
+	}
+	if r.Embedding != nil {
+		cp.Embedding = r.Embedding.Clone()
+	}
+	return cp
 }
 
 // Run executes the CirSTAG pipeline.
@@ -230,7 +265,7 @@ func Run(in Input, opts Options) (res *Result, err error) {
 		},
 	)
 
-	res, err = scorePhase(gx, gy, n, opts, rngEig, root)
+	res, err = scorePhase(gx, gy, n, opts, rngEig, root, nil, eig.WarmOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -318,12 +353,15 @@ var degenerateRuns = obs.NewCounter("core.degenerate_geometry")
 
 // scorePhase runs the shared tail of the pipeline on prepared manifolds:
 // connectivity repair, the Phase-3 generalized eigensolve, and DMD scoring.
-// It is deterministic given (gx, gy, opts, rngEig), which is what makes
-// cache-warm and incremental runs bit-identical to cold ones. When the
-// geometry is so degenerate that any eigenvalue or score comes out NaN/±Inf
-// it returns cirerr.ErrDegenerateGeometry — a Result never carries a
-// non-finite score.
-func scorePhase(gx, gy *graph.Graph, n int, opts Options, rngEig *rand.Rand, root *obs.Span) (*Result, error) {
+// With warm == nil it is deterministic given (gx, gy, opts, rngEig), which is
+// what makes cache-warm and incremental full rebuilds bit-identical to cold
+// runs. A non-nil warm set switches the eigensolve to the warm-started
+// Rayleigh–Ritz refinement (eig.GeneralizedTopKWarm, tuned by wopts) — an
+// approximation reserved for the incremental patch path, never for any path
+// that promises bit-identity. When the geometry is so degenerate that any
+// eigenvalue or score comes out NaN/±Inf it returns
+// cirerr.ErrDegenerateGeometry — a Result never carries a non-finite score.
+func scorePhase(gx, gy *graph.Graph, n int, opts Options, rngEig *rand.Rand, root *obs.Span, warm []mat.Vec, wopts eig.WarmOptions) (*Result, error) {
 	// The generalized eigenproblem needs both Laplacians to share a single
 	// nontrivial kernel; bridge any stray components with weak edges.
 	cs := root.Child("connectivity")
@@ -336,18 +374,27 @@ func scorePhase(gx, gy *graph.Graph, n int, opts Options, rngEig *rand.Rand, roo
 	if s > n-1 {
 		s = n - 1
 	}
-	seeds := multilevelSeeds(gx, gy, s, opts, root)
-	eigSpan := root.Child("eigensolve")
-	pairs := eig.GeneralizedTopKSeeded(gx.Laplacian(), gy.Laplacian(), s, seeds, rngEig, opts.Eig)
-	eigSpan.End()
+	var pairs []eig.GeneralizedPair
+	if warm != nil {
+		eigSpan := root.Child("eigensolve_warm")
+		pairs = eig.GeneralizedTopKWarm(gx.Laplacian(), gy.Laplacian(), s, warm, rngEig, wopts)
+		eigSpan.End()
+	} else {
+		seeds := multilevelSeeds(gx, gy, s, opts, root)
+		eigSpan := root.Child("eigensolve")
+		pairs = eig.GeneralizedTopKSeeded(gx.Laplacian(), gy.Laplacian(), s, seeds, rngEig, opts.Eig)
+		eigSpan.End()
+	}
 
 	// Weighted eigensubspace V_s = [v_i √ζ_i].
 	scoreSpan := root.Child("scoring")
 	defer scoreSpan.End()
 	vs := mat.NewDense(n, len(pairs))
 	eigenvalues := make(mat.Vec, len(pairs))
+	eigenvectors := make([]mat.Vec, len(pairs))
 	for j, p := range pairs {
 		eigenvalues[j] = p.Value
+		eigenvectors[j] = p.Vector
 		col := p.Vector.Clone()
 		w := p.Value
 		if w < 0 {
@@ -409,6 +456,7 @@ func scorePhase(gx, gy *graph.Graph, n int, opts Options, rngEig *rand.Rand, roo
 		InputManifold:  gx,
 		OutputManifold: gy,
 		Eigenvalues:    eigenvalues,
+		Eigenvectors:   eigenvectors,
 	}, nil
 }
 

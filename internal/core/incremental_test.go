@@ -84,7 +84,8 @@ func TestIncrementalSingleNodeMatchesFull(t *testing.T) {
 }
 
 // TestIncrementalNoChangeReusesBaseline: below-tolerance perturbations return
-// the baseline Result without any recomputation.
+// a copy of the baseline Result without any recomputation — equal in every
+// byte, but storage-disjoint from the retained baseline.
 func TestIncrementalNoChangeReusesBaseline(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
 	in := syntheticInput(rng, 80, nil)
@@ -104,8 +105,258 @@ func TestIncrementalNoChangeReusesBaseline(t *testing.T) {
 	if !info.ReusedBaseline || len(info.ChangedNodes) != 0 {
 		t.Fatalf("info = %+v, want baseline reuse", info)
 	}
-	if res != base.Result {
-		t.Fatal("expected the baseline Result to be returned as-is")
+	if res == base.Result {
+		t.Fatal("reused-baseline path must return a copy, not the retained Result pointer")
+	}
+	resultsIdentical(t, res, base.Result)
+}
+
+// TestIncrementalResultNotAliased is the aliasing regression test: every
+// Result handed out by RunIncremental (reused-baseline and patch paths alike)
+// must share no storage with the retained baseline, so a caller mutating its
+// result cannot silently corrupt later incremental runs.
+func TestIncrementalResultNotAliased(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	in := syntheticInput(rng, 100, map[int]bool{3: true, 40: true})
+	base, err := NewBaseline(in, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine := base.Result.Clone()
+
+	vandalize := func(res *Result) {
+		for i := range res.NodeScores {
+			res.NodeScores[i] = -1
+		}
+		for i := range res.EdgeScores {
+			res.EdgeScores[i].Score = -1
+		}
+		for i := range res.Eigenvalues {
+			res.Eigenvalues[i] = -1
+		}
+		for _, v := range res.Eigenvectors {
+			for i := range v {
+				v[i] = -1
+			}
+		}
+		if res.Embedding != nil {
+			for i := range res.Embedding.Data {
+				res.Embedding.Data[i] = -1
+			}
+		}
+		if res.OutputManifold != nil {
+			res.OutputManifold.AddEdge(0, 1, 1e9)
+		}
+		if res.InputManifold != nil {
+			res.InputManifold.AddEdge(0, 2, 1e9)
+		}
+	}
+
+	// Reused-baseline path.
+	res, info, err := base.RunIncremental(in.Output.Clone(), IncrementalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.ReusedBaseline {
+		t.Fatalf("info = %+v, want baseline reuse", info)
+	}
+	vandalize(res)
+	resultsIdentical(t, base.Result, pristine)
+
+	// Patch path: the result's embedding and manifolds must also be copies.
+	newY := perturbRow(base, 3, 2.5)
+	res, info, err = base.RunIncremental(newY, IncrementalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ReusedBaseline || info.FullRebuild {
+		t.Fatalf("info = %+v, want the patch path", info)
+	}
+	if res.Embedding == base.Result.Embedding {
+		t.Fatal("patched Result aliases the baseline embedding")
+	}
+	vandalize(res)
+	resultsIdentical(t, base.Result, pristine)
+
+	// The baseline must still produce a correct incremental run after all
+	// that mutation of handed-out results.
+	if _, _, err := base.RunIncremental(newY, IncrementalOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalDriftFlagsRows: repeated steps each under tolerance must not
+// accumulate unbounded drift — once a row's cumulative displacement since the
+// last rebase crosses tolerance, it is flagged as changed even though no
+// single step moved it that far.
+func TestIncrementalDriftFlagsRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	in := syntheticInput(rng, 80, nil)
+	base, err := NewBaseline(in, Options{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const relTol = 1e-3
+	iopts := IncrementalOptions{RelTol: relTol}
+	maxA := base.Input.Output.MaxAbs()
+	shift := 0.6 * relTol * maxA // per-step: under tolerance, two steps: over
+
+	step := func() (*IncrementalInfo, *mat.Dense) {
+		y := base.Input.Output.Clone()
+		for c := 0; c < y.Cols; c++ {
+			y.Set(7, c, y.At(7, c)+shift)
+		}
+		res, info, err := base.RunIncremental(y, iopts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := base.Advance(y, res, info); err != nil {
+			t.Fatal(err)
+		}
+		return info, y
+	}
+
+	info, _ := step()
+	if !info.ReusedBaseline || len(info.ChangedNodes) != 0 {
+		t.Fatalf("step 1 info = %+v, want baseline reuse (single sub-tolerance move)", info)
+	}
+	info, _ = step()
+	if info.ReusedBaseline || len(info.ChangedNodes) != 1 || info.ChangedNodes[0] != 7 {
+		t.Fatalf("step 2 info = %+v, want row 7 flagged by cumulative drift", info)
+	}
+	// The flagged row was re-anchored by the patch: the next identical step
+	// is sub-tolerance again.
+	info, _ = step()
+	if !info.ReusedBaseline {
+		t.Fatalf("step 3 info = %+v, want baseline reuse after the drift rebase", info)
+	}
+}
+
+// TestIncrementalDriftGuardRebuild: when sub-tolerance movement accumulates
+// across many rows, the cumulative-drift guard must abandon baseline reuse
+// for a full rebuild that is bit-identical to a fresh Run on the new output.
+func TestIncrementalDriftGuardRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	in := syntheticInput(rng, 90, nil)
+	base, err := NewBaseline(in, Options{Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const relTol = 1e-3
+	iopts := IncrementalOptions{RelTol: relTol}
+	maxA := base.Input.Output.MaxAbs()
+	// Every row moves 0.4·tol per step: no row ever crosses tolerance on its
+	// own, but the summed drift (0.4·tol·n) is past MaxDriftFrac (0.25)
+	// immediately.
+	y := base.Input.Output.Clone()
+	for i := range y.Data {
+		y.Data[i] += 0.4 * relTol * maxA
+	}
+	res, info, err := base.RunIncremental(y, iopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.FullRebuild || !info.DriftRebuild {
+		t.Fatalf("info = %+v, want a drift-guard full rebuild", info)
+	}
+	if len(info.ChangedNodes) != 0 {
+		t.Fatalf("changed nodes = %v, want none (all rows sub-tolerance)", info.ChangedNodes)
+	}
+	full, err := Run(Input{Graph: in.Graph, Output: y, Features: in.Features}, Options{Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsIdentical(t, res, full)
+
+	// Advancing over the rebuild resets the drift ledger: the same step again
+	// is plain baseline reuse.
+	if err := base.Advance(y, res, info); err != nil {
+		t.Fatal(err)
+	}
+	_, info, err = base.RunIncremental(y.Clone(), iopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.ReusedBaseline {
+		t.Fatalf("post-rebuild info = %+v, want baseline reuse", info)
+	}
+}
+
+// TestAdvanceRebasesBaseline: after Advance the next diff is taken against
+// the advanced output, and the advanced state is storage-disjoint from the
+// caller's matrices and results.
+func TestAdvanceRebasesBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	in := syntheticInput(rng, 100, map[int]bool{9: true})
+	base, err := NewBaseline(in, Options{Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	newY := perturbRow(base, 9, 2.0)
+	res, info, err := base.RunIncremental(newY, IncrementalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.ChangedNodes) != 1 || info.ChangedNodes[0] != 9 {
+		t.Fatalf("changed = %v, want [9]", info.ChangedNodes)
+	}
+	if err := base.Advance(newY, res, info); err != nil {
+		t.Fatal(err)
+	}
+	if base.Input.Output == newY || base.Result == res {
+		t.Fatal("Advance must clone the output and result, not retain the caller's pointers")
+	}
+	// Same output again: now a no-op relative to the advanced baseline.
+	_, info, err = base.RunIncremental(newY.Clone(), IncrementalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.ReusedBaseline {
+		t.Fatalf("info = %+v, want baseline reuse after Advance", info)
+	}
+	// Stale info (from before the Advance) must be rejected by a later
+	// baseline of different shape, and nil res/info must error.
+	if err := base.Advance(newY, nil, info); err == nil {
+		t.Fatal("Advance accepted a nil Result")
+	}
+	if err := base.Advance(newY, res, nil); err == nil {
+		t.Fatal("Advance accepted a nil IncrementalInfo")
+	}
+}
+
+// TestBaselineForkIsolation: a forked baseline advances independently of its
+// parent.
+func TestBaselineForkIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	in := syntheticInput(rng, 90, map[int]bool{4: true})
+	base, err := NewBaseline(in, Options{Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fork := base.Fork()
+	newY := perturbRow(base, 4, 2.0)
+	res, info, err := fork.RunIncremental(newY, IncrementalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fork.Advance(newY, res, info); err != nil {
+		t.Fatal(err)
+	}
+	// The parent still diffs against the original output: the same perturbed
+	// matrix is a change for it, a no-op for the advanced fork.
+	_, pinfo, err := base.RunIncremental(newY.Clone(), IncrementalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinfo.ReusedBaseline {
+		t.Fatal("parent baseline saw the fork's Advance")
+	}
+	_, finfo, err := fork.RunIncremental(newY.Clone(), IncrementalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !finfo.ReusedBaseline {
+		t.Fatalf("fork info = %+v, want baseline reuse", finfo)
 	}
 }
 

@@ -1,0 +1,125 @@
+package perturb
+
+import (
+	"math/rand"
+
+	"cirstag/internal/circuit"
+)
+
+// Sequence edit operations: the netlist transformations internal/seq scripts
+// apply between incremental re-scores. All of them preserve the pin structure
+// of the design (pin count, cell membership, directions), which is the
+// contract timing.Model.Predict enforces — a sequence can therefore re-run
+// inference on every intermediate design without retraining.
+
+// BufferNet returns a clone of nl with the capacitance of every sink pin of
+// the given net multiplied by factor. Inserting a buffer shields the driver
+// from downstream load; this models the load-side effect of buffering (or
+// de-buffering, factor > 1) without changing the pin structure. Out-of-range
+// net ids return an unmodified clone.
+func BufferNet(nl *circuit.Netlist, net int, factor float64) *circuit.Netlist {
+	out := nl.Clone()
+	if net < 0 || net >= len(out.Nets) {
+		return out
+	}
+	for _, s := range out.Nets[net].Sinks {
+		out.Pins[s].Cap *= factor
+	}
+	return out
+}
+
+// MergeCells returns a clone of nl in which the listed gates act as one
+// combined driver: every member's drive strength becomes the group total, and
+// its input capacitance is rescaled so the group as a whole presents the same
+// order of load as before (cap × total/(m·size)). Port pseudo-cells,
+// out-of-range ids, and duplicates are skipped; fewer than two valid members
+// leave the design unmodified.
+func MergeCells(nl *circuit.Netlist, cells []int) *circuit.Netlist {
+	out := nl.Clone()
+	seen := map[int]bool{}
+	var valid []int
+	var total float64
+	for _, c := range cells {
+		if c < 0 || c >= len(out.Cells) || seen[c] {
+			continue
+		}
+		if t := out.Cells[c].Type; t == circuit.PortIn || t == circuit.PortOut {
+			continue
+		}
+		seen[c] = true
+		valid = append(valid, c)
+		total += out.SizeOf(c)
+	}
+	if len(valid) < 2 {
+		return out
+	}
+	if out.CellSize == nil {
+		out.CellSize = make([]float64, len(out.Cells))
+		for i := range out.CellSize {
+			out.CellSize[i] = 1
+		}
+	}
+	m := float64(len(valid))
+	for _, c := range valid {
+		ratio := total / (out.SizeOf(c) * m)
+		out.CellSize[c] = total
+		for _, p := range out.Cells[c].InPins {
+			out.Pins[p].Cap *= ratio
+		}
+	}
+	return out
+}
+
+// RewireSinks returns a clone of nl with each listed sink (input) pin moved
+// from its current net to a different rng-chosen net, modeling logic
+// restructuring that changes connectivity without touching the pin structure.
+// A move is skipped when it would leave the source net without sinks (Validate
+// requires every net to drive something) or introduce a combinational cycle;
+// cycle-creating choices are retried a bounded number of times and then
+// abandoned, so the result always satisfies Validate. Deterministic given rng.
+func RewireSinks(nl *circuit.Netlist, pins []int, rng *rand.Rand) *circuit.Netlist {
+	out := nl.Clone()
+	if len(out.Nets) < 2 {
+		return out
+	}
+	for _, p := range pins {
+		if p < 0 || p >= len(out.Pins) {
+			continue
+		}
+		pin := out.Pins[p]
+		if pin.Dir != circuit.DirIn || pin.Net < 0 {
+			continue
+		}
+		src := pin.Net
+		if len(out.Nets[src].Sinks) <= 1 {
+			continue
+		}
+		for attempt := 0; attempt < 16; attempt++ {
+			dst := rng.Intn(len(out.Nets))
+			if dst == src {
+				continue
+			}
+			moveSink(out, p, src, dst)
+			if _, err := out.TopologicalPins(); err != nil {
+				moveSink(out, p, dst, src) // cycle: revert and retry
+				continue
+			}
+			break
+		}
+	}
+	return out
+}
+
+// moveSink detaches pin from net `from` and attaches it to net `to`, keeping
+// both sides of the pin↔net cross-reference consistent.
+func moveSink(nl *circuit.Netlist, pin, from, to int) {
+	s := nl.Nets[from].Sinks
+	for i, q := range s {
+		if q == pin {
+			nl.Nets[from].Sinks = append(s[:i:i], s[i+1:]...)
+			break
+		}
+	}
+	nl.Nets[to].Sinks = append(nl.Nets[to].Sinks, pin)
+	nl.Pins[pin].Net = to
+}

@@ -116,18 +116,31 @@ func FromGraph(g *graph.Graph, rng *rand.Rand, opts Options) *graph.Graph {
 	return res.Graph
 }
 
-// patchedEdges counts edges rewritten or added by PatchKNN across the run.
-var patchedEdges = obs.NewCounter("pgm.patched_edges")
+// patchedEdges counts edges rewritten or added by PatchKNN across the run;
+// prunedEdges counts stale incident edges it dropped because a changed
+// endpoint moved out of kNN range.
+var (
+	patchedEdges = obs.NewCounter("pgm.patched_edges")
+	prunedEdges  = obs.NewCounter("pgm.pruned_edges")
+)
 
 // PatchKNN locally repairs a previously built manifold after the embedding
 // rows of a small set of nodes changed: edges between two unchanged nodes
 // keep their (possibly sparsified) weight, edges touching a changed node get
-// their weight recomputed from the new coordinates, and each changed node is
-// re-linked to its k nearest neighbours in the new embedding. The result
-// approximates what Build would produce on the full new matrix at
+// their weight recomputed from the new coordinates — or are pruned when the
+// new distance exceeds every changed endpoint's kNN radius — and each changed
+// node is re-linked to its k nearest neighbours in the new embedding. The
+// result approximates what Build would produce on the full new matrix at
 // O(k·|changed|·log n) cost instead of O(n log n + sparsify); it is exact for
 // the unchanged subgraph but skips the global re-sparsification, which is why
 // core.RunIncremental falls back to a full rebuild when too many nodes moved.
+//
+// Pruning is what keeps chained patches bounded: without it a node that moves
+// across the embedding keeps every neighbour it ever had, inflating its
+// degree monotonically over a long edit sequence. An edge incident to a
+// changed node survives only while its new length stays within the kNN radius
+// (k-th neighbour distance) of a changed endpoint; unchanged endpoints do not
+// veto, since their neighbourhood scale was not recomputed.
 //
 // changed must be sorted ascending with ids in [0, y.Rows); base must have
 // y.Rows nodes. The output is deterministic: base edges are visited in
@@ -143,39 +156,56 @@ func PatchKNN(base *graph.Graph, y *mat.Dense, changed []int, opts Options) *gra
 	for _, c := range changed {
 		isChanged[c] = true
 	}
-	weight := func(u, v int) float64 {
-		d2 := DataDistance2(y, u, v)
+	weight := func(d2 float64) float64 {
 		if d2 < 1e-12 {
 			d2 = 1e-12
 		}
 		return 1 / d2
 	}
-	out := graph.New(n)
-	for _, e := range base.Edges() {
-		if isChanged[e.U] || isChanged[e.V] {
-			out.AddEdge(e.U, e.V, weight(e.U, e.V))
-			patchedEdges.Inc()
-			continue
-		}
-		out.AddEdge(e.U, e.V, e.W)
-	}
 	if len(changed) == 0 {
-		return out
+		return base.Clone()
 	}
-	// Re-link each changed node to its k nearest neighbours in the new
-	// embedding; HasEdge guards the insert because AddEdge merges duplicate
-	// edges by summing weights.
+	// Query each changed node's k nearest neighbours up front: the result
+	// list drives the re-link phase below and its k-th distance is the kNN
+	// radius the pruning test compares stale incident edges against.
 	k := opts.K
 	if k >= n {
 		k = n - 1
 	}
 	tree := knn.NewKDTree(y)
-	for _, c := range changed {
-		for _, nb := range tree.Query(y.Row(c), k, c) {
+	nbrs := make([][]knn.Neighbor, len(changed))
+	radius2 := make(mat.Vec, n)
+	for ci, c := range changed {
+		nbrs[ci] = tree.Query(y.Row(c), k, c)
+		if q := nbrs[ci]; len(q) > 0 {
+			radius2[c] = q[len(q)-1].Dist2
+		}
+	}
+	out := graph.New(n)
+	for _, e := range base.Edges() {
+		if isChanged[e.U] || isChanged[e.V] {
+			d2 := DataDistance2(y, e.U, e.V)
+			keep := (isChanged[e.U] && d2 <= radius2[e.U]) ||
+				(isChanged[e.V] && d2 <= radius2[e.V])
+			if !keep {
+				prunedEdges.Inc()
+				continue
+			}
+			out.AddEdge(e.U, e.V, weight(d2))
+			patchedEdges.Inc()
+			continue
+		}
+		out.AddEdge(e.U, e.V, e.W)
+	}
+	// Re-link each changed node to its k nearest neighbours in the new
+	// embedding; HasEdge guards the insert because AddEdge merges duplicate
+	// edges by summing weights.
+	for ci, c := range changed {
+		for _, nb := range nbrs[ci] {
 			if out.HasEdge(c, nb.ID) {
 				continue
 			}
-			out.AddEdge(c, nb.ID, weight(c, nb.ID))
+			out.AddEdge(c, nb.ID, weight(DataDistance2(y, c, nb.ID)))
 			patchedEdges.Inc()
 		}
 	}

@@ -199,3 +199,72 @@ func TestGaussianOptionProducesValidManifold(t *testing.T) {
 		}
 	}
 }
+
+// TestPatchKNNChainedDegreeBounded: a node dragged across the embedding by a
+// long chain of patches must shed its stale neighbourhoods along the way.
+// Before pruning, every patch added the node's k new neighbours while keeping
+// all previous ones, so its degree grew without bound over a sequence.
+func TestPatchKNNChainedDegreeBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	n, k := 300, 8
+	pts := mat.NewDense(n, 3)
+	for i := range pts.Data {
+		pts.Data[i] = rng.NormFloat64()
+	}
+	g := Build(pts, rng, Options{K: k, AvgDegree: 6})
+	mover := 42
+	startDeg := g.Degree(mover)
+	for step := 0; step < 25; step++ {
+		// Teleport the mover into a fresh region each step: the worst case
+		// for neighbourhood staleness.
+		for j := 0; j < pts.Cols; j++ {
+			pts.Set(mover, j, 10*math.Cos(float64(step))+rng.NormFloat64())
+		}
+		g = PatchKNN(g, pts, []int{mover}, Options{K: k, AvgDegree: 6})
+		if d := g.Degree(mover); d > 3*k {
+			t.Fatalf("step %d: mover degree %d blew past 3k=%d (started at %d) — stale edges not pruned", step, d, 3*k, startDeg)
+		}
+	}
+	if d := g.Degree(mover); d < 1 {
+		t.Fatalf("mover disconnected after chained patches (degree %d)", d)
+	}
+}
+
+// TestPatchKNNPrunesStaleEdges: an edge whose changed endpoint moved far
+// beyond its kNN radius must disappear from the patched manifold, while the
+// unchanged-unchanged edges keep their exact weights.
+func TestPatchKNNPrunesStaleEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	n, k := 120, 6
+	pts := mat.NewDense(n, 2)
+	for i := range pts.Data {
+		pts.Data[i] = rng.NormFloat64()
+	}
+	g := Build(pts, rng, Options{K: k, AvgDegree: 5})
+	c := 17
+	oldNbrs := append([]int(nil), g.SortedNeighbors(c)...)
+	if len(oldNbrs) == 0 {
+		t.Fatal("node 17 has no edges in the base manifold")
+	}
+	// Move the node far outside the point cloud.
+	pts.Set(c, 0, 1e3)
+	pts.Set(c, 1, 1e3)
+	patched := PatchKNN(g, pts, []int{c}, Options{K: k, AvgDegree: 5})
+	for _, nb := range oldNbrs {
+		if patched.HasEdge(c, nb) {
+			t.Fatalf("stale edge %d-%d survived a move far beyond the kNN radius", c, nb)
+		}
+	}
+	if d := patched.Degree(c); d != k {
+		t.Fatalf("moved node should hold exactly its %d new nearest neighbours, has %d", k, d)
+	}
+	// Unchanged-unchanged edges keep their sparsified weights bit-exactly.
+	for _, e := range g.Edges() {
+		if e.U == c || e.V == c {
+			continue
+		}
+		if !patched.HasEdge(e.U, e.V) {
+			t.Fatalf("unchanged edge %d-%d dropped", e.U, e.V)
+		}
+	}
+}

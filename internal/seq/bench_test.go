@@ -1,0 +1,91 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+
+	"cirstag/internal/circuit"
+	"cirstag/internal/core"
+	"cirstag/internal/mat"
+	"cirstag/internal/parallel"
+	"cirstag/internal/perturb"
+)
+
+// benchOutput stands in for a trained model's embedding matrix: the design's
+// feature matrix with a small deterministic per-entry jitter. The jitter
+// breaks the exact row ties of raw features (thousands of pins share a
+// feature vector, which degenerates the kNN manifold) while keeping edits
+// local — unchanged pins produce bit-identical rows across designs, exactly
+// like a deterministic predictor.
+func benchOutput(nl *circuit.Netlist) *mat.Dense {
+	y := nl.Features()
+	rng := parallel.NewRNG(1234, 7)
+	out := mat.NewDense(y.Rows, y.Cols)
+	for i := 0; i < y.Rows; i++ {
+		for j := 0; j < y.Cols; j++ {
+			out.Set(i, j, y.At(i, j)+0.05*rng.NormFloat64())
+		}
+	}
+	return out
+}
+
+// BenchmarkSeqStep measures one sequence step on a ~5k-pin design two ways:
+// the incremental path (kNN patching plus warm eigensolve against a prebuilt
+// baseline, the hot path of the sequence runner) and the cold path (full
+// pipeline rebuild, what every step would cost without the baseline). CI
+// gates both; their ratio is the headline claim of the sequence runner —
+// incremental at least 10x faster than cold.
+func BenchmarkSeqStep(b *testing.B) {
+	nl := circuit.Generate(circuit.Spec{
+		Name: "seqbench", Inputs: 64, Outputs: 32, Layers: 20, Width: 72,
+		LocalBias: 0.65, WireCap: 1.2,
+	}, rand.New(rand.NewSource(2)))
+	opts := testOptions()
+	y0 := benchOutput(nl)
+	base, err := core.NewBaseline(core.Input{
+		Graph: nl.PinGraph(), Output: y0, Features: nl.Features(),
+	}, opts.Core)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// One localized edit, the shape of a typical script step: scale the input
+	// caps of a handful of pins and re-score the perturbed design.
+	var pins []int
+	for _, p := range nl.Pins {
+		if p.Dir == circuit.DirIn && p.Net >= 0 {
+			pins = append(pins, p.ID)
+		}
+		if len(pins) == 8 {
+			break
+		}
+	}
+	edited := perturb.ScaleCaps(nl, pins, 1.5)
+	y1 := benchOutput(edited)
+
+	b.Run("incremental", func(b *testing.B) {
+		var changed int
+		for i := 0; i < b.N; i++ {
+			res, info, err := base.RunIncremental(y1, opts.Inc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if info.FullRebuild {
+				b.Fatal("localized edit must take the patch path")
+			}
+			changed = len(info.ChangedNodes)
+			_ = res
+		}
+		b.ReportMetric(float64(changed), "changed_nodes")
+		b.ReportMetric(float64(nl.NumPins()), "pins")
+	})
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Run(core.Input{
+				Graph: nl.PinGraph(), Output: y1, Features: nl.Features(),
+			}, opts.Core); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

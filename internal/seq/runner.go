@@ -1,0 +1,315 @@
+package seq
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cirstag/internal/circuit"
+	"cirstag/internal/core"
+	"cirstag/internal/mat"
+	"cirstag/internal/obs"
+	"cirstag/internal/parallel"
+	"cirstag/internal/perturb"
+	"cirstag/internal/timing"
+)
+
+var (
+	seqSteps     = obs.NewCounter("seq.steps")
+	seqPrefixHit = obs.NewCounter("seq.prefix_hits")
+	seqStepMS    = obs.NewHistogram("seq.step_ms", obs.ExpBuckets(1, 4, 10)...)
+)
+
+// Predictor produces the GNN output matrix (CirSTAG's Y) for a netlist
+// variant. Fork must return a predictor safe to use concurrently with the
+// receiver and every other fork — RunBatch calls it once per sequence.
+type Predictor interface {
+	Outputs(nl *circuit.Netlist) (*mat.Dense, error)
+	Fork() Predictor
+}
+
+// ModelPredictor adapts a trained timing model to the Predictor interface.
+type ModelPredictor struct{ m *timing.Model }
+
+// NewModelPredictor wraps a trained timing GNN.
+func NewModelPredictor(m *timing.Model) *ModelPredictor { return &ModelPredictor{m: m} }
+
+// Outputs runs inference and returns the prediction embeddings.
+func (p *ModelPredictor) Outputs(nl *circuit.Netlist) (*mat.Dense, error) {
+	return p.m.Predict(nl).Embeddings, nil
+}
+
+// Fork returns an inference-only copy backed by timing.Model.Fork.
+func (p *ModelPredictor) Fork() Predictor { return &ModelPredictor{m: p.m.Fork()} }
+
+// Options configures a sequence run.
+type Options struct {
+	// Core configures the step-0 baseline analysis (and thereby every
+	// incremental step, which inherits seed and dimensions from the baseline).
+	Core core.Options
+	// Inc tunes the per-step incremental re-analysis.
+	Inc core.IncrementalOptions
+	// Span, when non-nil, parents the per-step "seq.step" spans (and the
+	// baseline's "core.run") so a host process can keep concurrent sequences'
+	// spans in separate subtrees. Nil records them as root spans.
+	Span *obs.Span
+}
+
+// StepReport is the per-step outcome of a sequence run.
+type StepReport struct {
+	// Index is the step's position in the script, 0-based.
+	Index int `json:"index"`
+	// Op echoes the step's operation.
+	Op string `json:"op"`
+	// ChangedNodes is how many manifold nodes moved beyond tolerance.
+	ChangedNodes int `json:"changed_nodes"`
+	// ReusedBaseline / FullRebuild / DriftRebuild mirror core.IncrementalInfo:
+	// which of the three incremental paths the step took.
+	ReusedBaseline bool `json:"reused_baseline,omitempty"`
+	FullRebuild    bool `json:"full_rebuild,omitempty"`
+	DriftRebuild   bool `json:"drift_rebuild,omitempty"`
+	// LatencyMS is the wall time of the step: edit application, inference,
+	// and incremental re-scoring.
+	LatencyMS float64 `json:"latency_ms"`
+	// TopNode and TopScore identify the most unstable node after this step.
+	TopNode  int     `json:"top_node"`
+	TopScore float64 `json:"top_score"`
+}
+
+// Path names the incremental path a step took, for reports and logs.
+func (r StepReport) Path() string {
+	switch {
+	case r.ReusedBaseline:
+		return "reuse"
+	case r.DriftRebuild:
+		return "drift-rebuild"
+	case r.FullRebuild:
+		return "rebuild"
+	default:
+		return "patch"
+	}
+}
+
+// Result is everything a sequence run produced.
+type Result struct {
+	// Name echoes the script name.
+	Name string `json:"name,omitempty"`
+	// Steps holds one report per script step, in order.
+	Steps []StepReport `json:"steps"`
+	// Final is the stability result after the last step.
+	Final *core.Result `json:"-"`
+	// FinalNetlist is the design after the last step.
+	FinalNetlist *circuit.Netlist `json:"-"`
+}
+
+// Run scores one transformation sequence: a full baseline analysis of nl,
+// then for each script step an edit application, a fresh model inference, and
+// an incremental re-score chained forward with Baseline.Advance. The input
+// manifold stays pinned at the step-0 design (see the package comment); the
+// per-step result reflects the output manifold of the edited design against
+// it. Deterministic given (nl, script, predictor, options).
+func Run(nl *circuit.Netlist, script *Script, pred Predictor, opts Options) (*Result, error) {
+	if err := script.Validate(nl); err != nil {
+		return nil, err
+	}
+	if opts.Core.Span == nil {
+		opts.Core.Span = opts.Span
+	}
+	y0, err := pred.Outputs(nl)
+	if err != nil {
+		return nil, err
+	}
+	base, err := core.NewBaseline(core.Input{
+		Graph:    nl.PinGraph(),
+		Output:   y0,
+		Features: nl.Features(),
+	}, opts.Core)
+	if err != nil {
+		return nil, err
+	}
+	return resume(&snapshot{nl: nl, base: base}, script, 0, pred, opts)
+}
+
+// snapshot is the chained state after some prefix of a script: the current
+// design, a baseline rebased onto it, and the reports of the steps so far.
+type snapshot struct {
+	nl    *circuit.Netlist
+	base  *core.Baseline
+	steps []StepReport
+}
+
+// fork deep-copies the mutable state so two sequences can continue from the
+// same prefix independently.
+func (s *snapshot) fork() *snapshot {
+	return &snapshot{nl: s.nl, base: s.base.Fork(), steps: append([]StepReport(nil), s.steps...)}
+}
+
+// resume continues a sequence from a snapshot taken after `from` steps,
+// mutating snap in place. publish, when non-nil, is offered the snapshot
+// after each step (RunBatch uses it to share common prefixes).
+func resume(snap *snapshot, script *Script, from int, pred Predictor, opts Options,
+	publish ...func(step int, s *snapshot)) (*Result, error) {
+	exclude := perturb.PrimaryOutputPinSet(snap.nl)
+	for i := from; i < len(script.Steps); i++ {
+		st := script.Steps[i]
+		stepSpan := startSpan(opts.Span, "seq.step")
+		snap.base.Opts.Span = stepSpan
+		t0 := time.Now()
+		next := Apply(snap.nl, st, stepRNG(script.Seed, i))
+		y, err := pred.Outputs(next)
+		if err != nil {
+			stepSpan.End()
+			return nil, fmt.Errorf("seq: step %d (%s) inference: %w", i, st.Op, err)
+		}
+		res, info, err := snap.base.RunIncremental(y, opts.Inc)
+		if err != nil {
+			stepSpan.End()
+			return nil, fmt.Errorf("seq: step %d (%s): %w", i, st.Op, err)
+		}
+		if err := snap.base.Advance(y, res, info); err != nil {
+			stepSpan.End()
+			return nil, fmt.Errorf("seq: step %d (%s) advance: %w", i, st.Op, err)
+		}
+		latency := float64(time.Since(t0)) / float64(time.Millisecond)
+		stepSpan.End()
+		seqSteps.Inc()
+		seqStepMS.Observe(latency)
+
+		ranking := core.Rank(res.NodeScores, exclude)
+		rep := StepReport{
+			Index: i, Op: st.Op,
+			ChangedNodes:   len(info.ChangedNodes),
+			ReusedBaseline: info.ReusedBaseline,
+			FullRebuild:    info.FullRebuild,
+			DriftRebuild:   info.DriftRebuild,
+			LatencyMS:      latency,
+		}
+		if len(ranking.Order) > 0 {
+			rep.TopNode = ranking.Order[0]
+			rep.TopScore = ranking.Scores[0]
+		}
+		snap.nl = next
+		snap.steps = append(snap.steps, rep)
+		obs.Debugf("seq %s step %d/%d: %s, %d changed, %s path, %.1fms",
+			script.Name, i+1, len(script.Steps), st.Op, rep.ChangedNodes, rep.Path(), latency)
+		for _, pub := range publish {
+			pub(i, snap)
+		}
+	}
+	return &Result{
+		Name:         script.Name,
+		Steps:        snap.steps,
+		Final:        snap.base.Result.Clone(),
+		FinalNetlist: snap.nl,
+	}, nil
+}
+
+// RunBatch scores several sequences over the same design concurrently. The
+// step-0 baseline is computed once and forked per sequence, and chained state
+// is memoized at every step whose (seed, step prefix) is shared by at least
+// two scripts in the batch, so a batch of sequences differing only in their
+// tails pays for the common prefix once (best-effort: a slow prefix owner and
+// an eager sibling may still both compute it, which is safe because every
+// path is deterministic — whoever wins, the bytes are identical). Results are
+// aligned with scripts; the first failing sequence aborts the batch's error
+// return but never corrupts its siblings.
+func RunBatch(nl *circuit.Netlist, scripts []*Script, pred Predictor, opts Options) ([]*Result, error) {
+	for si, s := range scripts {
+		if err := s.Validate(nl); err != nil {
+			return nil, fmt.Errorf("seq: script %d: %w", si, err)
+		}
+	}
+	if opts.Core.Span == nil {
+		opts.Core.Span = opts.Span
+	}
+	y0, err := pred.Outputs(nl)
+	if err != nil {
+		return nil, err
+	}
+	base, err := core.NewBaseline(core.Input{
+		Graph:    nl.PinGraph(),
+		Output:   y0,
+		Features: nl.Features(),
+	}, opts.Core)
+	if err != nil {
+		return nil, err
+	}
+
+	// Prefix hash chains: prefixes[si][i] identifies the chained state after
+	// steps 0..i of script si (seed included — rewire steps depend on it).
+	// Only prefixes shared by ≥2 scripts are worth memoizing.
+	prefixes := make([][]string, len(scripts))
+	shared := map[string]int{}
+	for si, s := range scripts {
+		prefixes[si] = prefixHashes(s)
+		for _, h := range prefixes[si] {
+			shared[h]++
+		}
+	}
+	var mu sync.Mutex
+	memo := map[string]*snapshot{}
+
+	type outcome struct {
+		res *Result
+		err error
+	}
+	outcomes := parallel.Map(len(scripts), 1, func(si int) outcome {
+		script := scripts[si]
+		hashes := prefixes[si]
+		// Longest already-memoized prefix of this script.
+		snap, from := (*snapshot)(nil), 0
+		mu.Lock()
+		for i := len(hashes) - 1; i >= 0; i-- {
+			if s, ok := memo[hashes[i]]; ok {
+				snap, from = s.fork(), i+1
+				break
+			}
+		}
+		mu.Unlock()
+		if snap == nil {
+			snap = &snapshot{nl: nl, base: base.Fork()}
+		} else {
+			seqPrefixHit.Inc()
+		}
+		res, err := resume(snap, script, from, pred.Fork(), opts, func(i int, s *snapshot) {
+			if shared[hashes[i]] < 2 {
+				return
+			}
+			mu.Lock()
+			if _, ok := memo[hashes[i]]; !ok {
+				memo[hashes[i]] = s.fork()
+			}
+			mu.Unlock()
+		})
+		return outcome{res, err}
+	})
+	results := make([]*Result, len(scripts))
+	for si, o := range outcomes {
+		if o.err != nil {
+			return nil, fmt.Errorf("seq: script %d: %w", si, o.err)
+		}
+		results[si] = o.res
+	}
+	return results, nil
+}
+
+// prefixHashes returns one content hash per step, chaining so that equal
+// hashes imply equal (seed, steps[0..i]) prefixes.
+func prefixHashes(s *Script) []string {
+	out := make([]string, len(s.Steps))
+	prev := fmt.Sprintf("seed:%d", s.Seed)
+	for i, st := range s.Steps {
+		prev = fmt.Sprintf("%s|%s:%d:%v:%v:%d:%g", prev, st.Op, st.Cell, st.Cells, st.Pins, st.Net, st.Factor)
+		out[i] = prev
+	}
+	return out
+}
+
+// startSpan begins a step span: a child of parent when one was supplied, a
+// root span otherwise (mirroring service.Run's convention).
+func startSpan(parent *obs.Span, name string) *obs.Span {
+	if parent != nil {
+		return parent.Child(name)
+	}
+	return obs.Start(name)
+}

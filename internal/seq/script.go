@@ -1,0 +1,264 @@
+// Package seq is the optimization-sequence stability runner: it applies a
+// script of netlist edits (gate resizing, cap scaling, buffering, cell
+// merging, sink rewiring) one step at a time and re-scores the design after
+// every step through core.Baseline.RunIncremental, rebasing the baseline
+// forward with Advance so step N+1 diffs against step N. A 20-step sequence
+// costs one full analysis plus 20 incremental patches instead of 21 full
+// analyses — the workflow a physical-design optimization loop needs when it
+// asks "did this transformation destabilize the circuit?" after every move.
+//
+// Every script operation preserves the design's pin structure (pin count,
+// cell membership, directions) — the contract timing.Model.Predict enforces —
+// so one trained model serves every intermediate design of the sequence. The
+// input manifold is pinned at the step-0 design throughout: incremental
+// re-scoring diffs output embeddings only, which is exactly the CirSTAG
+// question (how far does the output manifold drift from the input manifold
+// as the design is edited?).
+package seq
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"cirstag/internal/circuit"
+	"cirstag/internal/parallel"
+	"cirstag/internal/perturb"
+)
+
+// SchemaVersion identifies the script layout. Parse rejects anything else.
+const SchemaVersion = "cirstag.seq/v1"
+
+// Limits on the decode boundary, mirroring internal/service's admission
+// philosophy: a malformed or oversized script fails loudly before any work.
+const (
+	// MaxScriptBytes bounds a script document.
+	MaxScriptBytes = 1 << 20
+	// MaxSteps bounds the number of steps in one script.
+	MaxSteps = 4096
+)
+
+// Step operation names.
+const (
+	OpResize    = "resize"
+	OpScaleCaps = "scale_caps"
+	OpBuffer    = "buffer"
+	OpMerge     = "merge"
+	OpRewire    = "rewire"
+)
+
+// Step is one scripted netlist edit. Which fields apply depends on Op:
+//
+//	resize:     cell, factor   — set gate drive strength (circuit.Resize)
+//	scale_caps: pins, factor   — scale input-pin capacitances (perturb.ScaleCaps)
+//	buffer:     net, factor    — scale a net's sink load (perturb.BufferNet)
+//	merge:      cells          — combine gates into one driver (perturb.MergeCells)
+//	rewire:     pins           — move sink pins to other nets (perturb.RewireSinks)
+type Step struct {
+	Op     string  `json:"op"`
+	Cell   int     `json:"cell,omitempty"`
+	Cells  []int   `json:"cells,omitempty"`
+	Pins   []int   `json:"pins,omitempty"`
+	Net    int     `json:"net,omitempty"`
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// Script is one transformation sequence.
+type Script struct {
+	Schema string `json:"schema"`
+	// Name labels the sequence in reports and logs.
+	Name string `json:"name,omitempty"`
+	// Seed drives the rewire steps' random choices; two runs of the same
+	// script over the same design are bit-identical.
+	Seed  int64  `json:"seed,omitempty"`
+	Steps []Step `json:"steps"`
+}
+
+// Parse decodes a script document. The boundary is strict — unknown fields,
+// trailing data, a missing or foreign schema stamp, and oversized documents
+// are all rejected — because a half-understood optimization script would
+// silently score the wrong sequence.
+func Parse(b []byte) (*Script, error) {
+	if len(b) > MaxScriptBytes {
+		return nil, fmt.Errorf("seq: script %d bytes exceeds limit %d", len(b), MaxScriptBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var s Script
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("seq: decoding script: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("seq: trailing data after script object")
+	}
+	if s.Schema != SchemaVersion {
+		return nil, fmt.Errorf("seq: script schema %q, want %q", s.Schema, SchemaVersion)
+	}
+	if len(s.Steps) == 0 {
+		return nil, fmt.Errorf("seq: script has no steps")
+	}
+	if len(s.Steps) > MaxSteps {
+		return nil, fmt.Errorf("seq: script has %d steps, limit %d", len(s.Steps), MaxSteps)
+	}
+	return &s, nil
+}
+
+// Validate checks every step against the design it will be applied to: ids in
+// range, ports untouched, positive factors. A script that validates applies
+// without panicking and keeps the netlist Validate-clean at every step, which
+// in turn keeps every intermediate design within timing.Model.Predict's
+// structural contract.
+func (s *Script) Validate(nl *circuit.Netlist) error {
+	for i, st := range s.Steps {
+		if err := validateStep(st, nl); err != nil {
+			return fmt.Errorf("seq: step %d (%s): %w", i, st.Op, err)
+		}
+	}
+	return nil
+}
+
+func validateStep(st Step, nl *circuit.Netlist) error {
+	checkGate := func(c int) error {
+		if c < 0 || c >= len(nl.Cells) {
+			return fmt.Errorf("cell %d out of range [0,%d)", c, len(nl.Cells))
+		}
+		if t := nl.Cells[c].Type; t == circuit.PortIn || t == circuit.PortOut {
+			return fmt.Errorf("cell %d is a port pseudo-cell", c)
+		}
+		return nil
+	}
+	checkSinkPins := func(pins []int) error {
+		if len(pins) == 0 {
+			return fmt.Errorf("needs at least one pin")
+		}
+		for _, p := range pins {
+			if p < 0 || p >= len(nl.Pins) {
+				return fmt.Errorf("pin %d out of range [0,%d)", p, len(nl.Pins))
+			}
+			if nl.Pins[p].Dir != circuit.DirIn {
+				return fmt.Errorf("pin %d is not an input pin", p)
+			}
+		}
+		return nil
+	}
+	switch st.Op {
+	case OpResize:
+		if st.Factor <= 0 {
+			return fmt.Errorf("factor %v must be positive", st.Factor)
+		}
+		return checkGate(st.Cell)
+	case OpScaleCaps:
+		if st.Factor <= 0 {
+			return fmt.Errorf("factor %v must be positive", st.Factor)
+		}
+		return checkSinkPins(st.Pins)
+	case OpBuffer:
+		if st.Factor <= 0 {
+			return fmt.Errorf("factor %v must be positive", st.Factor)
+		}
+		if st.Net < 0 || st.Net >= len(nl.Nets) {
+			return fmt.Errorf("net %d out of range [0,%d)", st.Net, len(nl.Nets))
+		}
+		return nil
+	case OpMerge:
+		if len(st.Cells) < 2 {
+			return fmt.Errorf("needs at least two cells")
+		}
+		seen := map[int]bool{}
+		for _, c := range st.Cells {
+			if err := checkGate(c); err != nil {
+				return err
+			}
+			if seen[c] {
+				return fmt.Errorf("cell %d listed twice", c)
+			}
+			seen[c] = true
+		}
+		return nil
+	case OpRewire:
+		if err := checkSinkPins(st.Pins); err != nil {
+			return err
+		}
+		for _, p := range st.Pins {
+			if nl.Pins[p].Net < 0 {
+				return fmt.Errorf("pin %d is not attached to a net", p)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown op %q (want %s, %s, %s, %s, or %s)",
+			st.Op, OpResize, OpScaleCaps, OpBuffer, OpMerge, OpRewire)
+	}
+}
+
+// Apply executes one validated step against nl, returning a new netlist (the
+// input is never mutated). rng drives the rewire op's choices; other ops
+// ignore it.
+func Apply(nl *circuit.Netlist, st Step, rng *rand.Rand) *circuit.Netlist {
+	switch st.Op {
+	case OpResize:
+		return nl.Resize(st.Cell, st.Factor)
+	case OpScaleCaps:
+		return perturb.ScaleCaps(nl, st.Pins, st.Factor)
+	case OpBuffer:
+		return perturb.BufferNet(nl, st.Net, st.Factor)
+	case OpMerge:
+		return perturb.MergeCells(nl, st.Cells)
+	case OpRewire:
+		return perturb.RewireSinks(nl, st.Pins, rng)
+	default:
+		panic(fmt.Sprintf("seq: Apply on unvalidated op %q", st.Op))
+	}
+}
+
+// stepRNG returns the deterministic RNG for step i of a script: one stream
+// per step in a domain (offset 1<<20) disjoint from the pipeline's reserved
+// streams, so a step's randomness depends only on (script seed, step index),
+// never on how many random draws earlier steps consumed.
+func stepRNG(seed int64, i int) *rand.Rand {
+	return parallel.NewRNG(seed, uint64(1<<20+i))
+}
+
+// Example generates a deterministic sample script for nl with the given
+// number of steps, cycling through the operation kinds over rng-chosen valid
+// targets. It is the generator behind `benchgen -seq-example` and the CI
+// sequence smoke job; the result always passes Validate against nl.
+func Example(nl *circuit.Netlist, steps int, seed int64) *Script {
+	rng := parallel.NewRNG(seed, 1<<20-1)
+	var gates []int
+	for _, c := range nl.Cells {
+		if c.Type != circuit.PortIn && c.Type != circuit.PortOut {
+			gates = append(gates, c.ID)
+		}
+	}
+	var sinkPins []int
+	for _, p := range nl.Pins {
+		if p.Dir == circuit.DirIn && p.Net >= 0 {
+			sinkPins = append(sinkPins, p.ID)
+		}
+	}
+	s := &Script{Schema: SchemaVersion, Name: fmt.Sprintf("%s-example", nl.Name), Seed: seed}
+	for i := 0; i < steps; i++ {
+		var st Step
+		switch i % 5 {
+		case 0:
+			st = Step{Op: OpResize, Cell: gates[rng.Intn(len(gates))], Factor: 1 + rng.Float64()}
+		case 1:
+			st = Step{Op: OpScaleCaps, Pins: []int{sinkPins[rng.Intn(len(sinkPins))]}, Factor: 1.1 + rng.Float64()}
+		case 2:
+			st = Step{Op: OpBuffer, Net: rng.Intn(len(nl.Nets)), Factor: 0.5 + rng.Float64()}
+		case 3:
+			st = Step{Op: OpRewire, Pins: []int{sinkPins[rng.Intn(len(sinkPins))]}}
+		default:
+			a := gates[rng.Intn(len(gates))]
+			b := gates[rng.Intn(len(gates))]
+			for b == a {
+				b = gates[rng.Intn(len(gates))]
+			}
+			st = Step{Op: OpMerge, Cells: []int{a, b}}
+		}
+		s.Steps = append(s.Steps, st)
+	}
+	return s
+}

@@ -25,6 +25,7 @@ import (
 
 	"cirstag/internal/cache"
 	"cirstag/internal/circuit"
+	"cirstag/internal/seq"
 )
 
 // Limits on the decode boundary. Submissions breaching them are rejected at
@@ -38,6 +39,9 @@ const (
 	// MaxTenantLen bounds the tenant identifier.
 	MaxTenantLen = 64
 )
+
+// MaxScriptBytes bounds an inline sequence script within a submission.
+const MaxScriptBytes = seq.MaxScriptBytes
 
 // Params are the analysis parameters of one job — the service-side mirror of
 // cmd/cirstag's flags. The zero value of every numeric field means "use the
@@ -54,6 +58,13 @@ type Params struct {
 	EmbedDims int    `json:"embed_dims,omitempty"`
 	ScoreDims int    `json:"score_dims,omitempty"`
 	Top       int    `json:"top,omitempty"`
+	// Script, when non-empty, turns the job into a multi-step sequence run:
+	// an inline cirstag.seq/v1 script (see internal/seq) applied to the
+	// job's design, re-scored incrementally after every step. The script is
+	// part of the job identity, and a completed sequence job appends one
+	// ledger entry per step (run_id "<jobID>/stepNN") on top of the job
+	// entry.
+	Script string `json:"script,omitempty"`
 }
 
 // Request is one job submission: analysis parameters plus the tenant the job
@@ -122,6 +133,14 @@ func (r *Request) Validate() error {
 	if len(r.Netlist) > MaxNetlistBytes {
 		return fmt.Errorf("inline netlist %d bytes exceeds limit %d", len(r.Netlist), MaxNetlistBytes)
 	}
+	if r.Script != "" {
+		// Structural script validation happens here at admission; the
+		// netlist-dependent checks (ids in range, ports untouched) run when
+		// the job executes, failing the job rather than the submission.
+		if _, err := seq.Parse([]byte(r.Script)); err != nil {
+			return err
+		}
+	}
 	for _, f := range []struct {
 		name  string
 		value int
@@ -174,7 +193,8 @@ func JobKey(nl *circuit.Netlist, p Params) (string, error) {
 	}
 	k := cache.NewKey("service.job").Bytes(buf.Bytes()).
 		Int(p.Seed).Int(int64(p.Epochs)).Int(int64(p.Hidden)).
-		Int(int64(p.EmbedDims)).Int(int64(p.ScoreDims)).Int(int64(p.Top))
+		Int(int64(p.EmbedDims)).Int(int64(p.ScoreDims)).Int(int64(p.Top)).
+		String(p.Script)
 	return k.Sum()[:16], nil
 }
 

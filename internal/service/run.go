@@ -9,6 +9,7 @@ import (
 	"cirstag/internal/core"
 	"cirstag/internal/obs"
 	"cirstag/internal/perturb"
+	"cirstag/internal/seq"
 	"cirstag/internal/timing"
 )
 
@@ -20,6 +21,10 @@ type RunResult struct {
 	Netlist *circuit.Netlist
 	Core    *core.Result
 	Ranking *core.Ranking
+	// Seq holds the per-step reports of a sequence job (Params.Script set);
+	// nil for ordinary single-shot analyses. Core/Ranking/Text then describe
+	// the design after the final step.
+	Seq *seq.Result
 	// Text is the ranked most-unstable-nodes listing (Params.Top rows).
 	Text []byte
 	// InputHash is the netlist content fingerprint (NetlistHash) — the
@@ -43,28 +48,12 @@ type RunResult struct {
 func Run(nl *circuit.Netlist, p Params, store *cache.Store, parent *obs.Span) (*RunResult, error) {
 	obs.Debugf("loaded %s: %d cells, %d pins, %d nets", nl.Name, len(nl.Cells), nl.NumPins(), len(nl.Nets))
 
-	// A cache hit on the trained model records a "load_gnn" span instead of
-	// "train_gnn", so warm runs are recognizable by span absence in the
-	// report (CI asserts this).
-	tcfg := timing.Config{Epochs: p.Epochs, Hidden: p.Hidden, Seed: p.Seed}
-	var model *timing.Model
-	trained := false
-	if m, ok := timing.LoadCached(nl, tcfg, store); ok {
-		obs.Infof("loaded cached timing GNN for %s (%d pins)", nl.Name, nl.NumPins())
-		loadSpan := startSpan(parent, "load_gnn")
-		model = m
-		loadSpan.End()
-	} else {
-		obs.Infof("training timing GNN on %s (%d pins)...", nl.Name, nl.NumPins())
-		trained = true
-		trainSpan := startSpan(parent, "train_gnn")
-		m, err := timing.TrainAndStore(nl, tcfg, store)
-		if err != nil {
-			trainSpan.End()
-			return nil, err
-		}
-		model = m
-		trainSpan.End()
+	model, trained, err := trainOrLoad(nl, p, store, parent)
+	if err != nil {
+		return nil, err
+	}
+	if p.Script != "" {
+		return runSequence(nl, p, model, trained, store, parent)
 	}
 	pred := model.Predict(nl)
 
@@ -92,6 +81,75 @@ func Run(nl *circuit.Netlist, p Params, store *cache.Store, parent *obs.Span) (*
 		InputHash: NetlistHash(nl),
 		Trained:   trained,
 	}, nil
+}
+
+// trainOrLoad resolves the timing GNN for the design: a cache hit records a
+// "load_gnn" span instead of "train_gnn", so warm runs are recognizable by
+// span absence in the report (CI asserts this).
+func trainOrLoad(nl *circuit.Netlist, p Params, store *cache.Store, parent *obs.Span) (*timing.Model, bool, error) {
+	tcfg := timing.Config{Epochs: p.Epochs, Hidden: p.Hidden, Seed: p.Seed}
+	if m, ok := timing.LoadCached(nl, tcfg, store); ok {
+		obs.Infof("loaded cached timing GNN for %s (%d pins)", nl.Name, nl.NumPins())
+		loadSpan := startSpan(parent, "load_gnn")
+		loadSpan.End()
+		return m, false, nil
+	}
+	obs.Infof("training timing GNN on %s (%d pins)...", nl.Name, nl.NumPins())
+	trainSpan := startSpan(parent, "train_gnn")
+	m, err := timing.TrainAndStore(nl, tcfg, store)
+	trainSpan.End()
+	if err != nil {
+		return nil, false, err
+	}
+	return m, true, nil
+}
+
+// runSequence executes a multi-step sequence job: the script from
+// Params.Script is applied step by step, each step re-scored incrementally
+// against the previous one (internal/seq). The result's Core/Ranking/Text
+// describe the design after the final step, prefixed with the per-step
+// latency and path table.
+func runSequence(nl *circuit.Netlist, p Params, model *timing.Model, trained bool, store *cache.Store, parent *obs.Span) (*RunResult, error) {
+	script, err := seq.Parse([]byte(p.Script))
+	if err != nil {
+		return nil, err
+	}
+	obs.Infof("running %d-step sequence over %s...", len(script.Steps), nl.Name)
+	sres, err := seq.Run(nl, script, seq.NewModelPredictor(model), seq.Options{
+		Core: core.Options{
+			Seed: p.Seed, EmbedDims: p.EmbedDims, ScoreDims: p.ScoreDims, FeatureAlpha: 1,
+			Cache: store, Span: parent,
+		},
+		Span: parent,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ranking := core.Rank(sres.Final.NodeScores, perturb.PrimaryOutputPinSet(sres.FinalNetlist))
+	return &RunResult{
+		Netlist:   sres.FinalNetlist,
+		Core:      sres.Final,
+		Ranking:   ranking,
+		Seq:       sres,
+		Text:      FormatSequence(sres.FinalNetlist, sres, ranking, p.Top),
+		InputHash: NetlistHash(nl),
+		Trained:   trained,
+	}, nil
+}
+
+// FormatSequence renders a sequence run: one line per step (operation,
+// changed-node count, incremental path, latency, top node) followed by the
+// final design's ranked listing in the FormatRanking format.
+func FormatSequence(nl *circuit.Netlist, sres *seq.Result, ranking *core.Ranking, top int) []byte {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "# sequence of %d steps (step, op, changed, path, latency_ms, top_node, top_score)\n", len(sres.Steps))
+	for _, st := range sres.Steps {
+		fmt.Fprintf(&buf, "%6d  %-10s  %6d  %-13s %10.1f  %6d  %12.6g\n",
+			st.Index, st.Op, st.ChangedNodes, st.Path(), st.LatencyMS, st.TopNode, st.TopScore)
+	}
+	buf.WriteByte('\n')
+	buf.Write(FormatRanking(nl, ranking, top))
+	return buf.Bytes()
 }
 
 // FormatRanking renders the top-n most-unstable-nodes listing in the stable

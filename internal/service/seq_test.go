@@ -1,0 +1,176 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cirstag/internal/cache"
+	"cirstag/internal/circuit"
+	"cirstag/internal/obs"
+	"cirstag/internal/obs/history"
+	"cirstag/internal/seq"
+)
+
+func seqTestNetlist() *circuit.Netlist {
+	return circuit.Generate(circuit.Spec{
+		Name: "svcseq", Inputs: 8, Outputs: 4, Layers: 4, Width: 10,
+		LocalBias: 0.65, WireCap: 1.0,
+	}, rand.New(rand.NewSource(2)))
+}
+
+func seqTestScript(t *testing.T, nl *circuit.Netlist, steps int) string {
+	t.Helper()
+	s := seq.Example(nl, steps, 3)
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestRunSequenceEndToEnd drives the real pipeline with a script: train the
+// GNN, run the sequence, and check the per-step reports and the rendered text.
+func TestRunSequenceEndToEnd(t *testing.T) {
+	nl := seqTestNetlist()
+	script := seqTestScript(t, nl, 3)
+	res, err := Run(nl, Params{
+		Seed: 1, Epochs: 2, Hidden: 8, EmbedDims: 8, ScoreDims: 4, Top: 5,
+		Script: script,
+	}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seq == nil || len(res.Seq.Steps) != 3 {
+		t.Fatalf("expected 3 step reports, got %+v", res.Seq)
+	}
+	for i, st := range res.Seq.Steps {
+		if st.Index != i {
+			t.Fatalf("step %d reports index %d", i, st.Index)
+		}
+		if st.LatencyMS < 0 {
+			t.Fatalf("step %d has negative latency", i)
+		}
+	}
+	text := string(res.Text)
+	if !strings.Contains(text, "# sequence of 3 steps") {
+		t.Fatalf("sequence text missing header:\n%s", text)
+	}
+	if !strings.Contains(text, "# most unstable nodes") {
+		t.Fatalf("sequence text missing final ranking:\n%s", text)
+	}
+	if res.Core == nil || res.Ranking == nil || res.Netlist == nil {
+		t.Fatal("sequence result must carry the final core result, ranking, and netlist")
+	}
+}
+
+// TestSequenceJobLedgersPerStep: a completed sequence job appends one ledger
+// entry per step (run_id "<jobID>/stepNN") in addition to the job entry.
+func TestSequenceJobLedgersPerStep(t *testing.T) {
+	enableObs(t)
+	dir := t.TempDir()
+	stub := func(nl *circuit.Netlist, p Params, _ *cache.Store, span *obs.Span) (*RunResult, error) {
+		s := span.Child("stub.analysis")
+		s.End()
+		return &RunResult{
+			Netlist: nl,
+			Seq: &seq.Result{Steps: []seq.StepReport{
+				{Index: 0, Op: seq.OpResize, ChangedNodes: 2, LatencyMS: 1.5},
+				{Index: 1, Op: seq.OpBuffer, ReusedBaseline: true, LatencyMS: 0.5},
+				{Index: 2, Op: seq.OpRewire, FullRebuild: true, LatencyMS: 9},
+			}},
+			Text:      []byte("seq stub\n"),
+			InputHash: NetlistHash(nl),
+			Trained:   true,
+		}, nil
+	}
+	s := NewServer(Config{HistoryDir: dir, Runner: stub})
+	nl := seqTestNetlist()
+	req := &Request{Params: Params{Bench: "ss_pcm", Epochs: 5, Script: seqTestScript(t, nl, 3)}}
+	j, coalesced, err := s.Submit(req)
+	if err != nil || coalesced {
+		t.Fatalf("submit: %v (coalesced=%v)", err, coalesced)
+	}
+	waitDone(t, j)
+	if j.err != nil {
+		t.Fatalf("job failed: %v", j.err)
+	}
+
+	entries, skipped, err := history.Load(dir)
+	if err != nil || skipped != 0 {
+		t.Fatalf("loading ledger: %v (skipped %d)", err, skipped)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("ledger has %d entries, want 4 (job + 3 steps)", len(entries))
+	}
+	byID := map[string]history.Entry{}
+	for _, e := range entries {
+		byID[e.RunID] = e
+	}
+	if _, ok := byID[j.ID]; !ok {
+		t.Fatalf("no job-level entry for %s in %v", j.ID, byID)
+	}
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("%s/step%02d", j.ID, i)
+		e, ok := byID[id]
+		if !ok {
+			t.Fatalf("no ledger entry for %s", id)
+		}
+		if e.Tool != "cirstagd" {
+			t.Fatalf("step entry tool %q", e.Tool)
+		}
+		if _, ok := e.PhasesMS["seq.step"]; !ok {
+			t.Fatalf("step entry %s missing seq.step phase: %v", id, e.PhasesMS)
+		}
+	}
+	// Whole lines only: every ledger line must parse on its own.
+	f, err := os.Open(filepath.Join(dir, history.LedgerFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if !json.Valid(bytes.TrimSpace(sc.Bytes())) {
+			t.Fatalf("unparseable ledger line: %q", sc.Text())
+		}
+	}
+}
+
+// TestValidateScript: malformed scripts are rejected at admission, and the
+// script is part of the job identity.
+func TestValidateScript(t *testing.T) {
+	nl := seqTestNetlist()
+	good := seqTestScript(t, nl, 2)
+	r := &Request{Params: Params{Bench: "ss_pcm", Script: good}}
+	r.Normalize()
+	if err := r.Validate(); err != nil {
+		t.Fatalf("valid script rejected: %v", err)
+	}
+	bad := &Request{Params: Params{Bench: "ss_pcm", Script: `{"schema":"nope"}`}}
+	bad.Normalize()
+	if err := bad.Validate(); err == nil {
+		t.Fatal("malformed script accepted at admission")
+	}
+
+	p1 := Params{Bench: "ss_pcm", Seed: 1, Epochs: 5, Hidden: 8, EmbedDims: 8, ScoreDims: 4, Top: 5}
+	p2 := p1
+	p2.Script = good
+	k1, err := JobKey(nl, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := JobKey(nl, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 {
+		t.Fatal("script must be part of the job identity")
+	}
+}

@@ -293,6 +293,25 @@ func (s *Server) execute(j *Job) {
 			if herr := history.Append(s.cfg.HistoryDir, entry); herr != nil {
 				obs.Errorf("cirstagd: appending job %s to ledger: %v", j.ID, herr)
 			}
+			// A sequence job additionally ledgers every step under its own
+			// run_id ("<jobID>/stepNN"), so cross-run tooling can track
+			// per-step incremental latency rather than only the job total.
+			if res.Seq != nil {
+				for _, st := range res.Seq.Steps {
+					se := history.Entry{
+						Schema:    history.SchemaVersion,
+						RunID:     fmt.Sprintf("%s/step%02d", j.ID, st.Index),
+						Time:      entry.Time,
+						Tool:      "cirstagd",
+						InputHash: res.InputHash,
+						Cold:      entry.Cold,
+						PhasesMS:  map[string]float64{"seq.step": st.LatencyMS},
+					}
+					if herr := history.Append(s.cfg.HistoryDir, se); herr != nil {
+						obs.Errorf("cirstagd: appending job %s step %d to ledger: %v", j.ID, st.Index, herr)
+					}
+				}
+			}
 		}
 	}
 	// Release the subtree so a long-lived server's span forest stays bounded

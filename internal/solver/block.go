@@ -181,22 +181,48 @@ const (
 // converge (or break down) independently; finished columns drop out of the
 // fused kernels.
 func PCGBlock(a Op, m Preconditioner, b *mat.Dense, opts Options) (*mat.Dense, []Result, []error) {
+	return PCGBlockGuess(a, m, b, nil, opts)
+}
+
+// PCGBlockGuess is PCGBlock with a per-column initial guess x0 (nil means the
+// zero guess, bit-identical to PCGBlock). As in scalar PCG, convergence is
+// still measured against ‖b_j‖ — a guess whose residual is already below
+// Tol·‖b_j‖ converges in zero iterations, which is what makes warm-started
+// correction solves (eig.GeneralizedTopKWarm) nearly free near a fixed point.
+func PCGBlockGuess(a Op, m Preconditioner, b, x0 *mat.Dense, opts Options) (*mat.Dense, []Result, []error) {
 	n := a.Dim()
 	if b.Rows != n {
 		panic(fmt.Sprintf("solver: PCGBlock rhs rows %d, operator dim %d", b.Rows, n))
 	}
 	k := b.Cols
+	if x0 != nil && (x0.Rows != n || x0.Cols != k) {
+		panic(fmt.Sprintf("solver: PCGBlock guess %dx%d, want %dx%d", x0.Rows, x0.Cols, n, k))
+	}
 	opts = opts.withDefaults(n)
 	// Same fault-injection point as the scalar path, so budget-capping tests
 	// exercise the block solver identically.
 	opts.MaxIter = faultinject.Int(faultinject.PointPCGMaxIter, opts.MaxIter)
 
 	x := mat.NewDense(n, k)
-	r := b.Clone() // x₀ = 0 ⇒ r = b exactly
+	var r *mat.Dense
+	if x0 == nil {
+		r = b.Clone() // x₀ = 0 ⇒ r = b exactly
+	} else {
+		copy(x.Data, x0.Data)
+		r = mat.NewDense(n, k)
+		all := make([]int, k)
+		for j := range all {
+			all[j] = j
+		}
+		applyBlock(a, r, x, all)
+		for i, bv := range b.Data {
+			r.Data[i] = bv - r.Data[i]
+		}
+	}
 	z := mat.NewDense(n, k)
 	p := mat.NewDense(n, k)
 	ap := mat.NewDense(n, k)
-	best := mat.NewDense(n, k) // best = x₀ = 0 initially, as in PCG
+	best := x.Clone() // best = x₀, as in PCG
 
 	results := make([]Result, k)
 	errs := make([]error, k)
@@ -211,7 +237,7 @@ func PCGBlock(a Op, m Preconditioner, b *mat.Dense, opts Options) (*mat.Dense, [
 
 	act := make([]int, 0, k)
 	for j := 0; j < k; j++ {
-		bnorm[j] = colNorm2(r, j)
+		bnorm[j] = colNorm2(b, j)
 		if bnorm[j] == 0 {
 			status[j] = colDone
 			results[j] = Result{Iterations: 0, Residual: 0}
@@ -365,10 +391,21 @@ const maxBlockCols = 64
 // count. The returned error is the first per-column error in column order
 // (matching the historical SolveMany contract).
 func (s *Laplacian) SolveBlock(b *mat.Dense) (*mat.Dense, error) {
+	return s.SolveBlockGuess(b, nil)
+}
+
+// SolveBlockGuess is SolveBlock with a per-column initial guess x0 (nil means
+// the zero guess, bit-identical to SolveBlock). Guess columns are projected
+// into the solution subspace before the iteration, so any iterate — including
+// a rough warm start — is a valid starting point.
+func (s *Laplacian) SolveBlockGuess(b, x0 *mat.Dense) (*mat.Dense, error) {
 	if b.Rows != s.L.Rows {
 		panic(fmt.Sprintf("solver: SolveBlock rows %d vs dim %d", b.Rows, s.L.Rows))
 	}
 	k := b.Cols
+	if x0 != nil && (x0.Rows != b.Rows || x0.Cols != k) {
+		panic(fmt.Sprintf("solver: SolveBlockGuess guess %dx%d, want %dx%d", x0.Rows, x0.Cols, b.Rows, k))
+	}
 	out := mat.NewDense(b.Rows, k)
 	blockSolves.Inc()
 	blockRHS.Observe(float64(k))
@@ -382,7 +419,14 @@ func (s *Laplacian) SolveBlock(b *mat.Dense) (*mat.Dense, error) {
 		for j := 0; j < tile.Cols; j++ {
 			s.projectCol(tile, j)
 		}
-		x, results, errs := PCGBlock(AsOp(s.L), s.prec, tile, s.opts)
+		var guess *mat.Dense
+		if x0 != nil {
+			guess = extractCols(x0, lo, hi)
+			for j := 0; j < guess.Cols; j++ {
+				s.projectCol(guess, j)
+			}
+		}
+		x, results, errs := PCGBlockGuess(AsOp(s.L), s.prec, tile, guess, s.opts)
 		for j := 0; j < tile.Cols; j++ {
 			lapSolves.Inc()
 			pcgIterations.Observe(float64(results[j].Iterations))

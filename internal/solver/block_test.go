@@ -187,3 +187,67 @@ func TestSolveBlockNoConvergencePerColumn(t *testing.T) {
 		}
 	}
 }
+
+// SolveBlockGuess: a nil guess is the zero guess (bit-identical to
+// SolveBlock), an arbitrary guess still converges to the same solution within
+// tolerance, and an exact guess converges without spending iterations.
+func TestSolveBlockGuess(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	n, cols := 40, 4
+	g := randomConnectedGraph(rng, n, 60)
+	s := NewLaplacian(g, Options{Tol: 1e-10, Precond: PrecondTree})
+	b := randomRHS(rng, n, cols)
+
+	plain, err := s.SolveBlock(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nilGuess, err := s.SolveBlockGuess(b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < cols; j++ {
+		if !bitsEqualCol(nilGuess, j, plain.Col(j)) {
+			t.Fatalf("nil guess column %d differs from SolveBlock", j)
+		}
+	}
+
+	// A random guess must still land on the pseudo-inverse solution.
+	warm, err := s.SolveBlockGuess(b, randomRHS(rng, n, cols))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < cols; j++ {
+		want := plain.Col(j)
+		got := warm.Col(j)
+		diff := 0.0
+		for i := range want {
+			diff += (want[i] - got[i]) * (want[i] - got[i])
+		}
+		if math.Sqrt(diff) > 1e-6*(1+mat.Norm2(want)) {
+			t.Fatalf("warm-started column %d off by %g", j, math.Sqrt(diff))
+		}
+	}
+
+	// The exact solution as guess: residual starts below tolerance, so every
+	// column must converge in zero iterations. PCGBlockGuess sees the
+	// projected system, as it would inside SolveBlockGuess.
+	op := AsOp(s.L)
+	proj := b.Clone()
+	for j := 0; j < cols; j++ {
+		s.projectCol(proj, j)
+	}
+	tile := plain.Clone()
+	x, results, errs := PCGBlockGuess(op, s.prec, proj, tile, Options{Tol: 1e-6, MaxIter: 50})
+	for j := 0; j < cols; j++ {
+		if errs[j] != nil {
+			t.Fatalf("exact guess column %d: %v", j, errs[j])
+		}
+		if results[j].Iterations != 0 {
+			t.Fatalf("exact guess column %d took %d iterations, want 0", j, results[j].Iterations)
+		}
+		if !bitsEqualCol(x, j, tile.Col(j)) {
+			t.Fatalf("exact guess column %d was modified", j)
+		}
+	}
+}

@@ -16,6 +16,9 @@
 //	                          503 + Retry-After while draining
 //	GET  /v1/jobs/{id}        status with live per-phase progress
 //	GET  /v1/jobs/{id}/report the job's JSON run report (cirstag.report/v2)
+//	GET  /v1/jobs/{id}/events one job's lifecycle as SSE (cirstag.events/v1)
+//	GET  /v1/events           the server-wide lifecycle feed as SSE
+//	GET  /v1/stats            queue/tenant/latency/SLO snapshot (cirstag.stats/v1)
 //	GET  /metrics             Prometheus text exposition
 //	GET  /healthz             liveness; 503 "draining" during shutdown
 //
@@ -45,6 +48,7 @@ import (
 	"cirstag/internal/cirerr"
 	"cirstag/internal/cliutil"
 	"cirstag/internal/obs"
+	"cirstag/internal/obs/slo"
 	"cirstag/internal/service"
 )
 
@@ -55,7 +59,12 @@ func main() {
 		maxInflight  = flag.Int("max-inflight", 64, "admission bound: max queued+running jobs before 429")
 		perTenant    = flag.Int("per-tenant", 4, "max concurrently running jobs per tenant")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight jobs on SIGTERM/SIGINT")
-		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint attached to 429/503 rejections")
+		retryAfter   = flag.Duration("retry-after", time.Second, "floor of the Retry-After hint attached to 429/503 rejections (scales with live queue-wait p50)")
+		sloE2EP95    = flag.Duration("slo-e2e-p95", 0, "SLO: e2e latency p95 target (0 disables; surfaced in /v1/stats and cirstag_slo_* metrics)")
+		sloErrorPct  = flag.Float64("slo-error-pct", 0, "SLO: max failed-job percentage (0 disables)")
+		sloWindow    = flag.Int("slo-window", slo.DefaultWindow, "SLO: sliding window size in completed jobs")
+		sseHeartbeat = flag.Duration("sse-heartbeat", 15*time.Second, "idle keep-alive interval on SSE event streams")
+		eventRing    = flag.Int("event-ring", 1024, "lifecycle event replay ring size (Last-Event-ID resume depth)")
 		cacheDir     = flag.String("cache-dir", "", "artifact cache directory (default $CIRSTAG_CACHE_DIR; empty disables)")
 		noCache      = flag.Bool("no-cache", false, "disable the artifact cache even when $CIRSTAG_CACHE_DIR is set")
 		historyDir   = flag.String("history-dir", "", "append each completed job's phase latencies to DIR/ledger.jsonl")
@@ -67,6 +76,10 @@ func main() {
 
 	if err := validateFlags(*addr, *maxInflight, *perTenant, *drainTimeout, *retryAfter,
 		*cacheDir, *noCache, *logFormat, *verbose, *quiet); err != nil {
+		fmt.Fprintf(os.Stderr, "cirstagd: %v (see -h)\n", err)
+		os.Exit(cirerr.ExitBadInput)
+	}
+	if err := validateTelemetryFlags(*sloE2EP95, *sloErrorPct, *sloWindow, *sseHeartbeat, *eventRing); err != nil {
 		fmt.Fprintf(os.Stderr, "cirstagd: %v (see -h)\n", err)
 		os.Exit(cirerr.ExitBadInput)
 	}
@@ -93,12 +106,30 @@ func main() {
 		obs.Infof("artifact cache at %s", store.Dir())
 	}
 
+	var objectives []slo.Objective
+	if *sloE2EP95 > 0 {
+		objectives = append(objectives, slo.Objective{
+			Name: "e2e_p95", Kind: slo.KindLatencyQuantile,
+			Quantile: 0.95, MaxMS: float64(*sloE2EP95) / float64(time.Millisecond),
+			Window: *sloWindow,
+		})
+	}
+	if *sloErrorPct > 0 {
+		objectives = append(objectives, slo.Objective{
+			Name: "error_rate", Kind: slo.KindErrorRate,
+			MaxErrorPct: *sloErrorPct, Window: *sloWindow,
+		})
+	}
+
 	srv := service.NewServer(service.Config{
-		MaxInflight: *maxInflight,
-		PerTenant:   *perTenant,
-		Store:       store,
-		HistoryDir:  *historyDir,
-		RetryAfter:  *retryAfter,
+		MaxInflight:  *maxInflight,
+		PerTenant:    *perTenant,
+		Store:        store,
+		HistoryDir:   *historyDir,
+		RetryAfter:   *retryAfter,
+		SLOs:         objectives,
+		SSEHeartbeat: *sseHeartbeat,
+		EventRing:    *eventRing,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -162,4 +193,27 @@ func validateFlags(addr string, maxInflight, perTenant int, drainTimeout, retryA
 		return err
 	}
 	return cliutil.OneOf("-log-format", logFormat, "text", "json")
+}
+
+// validateTelemetryFlags rejects invalid event/SLO flag combinations: the
+// SLO bounds must be non-negative (0 disables an objective), and the window,
+// heartbeat, and event ring must be positive — a zero ring would make
+// Last-Event-ID resume silently useless.
+func validateTelemetryFlags(sloE2EP95 time.Duration, sloErrorPct float64, sloWindow int, sseHeartbeat time.Duration, eventRing int) error {
+	if sloE2EP95 < 0 {
+		return fmt.Errorf("-slo-e2e-p95 must be non-negative, got %v", sloE2EP95)
+	}
+	if sloErrorPct < 0 {
+		return fmt.Errorf("-slo-error-pct must be non-negative, got %v", sloErrorPct)
+	}
+	if err := cliutil.Positive(
+		cliutil.NamedInt{Name: "-slo-window", Value: sloWindow},
+		cliutil.NamedInt{Name: "-event-ring", Value: eventRing},
+	); err != nil {
+		return err
+	}
+	if sseHeartbeat <= 0 {
+		return fmt.Errorf("-sse-heartbeat must be positive, got %v", sseHeartbeat)
+	}
+	return nil
 }

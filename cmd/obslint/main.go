@@ -1,14 +1,19 @@
 // Command obslint validates CirSTAG telemetry artifacts in CI without
 // external tooling: it lint-checks a Prometheus text exposition (the strict
 // subset of checks promtool would apply to our exporter's output),
-// structurally validates a Chrome-trace/Perfetto JSON export, and sanity
-// checks a JSON run report's per-phase resource accounting.
+// structurally validates a Chrome-trace/Perfetto JSON export, sanity checks
+// a JSON run report's per-phase resource accounting, verifies a captured
+// lifecycle event stream (cirstag.events/v1, raw SSE framing or bare JSON
+// lines) orders every job's milestones correctly, and validates a
+// /v1/stats snapshot (cirstag.stats/v1) for internal consistency.
 //
 // Usage:
 //
 //	obslint -metrics metrics.txt
 //	obslint -trace trace.json
 //	obslint -report run.json
+//	obslint -events stream.sse
+//	obslint -stats stats.json
 //
 // All modes exit 0 when the artifact is well-formed and 1 with a diagnostic
 // on stderr when it is not; missing files and flag misuse exit 2.
@@ -22,7 +27,9 @@ import (
 	"os"
 
 	"cirstag/internal/obs"
+	"cirstag/internal/obs/event"
 	"cirstag/internal/obs/export"
+	"cirstag/internal/service"
 )
 
 func main() {
@@ -30,17 +37,19 @@ func main() {
 		metricsPath = flag.String("metrics", "", "lint a Prometheus text exposition file")
 		tracePath   = flag.String("trace", "", "validate a Chrome-trace JSON export file")
 		reportPath  = flag.String("report", "", "validate a JSON run report's resource accounting")
+		eventsPath  = flag.String("events", "", "validate a captured cirstag.events/v1 SSE stream")
+		statsPath   = flag.String("stats", "", "validate a cirstag.stats/v1 snapshot")
 	)
 	flag.Parse()
 
 	var set int
-	for _, p := range []string{*metricsPath, *tracePath, *reportPath} {
+	for _, p := range []string{*metricsPath, *tracePath, *reportPath, *eventsPath, *statsPath} {
 		if p != "" {
 			set++
 		}
 	}
 	if set != 1 {
-		fmt.Fprintln(os.Stderr, "obslint: need exactly one of -metrics, -trace or -report (see -h)")
+		fmt.Fprintln(os.Stderr, "obslint: need exactly one of -metrics, -trace, -report, -events or -stats (see -h)")
 		os.Exit(2)
 	}
 	switch {
@@ -48,6 +57,10 @@ func main() {
 		run(*metricsPath, lintMetrics)
 	case *tracePath != "":
 		run(*tracePath, lintTrace)
+	case *eventsPath != "":
+		run(*eventsPath, lintEvents)
+	case *statsPath != "":
+		run(*statsPath, lintStats)
 	default:
 		run(*reportPath, lintReport)
 	}
@@ -68,6 +81,36 @@ func run(path string, lint func([]byte) error) {
 
 func lintMetrics(b []byte) error {
 	return export.LintExposition(bytes.NewReader(b))
+}
+
+// lintEvents parses a captured event stream (SSE framing as served by
+// /v1/events, or bare JSON lines) and checks the cirstag.events/v1
+// ordering contract: strictly increasing sequence numbers, known types, and
+// per-job milestone ordering.
+func lintEvents(b []byte) error {
+	var events []event.Event
+	sc := event.NewScanner(bytes.NewReader(b))
+	for {
+		ev, ok, err := sc.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		events = append(events, ev)
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("no events in stream")
+	}
+	return event.ValidateStream(events)
+}
+
+// lintStats applies service.ParseStats: schema, non-negative accounting, the
+// inflight = queued + running invariant, and quantile monotonicity.
+func lintStats(b []byte) error {
+	_, err := service.ParseStats(b)
+	return err
 }
 
 // traceShape mirrors the subset of the Chrome trace-event format the export

@@ -9,12 +9,12 @@
 //	runcmp -ledger RUNS_DIR [-input-hash HASH] [...]
 //
 // File mode sniffs each artifact's "schema" field: cirstag.report/v1|v2 run
-// reports and cirstag.bench/v1 benchmark reports are accepted, and the two
-// sides may mix kinds (a bench baseline against a report, say) — only
-// resources present on both sides are compared. Ledger mode compares the
-// newest entry against the most recent prior entry with the same input hash
-// and cache temperature, i.e. "did the run I just recorded regress against
-// its own history".
+// reports, cirstag.bench/v1 benchmark reports, and cirstag.load/v1 loadgen
+// verdicts are accepted, and the two sides may mix kinds (a bench baseline
+// against a report, say) — only resources present on both sides are
+// compared. Ledger mode compares the newest entry against the most recent
+// prior entry with the same input hash and cache temperature, i.e. "did the
+// run I just recorded regress against its own history".
 //
 // The human-readable attribution table goes to stdout; -json additionally
 // writes the stable cirstag.runcmp/v1 verdict. Exits 0 when no gated phase
@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"cirstag/internal/bench"
+	"cirstag/internal/load"
 	"cirstag/internal/obs"
 	"cirstag/internal/obs/history"
 	"cirstag/internal/obs/runcmp"
@@ -118,9 +119,15 @@ func loadArtifact(path string) (*runcmp.Profile, error) {
 			return nil, fmt.Errorf("%s: %v", path, err)
 		}
 		return runcmp.FromBench(&rep, path), nil
+	case load.SchemaVersion:
+		v, err := load.Parse(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		return runcmp.FromLoad(v, path), nil
 	default:
-		return nil, fmt.Errorf("%s: unrecognized schema %q (want a %s run report or %s bench report)",
-			path, sniff.Schema, obs.SchemaVersion, bench.BenchSchemaVersion)
+		return nil, fmt.Errorf("%s: unrecognized schema %q (want a %s run report, %s bench report, or %s load verdict)",
+			path, sniff.Schema, obs.SchemaVersion, bench.BenchSchemaVersion, load.SchemaVersion)
 	}
 }
 

@@ -135,6 +135,12 @@ const (
 	// history). Scripts gate deploys on it without conflating it with
 	// pipeline failures.
 	ExitBudgetBreach = 6
+	// ExitSLOBreach is loadgen's counterpart to ExitBudgetBreach: the load
+	// run itself completed, but the measured latencies or error rate burned
+	// past a configured service-level objective (internal/load). Distinct
+	// from ExitBudgetBreach so CI can tell "a phase regressed" apart from
+	// "the service missed its SLO under load".
+	ExitSLOBreach = 7
 )
 
 // ExitCode maps an error onto the CLI exit code for its kind.

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strings"
 	"time"
 
 	"cirstag/internal/cache"
@@ -200,6 +201,38 @@ func ValidateServerFlags(addr string, maxInflight, perTenant int, drainTimeout t
 	}
 	if drainTimeout <= 0 {
 		return fmt.Errorf("-drain-timeout must be positive, got %v", drainTimeout)
+	}
+	return nil
+}
+
+// ValidateLoadFlags checks cmd/loadgen's flag combination before any traffic
+// is generated: -addr must be a full base URL (the harness builds request
+// URLs from it, so a bare host:port would silently produce relative-URL
+// errors per job), the workload dimensions must be positive, -kind must name
+// a known job mix, and the SLO bounds must be non-negative (0 disables an
+// objective; a negative bound is a typo, not a vacuous pass).
+func ValidateLoadFlags(addr, kind string, tenants, concurrency, jobs int, p95MaxMS, maxErrorPct float64) error {
+	if addr == "" {
+		return fmt.Errorf("-addr must not be empty")
+	}
+	if !strings.HasPrefix(addr, "http://") && !strings.HasPrefix(addr, "https://") {
+		return fmt.Errorf("-addr must be a base URL (http://host:port), got %q", addr)
+	}
+	if err := Positive(
+		NamedInt{Name: "-tenants", Value: tenants},
+		NamedInt{Name: "-concurrency", Value: concurrency},
+		NamedInt{Name: "-jobs", Value: jobs},
+	); err != nil {
+		return err
+	}
+	if err := OneOf("-kind", kind, "netlist", "sequence", "mix"); err != nil {
+		return err
+	}
+	if p95MaxMS < 0 {
+		return fmt.Errorf("-slo-p95-ms must be non-negative, got %v", p95MaxMS)
+	}
+	if maxErrorPct < 0 {
+		return fmt.Errorf("-slo-error-pct must be non-negative, got %v", maxErrorPct)
 	}
 	return nil
 }

@@ -260,3 +260,24 @@ func TestOpenCache(t *testing.T) {
 		t.Fatalf("-no-cache with env set: store=%v err=%v", s, err)
 	}
 }
+
+func TestValidateLoadFlags(t *testing.T) {
+	ok := func(addr, kind string, tenants, conc, jobs int, p95, errPct float64, want bool) {
+		t.Helper()
+		err := ValidateLoadFlags(addr, kind, tenants, conc, jobs, p95, errPct)
+		if (err == nil) != want {
+			t.Errorf("ValidateLoadFlags(%q, %q, %d, %d, %d, %v, %v) = %v, want ok=%v",
+				addr, kind, tenants, conc, jobs, p95, errPct, err, want)
+		}
+	}
+	ok("http://127.0.0.1:8080", "netlist", 2, 2, 2, 0, 0, true)
+	ok("https://lab:8443", "mix", 1, 1, 1, 5000, 1, true)
+	ok("", "netlist", 1, 1, 1, 0, 0, false)
+	ok("127.0.0.1:8080", "netlist", 1, 1, 1, 0, 0, false) // bare host:port
+	ok("http://x", "warmup", 1, 1, 1, 0, 0, false)        // unknown kind
+	ok("http://x", "netlist", 0, 1, 1, 0, 0, false)
+	ok("http://x", "netlist", 1, -1, 1, 0, 0, false)
+	ok("http://x", "sequence", 1, 1, 0, 0, 0, false)
+	ok("http://x", "netlist", 1, 1, 1, -1, 0, false)
+	ok("http://x", "netlist", 1, 1, 1, 0, -0.5, false)
+}

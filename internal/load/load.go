@@ -1,0 +1,678 @@
+// Package load is the SLO-gated load harness behind cmd/loadgen: it drives a
+// running cirstagd with N tenants × M concurrent submitters, measures the
+// latency each client actually experienced — from the first POST attempt to
+// terminal-event receipt, backpressure backoff included — and scores the run
+// against service-level objectives with the same burn-rate math the server
+// applies to itself (internal/obs/slo).
+//
+// Latency is measured through the server's own telemetry rather than by
+// polling: the harness holds one SSE subscription to /v1/events
+// (cirstag.events/v1) and considers a job finished when its done/failed event
+// arrives. That makes the measurement end-to-end in the honest sense — queue
+// wait, execution, and event fan-out are all inside the clock — and exercises
+// the event bus under concurrent load as a side effect.
+//
+// The result is a cirstag.load/v1 verdict document. It nests the config that
+// produced it, client-side e2e and server-reported queue-wait quantiles,
+// per-tenant accounting, 429-retry and backoff totals, and the SLO verdicts;
+// Breached reports whether any objective burned more than its budget.
+// Verdicts land in the run-history ledger (tool "loadgen") so runcmp can diff
+// load runs like any other profile.
+package load
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cirstag/internal/circuit"
+	"cirstag/internal/cirerr"
+	"cirstag/internal/obs/event"
+	"cirstag/internal/obs/history"
+	"cirstag/internal/obs/slo"
+	"cirstag/internal/seq"
+)
+
+// SchemaVersion identifies the verdict document layout.
+const SchemaVersion = "cirstag.load/v1"
+
+// Job kinds. Mix alternates netlist and sequence jobs per submission.
+const (
+	KindNetlist  = "netlist"
+	KindSequence = "sequence"
+	KindMix      = "mix"
+)
+
+// maxSubmitAttempts bounds the 429-retry loop of a single job so a server
+// that never admits anything fails the run instead of hanging it.
+const maxSubmitAttempts = 50
+
+// Config parameterizes one load run. The JSON form is embedded in the
+// verdict so a verdict is self-describing.
+type Config struct {
+	// Addr is the server base URL, e.g. "http://127.0.0.1:8080".
+	Addr string `json:"addr"`
+	// Tenants is the number of distinct tenants submitting.
+	Tenants int `json:"tenants"`
+	// Concurrency is the number of concurrent submitters per tenant.
+	Concurrency int `json:"concurrency"`
+	// Jobs is the number of jobs each submitter runs sequentially.
+	Jobs int `json:"jobs"`
+	// Kind selects the job mix: netlist, sequence, or mix.
+	Kind string `json:"kind"`
+	// Bench names the synthetic benchmark design (circuit.BenchmarkByName).
+	Bench string `json:"bench"`
+	// Epochs is the GNN training budget per job; small values keep load
+	// runs about queueing rather than training.
+	Epochs int `json:"epochs"`
+	// SeqSteps is the script length for sequence-kind jobs.
+	SeqSteps int `json:"seq_steps"`
+	// SeedBase offsets the per-job seeds. Every job gets a distinct seed so
+	// jobs exercise the queue instead of coalescing onto one computation.
+	SeedBase int64 `json:"seed_base"`
+	// P95MaxMS, when positive, installs a latency objective: client e2e p95
+	// must stay at or under this bound.
+	P95MaxMS float64 `json:"slo_p95_ms,omitempty"`
+	// MaxErrorPct, when positive, installs an error-rate objective over
+	// failed/timed-out jobs.
+	MaxErrorPct float64 `json:"slo_error_pct,omitempty"`
+	// JobTimeout bounds the wait for one job's terminal event. Jobs that
+	// time out count as failed. Default 2 minutes.
+	JobTimeout time.Duration `json:"-"`
+}
+
+// Validate rejects unusable configs before any traffic is sent.
+func (c *Config) Validate() error {
+	if c.Addr == "" {
+		return cirerr.New("load.config", cirerr.ErrBadInput, "empty server address")
+	}
+	for _, f := range []struct {
+		name  string
+		value int
+	}{{"tenants", c.Tenants}, {"concurrency", c.Concurrency}, {"jobs", c.Jobs}} {
+		if f.value <= 0 {
+			return cirerr.New("load.config", cirerr.ErrBadInput, "%s must be positive, got %d", f.name, f.value)
+		}
+	}
+	switch c.Kind {
+	case KindNetlist, KindSequence, KindMix:
+	default:
+		return cirerr.New("load.config", cirerr.ErrBadInput, "kind %q, want %s|%s|%s", c.Kind, KindNetlist, KindSequence, KindMix)
+	}
+	if _, err := circuit.BenchmarkByName(c.Bench, 1); err != nil {
+		return cirerr.Wrap("load.config", cirerr.ErrBadInput, err)
+	}
+	if c.Epochs <= 0 {
+		return cirerr.New("load.config", cirerr.ErrBadInput, "epochs must be positive, got %d", c.Epochs)
+	}
+	if c.Kind != KindNetlist && c.SeqSteps <= 0 {
+		return cirerr.New("load.config", cirerr.ErrBadInput, "seq_steps must be positive for %s jobs", c.Kind)
+	}
+	if c.P95MaxMS < 0 || c.MaxErrorPct < 0 {
+		return cirerr.New("load.config", cirerr.ErrBadInput, "SLO bounds must be non-negative")
+	}
+	return nil
+}
+
+// objectives translates the config's SLO bounds into slo.Objective values.
+func (c *Config) objectives() []slo.Objective {
+	var objs []slo.Objective
+	if c.P95MaxMS > 0 {
+		objs = append(objs, slo.Objective{
+			Name: "load_e2e_p95", Kind: slo.KindLatencyQuantile,
+			Quantile: 0.95, MaxMS: c.P95MaxMS,
+			Window: c.totalJobs(),
+		})
+	}
+	if c.MaxErrorPct > 0 {
+		objs = append(objs, slo.Objective{
+			Name: "load_error_rate", Kind: slo.KindErrorRate,
+			MaxErrorPct: c.MaxErrorPct,
+			Window:      c.totalJobs(),
+		})
+	}
+	return objs
+}
+
+func (c *Config) totalJobs() int { return c.Tenants * c.Concurrency * c.Jobs }
+
+// LatencyStats summarizes one latency population (milliseconds,
+// nearest-rank quantiles).
+type LatencyStats struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+}
+
+// ComputeStats summarizes samples. An empty set yields the zero value.
+func ComputeStats(samples []float64) LatencyStats {
+	if len(samples) == 0 {
+		return LatencyStats{}
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	rank := func(q float64) float64 {
+		r := int(float64(len(sorted))*q + 0.9999999)
+		if r < 1 {
+			r = 1
+		}
+		if r > len(sorted) {
+			r = len(sorted)
+		}
+		return sorted[r-1]
+	}
+	return LatencyStats{
+		Count: len(sorted),
+		P50:   rank(0.50),
+		P95:   rank(0.95),
+		P99:   rank(0.99),
+		Max:   sorted[len(sorted)-1],
+		Mean:  sum / float64(len(sorted)),
+	}
+}
+
+// JobTotals is the run-wide job accounting.
+type JobTotals struct {
+	Submitted  int `json:"submitted"`
+	Completed  int `json:"completed"`
+	Failed     int `json:"failed"`
+	TimedOut   int `json:"timed_out"`
+	Coalesced  int `json:"coalesced"`
+	Retries429 int `json:"retries_429"`
+}
+
+// TenantTotals is one tenant's slice of the accounting.
+type TenantTotals struct {
+	Submitted int          `json:"submitted"`
+	Completed int          `json:"completed"`
+	Failed    int          `json:"failed"`
+	E2EMS     LatencyStats `json:"e2e_ms"`
+}
+
+// Verdict is the cirstag.load/v1 result document.
+type Verdict struct {
+	Schema string `json:"schema"`
+	// Time is the completion time, RFC 3339 with nanoseconds.
+	Time string `json:"time"`
+	// RunID is the server's run id as observed on its events, correlating
+	// the verdict with the server's reports and ledger entries.
+	RunID  string    `json:"run_id,omitempty"`
+	Config Config    `json:"config"`
+	Jobs   JobTotals `json:"jobs"`
+	// E2EMS summarizes client-observed submit→terminal-event latency,
+	// including 429 backoff sleeps.
+	E2EMS LatencyStats `json:"e2e_ms"`
+	// QueueWaitMS summarizes the server-reported queue waits carried on the
+	// terminal events.
+	QueueWaitMS LatencyStats `json:"queue_wait_ms"`
+	// BackoffMS is the total time submitters spent honoring Retry-After.
+	BackoffMS float64                 `json:"backoff_ms"`
+	PerTenant map[string]TenantTotals `json:"per_tenant"`
+	// SLO carries one verdict per configured objective.
+	SLO []slo.Status `json:"slo,omitempty"`
+	// Breached reports whether any objective burned over budget. The CLI
+	// maps it to its own exit code so scripts can gate on load health.
+	Breached bool `json:"breached"`
+}
+
+// Parse decodes and validates a verdict document.
+func Parse(b []byte) (*Verdict, error) {
+	var v Verdict
+	if err := json.Unmarshal(b, &v); err != nil {
+		return nil, cirerr.Wrap("load.parse", cirerr.ErrBadInput, err)
+	}
+	if v.Schema != SchemaVersion {
+		return nil, cirerr.New("load.parse", cirerr.ErrBadInput, "schema %q, want %q", v.Schema, SchemaVersion)
+	}
+	if v.Jobs.Submitted < 0 || v.Jobs.Completed < 0 || v.Jobs.Failed < 0 || v.Jobs.Retries429 < 0 {
+		return nil, cirerr.New("load.parse", cirerr.ErrBadInput, "negative job accounting: %+v", v.Jobs)
+	}
+	if v.Jobs.Completed+v.Jobs.Failed > v.Jobs.Submitted {
+		return nil, cirerr.New("load.parse", cirerr.ErrBadInput,
+			"completed %d + failed %d exceed submitted %d", v.Jobs.Completed, v.Jobs.Failed, v.Jobs.Submitted)
+	}
+	for name, st := range map[string]LatencyStats{"e2e_ms": v.E2EMS, "queue_wait_ms": v.QueueWaitMS} {
+		if st.Count < 0 || st.P50 > st.P95 || st.P95 > st.P99 || st.P99 > st.Max {
+			return nil, cirerr.New("load.parse", cirerr.ErrBadInput, "%s quantiles not monotone: %+v", name, st)
+		}
+	}
+	breached := false
+	for _, st := range v.SLO {
+		if st.Name == "" {
+			return nil, cirerr.New("load.parse", cirerr.ErrBadInput, "unnamed SLO verdict")
+		}
+		breached = breached || !st.OK
+	}
+	if breached != v.Breached {
+		return nil, cirerr.New("load.parse", cirerr.ErrBadInput,
+			"breached=%v disagrees with SLO verdicts", v.Breached)
+	}
+	return &v, nil
+}
+
+// Phases flattens the verdict into the phase-name → milliseconds shape the
+// run-history ledger and runcmp speak. Quantiles become pseudo-phases
+// ("load.e2e_ms.p95"), so cross-run comparison highlights latency drift the
+// same way it highlights pipeline-phase drift.
+func (v *Verdict) Phases() map[string]float64 {
+	phases := map[string]float64{
+		"load.e2e_ms.p50":        v.E2EMS.P50,
+		"load.e2e_ms.p95":        v.E2EMS.P95,
+		"load.e2e_ms.p99":        v.E2EMS.P99,
+		"load.e2e_ms.max":        v.E2EMS.Max,
+		"load.queue_wait_ms.p50": v.QueueWaitMS.P50,
+		"load.queue_wait_ms.p95": v.QueueWaitMS.P95,
+		"load.backoff_ms":        v.BackoffMS,
+	}
+	return phases
+}
+
+// InputHash fingerprints the load shape (everything that determines the
+// workload, nothing that merely locates the server), so ledger baselines
+// only compare like-for-like runs.
+func (v *Verdict) InputHash() string {
+	c := v.Config
+	id := fmt.Sprintf("%d/%d/%d/%s/%s/%d/%d/%d", c.Tenants, c.Concurrency, c.Jobs, c.Kind, c.Bench, c.Epochs, c.SeqSteps, c.SeedBase)
+	h := sha256.Sum256([]byte(id))
+	return "load:" + hex.EncodeToString(h[:])[:16]
+}
+
+// HistoryEntry renders the verdict as a run-history ledger line.
+func (v *Verdict) HistoryEntry() history.Entry {
+	runID := v.RunID
+	if runID == "" {
+		runID = v.InputHash()
+	}
+	return history.Entry{
+		Schema:    history.SchemaVersion,
+		RunID:     runID,
+		Time:      v.Time,
+		Tool:      "loadgen",
+		InputHash: v.InputHash(),
+		PhasesMS:  v.Phases(),
+		GoVersion: runtime.Version(),
+	}
+}
+
+// jobOutcome is one job's client-side measurement.
+type jobOutcome struct {
+	tenant      string
+	e2eMS       float64
+	queueWaitMS float64
+	failed      bool
+	timedOut    bool
+	coalesced   bool
+	retries429  int
+	backoffMS   float64
+}
+
+// Run executes the configured load against a live server and scores it. It
+// returns an error only when the harness itself cannot run (bad config,
+// unreachable server, event stream never came up); jobs failing or SLOs
+// burning are verdict content, not errors.
+func Run(ctx context.Context, cfg Config) (*Verdict, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.JobTimeout <= 0 {
+		cfg.JobTimeout = 2 * time.Minute
+	}
+	cfg.Addr = strings.TrimRight(cfg.Addr, "/")
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	w := newWatcher(cfg.Addr)
+	if err := w.start(ctx); err != nil {
+		return nil, err
+	}
+
+	client := &http.Client{}
+	outcomes := make([]jobOutcome, 0, cfg.totalJobs())
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for t := 0; t < cfg.Tenants; t++ {
+		for c := 0; c < cfg.Concurrency; c++ {
+			wg.Add(1)
+			go func(tenant string, worker int) {
+				defer wg.Done()
+				for i := 0; i < cfg.Jobs; i++ {
+					seed := cfg.SeedBase + int64(worker*cfg.Jobs+i)
+					out := runOneJob(ctx, client, w, cfg, tenant, seed, i)
+					mu.Lock()
+					outcomes = append(outcomes, out)
+					mu.Unlock()
+				}
+			}(fmt.Sprintf("tenant-%02d", t), t*cfg.Concurrency+c)
+		}
+	}
+	wg.Wait()
+	cancel()
+	return score(cfg, outcomes, w.serverRunID()), nil
+}
+
+// runOneJob submits one job (retrying through backpressure) and waits for
+// its terminal event. Submission failures and timeouts are recorded as
+// failed outcomes rather than aborting the run: a saturated server is
+// exactly what a load test is for.
+func runOneJob(ctx context.Context, client *http.Client, w *watcher, cfg Config, tenant string, seed int64, index int) jobOutcome {
+	out := jobOutcome{tenant: tenant}
+	kind := cfg.Kind
+	if kind == KindMix {
+		if index%2 == 0 {
+			kind = KindNetlist
+		} else {
+			kind = KindSequence
+		}
+	}
+	body, err := requestBody(cfg, tenant, seed, kind)
+	if err != nil {
+		out.failed = true
+		return out
+	}
+
+	start := time.Now()
+	var jobID string
+	for attempt := 0; ; attempt++ {
+		if attempt >= maxSubmitAttempts || ctx.Err() != nil {
+			out.failed = true
+			return out
+		}
+		resp, err := client.Post(cfg.Addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			out.failed = true
+			return out
+		}
+		rb, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			if resp.StatusCode == http.StatusTooManyRequests {
+				out.retries429++
+			}
+			pause := retryAfterDelay(resp.Header.Get("Retry-After"))
+			out.backoffMS += float64(pause) / float64(time.Millisecond)
+			select {
+			case <-time.After(pause):
+			case <-ctx.Done():
+				out.failed = true
+				return out
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			out.failed = true
+			return out
+		}
+		var ack struct {
+			ID        string `json:"id"`
+			Coalesced bool   `json:"coalesced"`
+		}
+		if json.Unmarshal(rb, &ack) != nil || ack.ID == "" {
+			out.failed = true
+			return out
+		}
+		jobID = ack.ID
+		out.coalesced = ack.Coalesced
+		break
+	}
+
+	term, ok := w.awaitTerminal(ctx, jobID, cfg.JobTimeout)
+	if !ok {
+		out.failed = true
+		out.timedOut = true
+		return out
+	}
+	out.e2eMS = float64(time.Since(start)) / float64(time.Millisecond)
+	out.queueWaitMS = term.QueueWaitMS
+	out.failed = term.Type == event.Failed
+	return out
+}
+
+// requestBody renders one submission. Sequence jobs generate the design
+// locally (the same generator the server will run) to derive a valid script
+// for it.
+func requestBody(cfg Config, tenant string, seed int64, kind string) ([]byte, error) {
+	req := map[string]any{
+		"tenant": tenant,
+		"bench":  cfg.Bench,
+		"seed":   seed,
+		"epochs": cfg.Epochs,
+		"top":    3,
+	}
+	if kind == KindSequence {
+		nl, err := circuit.BenchmarkByName(cfg.Bench, seed)
+		if err != nil {
+			return nil, err
+		}
+		script, err := json.Marshal(seq.Example(nl, cfg.SeqSteps, seed))
+		if err != nil {
+			return nil, err
+		}
+		req["script"] = string(script)
+	}
+	return json.Marshal(req)
+}
+
+// retryAfterDelay parses a Retry-After header (delta-seconds form). Missing
+// or malformed headers back off 1s; honored values are capped at 30s so a
+// misconfigured server cannot park the harness.
+func retryAfterDelay(header string) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(header))
+	if err != nil || secs < 1 {
+		return time.Second
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// score aggregates outcomes into the verdict.
+func score(cfg Config, outcomes []jobOutcome, runID string) *Verdict {
+	v := &Verdict{
+		Schema:    SchemaVersion,
+		Time:      time.Now().Format(time.RFC3339Nano),
+		RunID:     runID,
+		Config:    cfg,
+		PerTenant: map[string]TenantTotals{},
+	}
+	v.Config.Addr = cfg.Addr
+
+	var e2e, waits []float64
+	var failed []bool
+	perTenantE2E := map[string][]float64{}
+	for _, out := range outcomes {
+		v.Jobs.Submitted++
+		tt := v.PerTenant[out.tenant]
+		tt.Submitted++
+		v.Jobs.Retries429 += out.retries429
+		v.BackoffMS += out.backoffMS
+		if out.coalesced {
+			v.Jobs.Coalesced++
+		}
+		if out.failed {
+			v.Jobs.Failed++
+			tt.Failed++
+			if out.timedOut {
+				v.Jobs.TimedOut++
+			}
+			failed = append(failed, true)
+			// Timed-out/unsubmitted jobs have no latency sample; completed-
+			// but-failed jobs do.
+			if out.e2eMS > 0 {
+				e2e = append(e2e, out.e2eMS)
+				perTenantE2E[out.tenant] = append(perTenantE2E[out.tenant], out.e2eMS)
+			}
+		} else {
+			v.Jobs.Completed++
+			tt.Completed++
+			failed = append(failed, false)
+			e2e = append(e2e, out.e2eMS)
+			waits = append(waits, out.queueWaitMS)
+			perTenantE2E[out.tenant] = append(perTenantE2E[out.tenant], out.e2eMS)
+		}
+		v.PerTenant[out.tenant] = tt
+	}
+	v.E2EMS = ComputeStats(e2e)
+	v.QueueWaitMS = ComputeStats(waits)
+	for tenant, tt := range v.PerTenant {
+		tt.E2EMS = ComputeStats(perTenantE2E[tenant])
+		v.PerTenant[tenant] = tt
+	}
+	for _, obj := range cfg.objectives() {
+		st := slo.Evaluate(obj, e2e, failed)
+		v.SLO = append(v.SLO, st)
+		v.Breached = v.Breached || !st.OK
+	}
+	return v
+}
+
+// watcher is the harness's single SSE subscription to the server-wide event
+// feed. It caches every terminal event by job ID — submitters may register
+// interest after the event already arrived — and reconnects with
+// Last-Event-ID on stream errors so a dropped connection loses nothing the
+// server still retains.
+type watcher struct {
+	addr string
+
+	mu       sync.Mutex
+	terminal map[string]event.Event
+	waiters  map[string][]chan event.Event
+	lastSeq  uint64
+	runID    string
+}
+
+func newWatcher(addr string) *watcher {
+	return &watcher{
+		addr:     addr,
+		terminal: map[string]event.Event{},
+		waiters:  map[string][]chan event.Event{},
+	}
+}
+
+// start verifies the stream is reachable, then follows it in the
+// background until ctx ends.
+func (w *watcher) start(ctx context.Context) error {
+	resp, err := w.connect(ctx)
+	if err != nil {
+		return cirerr.Wrap("load.events", cirerr.ErrBadInput, err)
+	}
+	go w.follow(ctx, resp)
+	return nil
+}
+
+func (w *watcher) connect(ctx context.Context) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", w.addr+"/v1/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	if w.lastSeq > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(w.lastSeq, 10))
+	}
+	w.mu.Unlock()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("GET /v1/events: status %d", resp.StatusCode)
+	}
+	return resp, nil
+}
+
+func (w *watcher) follow(ctx context.Context, resp *http.Response) {
+	for {
+		sc := event.NewScanner(resp.Body)
+		for {
+			ev, ok, err := sc.Next()
+			if err != nil || !ok {
+				break
+			}
+			w.observe(ev)
+		}
+		resp.Body.Close()
+		if ctx.Err() != nil {
+			return
+		}
+		// Stream ended while jobs may still be in flight: reconnect and
+		// resume after the last seen sequence number.
+		time.Sleep(100 * time.Millisecond)
+		var err error
+		resp, err = w.connect(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			time.Sleep(time.Second)
+			resp = &http.Response{Body: io.NopCloser(strings.NewReader(""))}
+		}
+	}
+}
+
+func (w *watcher) observe(ev event.Event) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if ev.Seq > w.lastSeq {
+		w.lastSeq = ev.Seq
+	}
+	if w.runID == "" && ev.RunID != "" {
+		w.runID = ev.RunID
+	}
+	if ev.JobID == "" || (ev.Type != event.Done && ev.Type != event.Failed) {
+		return
+	}
+	if _, dup := w.terminal[ev.JobID]; dup {
+		return
+	}
+	w.terminal[ev.JobID] = ev
+	for _, ch := range w.waiters[ev.JobID] {
+		ch <- ev
+	}
+	delete(w.waiters, ev.JobID)
+}
+
+// awaitTerminal blocks until jobID's terminal event arrives (possibly
+// already cached), the timeout lapses, or ctx ends.
+func (w *watcher) awaitTerminal(ctx context.Context, jobID string, timeout time.Duration) (event.Event, bool) {
+	w.mu.Lock()
+	if ev, ok := w.terminal[jobID]; ok {
+		w.mu.Unlock()
+		return ev, true
+	}
+	ch := make(chan event.Event, 1)
+	w.waiters[jobID] = append(w.waiters[jobID], ch)
+	w.mu.Unlock()
+	select {
+	case ev := <-ch:
+		return ev, true
+	case <-time.After(timeout):
+		return event.Event{}, false
+	case <-ctx.Done():
+		return event.Event{}, false
+	}
+}
+
+func (w *watcher) serverRunID() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.runID
+}

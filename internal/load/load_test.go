@@ -1,0 +1,270 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cirstag/internal/cache"
+	"cirstag/internal/circuit"
+	"cirstag/internal/obs"
+	"cirstag/internal/service"
+)
+
+// stubRunner completes after delay with a plausible result; failSeeds fail
+// their job instead.
+func stubRunner(delay time.Duration, failSeeds map[int64]bool) service.Config {
+	return service.Config{
+		Runner: func(nl *circuit.Netlist, p service.Params, _ *cache.Store, span *obs.Span) (*service.RunResult, error) {
+			time.Sleep(delay)
+			if failSeeds[p.Seed] {
+				return nil, fmt.Errorf("injected failure")
+			}
+			return &service.RunResult{
+				Netlist:   nl,
+				Text:      []byte("ok\n"),
+				InputHash: service.NetlistHash(nl),
+				Trained:   true,
+			}, nil
+		},
+	}
+}
+
+func baseConfig(addr string) Config {
+	return Config{
+		Addr:        addr,
+		Tenants:     2,
+		Concurrency: 1,
+		Jobs:        2,
+		Kind:        KindNetlist,
+		Bench:       "ss_pcm",
+		Epochs:      5,
+		SeedBase:    100,
+		JobTimeout:  30 * time.Second,
+	}
+}
+
+func TestRunHappyPath(t *testing.T) {
+	cfg := stubRunner(5*time.Millisecond, nil)
+	cfg.MaxInflight = 8
+	cfg.PerTenant = 4
+	s := service.NewServer(cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	lc := baseConfig(ts.URL)
+	lc.P95MaxMS = 60_000
+	lc.MaxErrorPct = 5
+	v, err := Run(context.Background(), lc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Jobs.Submitted != 4 || v.Jobs.Completed != 4 || v.Jobs.Failed != 0 {
+		t.Fatalf("jobs = %+v, want 4 submitted and completed", v.Jobs)
+	}
+	if v.Breached {
+		t.Fatalf("breached with generous SLOs: %+v", v.SLO)
+	}
+	if len(v.SLO) != 2 {
+		t.Fatalf("slo verdicts = %+v, want 2", v.SLO)
+	}
+	if v.E2EMS.Count != 4 || v.E2EMS.P95 <= 0 || v.E2EMS.P95 > 60_000 {
+		t.Fatalf("e2e stats = %+v", v.E2EMS)
+	}
+	if len(v.PerTenant) != 2 || v.PerTenant["tenant-00"].Completed != 2 {
+		t.Fatalf("per-tenant = %+v", v.PerTenant)
+	}
+	if v.RunID != obs.RunID() {
+		t.Fatalf("run_id %q, want server's %q", v.RunID, obs.RunID())
+	}
+
+	// The verdict document round-trips through its own parser.
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(b)
+	if err != nil {
+		t.Fatalf("Parse rejected own verdict: %v\n%s", err, b)
+	}
+	if parsed.Jobs != v.Jobs {
+		t.Fatalf("round-trip jobs = %+v, want %+v", parsed.Jobs, v.Jobs)
+	}
+}
+
+func TestRunSequenceAndMixKinds(t *testing.T) {
+	cfg := stubRunner(time.Millisecond, nil)
+	cfg.MaxInflight = 8
+	cfg.PerTenant = 8
+	s := service.NewServer(cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	lc := baseConfig(ts.URL)
+	lc.Tenants = 1
+	lc.Kind = KindMix
+	lc.SeqSteps = 2
+	v, err := Run(context.Background(), lc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Jobs.Completed != 2 {
+		t.Fatalf("jobs = %+v, want 2 completed (one netlist, one sequence)", v.Jobs)
+	}
+}
+
+func TestRunSaturatedServerBackoffAndBreach(t *testing.T) {
+	cfg := stubRunner(30*time.Millisecond, nil)
+	cfg.MaxInflight = 1
+	cfg.PerTenant = 1
+	s := service.NewServer(cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	lc := baseConfig(ts.URL)
+	lc.P95MaxMS = 1 // everything breaches
+	v, err := Run(context.Background(), lc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Jobs.Completed != 4 {
+		t.Fatalf("jobs = %+v, want all 4 to complete through backpressure", v.Jobs)
+	}
+	if v.Jobs.Retries429 == 0 || v.BackoffMS <= 0 {
+		t.Fatalf("saturated 1-slot server produced no 429 retries: %+v backoff=%v", v.Jobs, v.BackoffMS)
+	}
+	if !v.Breached || len(v.SLO) != 1 || v.SLO[0].OK {
+		t.Fatalf("1ms p95 bound not breached: %+v", v.SLO)
+	}
+}
+
+func TestRunCountsFailedJobs(t *testing.T) {
+	// Seeds are SeedBase + worker*Jobs + i; fail the first worker's first.
+	cfg := stubRunner(time.Millisecond, map[int64]bool{100: true})
+	cfg.MaxInflight = 8
+	cfg.PerTenant = 8
+	s := service.NewServer(cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	lc := baseConfig(ts.URL)
+	lc.MaxErrorPct = 10 // 1 of 4 failed = 25% > 10%
+	v, err := Run(context.Background(), lc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Jobs.Failed != 1 || v.Jobs.Completed != 3 {
+		t.Fatalf("jobs = %+v, want 1 failed, 3 completed", v.Jobs)
+	}
+	if !v.Breached {
+		t.Fatalf("25%% error rate under a 10%% budget did not breach: %+v", v.SLO)
+	}
+	if v.PerTenant["tenant-00"].Failed != 1 {
+		t.Fatalf("per-tenant = %+v, want tenant-00 to own the failure", v.PerTenant)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	bad := []Config{
+		{},
+		{Addr: "x", Tenants: 1, Concurrency: 1, Jobs: 1, Kind: "nope", Bench: "ss_pcm", Epochs: 5},
+		{Addr: "x", Tenants: 0, Concurrency: 1, Jobs: 1, Kind: KindNetlist, Bench: "ss_pcm", Epochs: 5},
+		{Addr: "x", Tenants: 1, Concurrency: 1, Jobs: 1, Kind: KindNetlist, Bench: "no_such_bench", Epochs: 5},
+		{Addr: "x", Tenants: 1, Concurrency: 1, Jobs: 1, Kind: KindSequence, Bench: "ss_pcm", Epochs: 5, SeqSteps: 0},
+		{Addr: "x", Tenants: 1, Concurrency: 1, Jobs: 1, Kind: KindNetlist, Bench: "ss_pcm", Epochs: 5, P95MaxMS: -1},
+	}
+	for i, c := range bad {
+		if _, err := Run(context.Background(), c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	var samples []float64
+	for i := 1; i <= 100; i++ {
+		samples = append(samples, float64(i))
+	}
+	st := ComputeStats(samples)
+	if st.Count != 100 || st.P50 != 50 || st.P95 != 95 || st.P99 != 99 || st.Max != 100 || st.Mean != 50.5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if z := ComputeStats(nil); z != (LatencyStats{}) {
+		t.Fatalf("empty stats = %+v, want zero", z)
+	}
+	one := ComputeStats([]float64{7})
+	if one.P50 != 7 || one.P99 != 7 || one.Max != 7 {
+		t.Fatalf("single-sample stats = %+v", one)
+	}
+}
+
+func TestParseRejectsBadVerdicts(t *testing.T) {
+	bad := []string{
+		`{}`,
+		`{"schema":"cirstag.load/v2"}`,
+		`{"schema":"cirstag.load/v1","jobs":{"submitted":1,"completed":2}}`,
+		`{"schema":"cirstag.load/v1","e2e_ms":{"count":2,"p50":5,"p95":4,"p99":6,"max":6}}`,
+		`{"schema":"cirstag.load/v1","breached":true}`,
+		`{"schema":"cirstag.load/v1","slo":[{"name":"x","ok":false}],"breached":false}`,
+	}
+	for i, b := range bad {
+		if _, err := Parse([]byte(b)); err == nil {
+			t.Errorf("bad verdict %d accepted", i)
+		}
+	}
+}
+
+func TestPhasesAndHistoryEntry(t *testing.T) {
+	v := &Verdict{
+		Schema: SchemaVersion,
+		Time:   "2026-08-07T00:00:00Z",
+		RunID:  "r1",
+		Config: Config{Tenants: 2, Concurrency: 1, Jobs: 2, Kind: KindNetlist, Bench: "ss_pcm", Epochs: 5},
+		E2EMS:  LatencyStats{Count: 4, P50: 10, P95: 20, P99: 21, Max: 22, Mean: 12},
+	}
+	phases := v.Phases()
+	if phases["load.e2e_ms.p95"] != 20 || phases["load.e2e_ms.p50"] != 10 {
+		t.Fatalf("phases = %+v", phases)
+	}
+	e := v.HistoryEntry()
+	if e.Tool != "loadgen" || !strings.HasPrefix(e.InputHash, "load:") || e.RunID != "r1" {
+		t.Fatalf("entry = %+v", e)
+	}
+	if e.PhasesMS["load.e2e_ms.p95"] != 20 {
+		t.Fatalf("entry phases = %+v", e.PhasesMS)
+	}
+	// The hash covers the workload shape, not the server address.
+	v2 := *v
+	v2.Config.Addr = "http://elsewhere:1"
+	if v2.InputHash() != v.InputHash() {
+		t.Fatal("input hash depends on server address")
+	}
+	v3 := *v
+	v3.Config.Jobs = 3
+	if v3.InputHash() == v.InputHash() {
+		t.Fatal("input hash ignores workload shape")
+	}
+}
+
+func TestRetryAfterDelay(t *testing.T) {
+	cases := []struct {
+		header string
+		want   time.Duration
+	}{
+		{"", time.Second},
+		{"garbage", time.Second},
+		{"0", time.Second},
+		{"3", 3 * time.Second},
+		{" 7 ", 7 * time.Second},
+		{"86400", 30 * time.Second},
+	}
+	for _, c := range cases {
+		if got := retryAfterDelay(c.header); got != c.want {
+			t.Errorf("retryAfterDelay(%q) = %v, want %v", c.header, got, c.want)
+		}
+	}
+}

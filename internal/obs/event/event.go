@@ -1,0 +1,443 @@
+// Package event is the in-process job-lifecycle event bus behind the
+// cirstagd SSE endpoints (schema cirstag.events/v1).
+//
+// The bus is bounded and non-blocking end to end: publishers stamp the event
+// into a fixed-size replay ring and offer it to each subscriber's buffered
+// channel with a non-blocking send, so a stalled SSE reader drops events
+// (counted in cirstag_events_dropped_total) instead of ever stalling job
+// dispatch. With no subscribers a publish is two mutex operations and a ring
+// write — zero allocations — so the bus can stay wired into the hot path of
+// an unwatched server.
+//
+// The replay ring keeps the last N events for Last-Event-ID resume: a
+// reconnecting subscriber passes the last sequence number it saw and receives
+// the retained suffix atomically with its registration, so no event between
+// "replay" and "live" is lost or duplicated. Events older than the ring are
+// gone — resume is best-effort, exactly like SSE semantics expect.
+package event
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"cirstag/internal/obs"
+)
+
+// SchemaVersion identifies the wire format of every event emitted by the bus.
+const SchemaVersion = "cirstag.events/v1"
+
+// Type enumerates the job lifecycle transitions.
+type Type string
+
+const (
+	Accepted     Type = "accepted"      // request validated and admitted
+	Queued       Type = "queued"        // waiting for a dispatch slot
+	Coalesced    Type = "coalesced"     // a new submission merged into this job
+	Started      Type = "started"       // dispatched; root span created
+	PhaseStarted Type = "phase_started" // a depth-1 pipeline phase began
+	PhaseDone    Type = "phase_done"    // a depth-1 pipeline phase finished
+	Done         Type = "done"          // job finished successfully
+	Failed       Type = "failed"        // job finished with an error
+	Drained      Type = "drained"       // server drained; terminal for all streams
+)
+
+// KnownType reports whether t is one of the declared lifecycle types.
+func KnownType(t Type) bool {
+	switch t {
+	case Accepted, Queued, Coalesced, Started, PhaseStarted, PhaseDone, Done, Failed, Drained:
+		return true
+	}
+	return false
+}
+
+// Terminal reports whether t ends a per-job event stream.
+func Terminal(t Type) bool { return t == Done || t == Failed || t == Drained }
+
+// Event is one lifecycle transition. Seq, TimeMS, and Schema are stamped by
+// Bus.Publish; everything else is filled by the publisher. RunID and SpanID
+// match the correlation fields of the server's JSON logs and the job's
+// cirstag.report/v2 report, so a stream consumer can join all three.
+//
+// TimeMS is milliseconds since the Unix epoch (an integer keeps the publish
+// path allocation-free and the value exact in float64 JSON consumers).
+type Event struct {
+	Schema string `json:"schema"`
+	Seq    uint64 `json:"seq"`
+	TimeMS int64  `json:"time_ms"`
+	Type   Type   `json:"type"`
+
+	JobID  string `json:"job_id,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
+	RunID  string `json:"run_id,omitempty"`
+	SpanID uint64 `json:"span_id,omitempty"`
+	Phase  string `json:"phase,omitempty"`
+
+	QueueDepth  int     `json:"queue_depth,omitempty"`
+	QueueWaitMS float64 `json:"queue_wait_ms,omitempty"`
+	DurationMS  float64 `json:"duration_ms,omitempty"`
+	E2EMS       float64 `json:"e2e_ms,omitempty"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// Bus-level telemetry. The dropped counter is the one the slow-subscriber
+// contract is measured by: cirstag_events_dropped_total on /metrics.
+var (
+	publishedCounter = obs.NewCounter("events.published")
+	droppedCounter   = obs.NewCounter("events.dropped")
+	subscribersGauge = obs.NewGauge("events.subscribers")
+)
+
+// Bus is a bounded, non-blocking publish/subscribe hub with a replay ring.
+// The zero value is not usable; call NewBus.
+type Bus struct {
+	mu     sync.Mutex
+	ring   []Event // replay storage; event seq s lives at (s-1) % len(ring)
+	next   uint64  // last assigned sequence number (0 = none yet)
+	subs   map[*Subscriber]struct{}
+	closed bool
+}
+
+// NewBus returns a bus retaining the last ringSize events for resume.
+// Panics on ringSize < 1.
+func NewBus(ringSize int) *Bus {
+	if ringSize < 1 {
+		panic("event: NewBus needs ringSize >= 1")
+	}
+	return &Bus{
+		ring: make([]Event, ringSize),
+		subs: map[*Subscriber]struct{}{},
+	}
+}
+
+// Publish stamps ev (schema, sequence number, timestamp), stores it in the
+// replay ring, and offers it to every subscriber without blocking: a
+// subscriber whose buffer is full loses the event and its drop counter —
+// plus the process-wide events.dropped counter — is incremented. Returns the
+// stamped event. Publishing on a closed (drained) bus is a no-op that
+// returns ev unstamped (Seq 0).
+func (b *Bus) Publish(ev Event) Event {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ev
+	}
+	b.next++
+	ev.Schema = SchemaVersion
+	ev.Seq = b.next
+	ev.TimeMS = time.Now().UnixMilli()
+	b.ring[int((ev.Seq-1)%uint64(len(b.ring)))] = ev
+	for sub := range b.subs {
+		sub.offer(ev, false)
+	}
+	b.mu.Unlock()
+	publishedCounter.Inc()
+	return ev
+}
+
+// Subscribe registers a subscriber with the given channel buffer size and
+// atomically returns the retained events with sequence numbers > afterSeq
+// (ascending), so callers can replay the backlog and then follow the channel
+// without gaps or duplicates. afterSeq 0 means "from the oldest retained
+// event". On a closed bus the returned subscriber's channel is already
+// closed; the backlog is still served.
+func (b *Bus) Subscribe(buffer int, afterSeq uint64) (*Subscriber, []Event) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	sub := &Subscriber{bus: b, ch: make(chan Event, buffer)}
+	b.mu.Lock()
+	backlog := b.backlogLocked(afterSeq)
+	if b.closed {
+		close(sub.ch)
+		sub.closed = true
+	} else {
+		b.subs[sub] = struct{}{}
+		subscribersGauge.Set(float64(len(b.subs)))
+	}
+	b.mu.Unlock()
+	return sub, backlog
+}
+
+// backlogLocked copies the retained events after afterSeq in order.
+func (b *Bus) backlogLocked(afterSeq uint64) []Event {
+	if b.next == 0 {
+		return nil
+	}
+	oldest := uint64(1)
+	if n := uint64(len(b.ring)); b.next > n {
+		oldest = b.next - n + 1
+	}
+	from := oldest
+	if afterSeq+1 > from {
+		from = afterSeq + 1
+	}
+	if from > b.next {
+		return nil
+	}
+	out := make([]Event, 0, b.next-from+1)
+	for s := from; s <= b.next; s++ {
+		out = append(out, b.ring[int((s-1)%uint64(len(b.ring)))])
+	}
+	return out
+}
+
+// LastSeq returns the sequence number of the most recently published event
+// (0 if none). Subscribing with afterSeq = LastSeq() yields a live-only
+// subscription with an empty (or near-empty) backlog.
+func (b *Bus) LastSeq() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.next
+}
+
+// SubscriberCount returns the number of live subscribers.
+func (b *Bus) SubscriberCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Shutdown publishes final as the bus's last event (best-effort even to full
+// subscribers: one stale buffered event is evicted to make room), then
+// closes every subscriber channel and the bus itself. Subsequent Publish
+// calls are dropped and subsequent Subscribes get a closed, replay-only
+// subscription. Idempotent.
+func (b *Bus) Shutdown(final Event) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.next++
+	final.Schema = SchemaVersion
+	final.Seq = b.next
+	final.TimeMS = time.Now().UnixMilli()
+	b.ring[int((final.Seq-1)%uint64(len(b.ring)))] = final
+	for sub := range b.subs {
+		sub.offer(final, true)
+		sub.closed = true
+		close(sub.ch)
+	}
+	b.subs = map[*Subscriber]struct{}{}
+	b.closed = true
+	subscribersGauge.Set(0)
+	b.mu.Unlock()
+	publishedCounter.Inc()
+}
+
+// Closed reports whether the bus has been shut down.
+func (b *Bus) Closed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.closed
+}
+
+// Subscriber is one bounded event consumer. Read events from Events(); call
+// Close when done. Fields closed is guarded by bus.mu.
+type Subscriber struct {
+	bus     *Bus
+	ch      chan Event
+	closed  bool
+	dropped int64 // guarded by bus.mu
+}
+
+// offer delivers ev without blocking. Caller holds bus.mu, so offer can
+// never race with Close's channel close. With evict set (shutdown's terminal
+// event), one stale buffered event is discarded to make room.
+func (s *Subscriber) offer(ev Event, evict bool) {
+	select {
+	case s.ch <- ev:
+		return
+	default:
+	}
+	if evict {
+		select {
+		case <-s.ch:
+			s.dropped++
+			droppedCounter.Inc()
+		default:
+		}
+		select {
+		case s.ch <- ev:
+			return
+		default:
+		}
+	}
+	s.dropped++
+	droppedCounter.Inc()
+}
+
+// Events returns the subscriber's delivery channel. It is closed when the
+// subscriber is closed or the bus shuts down; the drained terminal event (if
+// any) is delivered before the close.
+func (s *Subscriber) Events() <-chan Event { return s.ch }
+
+// Dropped returns how many events this subscriber has lost to a full buffer.
+func (s *Subscriber) Dropped() int64 {
+	s.bus.mu.Lock()
+	defer s.bus.mu.Unlock()
+	return s.dropped
+}
+
+// Close unregisters the subscriber and closes its channel. Idempotent and
+// safe concurrently with Publish/Shutdown.
+func (s *Subscriber) Close() {
+	s.bus.mu.Lock()
+	if s.closed {
+		s.bus.mu.Unlock()
+		return
+	}
+	delete(s.bus.subs, s)
+	s.closed = true
+	subscribersGauge.Set(float64(len(s.bus.subs)))
+	close(s.ch)
+	s.bus.mu.Unlock()
+}
+
+// WriteSSE writes ev as one Server-Sent Events frame: id (the sequence
+// number), event (the lifecycle type), and the JSON document as data.
+func WriteSSE(w io.Writer, ev Event) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+	return err
+}
+
+// Scanner reads cirstag.events/v1 events back out of a stream transcript.
+// It accepts both raw JSONL (one event document per line) and captured SSE
+// output (`curl -N .../v1/events`), skipping SSE framing lines (id:, event:,
+// retry:, comments) and unwrapping data: lines.
+type Scanner struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewScanner wraps r for event-by-event reading.
+func NewScanner(r io.Reader) *Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &Scanner{sc: sc}
+}
+
+// Next returns the next event in the stream. ok is false at a clean end of
+// input; a malformed line returns an error naming the line number.
+func (s *Scanner) Next() (ev Event, ok bool, err error) {
+	for s.sc.Scan() {
+		s.line++
+		line := strings.TrimSpace(s.sc.Text())
+		switch {
+		case line == "", strings.HasPrefix(line, ":"),
+			strings.HasPrefix(line, "id:"), strings.HasPrefix(line, "event:"),
+			strings.HasPrefix(line, "retry:"):
+			continue
+		case strings.HasPrefix(line, "data:"):
+			line = strings.TrimSpace(strings.TrimPrefix(line, "data:"))
+		}
+		if !strings.HasPrefix(line, "{") {
+			return Event{}, false, fmt.Errorf("line %d: not an event document: %.40q", s.line, line)
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return Event{}, false, fmt.Errorf("line %d: %v", s.line, err)
+		}
+		return ev, true, nil
+	}
+	return Event{}, false, s.sc.Err()
+}
+
+// jobMilestones orders the per-job lifecycle checkpoints for ValidateStream.
+var jobMilestones = map[Type]int{Accepted: 0, Queued: 1, Started: 2, Done: 3, Failed: 3}
+
+// ValidateStream checks a transcript of events for wire-level and ordering
+// invariants: schema stamps, strictly increasing sequence numbers, known
+// types, positive timestamps, and per-job lifecycle order (accepted before
+// queued before started before done/failed; phase events only between
+// started and the terminal event; nothing but coalesced notifications after
+// a terminal event). A transcript may begin mid-stream (Last-Event-ID
+// resume), so only the relative order of whatever is present is enforced.
+func ValidateStream(events []Event) error {
+	if len(events) == 0 {
+		return fmt.Errorf("empty event stream")
+	}
+	type jobState struct {
+		milestone int // highest jobMilestones value seen, -1 if none
+		terminal  bool
+		started   bool
+		fromBirth bool // stream covers the job from its accepted event
+	}
+	var lastSeq uint64
+	jobs := map[string]*jobState{}
+	for i, ev := range events {
+		where := fmt.Sprintf("event %d (seq %d, type %s)", i, ev.Seq, ev.Type)
+		if ev.Schema != SchemaVersion {
+			return fmt.Errorf("%s: schema %q, want %q", where, ev.Schema, SchemaVersion)
+		}
+		if !KnownType(ev.Type) {
+			return fmt.Errorf("%s: unknown type", where)
+		}
+		if ev.Seq <= lastSeq {
+			return fmt.Errorf("%s: sequence not strictly increasing (prev %d)", where, lastSeq)
+		}
+		lastSeq = ev.Seq
+		if ev.TimeMS <= 0 {
+			return fmt.Errorf("%s: missing timestamp", where)
+		}
+		if ev.Type == Drained {
+			if ev.JobID != "" {
+				return fmt.Errorf("%s: drained must not name a job", where)
+			}
+			continue
+		}
+		if ev.JobID == "" {
+			return fmt.Errorf("%s: missing job_id", where)
+		}
+		st, seen := jobs[ev.JobID]
+		if !seen {
+			st = &jobState{milestone: -1}
+			jobs[ev.JobID] = st
+		}
+		if st.terminal && ev.Type != Coalesced {
+			return fmt.Errorf("%s: after terminal event for job %s", where, ev.JobID)
+		}
+		switch ev.Type {
+		case Coalesced:
+			// May arrive at any point in the owning job's lifetime, including
+			// after completion (late identical submissions reuse the result).
+		case PhaseStarted, PhaseDone:
+			// A resumed transcript may open with phase events whose started
+			// event predates the retained window; only streams that include
+			// the job's birth are held to the full ordering.
+			if st.fromBirth && !st.started {
+				return fmt.Errorf("%s: phase event before started", where)
+			}
+			if ev.Phase == "" {
+				return fmt.Errorf("%s: missing phase name", where)
+			}
+		default:
+			m := jobMilestones[ev.Type]
+			if seen && ev.Type == Accepted {
+				return fmt.Errorf("%s: accepted must be the first event of its job", where)
+			}
+			if !seen && ev.Type == Accepted {
+				st.fromBirth = true
+			}
+			if m <= st.milestone {
+				return fmt.Errorf("%s: lifecycle order violated (milestone %d after %d)", where, m, st.milestone)
+			}
+			st.milestone = m
+			if ev.Type == Started {
+				st.started = true
+			}
+			if ev.Type == Done || ev.Type == Failed {
+				st.terminal = true
+			}
+		}
+	}
+	return nil
+}

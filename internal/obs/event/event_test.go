@@ -1,0 +1,278 @@
+package event
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"cirstag/internal/obs"
+)
+
+func withObs(t *testing.T) {
+	t.Helper()
+	obs.Reset()
+	obs.Enable()
+	t.Cleanup(func() {
+		obs.Disable()
+		obs.Reset()
+	})
+}
+
+func TestPublishSubscribeOrder(t *testing.T) {
+	withObs(t)
+	b := NewBus(16)
+	sub, backlog := b.Subscribe(8, 0)
+	defer sub.Close()
+	if len(backlog) != 0 {
+		t.Fatalf("fresh bus backlog = %d events, want 0", len(backlog))
+	}
+	for i := 0; i < 3; i++ {
+		st := b.Publish(Event{Type: Queued, JobID: fmt.Sprintf("j%d", i)})
+		if st.Seq != uint64(i+1) || st.Schema != SchemaVersion || st.TimeMS <= 0 {
+			t.Fatalf("stamped event = %+v", st)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		ev := <-sub.Events()
+		if ev.Seq != uint64(i+1) || ev.JobID != fmt.Sprintf("j%d", i) {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+	}
+}
+
+func TestSubscribeReplayAfterSeq(t *testing.T) {
+	withObs(t)
+	b := NewBus(4)
+	for i := 1; i <= 6; i++ {
+		b.Publish(Event{Type: Queued, JobID: fmt.Sprintf("j%d", i)})
+	}
+	// Ring holds seqs 3..6. Resume from seq 4 → backlog 5,6.
+	sub, backlog := b.Subscribe(4, 4)
+	defer sub.Close()
+	if len(backlog) != 2 || backlog[0].Seq != 5 || backlog[1].Seq != 6 {
+		t.Fatalf("backlog = %+v, want seqs [5 6]", backlog)
+	}
+	// Resume from 0 → everything retained (3..6), older events aged out.
+	sub2, backlog2 := b.Subscribe(4, 0)
+	defer sub2.Close()
+	if len(backlog2) != 4 || backlog2[0].Seq != 3 {
+		t.Fatalf("full backlog = %d events starting at %d, want 4 from seq 3", len(backlog2), backlog2[0].Seq)
+	}
+	// No gap between backlog and live delivery.
+	b.Publish(Event{Type: Queued, JobID: "j7"})
+	if ev := <-sub.Events(); ev.Seq != 7 {
+		t.Fatalf("live event after backlog = seq %d, want 7", ev.Seq)
+	}
+}
+
+func TestSlowSubscriberDropsWithoutBlocking(t *testing.T) {
+	withObs(t)
+	base := droppedTotal()
+	b := NewBus(64)
+	slow, _ := b.Subscribe(2, 0) // deliberately never read
+	fast, _ := b.Subscribe(64, 0)
+	defer slow.Close()
+	defer fast.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				b.Publish(Event{Type: Queued, JobID: fmt.Sprintf("g%d-%d", g, i)})
+			}
+		}(g)
+	}
+	wg.Wait() // must complete promptly: a stalled reader cannot block Publish
+
+	if got := slow.Dropped(); got != 98 {
+		t.Fatalf("slow subscriber dropped %d events, want 98 (100 published, buffer 2)", got)
+	}
+	if got := fast.Dropped(); got != 36 {
+		t.Fatalf("fast subscriber dropped %d events, want 36 (100 published, buffer 64)", got)
+	}
+	if got := droppedTotal() - base; got != 98+36 {
+		t.Fatalf("events.dropped counter advanced by %d, want %d", got, 98+36)
+	}
+	got := 0
+	for {
+		select {
+		case <-fast.Events():
+			got++
+			continue
+		default:
+		}
+		break
+	}
+	if got != 64 {
+		t.Fatalf("fast subscriber received %d events, want 64 (buffer capacity)", got)
+	}
+}
+
+func droppedTotal() int64 {
+	return obs.NewCounter("events.dropped").Value()
+}
+
+func TestShutdownDeliversTerminalAndCloses(t *testing.T) {
+	withObs(t)
+	b := NewBus(8)
+	sub, _ := b.Subscribe(4, 0)
+	full, _ := b.Subscribe(1, 0) // buffer of one, already full after first publish
+	b.Publish(Event{Type: Queued, JobID: "j1"})
+	b.Shutdown(Event{Type: Drained})
+
+	var got []Type
+	for ev := range sub.Events() {
+		got = append(got, ev.Type)
+	}
+	if len(got) != 2 || got[0] != Queued || got[1] != Drained {
+		t.Fatalf("subscriber saw %v, want [queued drained]", got)
+	}
+	// The full subscriber must still get the terminal event: the stale
+	// buffered event is evicted to make room.
+	var fullGot []Type
+	for ev := range full.Events() {
+		fullGot = append(fullGot, ev.Type)
+	}
+	if len(fullGot) != 1 || fullGot[0] != Drained {
+		t.Fatalf("full subscriber saw %v, want [drained]", fullGot)
+	}
+
+	if !b.Closed() {
+		t.Fatal("bus must report closed after Shutdown")
+	}
+	if st := b.Publish(Event{Type: Queued}); st.Seq != 0 {
+		t.Fatal("publish after shutdown must be a stamped no-op")
+	}
+	// Late subscriber: replay only, channel already closed.
+	late, backlog := b.Subscribe(4, 0)
+	if len(backlog) != 2 || backlog[1].Type != Drained {
+		t.Fatalf("late backlog = %+v, want [queued drained]", backlog)
+	}
+	if _, open := <-late.Events(); open {
+		t.Fatal("late subscriber channel must be closed")
+	}
+	b.Shutdown(Event{Type: Drained}) // idempotent
+	sub.Close()                      // close after shutdown must not panic
+}
+
+func TestPublishNoSubscribersZeroAlloc(t *testing.T) {
+	withObs(t)
+	b := NewBus(128)
+	ev := Event{Type: Queued, JobID: "steady-job", Tenant: "t0", RunID: "abcd"}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		b.Publish(ev)
+	}); allocs != 0 {
+		t.Fatalf("Publish with no subscribers allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestWriteSSEAndScannerRoundTrip(t *testing.T) {
+	withObs(t)
+	b := NewBus(8)
+	var buf bytes.Buffer
+	for _, e := range []Event{
+		{Type: Accepted, JobID: "j1", Tenant: "t", RunID: "r"},
+		{Type: Queued, JobID: "j1", QueueDepth: 1},
+		{Type: Started, JobID: "j1", SpanID: 7},
+		{Type: PhaseStarted, JobID: "j1", Phase: "train"},
+		{Type: PhaseDone, JobID: "j1", Phase: "train", DurationMS: 12.5},
+		{Type: Done, JobID: "j1", E2EMS: 40},
+	} {
+		if err := WriteSSE(&buf, b.Publish(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf.WriteString(": heartbeat\n\n") // comment frames must be skipped
+
+	var events []Event
+	sc := NewScanner(&buf)
+	for {
+		ev, ok, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		events = append(events, ev)
+	}
+	if len(events) != 6 {
+		t.Fatalf("scanned %d events, want 6", len(events))
+	}
+	if events[4].Phase != "train" || events[4].DurationMS != 12.5 {
+		t.Fatalf("round-tripped event = %+v", events[4])
+	}
+	if err := ValidateStream(events); err != nil {
+		t.Fatalf("valid lifecycle rejected: %v", err)
+	}
+}
+
+func TestScannerRejectsGarbage(t *testing.T) {
+	sc := NewScanner(strings.NewReader("data: {\"schema\":\"x\"}\nnot-json\n"))
+	if _, ok, err := sc.Next(); !ok || err != nil {
+		t.Fatalf("first line: ok=%v err=%v", ok, err)
+	}
+	if _, _, err := sc.Next(); err == nil {
+		t.Fatal("garbage line must error")
+	}
+}
+
+func mk(seq uint64, typ Type, job string) Event {
+	return Event{Schema: SchemaVersion, Seq: seq, TimeMS: 1, Type: typ, JobID: job}
+}
+
+func TestValidateStreamOrdering(t *testing.T) {
+	ok := [][]Event{
+		{mk(1, Accepted, "a"), mk(2, Queued, "a"), mk(3, Started, "a"), mk(4, Done, "a")},
+		// interleaved jobs
+		{mk(1, Accepted, "a"), mk(2, Accepted, "b"), mk(3, Queued, "a"), mk(4, Queued, "b"),
+			mk(5, Started, "a"), mk(6, Done, "a"), mk(7, Started, "b"), mk(8, Failed, "b")},
+		// coalesced after terminal; drained has no job
+		{mk(1, Accepted, "a"), mk(2, Queued, "a"), mk(3, Started, "a"), mk(4, Done, "a"),
+			mk(5, Coalesced, "a"), mk(6, Drained, "")},
+		// resumed mid-stream: no accepted, phases allowed
+		{mk(9, PhaseDone, "a"), mk(10, Done, "a")},
+	}
+	for i, events := range ok {
+		for j := range events {
+			if events[j].Type == PhaseStarted || events[j].Type == PhaseDone {
+				events[j].Phase = "p"
+			}
+		}
+		if err := ValidateStream(events); err != nil {
+			t.Errorf("valid stream %d rejected: %v", i, err)
+		}
+	}
+
+	bad := []struct {
+		name   string
+		events []Event
+	}{
+		{"empty", nil},
+		{"bad schema", []Event{{Seq: 1, TimeMS: 1, Type: Accepted, JobID: "a"}}},
+		{"unknown type", []Event{mk(1, Type("nope"), "a")}},
+		{"seq not increasing", []Event{mk(2, Accepted, "a"), mk(2, Queued, "a")}},
+		{"no timestamp", []Event{{Schema: SchemaVersion, Seq: 1, Type: Accepted, JobID: "a"}}},
+		{"no job id", []Event{mk(1, Accepted, "")}},
+		{"drained with job", []Event{mk(1, Drained, "a")}},
+		{"started before queued", []Event{mk(1, Accepted, "a"), mk(2, Started, "a"), mk(3, Queued, "a")}},
+		{"accepted not first", []Event{mk(1, Queued, "a"), mk(2, Accepted, "a")}},
+		{"event after done", []Event{mk(1, Accepted, "a"), mk(2, Queued, "a"),
+			mk(3, Started, "a"), mk(4, Done, "a"), mk(5, Started, "a")}},
+		{"phase before started from birth", func() []Event {
+			e := mk(2, PhaseStarted, "a")
+			e.Phase = "p"
+			return []Event{mk(1, Accepted, "a"), e}
+		}()},
+		{"phase without name", []Event{mk(1, PhaseDone, "a")}},
+	}
+	for _, c := range bad {
+		if err := ValidateStream(c.events); err == nil {
+			t.Errorf("%s: accepted, want error", c.name)
+		}
+	}
+}

@@ -15,10 +15,12 @@ var registry = struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	windows    map[string]*Window
 }{
 	counters:   map[string]*Counter{},
 	gauges:     map[string]*Gauge{},
 	histograms: map[string]*Histogram{},
+	windows:    map[string]*Window{},
 }
 
 func resetMetrics() {
@@ -32,6 +34,9 @@ func resetMetrics() {
 	}
 	for _, h := range registry.histograms {
 		h.reset()
+	}
+	for _, w := range registry.windows {
+		w.reset()
 	}
 }
 
@@ -245,11 +250,13 @@ const (
 )
 
 // MetricsSnapshot returns every registered metric with its current value,
-// sorted by name.
+// sorted by name. Windows appear as their synthetic quantile gauges
+// (<name>.p50/.p95/.p99/.window_count).
 func MetricsSnapshot() []MetricSnapshot {
 	registry.mu.Lock()
 	defer registry.mu.Unlock()
-	out := make([]MetricSnapshot, 0, len(registry.counters)+len(registry.gauges)+len(registry.histograms))
+	out := make([]MetricSnapshot, 0,
+		len(registry.counters)+len(registry.gauges)+len(registry.histograms)+4*len(registry.windows))
 	for name, c := range registry.counters {
 		out = append(out, MetricSnapshot{Name: name, Kind: KindCounter, Value: float64(c.v.Load())})
 	}
@@ -260,6 +267,7 @@ func MetricsSnapshot() []MetricSnapshot {
 		hr := snapshotHist(h)
 		out = append(out, MetricSnapshot{Name: name, Kind: KindHistogram, Hist: &hr})
 	}
+	out = windowSnapshots(out)
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"cirstag/internal/obs/resource"
@@ -50,39 +51,124 @@ func sampleUsage() resource.Usage {
 }
 
 // SpanEvent describes a span lifecycle transition delivered to the installed
-// span observer. Depth is 0 for roots; End distinguishes the start
-// notification from the end one.
+// span observers. Depth is 0 for roots; End distinguishes the start
+// notification from the end one. Root is the span ID of the owning root span
+// (Root == ID for roots), which lets an observer route a sub-span to the unit
+// of work that started it — the job server routes depth-1 phase spans to
+// their job's event stream this way. DurationMS is the finalized wall time in
+// milliseconds on end events and 0 on start events.
 type SpanEvent struct {
-	Name  string
-	ID    uint64
-	Depth int
-	End   bool
+	Name       string
+	ID         uint64
+	Root       uint64
+	Depth      int
+	End        bool
+	DurationMS float64
 }
 
-// spanObserver is the optional span lifecycle hook. The profile capture layer
-// (internal/obs/profile) installs one to write phase-boundary heap snapshots;
-// obs cannot import it (import cycle with the CLIs' wiring), so the dependency
-// is inverted through this pointer, mirroring SetMetricsHandler.
-var spanObserver atomic.Pointer[func(SpanEvent)]
+// spanObservers is the span lifecycle hook chain. The profile capture layer
+// (internal/obs/profile) installs one to write phase-boundary heap snapshots
+// and the service layer installs another to publish phase events; obs cannot
+// import either (import cycle with the CLIs' wiring), so the dependency is
+// inverted through this copy-on-write list, mirroring SetMetricsHandler. The
+// slice behind the pointer is never mutated after publication, so readers
+// need only the atomic load; nil means "no observers" and keeps the
+// uninstrumented fast path allocation-free.
+var spanObservers atomic.Pointer[[]func(SpanEvent)]
 
-// SetSpanObserver installs (or, with nil, removes) a callback invoked at every
-// span start and end while observability is enabled. The callback runs on the
-// goroutine driving the span, outside obs locks, AFTER the span's duration and
-// resource delta are finalized — so an observer that forces a GC (heap
-// profiling) cannot pollute the measurements of the span that triggered it.
-func SetSpanObserver(f func(SpanEvent)) {
-	if f == nil {
-		spanObserver.Store(nil)
+// spanObserversMu serializes observer list edits (Add/remove/Set);
+// spanObserverRegs is the mutable source of truth the published slice is
+// compiled from, so removals identify their entry by token rather than index.
+var (
+	spanObserversMu  sync.Mutex
+	spanObserverRegs []*spanObserverReg
+)
+
+type spanObserverReg struct{ f func(SpanEvent) }
+
+// publishSpanObserversLocked recompiles the read-only callback slice from the
+// registration list. Caller holds spanObserversMu.
+func publishSpanObserversLocked() {
+	if len(spanObserverRegs) == 0 {
+		spanObservers.Store(nil)
 		return
 	}
-	spanObserver.Store(&f)
+	next := make([]func(SpanEvent), len(spanObserverRegs))
+	for i, r := range spanObserverRegs {
+		next[i] = r.f
+	}
+	spanObservers.Store(&next)
 }
 
-// notifySpan delivers a lifecycle event to the observer, if one is installed.
-// The nil fast path is a single atomic load so uninstrumented runs pay
+// AddSpanObserver appends a callback invoked at every span start and end
+// while observability is enabled, and returns a function that removes it
+// (idempotent). Callbacks run on the goroutine driving the span, outside obs
+// locks, AFTER the span's duration and resource delta are finalized — so an
+// observer that forces a GC (heap profiling) cannot pollute the measurements
+// of the span that triggered it. Observers must be fast and must not call
+// back into the span API for the same span.
+func AddSpanObserver(f func(SpanEvent)) (remove func()) {
+	reg := &spanObserverReg{f: f}
+	spanObserversMu.Lock()
+	spanObserverRegs = append(spanObserverRegs, reg)
+	publishSpanObserversLocked()
+	spanObserversMu.Unlock()
+	return func() {
+		spanObserversMu.Lock()
+		defer spanObserversMu.Unlock()
+		for i, r := range spanObserverRegs {
+			if r == reg {
+				spanObserverRegs = append(spanObserverRegs[:i:i], spanObserverRegs[i+1:]...)
+				publishSpanObserversLocked()
+				return
+			}
+		}
+	}
+}
+
+// setObserverRemove undoes the previous SetSpanObserver installation, if any.
+var setObserverRemove func()
+
+// SetSpanObserver installs (or, with nil, removes) a single span observer,
+// replacing the one installed by a previous SetSpanObserver call. It is the
+// legacy single-slot API kept for callers that own exactly one observer (the
+// profile layer); it composes with AddSpanObserver installations, which it
+// never disturbs.
+func SetSpanObserver(f func(SpanEvent)) {
+	spanObserversMu.Lock()
+	prev := setObserverRemove
+	setObserverRemove = nil
+	spanObserversMu.Unlock()
+	if prev != nil {
+		prev()
+	}
+	if f == nil {
+		return
+	}
+	remove := AddSpanObserver(f)
+	spanObserversMu.Lock()
+	setObserverRemove = remove
+	spanObserversMu.Unlock()
+}
+
+// notifySpan delivers a lifecycle event to every installed observer. The
+// empty fast path is a single atomic load so uninstrumented runs pay
 // nothing.
 func notifySpan(s *Span, end bool) {
-	if f := spanObserver.Load(); f != nil {
-		(*f)(SpanEvent{Name: s.name, ID: s.id, Depth: s.depth, End: end})
+	obsList := spanObservers.Load()
+	if obsList == nil {
+		return
+	}
+	ev := SpanEvent{Name: s.name, ID: s.id, Depth: s.depth, End: end}
+	if end {
+		ev.DurationMS = float64(s.dur) / 1e6
+	}
+	root := s
+	for root.parent != nil {
+		root = root.parent
+	}
+	ev.Root = root.id
+	for _, f := range *obsList {
+		f(ev)
 	}
 }

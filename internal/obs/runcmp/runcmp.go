@@ -28,6 +28,7 @@ import (
 
 	"cirstag/internal/bench"
 	"cirstag/internal/cirerr"
+	"cirstag/internal/load"
 	"cirstag/internal/obs"
 	"cirstag/internal/obs/history"
 	"cirstag/internal/obs/resource"
@@ -90,6 +91,20 @@ func FromBench(rep *bench.BenchReport, source string) *Profile {
 		Phases: map[string]map[string]float64{}}
 	for _, r := range rep.Results {
 		p.Phases[r.Name] = map[string]float64{"wall_ms": r.NsPerOp / 1e6}
+	}
+	return p
+}
+
+// FromLoad builds a profile from a loadgen verdict (cirstag.load/v1): the
+// latency quantiles become wall_ms pseudo-phases ("load.e2e_ms.p95"), so two
+// load runs of the same workload shape diff through the same attribution
+// machinery as pipeline phases — "the p95 under load regressed 40%" with the
+// same noise floors and thresholds.
+func FromLoad(v *load.Verdict, source string) *Profile {
+	p := &Profile{Source: source, Tool: "load", RunID: v.RunID,
+		InputHash: v.InputHash(), Phases: map[string]map[string]float64{}}
+	for phase, ms := range v.Phases() {
+		p.Phases[phase] = map[string]float64{"wall_ms": ms}
 	}
 	return p
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"cirstag/internal/bench"
+	"cirstag/internal/load"
 	"cirstag/internal/obs"
 	"cirstag/internal/obs/history"
 	"cirstag/internal/obs/resource"
@@ -245,5 +246,32 @@ func TestVerdictJSONRoundTrip(t *testing.T) {
 	}
 	if _, err := ParseVerdict([]byte(`{"schema":"cirstag.runcmp/v9"}`)); err == nil {
 		t.Fatal("unknown verdict schema accepted")
+	}
+}
+
+func TestFromLoadDiffsLikeProfiles(t *testing.T) {
+	mk := func(p95 float64) *load.Verdict {
+		return &load.Verdict{
+			Schema:      load.SchemaVersion,
+			RunID:       "r",
+			Config:      load.Config{Tenants: 2, Concurrency: 1, Jobs: 2, Kind: "netlist", Bench: "ss_pcm", Epochs: 5},
+			E2EMS:       load.LatencyStats{Count: 4, P50: 100, P95: p95, P99: p95 + 1, Max: p95 + 2},
+			QueueWaitMS: load.LatencyStats{Count: 4, P50: 10, P95: 20, P99: 21, Max: 22},
+		}
+	}
+	a := FromLoad(mk(200), "a.json")
+	b := FromLoad(mk(400), "b.json")
+	if a.Tool != "load" || a.InputHash != b.InputHash {
+		t.Fatalf("profiles = %+v / %+v, want same load input hash", a, b)
+	}
+	if a.Phases["load.e2e_ms.p95"]["wall_ms"] != 200 {
+		t.Fatalf("phases = %+v", a.Phases)
+	}
+	v := Compare(a, b, Options{ThresholdPct: 25})
+	if !v.Regressed {
+		t.Fatalf("doubled load p95 not flagged: %+v", v.Deltas)
+	}
+	if v.Top == nil || v.Top.Phase != "load.e2e_ms.p95" {
+		t.Fatalf("top = %+v, want load.e2e_ms.p95", v.Top)
 	}
 }

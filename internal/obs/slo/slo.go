@@ -1,0 +1,282 @@
+// Package slo evaluates declared service-level objectives over the job
+// server's completion stream with burn-rate accounting.
+//
+// Burn rate is the standard SRE ratio of "error budget consumed" to "error
+// budget available" over the evaluation window:
+//
+//   - A latency objective "quantile q of end-to-end latency ≤ max_ms" grants
+//     a budget of (1-q): that fraction of jobs may legally exceed the bound.
+//     With badFrac the observed fraction over the bound (failed jobs count as
+//     over), burn = badFrac / (1-q). burn 1.0 means the budget is being
+//     consumed exactly as fast as it accrues; above 1.0 the objective is
+//     breached at the current rate.
+//
+//   - An error-rate objective "errors ≤ max_error_pct" burns at
+//     burn = observed_error_pct / max_error_pct.
+//
+// Objectives are windowed over the last Window completions (not wall time):
+// job completion is the natural clock of a batch-analysis server, and a
+// sample-count window keeps the math exact and allocation-bounded.
+package slo
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"sync"
+
+	"cirstag/internal/obs"
+)
+
+// Objective kinds.
+const (
+	KindLatencyQuantile = "latency_quantile"
+	KindErrorRate       = "error_rate"
+)
+
+// DefaultWindow is the evaluation window (completions) when an objective
+// doesn't declare one.
+const DefaultWindow = 256
+
+// nameRx constrains objective names so they can become metric name segments
+// (cirstag_slo_<name>_burn_rate) without escaping.
+var nameRx = regexp.MustCompile(`^[a-z0-9_]+$`)
+
+// Objective declares one service-level objective.
+type Objective struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	// Quantile and MaxMS parameterize latency_quantile: "the Quantile of
+	// end-to-end latency must be ≤ MaxMS".
+	Quantile float64 `json:"quantile,omitempty"`
+	MaxMS    float64 `json:"max_ms,omitempty"`
+	// MaxErrorPct parameterizes error_rate: "failed jobs ≤ this percentage".
+	MaxErrorPct float64 `json:"max_error_pct,omitempty"`
+	// Window is the number of most recent completions evaluated (DefaultWindow
+	// when 0).
+	Window int `json:"window,omitempty"`
+}
+
+// Validate checks the objective's declaration.
+func (o Objective) Validate() error {
+	if !nameRx.MatchString(o.Name) {
+		return fmt.Errorf("slo: objective name %q must match %s", o.Name, nameRx)
+	}
+	if o.Window < 0 {
+		return fmt.Errorf("slo: objective %s: negative window", o.Name)
+	}
+	switch o.Kind {
+	case KindLatencyQuantile:
+		if o.Quantile <= 0 || o.Quantile >= 1 {
+			return fmt.Errorf("slo: objective %s: quantile must be in (0,1), got %g", o.Name, o.Quantile)
+		}
+		if o.MaxMS <= 0 {
+			return fmt.Errorf("slo: objective %s: max_ms must be > 0", o.Name)
+		}
+	case KindErrorRate:
+		if o.MaxErrorPct <= 0 || o.MaxErrorPct > 100 {
+			return fmt.Errorf("slo: objective %s: max_error_pct must be in (0,100], got %g", o.Name, o.MaxErrorPct)
+		}
+	default:
+		return fmt.Errorf("slo: objective %s: unknown kind %q", o.Name, o.Kind)
+	}
+	return nil
+}
+
+// Status is the evaluated state of one objective, embedded in /v1/stats and
+// in loadgen verdicts.
+type Status struct {
+	Name        string  `json:"name"`
+	Kind        string  `json:"kind"`
+	Quantile    float64 `json:"quantile,omitempty"`
+	TargetMS    float64 `json:"target_ms,omitempty"`
+	MaxErrorPct float64 `json:"max_error_pct,omitempty"`
+	Window      int     `json:"window"`
+	Samples     int     `json:"samples"`
+	// Value is the measured quantile (ms) for latency objectives and the
+	// measured error percentage for error-rate objectives.
+	Value    float64 `json:"value"`
+	BurnRate float64 `json:"burn_rate"`
+	OK       bool    `json:"ok"`
+}
+
+// objState pairs an objective with its exported gauges.
+type objState struct {
+	obj       Objective
+	burnGauge *obs.Gauge
+	okGauge   *obs.Gauge
+	valGauge  *obs.Gauge
+}
+
+// sample is one completed job.
+type sample struct {
+	latencyMS float64
+	failed    bool
+}
+
+// Tracker evaluates a fixed set of objectives over a shared ring of recent
+// completions. Safe for concurrent use.
+type Tracker struct {
+	mu      sync.Mutex
+	objs    []objState
+	ring    []sample
+	n, next int
+}
+
+// NewTracker builds a tracker for the given objectives. Objectives must have
+// passed Validate; invalid ones panic here to catch mis-wiring in tests.
+// Per-objective gauges slo.<name>.burn_rate / .ok / .value are registered
+// eagerly so /metrics has the full series set from the first scrape.
+func NewTracker(objectives []Objective) *Tracker {
+	maxWin := 1
+	t := &Tracker{}
+	for _, o := range objectives {
+		if err := o.Validate(); err != nil {
+			panic(err)
+		}
+		if o.Window == 0 {
+			o.Window = DefaultWindow
+		}
+		if o.Window > maxWin {
+			maxWin = o.Window
+		}
+		t.objs = append(t.objs, objState{
+			obj:       o,
+			burnGauge: obs.NewGauge("slo." + o.Name + ".burn_rate"),
+			okGauge:   obs.NewGauge("slo." + o.Name + ".ok"),
+			valGauge:  obs.NewGauge("slo." + o.Name + ".value"),
+		})
+	}
+	t.ring = make([]sample, maxWin)
+	return t
+}
+
+// Objectives returns the number of tracked objectives.
+func (t *Tracker) Objectives() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.objs)
+}
+
+// Observe records one job completion and refreshes the exported gauges.
+// Nil-safe, so servers without declared objectives skip SLO accounting with
+// no branching at call sites.
+func (t *Tracker) Observe(latencyMS float64, failed bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ring[t.next] = sample{latencyMS: latencyMS, failed: failed}
+	t.next = (t.next + 1) % len(t.ring)
+	if t.n < len(t.ring) {
+		t.n++
+	}
+	statuses := t.snapshotLocked()
+	t.mu.Unlock()
+	for i, st := range statuses {
+		t.objs[i].burnGauge.Set(st.BurnRate)
+		t.objs[i].valGauge.Set(st.Value)
+		ok := 0.0
+		if st.OK {
+			ok = 1
+		}
+		t.objs[i].okGauge.Set(ok)
+	}
+}
+
+// Snapshot evaluates every objective over its window. Nil-safe (returns nil).
+func (t *Tracker) Snapshot() []Status {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.snapshotLocked()
+}
+
+func (t *Tracker) snapshotLocked() []Status {
+	out := make([]Status, len(t.objs))
+	for i, o := range t.objs {
+		out[i] = evaluate(o.obj, t.lastLocked(o.obj.Window))
+	}
+	return out
+}
+
+// lastLocked returns the most recent min(n, win) samples, oldest first.
+func (t *Tracker) lastLocked(win int) []sample {
+	n := t.n
+	if win < n {
+		n = win
+	}
+	out := make([]sample, 0, n)
+	start := t.next - n
+	for i := 0; i < n; i++ {
+		out = append(out, t.ring[((start+i)%len(t.ring)+len(t.ring))%len(t.ring)])
+	}
+	return out
+}
+
+// Evaluate scores one objective over a completed-job sample set (latencies in
+// ms paired with failure flags). Exported for loadgen, which applies the same
+// math to its client-side measurements.
+func Evaluate(o Objective, latenciesMS []float64, failed []bool) Status {
+	samples := make([]sample, len(latenciesMS))
+	for i := range latenciesMS {
+		samples[i] = sample{latencyMS: latenciesMS[i], failed: i < len(failed) && failed[i]}
+	}
+	if o.Window == 0 {
+		o.Window = DefaultWindow
+	}
+	if len(samples) > o.Window {
+		samples = samples[len(samples)-o.Window:]
+	}
+	return evaluate(o, samples)
+}
+
+func evaluate(o Objective, samples []sample) Status {
+	st := Status{
+		Name:        o.Name,
+		Kind:        o.Kind,
+		Quantile:    o.Quantile,
+		TargetMS:    o.MaxMS,
+		MaxErrorPct: o.MaxErrorPct,
+		Window:      o.Window,
+		Samples:     len(samples),
+		OK:          true,
+	}
+	if len(samples) == 0 {
+		return st // vacuously met: no traffic burns no budget
+	}
+	switch o.Kind {
+	case KindLatencyQuantile:
+		lat := make([]float64, 0, len(samples))
+		bad := 0
+		for _, s := range samples {
+			lat = append(lat, s.latencyMS)
+			if s.failed || s.latencyMS > o.MaxMS {
+				bad++
+			}
+		}
+		sort.Float64s(lat)
+		rank := int(math.Ceil(o.Quantile * float64(len(lat))))
+		if rank < 1 {
+			rank = 1
+		}
+		st.Value = lat[rank-1]
+		badFrac := float64(bad) / float64(len(samples))
+		st.BurnRate = badFrac / (1 - o.Quantile)
+	case KindErrorRate:
+		bad := 0
+		for _, s := range samples {
+			if s.failed {
+				bad++
+			}
+		}
+		st.Value = 100 * float64(bad) / float64(len(samples))
+		st.BurnRate = st.Value / o.MaxErrorPct
+	}
+	st.OK = st.BurnRate <= 1
+	return st
+}

@@ -1,0 +1,169 @@
+package slo
+
+import (
+	"math"
+	"testing"
+
+	"cirstag/internal/obs"
+)
+
+func TestObjectiveValidate(t *testing.T) {
+	good := []Objective{
+		{Name: "e2e_p95", Kind: KindLatencyQuantile, Quantile: 0.95, MaxMS: 500},
+		{Name: "error_rate", Kind: KindErrorRate, MaxErrorPct: 1, Window: 64},
+	}
+	for _, o := range good {
+		if err := o.Validate(); err != nil {
+			t.Errorf("%s: %v", o.Name, err)
+		}
+	}
+	bad := []Objective{
+		{Name: "Bad-Name", Kind: KindErrorRate, MaxErrorPct: 1},
+		{Name: "x", Kind: "nope"},
+		{Name: "x", Kind: KindLatencyQuantile, Quantile: 0, MaxMS: 1},
+		{Name: "x", Kind: KindLatencyQuantile, Quantile: 1, MaxMS: 1},
+		{Name: "x", Kind: KindLatencyQuantile, Quantile: 0.95, MaxMS: 0},
+		{Name: "x", Kind: KindErrorRate, MaxErrorPct: 0},
+		{Name: "x", Kind: KindErrorRate, MaxErrorPct: 101},
+		{Name: "x", Kind: KindErrorRate, MaxErrorPct: 1, Window: -1},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("bad objective %d accepted", i)
+		}
+	}
+}
+
+func TestLatencyBurnRate(t *testing.T) {
+	o := Objective{Name: "e2e_p90", Kind: KindLatencyQuantile, Quantile: 0.9, MaxMS: 100, Window: 100}
+	tr := NewTracker([]Objective{o})
+	// 95 fast jobs, 5 slow: badFrac 0.05, budget 0.10 → burn 0.5, OK.
+	for i := 0; i < 95; i++ {
+		tr.Observe(10, false)
+	}
+	for i := 0; i < 5; i++ {
+		tr.Observe(500, false)
+	}
+	st := tr.Snapshot()[0]
+	if math.Abs(st.BurnRate-0.5) > 1e-9 || !st.OK {
+		t.Fatalf("status = %+v, want burn 0.5 OK", st)
+	}
+	if st.Samples != 100 || st.Value != 10 {
+		t.Fatalf("status = %+v, want samples 100, p90 value 10", st)
+	}
+	// 10 more slow jobs slide the window: 15/100 bad → burn 1.5, breached.
+	for i := 0; i < 10; i++ {
+		tr.Observe(500, false)
+	}
+	st = tr.Snapshot()[0]
+	if math.Abs(st.BurnRate-1.5) > 1e-9 || st.OK {
+		t.Fatalf("status = %+v, want burn 1.5 breached", st)
+	}
+	if st.Value != 500 {
+		t.Fatalf("p90 value = %v, want 500 (15%% of window is slow)", st.Value)
+	}
+}
+
+func TestFailedJobsBurnLatencyBudget(t *testing.T) {
+	o := Objective{Name: "e2e_p50", Kind: KindLatencyQuantile, Quantile: 0.5, MaxMS: 100, Window: 10}
+	tr := NewTracker([]Objective{o})
+	for i := 0; i < 9; i++ {
+		tr.Observe(1, false)
+	}
+	tr.Observe(1, true) // fast but failed still consumes latency budget
+	st := tr.Snapshot()[0]
+	if math.Abs(st.BurnRate-0.2) > 1e-9 {
+		t.Fatalf("burn = %v, want 0.2 (1 bad of 10, budget 0.5)", st.BurnRate)
+	}
+}
+
+func TestErrorRateBurn(t *testing.T) {
+	o := Objective{Name: "error_rate", Kind: KindErrorRate, MaxErrorPct: 5, Window: 100}
+	tr := NewTracker([]Objective{o})
+	for i := 0; i < 98; i++ {
+		tr.Observe(10, false)
+	}
+	tr.Observe(10, true)
+	tr.Observe(10, true)
+	st := tr.Snapshot()[0]
+	if math.Abs(st.Value-2) > 1e-9 || math.Abs(st.BurnRate-0.4) > 1e-9 || !st.OK {
+		t.Fatalf("status = %+v, want value 2%% burn 0.4 OK", st)
+	}
+	for i := 0; i < 8; i++ {
+		tr.Observe(10, true)
+	}
+	st = tr.Snapshot()[0]
+	if st.OK || math.Abs(st.BurnRate-2) > 1e-9 {
+		t.Fatalf("status = %+v, want burn 2.0 breached (10%% errors vs 5%% budget)", st)
+	}
+}
+
+func TestEmptyWindowVacuouslyOK(t *testing.T) {
+	tr := NewTracker([]Objective{{Name: "e2e_p95", Kind: KindLatencyQuantile, Quantile: 0.95, MaxMS: 1}})
+	st := tr.Snapshot()[0]
+	if !st.OK || st.BurnRate != 0 || st.Samples != 0 {
+		t.Fatalf("empty tracker status = %+v, want vacuous OK", st)
+	}
+	var nilTr *Tracker
+	nilTr.Observe(1, false)
+	if nilTr.Snapshot() != nil || nilTr.Objectives() != 0 {
+		t.Fatal("nil tracker must be a no-op")
+	}
+}
+
+func TestPerObjectiveWindows(t *testing.T) {
+	// Two objectives with different windows share one ring sized to the max.
+	objs := []Objective{
+		{Name: "recent", Kind: KindErrorRate, MaxErrorPct: 50, Window: 4},
+		{Name: "longer", Kind: KindErrorRate, MaxErrorPct: 50, Window: 16},
+	}
+	tr := NewTracker(objs)
+	for i := 0; i < 8; i++ {
+		tr.Observe(1, true) // old failures
+	}
+	for i := 0; i < 4; i++ {
+		tr.Observe(1, false) // recent successes
+	}
+	sts := tr.Snapshot()
+	if sts[0].Value != 0 || sts[0].Samples != 4 {
+		t.Fatalf("recent = %+v, want 0%% over 4 samples", sts[0])
+	}
+	if math.Abs(sts[1].Value-100*8.0/12.0) > 1e-9 || sts[1].Samples != 12 {
+		t.Fatalf("longer = %+v, want 66.7%% over 12 samples", sts[1])
+	}
+}
+
+func TestGaugesExported(t *testing.T) {
+	obs.Reset()
+	obs.Enable()
+	t.Cleanup(func() {
+		obs.Disable()
+		obs.Reset()
+	})
+	tr := NewTracker([]Objective{{Name: "gauge_test", Kind: KindErrorRate, MaxErrorPct: 10, Window: 4}})
+	tr.Observe(1, true)
+	got := map[string]float64{}
+	for _, m := range obs.MetricsSnapshot() {
+		got[m.Name] = m.Value
+	}
+	if got["slo.gauge_test.burn_rate"] != 10 || got["slo.gauge_test.ok"] != 0 || got["slo.gauge_test.value"] != 100 {
+		t.Fatalf("gauges = burn %v ok %v value %v, want 10 / 0 / 100",
+			got["slo.gauge_test.burn_rate"], got["slo.gauge_test.ok"], got["slo.gauge_test.value"])
+	}
+}
+
+func TestEvaluateHelper(t *testing.T) {
+	o := Objective{Name: "e2e_p95", Kind: KindLatencyQuantile, Quantile: 0.95, MaxMS: 50, Window: 100}
+	lat := make([]float64, 20)
+	for i := range lat {
+		lat[i] = 10
+	}
+	lat[18], lat[19] = 80, 80
+	st := Evaluate(o, lat, nil)
+	if st.OK || math.Abs(st.BurnRate-2.0) > 1e-9 {
+		t.Fatalf("status = %+v, want burn 2.0 breached", st)
+	}
+	if st.Value != 80 {
+		t.Fatalf("p95 value = %v, want 80", st.Value)
+	}
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Window is a sliding-window quantile estimator over the most recent Cap
+// observations. Unlike Histogram — whose fixed buckets give cumulative,
+// whole-process distributions — a Window answers "what is the p95 right
+// now?", which is what live backpressure (Retry-After derivation) and SLO
+// views need: old samples age out instead of dragging the estimate forever.
+//
+// Quantiles are exact nearest-rank over the retained samples (the window is
+// small, hundreds to a few thousand entries, so a sort per query is cheap and
+// the estimator has no tuning parameters). Observe is a no-op while obs
+// recording is disabled, like every other metric.
+//
+// Windows are exported on /metrics as a family of plain gauges —
+// <name>.p50/.p95/.p99/.window_count — rather than a Prometheus summary
+// type, so the exposition stays within the counter/gauge/histogram set the
+// repo's linter (obslint -metrics) understands.
+type Window struct {
+	name string
+
+	mu    sync.Mutex
+	buf   []float64 // ring storage, len == capacity
+	n     int       // retained samples, <= len(buf)
+	next  int       // ring write index
+	total int64     // lifetime observations (not reset by aging)
+}
+
+// NewWindow registers (or returns the already-registered) window with the
+// given name and capacity (number of retained samples). Panics on capacity
+// < 1. Like the other metric constructors, registration is idempotent by
+// name; a second registration returns the first window and ignores the new
+// capacity.
+func NewWindow(name string, capacity int) *Window {
+	if capacity < 1 {
+		panic("obs: NewWindow needs capacity >= 1")
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if w, ok := registry.windows[name]; ok {
+		return w
+	}
+	w := &Window{name: name, buf: make([]float64, capacity)}
+	registry.windows[name] = w
+	return w
+}
+
+// Observe records one sample, evicting the oldest when the window is full.
+// A no-op when recording is disabled or the receiver is nil.
+func (w *Window) Observe(v float64) {
+	if w == nil || !on.Load() {
+		return
+	}
+	w.mu.Lock()
+	w.buf[w.next] = v
+	w.next = (w.next + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+	w.total++
+	w.mu.Unlock()
+}
+
+// Count returns the number of samples currently retained in the window.
+func (w *Window) Count() int {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
+
+// Quantile returns the nearest-rank q-quantile (0 < q <= 1) of the retained
+// samples, or 0 when the window is empty or the receiver is nil.
+func (w *Window) Quantile(q float64) float64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	sorted := w.sortedLocked()
+	w.mu.Unlock()
+	return quantileSorted(sorted, q)
+}
+
+// WindowReport is a point-in-time summary of a Window, embedded in the stats
+// document the job server serves on /v1/stats.
+type WindowReport struct {
+	Count int     `json:"count"`
+	Total int64   `json:"total"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// Snapshot returns the standard quantile summary of the retained samples.
+// All fields are zero for an empty or nil window.
+func (w *Window) Snapshot() WindowReport {
+	if w == nil {
+		return WindowReport{}
+	}
+	w.mu.Lock()
+	sorted := w.sortedLocked()
+	total := w.total
+	w.mu.Unlock()
+	r := WindowReport{Count: len(sorted), Total: total}
+	if len(sorted) == 0 {
+		return r
+	}
+	r.P50 = quantileSorted(sorted, 0.50)
+	r.P95 = quantileSorted(sorted, 0.95)
+	r.P99 = quantileSorted(sorted, 0.99)
+	r.Max = sorted[len(sorted)-1]
+	return r
+}
+
+// sortedLocked copies the retained samples into a fresh sorted slice. Caller
+// holds w.mu for the whole call; windows are small, so that's cheap.
+func (w *Window) sortedLocked() []float64 {
+	out := make([]float64, w.n)
+	if w.n == len(w.buf) {
+		copy(out, w.buf)
+	} else {
+		copy(out, w.buf[:w.n])
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// quantileSorted returns the nearest-rank quantile of an ascending slice.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// reset drops all retained samples (obs.Reset).
+func (w *Window) reset() {
+	w.mu.Lock()
+	w.n, w.next, w.total = 0, 0, 0
+	w.mu.Unlock()
+}
+
+// windowSnapshots expands every registered window into its synthetic gauge
+// series for MetricsSnapshot. Caller holds registry.mu.
+func windowSnapshots(out []MetricSnapshot) []MetricSnapshot {
+	for name, w := range registry.windows {
+		s := w.Snapshot()
+		out = append(out,
+			MetricSnapshot{Name: name + ".p50", Kind: KindGauge, Value: s.P50},
+			MetricSnapshot{Name: name + ".p95", Kind: KindGauge, Value: s.P95},
+			MetricSnapshot{Name: name + ".p99", Kind: KindGauge, Value: s.P99},
+			MetricSnapshot{Name: name + ".window_count", Kind: KindGauge, Value: float64(s.Count)},
+		)
+	}
+	return out
+}

@@ -1,0 +1,430 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"cirstag/internal/obs"
+	"cirstag/internal/obs/event"
+	"cirstag/internal/obs/slo"
+)
+
+// StatsSchemaVersion identifies the /v1/stats document format.
+const StatsSchemaVersion = "cirstag.stats/v1"
+
+// maxJobEvents bounds the per-job event log (lifecycle + two events per
+// pipeline phase; sequence jobs emit two per step). Beyond the cap the log
+// stops growing — the global bus still carries the events live.
+const maxJobEvents = 4096
+
+// sseBuffer is the per-subscriber channel capacity for SSE streams. A reader
+// further than this many events behind starts dropping (counted in
+// events.dropped) rather than blocking dispatch.
+const sseBuffer = 256
+
+// maxRetryAfterSecs caps the derived Retry-After hint so a pathological
+// queue-wait estimate cannot park clients for hours.
+const maxRetryAfterSecs = 300
+
+// retrySeconds derives the Retry-After hint from the live queue-wait p50
+// estimate: a client told to come back after roughly one median queue wait
+// arrives when a slot has plausibly freed, so backoff scales with actual
+// saturation instead of a fixed guess. floor (the configured RetryAfter,
+// itself floored at 1s) applies while the window is empty or waits are
+// sub-second.
+func retrySeconds(p50MS float64, floor time.Duration) int {
+	secs := int(math.Ceil(floor.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if p := int(math.Ceil(p50MS / 1000)); p > secs {
+		secs = p
+	}
+	if secs > maxRetryAfterSecs {
+		secs = maxRetryAfterSecs
+	}
+	return secs
+}
+
+// retryAfterSeconds is the live Retry-After value for backpressure responses
+// and the stats document.
+func (s *Server) retryAfterSeconds() int {
+	return retrySeconds(s.queueWaitWin.Quantile(0.5), s.cfg.RetryAfter)
+}
+
+// Bus exposes the lifecycle event bus (tests subscribe directly; production
+// consumers use the SSE endpoints).
+func (s *Server) Bus() *event.Bus { return s.bus }
+
+// publishJobLocked stamps the job identity and correlation fields onto ev,
+// publishes it, and appends it to the job's replay log. Caller holds s.mu,
+// which is what orders lifecycle events correctly against state transitions;
+// the bus never blocks, so holding the lock across Publish is safe.
+func (s *Server) publishJobLocked(j *Job, ev event.Event) {
+	ev.JobID = j.ID
+	if ev.Tenant == "" {
+		ev.Tenant = j.Tenant
+	}
+	ev.RunID = obs.RunID()
+	stamped := s.bus.Publish(ev)
+	if stamped.Seq == 0 {
+		return // bus already shut down (post-drain)
+	}
+	if len(j.events) < maxJobEvents {
+		j.events = append(j.events, stamped)
+	}
+}
+
+// publishJobEvent is publishJobLocked for callers outside the server lock
+// (the span observer routing phase boundaries).
+func (s *Server) publishJobEvent(j *Job, ev event.Event) {
+	s.mu.Lock()
+	s.publishJobLocked(j, ev)
+	s.mu.Unlock()
+}
+
+// JobEvents returns a copy of the job's event log.
+func (s *Server) JobEvents(j *Job) []event.Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]event.Event(nil), j.events...)
+}
+
+// shutdownBus ends every event stream with a terminal drained event and
+// closes the bus. Idempotent; called from every Drain exit path so SSE
+// handlers (and their goroutines) unwind before the listener stops.
+func (s *Server) shutdownBus() {
+	s.bus.Shutdown(event.Event{Type: event.Drained, RunID: obs.RunID()})
+}
+
+// phaseRoots routes depth-1 span boundaries (pipeline phases) to the job
+// whose root span they belong to. One process-wide observer serves every
+// Server; it is installed lazily by the first NewServer so pure-CLI
+// processes importing this package never pay for it.
+var phaseRoots struct {
+	once sync.Once
+	mu   sync.Mutex
+	m    map[uint64]phaseTarget
+}
+
+type phaseTarget struct {
+	s *Server
+	j *Job
+}
+
+func installPhaseObserver() {
+	phaseRoots.once.Do(func() {
+		phaseRoots.m = map[uint64]phaseTarget{}
+		obs.AddSpanObserver(routePhaseEvent)
+	})
+}
+
+func registerJobRoot(rootSpanID uint64, s *Server, j *Job) {
+	phaseRoots.mu.Lock()
+	phaseRoots.m[rootSpanID] = phaseTarget{s: s, j: j}
+	phaseRoots.mu.Unlock()
+}
+
+func unregisterJobRoot(rootSpanID uint64) {
+	phaseRoots.mu.Lock()
+	delete(phaseRoots.m, rootSpanID)
+	phaseRoots.mu.Unlock()
+}
+
+// routePhaseEvent publishes phase_started/phase_done for every direct child
+// span of a registered job root. Deeper spans stay out of the stream — they
+// are in the job's report for post-hoc analysis; the live stream carries the
+// same phase granularity as Status.PhasesMS.
+func routePhaseEvent(sev obs.SpanEvent) {
+	if sev.Depth != 1 {
+		return
+	}
+	phaseRoots.mu.Lock()
+	t, ok := phaseRoots.m[sev.Root]
+	phaseRoots.mu.Unlock()
+	if !ok {
+		return
+	}
+	ev := event.Event{Type: event.PhaseStarted, Phase: sev.Name, SpanID: sev.ID}
+	if sev.End {
+		ev.Type = event.PhaseDone
+		ev.DurationMS = sev.DurationMS
+	}
+	t.s.publishJobEvent(t.j, ev)
+}
+
+// TenantStats is per-tenant activity in the stats document. Queued and
+// Running are instantaneous; Completed and Failed are cumulative since
+// server start.
+type TenantStats struct {
+	Queued    int   `json:"queued"`
+	Running   int   `json:"running"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+}
+
+// EventStats summarizes the event bus in the stats document.
+type EventStats struct {
+	Published   int64 `json:"published"`
+	Dropped     int64 `json:"dropped"`
+	Subscribers int   `json:"subscribers"`
+}
+
+// StatsDoc is the cirstag.stats/v1 document served on /v1/stats: the live
+// queue/tenant view, rolling latency quantiles, coalescing savings, event-bus
+// health, and SLO status.
+type StatsDoc struct {
+	Schema      string `json:"schema"`
+	Time        string `json:"time"`
+	RunID       string `json:"run_id"`
+	Draining    bool   `json:"draining"`
+	QueueDepth  int    `json:"queue_depth"`
+	Running     int    `json:"running"`
+	Inflight    int    `json:"inflight"`
+	RetryAfterS int    `json:"retry_after_s"`
+
+	Submitted         int64 `json:"submitted"`
+	Coalesced         int64 `json:"coalesced"`
+	RejectedSaturated int64 `json:"rejected_saturated"`
+	RejectedDraining  int64 `json:"rejected_draining"`
+	Completed         int64 `json:"completed"`
+	Failed            int64 `json:"failed"`
+
+	Tenants     map[string]TenantStats `json:"tenants"`
+	QueueWaitMS obs.WindowReport       `json:"queue_wait_ms"`
+	E2EMS       obs.WindowReport       `json:"e2e_ms"`
+	Events      EventStats             `json:"events"`
+	SLO         []slo.Status           `json:"slo,omitempty"`
+}
+
+// StatsDoc snapshots the server into a cirstag.stats/v1 document.
+func (s *Server) StatsDoc() StatsDoc {
+	st := s.Stats()
+	doc := StatsDoc{
+		Schema:            StatsSchemaVersion,
+		Time:              time.Now().UTC().Format(time.RFC3339Nano),
+		RunID:             obs.RunID(),
+		RetryAfterS:       s.retryAfterSeconds(),
+		Submitted:         st.Submitted,
+		Coalesced:         st.Coalesced,
+		RejectedSaturated: st.RejectedSaturated,
+		RejectedDraining:  st.RejectedDraining,
+		Completed:         st.Completed,
+		Failed:            st.Failed,
+		Tenants:           map[string]TenantStats{},
+		QueueWaitMS:       s.queueWaitWin.Snapshot(),
+		E2EMS:             s.e2eWin.Snapshot(),
+		Events: EventStats{
+			Published:   obs.NewCounter("events.published").Value(),
+			Dropped:     obs.NewCounter("events.dropped").Value(),
+			Subscribers: s.bus.SubscriberCount(),
+		},
+		SLO: s.slo.Snapshot(),
+	}
+	s.mu.Lock()
+	doc.Draining = s.draining
+	doc.QueueDepth = len(s.queue)
+	doc.Inflight = s.inflight
+	doc.Running = s.inflight - len(s.queue)
+	for _, j := range s.queue {
+		t := doc.Tenants[j.Tenant]
+		t.Queued++
+		doc.Tenants[j.Tenant] = t
+	}
+	for tenant, n := range s.running {
+		t := doc.Tenants[tenant]
+		t.Running = n
+		doc.Tenants[tenant] = t
+	}
+	for tenant, c := range s.tenantDone {
+		t := doc.Tenants[tenant]
+		t.Completed = c.completed
+		t.Failed = c.failed
+		doc.Tenants[tenant] = t
+	}
+	s.mu.Unlock()
+	return doc
+}
+
+// ParseStats decodes and validates a cirstag.stats/v1 document (obslint
+// -stats).
+func ParseStats(b []byte) (*StatsDoc, error) {
+	var doc StatsDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, err
+	}
+	if doc.Schema != StatsSchemaVersion {
+		return nil, fmt.Errorf("schema %q, want %q", doc.Schema, StatsSchemaVersion)
+	}
+	if doc.RunID == "" {
+		return nil, fmt.Errorf("missing run_id")
+	}
+	if doc.QueueDepth < 0 || doc.Inflight < 0 || doc.Running < 0 {
+		return nil, fmt.Errorf("negative queue accounting (depth %d, inflight %d, running %d)",
+			doc.QueueDepth, doc.Inflight, doc.Running)
+	}
+	if doc.QueueDepth+doc.Running != doc.Inflight {
+		return nil, fmt.Errorf("inflight %d != queued %d + running %d", doc.Inflight, doc.QueueDepth, doc.Running)
+	}
+	if doc.RetryAfterS < 1 {
+		return nil, fmt.Errorf("retry_after_s %d < 1", doc.RetryAfterS)
+	}
+	for name, w := range map[string]obs.WindowReport{"queue_wait_ms": doc.QueueWaitMS, "e2e_ms": doc.E2EMS} {
+		if w.Count < 0 || w.P50 < 0 || w.P95 < w.P50 || w.P99 < w.P95 || w.Max < w.P99 {
+			return nil, fmt.Errorf("%s quantiles not monotone: %+v", name, w)
+		}
+	}
+	if doc.Events.Dropped < 0 || doc.Events.Published < 0 || doc.Events.Subscribers < 0 {
+		return nil, fmt.Errorf("event accounting inconsistent: %+v", doc.Events)
+	}
+	for _, st := range doc.SLO {
+		if st.Name == "" || st.BurnRate < 0 || st.Samples < 0 {
+			return nil, fmt.Errorf("invalid slo status: %+v", st)
+		}
+	}
+	return &doc, nil
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatsDoc())
+}
+
+// parseAfterSeq extracts the resume position: the standard Last-Event-ID
+// header, or an ?after= query parameter for plain-curl use.
+func parseAfterSeq(r *http.Request) uint64 {
+	v := r.Header.Get("Last-Event-ID")
+	if v == "" {
+		v = r.URL.Query().Get("after")
+	}
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// sseSetup writes the stream headers and returns the flusher, or reports the
+// connection unusable.
+func sseSetup(w http.ResponseWriter) (http.Flusher, bool) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "streaming unsupported by connection"})
+		return nil, false
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	return fl, true
+}
+
+// handleEvents streams the server-wide lifecycle feed as SSE. Supports
+// Last-Event-ID resume from the bus's replay ring; emits comment heartbeats
+// while idle; ends when the client disconnects or the server drains (the
+// terminal drained event is delivered first).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	sub, backlog := s.bus.Subscribe(sseBuffer, parseAfterSeq(r))
+	defer sub.Close()
+	fl, ok := sseSetup(w)
+	if !ok {
+		return
+	}
+	last := uint64(0)
+	for _, ev := range backlog {
+		if event.WriteSSE(w, ev) != nil {
+			return
+		}
+		last = ev.Seq
+	}
+	fl.Flush()
+	s.followSSE(w, r, fl, sub, last, "")
+}
+
+// handleJobEvents streams one job's lifecycle as SSE: the job's retained
+// event log is replayed from the start (or the Last-Event-ID position), then
+// the stream follows live until the job's terminal event. For an already
+// finished job the full replay is served and the stream closes immediately —
+// which is what lets tooling fetch a complete, validated lifecycle
+// transcript with one plain GET.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.Job(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such job"})
+		return
+	}
+	after := parseAfterSeq(r)
+	// Subscribe before snapshotting the log: everything before the snapshot
+	// is in the log, everything after registration is on the channel, and the
+	// seq filter dedups the overlap — no gap, no double delivery.
+	sub, _ := s.bus.Subscribe(sseBuffer, s.bus.LastSeq())
+	defer sub.Close()
+	log := s.JobEvents(j)
+
+	fl, ok := sseSetup(w)
+	if !ok {
+		return
+	}
+	last := after
+	terminal := false
+	for _, ev := range log {
+		if ev.Seq <= after {
+			continue
+		}
+		if event.WriteSSE(w, ev) != nil {
+			return
+		}
+		last = ev.Seq
+		terminal = terminal || event.Terminal(ev.Type)
+	}
+	fl.Flush()
+	if terminal {
+		return
+	}
+	s.followSSE(w, r, fl, sub, last, j.ID)
+}
+
+// followSSE relays live events to one SSE client until a terminal condition:
+// client disconnect, bus shutdown (drained), or — when filtering for a job —
+// that job's terminal event. Heartbeat comments keep proxies from reaping
+// idle streams.
+func (s *Server) followSSE(w http.ResponseWriter, r *http.Request, fl http.Flusher, sub *event.Subscriber, afterSeq uint64, jobID string) {
+	heartbeat := time.NewTicker(s.cfg.SSEHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case ev, ok := <-sub.Events():
+			if !ok {
+				return // bus shut down; drained event (if any) already delivered
+			}
+			if ev.Seq <= afterSeq {
+				continue
+			}
+			if jobID != "" && ev.JobID != jobID && ev.Type != event.Drained {
+				continue
+			}
+			if event.WriteSSE(w, ev) != nil {
+				return
+			}
+			fl.Flush()
+			if event.Terminal(ev.Type) && (jobID != "" || ev.Type == event.Drained) {
+				return
+			}
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,474 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cirstag/internal/cache"
+	"cirstag/internal/circuit"
+	"cirstag/internal/obs"
+	"cirstag/internal/obs/event"
+	"cirstag/internal/obs/slo"
+)
+
+// quickRunner completes immediately with a child span, so lifecycle streams
+// carry phase events without parking.
+func quickRunner() func(*circuit.Netlist, Params, *cache.Store, *obs.Span) (*RunResult, error) {
+	release := make(chan struct{})
+	close(release)
+	return blockingRunner(release)
+}
+
+func eventTypes(events []event.Event) []event.Type {
+	out := make([]event.Type, len(events))
+	for i, ev := range events {
+		out[i] = ev.Type
+	}
+	return out
+}
+
+func TestJobEventLifecycle(t *testing.T) {
+	enableObs(t)
+	s := NewServer(Config{Runner: quickRunner()})
+	j, coalesced, err := s.Submit(benchRequest("acme", 1))
+	if err != nil || coalesced {
+		t.Fatalf("Submit: coalesced=%v err=%v", coalesced, err)
+	}
+	waitDone(t, j)
+
+	log := s.JobEvents(j)
+	want := []event.Type{event.Accepted, event.Queued, event.Started, event.PhaseStarted, event.PhaseDone, event.Done}
+	if fmt.Sprint(eventTypes(log)) != fmt.Sprint(want) {
+		t.Fatalf("lifecycle = %v, want %v", eventTypes(log), want)
+	}
+	if err := event.ValidateStream(log); err != nil {
+		t.Fatalf("lifecycle fails validation: %v", err)
+	}
+	var lastSeq uint64
+	for i, ev := range log {
+		if ev.Seq <= lastSeq {
+			t.Fatalf("event %d seq %d not increasing", i, ev.Seq)
+		}
+		lastSeq = ev.Seq
+		if ev.JobID != j.ID || ev.Tenant == "" {
+			t.Fatalf("event %d = %+v, want job %s with tenant", i, ev, j.ID)
+		}
+		if ev.RunID != obs.RunID() {
+			t.Fatalf("event %d run_id %q, want %q", i, ev.RunID, obs.RunID())
+		}
+	}
+
+	// Correlation with the job's cirstag.report/v2: the started event's
+	// span_id is the report's root span; the phase events' span_id is the
+	// depth-1 child.
+	rep, err := obs.ParseReport(s.Report(j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RunID != log[2].RunID {
+		t.Fatalf("report run_id %q != event run_id %q", rep.RunID, log[2].RunID)
+	}
+	if len(rep.Spans) == 0 || rep.Spans[0].ID != log[2].SpanID {
+		t.Fatalf("started span_id %d does not match report root span %+v", log[2].SpanID, rep.Spans[0])
+	}
+	if log[3].Phase != "stub.analysis" || log[3].SpanID == 0 {
+		t.Fatalf("phase_started = %+v, want stub.analysis with span id", log[3])
+	}
+	if log[4].SpanID != log[3].SpanID || log[4].DurationMS < 0 {
+		t.Fatalf("phase_done = %+v, want same span as phase_started", log[4])
+	}
+	if done := log[5]; done.E2EMS <= 0 || done.E2EMS < done.QueueWaitMS {
+		t.Fatalf("done event = %+v, want e2e >= queue wait > 0", done)
+	}
+}
+
+func TestCoalescedEventPublished(t *testing.T) {
+	enableObs(t)
+	release := make(chan struct{})
+	s := NewServer(Config{Runner: blockingRunner(release)})
+	j, _, err := s.Submit(benchRequest("acme", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, coalesced, err := s.Submit(benchRequest("rival", 1)); err != nil || !coalesced {
+		t.Fatalf("second submit: coalesced=%v err=%v", coalesced, err)
+	}
+	close(release)
+	waitDone(t, j)
+	log := s.JobEvents(j)
+	found := false
+	for _, ev := range log {
+		if ev.Type == event.Coalesced {
+			found = true
+			if ev.Tenant != "rival" || ev.JobID != j.ID {
+				t.Fatalf("coalesced event = %+v, want submitting tenant rival on job %s", ev, j.ID)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no coalesced event in %v", eventTypes(log))
+	}
+}
+
+func TestSSEJobStreamReplayFinishedJob(t *testing.T) {
+	enableObs(t)
+	s := NewServer(Config{Runner: quickRunner()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	j, _, err := s.Submit(benchRequest("acme", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + j.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	// Finished job: the handler replays and closes, so a plain read drains it.
+	events := scanAll(t, resp.Body)
+	if err := event.ValidateStream(events); err != nil {
+		t.Fatal(err)
+	}
+	if events[0].Type != event.Accepted || events[len(events)-1].Type != event.Done {
+		t.Fatalf("stream = %v, want accepted..done", eventTypes(events))
+	}
+
+	// Last-Event-ID resume: replay only events after the queued one.
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/jobs/"+j.ID+"/events", nil)
+	req.Header.Set("Last-Event-ID", fmt.Sprint(events[1].Seq))
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	resumed := scanAll(t, resp2.Body)
+	if len(resumed) != len(events)-2 || resumed[0].Type != event.Started {
+		t.Fatalf("resumed stream = %v, want started..done", eventTypes(resumed))
+	}
+
+	if resp3, err := http.Get(ts.URL + "/v1/jobs/nope/events"); err != nil || resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %v %v", resp3.StatusCode, err)
+	}
+}
+
+func TestSSEJobStreamFollowsLiveJob(t *testing.T) {
+	enableObs(t)
+	release := make(chan struct{})
+	s := NewServer(Config{Runner: blockingRunner(release)})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	j, _, err := s.Submit(benchRequest("acme", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, j, StateRunning)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + j.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	done := make(chan []event.Event, 1)
+	go func() { done <- scanAllQuiet(resp.Body) }()
+
+	time.Sleep(20 * time.Millisecond) // let the replay happen while running
+	close(release)
+	waitDone(t, j)
+	select {
+	case events := <-done:
+		if err := event.ValidateStream(events); err != nil {
+			t.Fatal(err)
+		}
+		types := eventTypes(events)
+		if types[0] != event.Accepted || types[len(types)-1] != event.Done {
+			t.Fatalf("live stream = %v, want accepted..done", types)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("live job stream did not terminate after job completion")
+	}
+}
+
+// TestDrainClosesSSESubscribers is the SIGTERM-path regression test: an SSE
+// client connected mid-job must receive the job's done event AND the
+// terminal drained event, and its handler must unwind — before Drain
+// returns — so stopping the listener afterwards leaks nothing.
+func TestDrainClosesSSESubscribers(t *testing.T) {
+	enableObs(t)
+	release := make(chan struct{})
+	s := NewServer(Config{Runner: blockingRunner(release)})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	j, _, err := s.Submit(benchRequest("acme", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, j, StateRunning)
+
+	resp, err := http.Get(ts.URL + "/v1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	streamed := make(chan []event.Event, 1)
+	go func() { streamed <- scanAllQuiet(resp.Body) }()
+
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- s.Drain(context.Background()) }()
+	time.Sleep(10 * time.Millisecond) // drain engaged with the subscriber live
+	close(release)
+
+	if err := <-drainErr; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	select {
+	case events := <-streamed:
+		types := eventTypes(events)
+		var sawDone, sawDrained bool
+		for _, typ := range types {
+			sawDone = sawDone || typ == event.Done
+			sawDrained = sawDrained || typ == event.Drained
+		}
+		if !sawDone || !sawDrained || types[len(types)-1] != event.Drained {
+			t.Fatalf("drained stream = %v, want ...done...drained", types)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE stream did not close after Drain — handler leaked")
+	}
+	if n := s.Bus().SubscriberCount(); n != 0 {
+		t.Fatalf("%d subscribers survived drain", n)
+	}
+	// Post-drain streams serve the retained history and close immediately.
+	resp2, err := http.Get(ts.URL + "/v1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	replay := scanAll(t, resp2.Body)
+	if len(replay) == 0 || replay[len(replay)-1].Type != event.Drained {
+		t.Fatalf("post-drain replay = %v, want history ending in drained", eventTypes(replay))
+	}
+}
+
+// TestSlowSubscriberDropsWithoutBlockingDispatch pins the bounded-bus
+// contract at the service level: a subscriber that never reads loses events
+// (counted in events.dropped → cirstag_events_dropped_total) while job
+// dispatch runs at full speed.
+func TestSlowSubscriberDropsWithoutBlockingDispatch(t *testing.T) {
+	enableObs(t)
+	base := obs.NewCounter("events.dropped").Value()
+	s := NewServer(Config{Runner: quickRunner(), MaxInflight: 64, PerTenant: 8})
+	sub, _ := s.Bus().Subscribe(1, 0) // deliberately never read
+	defer sub.Close()
+
+	var jobs []*Job
+	for i := 0; i < 8; i++ {
+		j, _, err := s.Submit(benchRequest("acme", int64(i+1)))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		jobs = append(jobs, j)
+	}
+	for _, j := range jobs {
+		waitDone(t, j) // dispatch never stalls on the stalled reader
+	}
+	if got := sub.Dropped(); got <= 0 {
+		t.Fatal("stalled subscriber dropped nothing; expected bounded-buffer drops")
+	}
+	if got := obs.NewCounter("events.dropped").Value() - base; got != sub.Dropped() {
+		t.Fatalf("events.dropped advanced by %d, want %d", got, sub.Dropped())
+	}
+}
+
+// TestRetrySecondsDerivation is the satellite bugfix table test: Retry-After
+// derives from the live queue-wait p50 with the configured floor.
+func TestRetrySecondsDerivation(t *testing.T) {
+	cases := []struct {
+		name  string
+		p50MS float64
+		floor time.Duration
+		want  int
+	}{
+		{"empty window, default floor", 0, time.Second, 1},
+		{"empty window, configured floor", 0, 7 * time.Second, 7},
+		{"sub-second waits use floor", 900, time.Second, 1},
+		{"p50 rounds up", 1200, time.Second, 2},
+		{"p50 dominates floor", 9500, 2 * time.Second, 10},
+		{"floor dominates small p50", 1500, 5 * time.Second, 5},
+		{"zero floor still >= 1s", 0, 0, 1},
+		{"sub-second floor rounds up", 0, 300 * time.Millisecond, 1},
+		{"pathological p50 capped", 3_600_000, time.Second, maxRetryAfterSecs},
+	}
+	for _, c := range cases {
+		if got := retrySeconds(c.p50MS, c.floor); got != c.want {
+			t.Errorf("%s: retrySeconds(%v, %v) = %d, want %d", c.name, c.p50MS, c.floor, got, c.want)
+		}
+	}
+}
+
+func TestRetryAfterHeaderUsesQueueWaitP50(t *testing.T) {
+	enableObs(t)
+	release := make(chan struct{})
+	defer close(release)
+	s := NewServer(Config{Runner: blockingRunner(release), MaxInflight: 1, RetryAfter: 2 * time.Second})
+	settleAfter(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if _, _, err := s.Submit(benchRequest("acme", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate observed queue pressure: with the first job's ~0ms wait
+	// already in the window, three 6s samples make the median 6s.
+	for _, v := range []float64{6000, 6000, 6000} {
+		s.queueWaitWin.Observe(v)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"tenant":"acme","bench":"ss_pcm","seed":99,"epochs":5,"top":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "6" {
+		t.Fatalf("Retry-After = %q, want %q (queue-wait p50)", got, "6")
+	}
+}
+
+func TestStatsDocAndParse(t *testing.T) {
+	enableObs(t)
+	s := NewServer(Config{
+		Runner: quickRunner(),
+		SLOs: []slo.Objective{
+			{Name: "e2e_p95", Kind: slo.KindLatencyQuantile, Quantile: 0.95, MaxMS: 60_000},
+			{Name: "error_rate", Kind: slo.KindErrorRate, MaxErrorPct: 5},
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for seed := int64(1); seed <= 3; seed++ {
+		j, _, err := s.Submit(benchRequest("acme", seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, j)
+	}
+	if _, coalesced, err := s.Submit(benchRequest("acme", 1)); err != nil || !coalesced {
+		t.Fatalf("coalescing submit: %v %v", coalesced, err)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ParseStats(body)
+	if err != nil {
+		t.Fatalf("ParseStats rejected served doc: %v\n%s", err, body)
+	}
+	if doc.Completed != 3 || doc.Coalesced != 1 || doc.Inflight != 0 {
+		t.Fatalf("doc = %+v, want 3 completed, 1 coalesced, idle", doc)
+	}
+	if tstats := doc.Tenants["acme"]; tstats.Completed != 3 || tstats.Failed != 0 {
+		t.Fatalf("tenant stats = %+v, want 3 completed", tstats)
+	}
+	if doc.E2EMS.Count != 3 || doc.E2EMS.P50 <= 0 {
+		t.Fatalf("e2e window = %+v, want 3 samples with positive p50", doc.E2EMS)
+	}
+	if doc.QueueWaitMS.Count != 3 {
+		t.Fatalf("queue wait window = %+v, want 3 samples", doc.QueueWaitMS)
+	}
+	if len(doc.SLO) != 2 || !doc.SLO[0].OK || doc.SLO[0].Samples != 3 {
+		t.Fatalf("slo = %+v, want 2 healthy objectives over 3 samples", doc.SLO)
+	}
+	if doc.Events.Published <= 0 || doc.RunID != obs.RunID() {
+		t.Fatalf("doc events/run_id = %+v / %q", doc.Events, doc.RunID)
+	}
+
+	bad := []string{
+		`{}`,
+		`{"schema":"cirstag.stats/v2","run_id":"x","retry_after_s":1}`,
+		`{"schema":"cirstag.stats/v1","retry_after_s":1}`,
+		`{"schema":"cirstag.stats/v1","run_id":"x","retry_after_s":0}`,
+		`{"schema":"cirstag.stats/v1","run_id":"x","retry_after_s":1,"queue_depth":1,"running":1,"inflight":3}`,
+		`{"schema":"cirstag.stats/v1","run_id":"x","retry_after_s":1,"queue_wait_ms":{"count":2,"p50":5,"p95":4,"p99":6,"max":6}}`,
+	}
+	for i, b := range bad {
+		if _, err := ParseStats([]byte(b)); err == nil {
+			t.Errorf("bad stats doc %d accepted", i)
+		}
+	}
+}
+
+func TestFailedJobEventAndTenantStats(t *testing.T) {
+	enableObs(t)
+	boom := errors.New("boom")
+	s := NewServer(Config{Runner: func(nl *circuit.Netlist, p Params, _ *cache.Store, span *obs.Span) (*RunResult, error) {
+		return nil, boom
+	}})
+	j, _, err := s.Submit(benchRequest("acme", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	log := s.JobEvents(j)
+	last := log[len(log)-1]
+	if last.Type != event.Failed || last.Error != "boom" || last.E2EMS <= 0 {
+		t.Fatalf("terminal event = %+v, want failed with error and e2e", last)
+	}
+	doc := s.StatsDoc()
+	if doc.Failed != 1 || doc.Tenants["acme"].Failed != 1 {
+		t.Fatalf("stats after failure = %+v", doc)
+	}
+}
+
+func scanAll(t *testing.T, r io.Reader) []event.Event {
+	t.Helper()
+	var out []event.Event
+	sc := event.NewScanner(r)
+	for {
+		ev, ok, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, ev)
+	}
+}
+
+// scanAllQuiet is scanAll for goroutines (no testing.T use off the main
+// goroutine); read errors just end the stream.
+func scanAllQuiet(r io.Reader) []event.Event {
+	var out []event.Event
+	sc := event.NewScanner(r)
+	for {
+		ev, ok, err := sc.Next()
+		if err != nil || !ok {
+			return out
+		}
+		out = append(out, ev)
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
 	"net/http"
 
 	"cirstag/internal/obs/export"
@@ -31,16 +30,23 @@ type errorBody struct {
 //	POST /v1/jobs             submit a job (JSON Request body)
 //	GET  /v1/jobs/{id}        job status + live per-phase progress
 //	GET  /v1/jobs/{id}/report the job's JSON run report (cirstag.report/v2)
+//	GET  /v1/jobs/{id}/events one job's lifecycle as SSE (cirstag.events/v1)
+//	GET  /v1/events           the server-wide lifecycle feed as SSE
+//	GET  /v1/stats            queue/tenant/latency snapshot (cirstag.stats/v1)
 //	GET  /metrics             Prometheus text exposition (process-wide)
 //	GET  /healthz             liveness ("ok", or "draining" during shutdown)
 //
 // Admission rejections carry machine-usable backpressure: 429 (saturated)
-// and 503 (draining) both set Retry-After.
+// and 503 (draining) both set Retry-After, derived from the live queue-wait
+// p50.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /v1/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.Handle("GET /metrics", export.PrometheusHandler())
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
@@ -78,14 +84,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: job.ID, State: s.Status(job).State, Coalesced: coalesced})
 }
 
-// writeBackpressure emits a rejection with the Retry-After hint (whole
-// seconds, rounded up — a zero Retry-After would tell clients to hammer).
+// writeBackpressure emits a rejection with the Retry-After hint: the live
+// queue-wait p50 estimate rounded up to whole seconds, floored by the
+// configured RetryAfter (and by 1s — a zero Retry-After would tell clients
+// to hammer).
 func (s *Server) writeBackpressure(w http.ResponseWriter, code int, err error) {
-	secs := int(math.Ceil(s.cfg.RetryAfter.Seconds()))
-	if secs < 1 {
-		secs = 1
-	}
-	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds()))
 	writeJSON(w, code, errorBody{Error: err.Error()})
 }
 

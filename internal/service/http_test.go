@@ -101,6 +101,7 @@ func TestHTTPSaturationReturns429WithRetryAfter(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
 	s := NewServer(Config{MaxInflight: 1, PerTenant: 1, RetryAfter: 2 * time.Second, Runner: blockingRunner(release)})
+	settleAfter(t, s)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -133,6 +134,7 @@ func TestHTTPTenantHeaderFallback(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
 	s := NewServer(Config{MaxInflight: 4, PerTenant: 1, Runner: blockingRunner(release)})
+	settleAfter(t, s)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

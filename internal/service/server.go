@@ -12,7 +12,9 @@ import (
 	"cirstag/internal/cache"
 	"cirstag/internal/circuit"
 	"cirstag/internal/obs"
+	"cirstag/internal/obs/event"
 	"cirstag/internal/obs/history"
+	"cirstag/internal/obs/slo"
 )
 
 // Admission errors. The HTTP layer maps them to status codes (429 with
@@ -62,9 +64,20 @@ type Config struct {
 	// HistoryDir, when non-empty, appends one run-history ledger entry per
 	// completed job (tool "cirstagd", RunID = job ID).
 	HistoryDir string
-	// RetryAfter is the client backoff hint attached to saturated/draining
-	// rejections. Default 1s.
+	// RetryAfter floors the client backoff hint attached to saturated/
+	// draining rejections; the served value additionally scales with the
+	// live queue-wait p50 (see retrySeconds). Default 1s.
 	RetryAfter time.Duration
+	// EventRing sizes the lifecycle event replay ring backing Last-Event-ID
+	// resume on the SSE endpoints. Default 1024.
+	EventRing int
+	// SSEHeartbeat is the idle keep-alive interval on SSE streams.
+	// Default 15s.
+	SSEHeartbeat time.Duration
+	// SLOs declares service-level objectives evaluated over job completions
+	// (surfaced in /v1/stats and as cirstag_slo_* metrics). Objectives must
+	// pass slo.Objective.Validate.
+	SLOs []slo.Objective
 	// Runner executes one analysis. Nil means the real pipeline (Run);
 	// tests inject controllable stand-ins.
 	Runner func(nl *circuit.Netlist, p Params, store *cache.Store, span *obs.Span) (*RunResult, error)
@@ -79,6 +92,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.EventRing <= 0 {
+		c.EventRing = 1024
+	}
+	if c.SSEHeartbeat <= 0 {
+		c.SSEHeartbeat = 15 * time.Second
 	}
 	if c.Runner == nil {
 		c.Runner = Run
@@ -104,6 +123,7 @@ type Job struct {
 	err       error
 	coalesced int64 // submissions merged onto this job
 	done      chan struct{}
+	events    []event.Event // lifecycle replay log (bounded by maxJobEvents)
 }
 
 // Done is closed when the job reaches a terminal state.
@@ -123,14 +143,20 @@ type Stats struct {
 type Server struct {
 	cfg Config
 
-	mu       sync.Mutex
-	jobs     map[string]*Job // by content-addressed ID
-	queue    []*Job          // admitted, not yet running (FIFO)
-	running  map[string]int  // tenant -> running count
-	inflight int             // queued + running
-	draining bool
-	drained  chan struct{} // closed when draining && inflight == 0
-	wg       sync.WaitGroup
+	bus          *event.Bus   // lifecycle event bus behind the SSE endpoints
+	slo          *slo.Tracker // nil when no objectives declared
+	queueWaitWin *obs.Window  // rolling queue-wait quantiles (Retry-After, stats)
+	e2eWin       *obs.Window  // rolling submit→done quantiles (stats, SLO view)
+
+	mu         sync.Mutex
+	jobs       map[string]*Job // by content-addressed ID
+	queue      []*Job          // admitted, not yet running (FIFO)
+	running    map[string]int  // tenant -> running count
+	tenantDone map[string]*tenantTotals
+	inflight   int // queued + running
+	draining   bool
+	drained    chan struct{} // closed when draining && inflight == 0
+	wg         sync.WaitGroup
 
 	stats struct {
 		submitted, coalesced, satRejected, drainRejected atomic.Int64
@@ -138,13 +164,28 @@ type Server struct {
 	}
 }
 
-// NewServer builds a Server from cfg (zero fields take defaults).
+// tenantTotals accumulates per-tenant terminal counts for the stats document.
+type tenantTotals struct{ completed, failed int64 }
+
+// NewServer builds a Server from cfg (zero fields take defaults). Invalid
+// SLO declarations panic (they are operator configuration, validated again
+// at flag-parse time by the CLIs).
 func NewServer(cfg Config) *Server {
-	return &Server{
-		cfg:     cfg.withDefaults(),
-		jobs:    map[string]*Job{},
-		running: map[string]int{},
+	cfg = cfg.withDefaults()
+	installPhaseObserver()
+	s := &Server{
+		cfg:          cfg,
+		jobs:         map[string]*Job{},
+		running:      map[string]int{},
+		tenantDone:   map[string]*tenantTotals{},
+		bus:          event.NewBus(cfg.EventRing),
+		queueWaitWin: obs.NewWindow("service.queue_wait_ms", 1024),
+		e2eWin:       obs.NewWindow("service.e2e_ms", 1024),
 	}
+	if len(cfg.SLOs) > 0 {
+		s.slo = slo.NewTracker(cfg.SLOs)
+	}
+	return s
 }
 
 // Stats snapshots server activity.
@@ -203,6 +244,7 @@ func (s *Server) Submit(req *Request) (job *Job, coalesced bool, err error) {
 		j.coalesced++
 		s.stats.coalesced.Add(1)
 		coalescedCounter.Inc()
+		s.publishJobLocked(j, event.Event{Type: event.Coalesced, Tenant: r.Tenant})
 		return j, true, nil
 	}
 	if s.draining {
@@ -229,6 +271,8 @@ func (s *Server) Submit(req *Request) (job *Job, coalesced bool, err error) {
 	s.inflight++
 	s.stats.submitted.Add(1)
 	submittedCounter.Inc()
+	s.publishJobLocked(j, event.Event{Type: event.Accepted})
+	s.publishJobLocked(j, event.Event{Type: event.Queued, QueueDepth: len(s.queue)})
 	s.dispatchLocked()
 	return j, false, nil
 }
@@ -250,7 +294,9 @@ func (s *Server) dispatchLocked() {
 			s.running[j.Tenant]++
 			j.state = StateRunning
 			j.started = time.Now()
-			queueWaitHist.Observe(float64(j.started.Sub(j.submitted)) / float64(time.Millisecond))
+			wait := float64(j.started.Sub(j.submitted)) / float64(time.Millisecond)
+			queueWaitHist.Observe(wait)
+			s.queueWaitWin.Observe(wait)
 			s.wg.Add(1)
 			go s.execute(j)
 		} else {
@@ -272,8 +318,19 @@ func (s *Server) dispatchLocked() {
 func (s *Server) execute(j *Job) {
 	defer s.wg.Done()
 	span := obs.Start("job")
+	if rootID := span.ID(); rootID != 0 {
+		// Route this job's depth-1 phase spans to its event stream while the
+		// pipeline runs.
+		registerJobRoot(rootID, s, j)
+		defer unregisterJobRoot(rootID)
+	}
 	s.mu.Lock()
 	j.span = span
+	s.publishJobLocked(j, event.Event{
+		Type:        event.Started,
+		SpanID:      span.ID(),
+		QueueWaitMS: float64(j.started.Sub(j.submitted)) / float64(time.Millisecond),
+	})
 	s.mu.Unlock()
 
 	res, err := s.cfg.Runner(j.nl, j.Params, s.cfg.Store, span)
@@ -321,19 +378,38 @@ func (s *Server) execute(j *Job) {
 	s.mu.Lock()
 	j.finished = time.Now()
 	j.report = reportBytes
+	e2e := float64(j.finished.Sub(j.submitted)) / float64(time.Millisecond)
+	wait := float64(j.started.Sub(j.submitted)) / float64(time.Millisecond)
+	s.e2eWin.Observe(e2e)
+	totals := s.tenantDone[j.Tenant]
+	if totals == nil {
+		totals = &tenantTotals{}
+		s.tenantDone[j.Tenant] = totals
+	}
 	if err != nil {
 		j.state = StateFailed
 		j.err = err
 		s.stats.failed.Add(1)
 		failedCounter.Inc()
+		totals.failed++
+		s.publishJobLocked(j, event.Event{
+			Type: event.Failed, SpanID: j.span.ID(),
+			QueueWaitMS: wait, E2EMS: e2e, Error: err.Error(),
+		})
 		obs.Errorf("cirstagd: job %s failed: %v", j.ID, err)
 	} else {
 		j.state = StateDone
 		j.result = res
 		s.stats.completed.Add(1)
 		completedCounter.Inc()
+		totals.completed++
+		s.publishJobLocked(j, event.Event{
+			Type: event.Done, SpanID: j.span.ID(),
+			QueueWaitMS: wait, E2EMS: e2e,
+		})
 		obs.Infof("job %s done (tenant %s, %.0fms)", j.ID, j.Tenant, float64(j.finished.Sub(j.started))/float64(time.Millisecond))
 	}
+	s.slo.Observe(e2e, err != nil)
 	s.running[j.Tenant]--
 	if s.running[j.Tenant] == 0 {
 		delete(s.running, j.Tenant)
@@ -353,11 +429,17 @@ func (s *Server) execute(j *Job) {
 // results) and blocks until every admitted job — queued and running — has
 // finished, or ctx expires. A nil return means the queue fully drained.
 // Drain is idempotent; concurrent callers all unblock.
+//
+// Every exit path ends the event plane: the bus publishes a terminal drained
+// event and closes all subscriber channels, so SSE handlers (and the client
+// connections behind them) unwind before the caller stops the listener — no
+// stream goroutine outlives the drain.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	if s.inflight == 0 {
 		s.mu.Unlock()
+		s.shutdownBus()
 		return nil
 	}
 	if s.drained == nil {
@@ -367,8 +449,10 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Unlock()
 	select {
 	case <-ch:
+		s.shutdownBus()
 		return nil
 	case <-ctx.Done():
+		s.shutdownBus()
 		return fmt.Errorf("service: drain interrupted with %d job(s) in flight: %w", s.Inflight(), ctx.Err())
 	}
 }

@@ -55,6 +55,24 @@ func waitDone(t *testing.T, j *Job) {
 	}
 }
 
+// settleAfter drains s once the test finishes. Tests that deliberately leave
+// a job in flight (saturation, backpressure, drain-timeout scenarios) must
+// register this: the obs windows a finishing job observes into are shared
+// process-wide by name, so a straggling finish would otherwise land samples
+// in whatever test runs next. Cleanups run after the test's defers, so a
+// deferred close(release) has already unblocked the runner by the time the
+// drain waits.
+func settleAfter(t *testing.T, s *Server) {
+	t.Helper()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("draining leftover jobs: %v", err)
+		}
+	})
+}
+
 // waitState polls until the job reaches the wanted state (for non-terminal
 // states that have no completion channel).
 func waitState(t *testing.T, s *Server, j *Job, want string) {
@@ -123,6 +141,7 @@ func TestSaturationRejectsWithErrSaturated(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
 	s := NewServer(Config{MaxInflight: 2, PerTenant: 1, Runner: blockingRunner(release)})
+	settleAfter(t, s)
 
 	// Fill the admission bound: one running (per-tenant limit 1), one queued.
 	if _, _, err := s.Submit(benchRequest("t", 1)); err != nil {
@@ -235,6 +254,7 @@ func TestDrainTimeoutReportsInflight(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
 	s := NewServer(Config{MaxInflight: 2, PerTenant: 1, Runner: blockingRunner(release)})
+	settleAfter(t, s)
 	j, _, err := s.Submit(benchRequest("t", 1))
 	if err != nil {
 		t.Fatal(err)

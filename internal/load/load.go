@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"runtime"
 	"sort"
@@ -217,8 +218,10 @@ type Verdict struct {
 	RunID  string    `json:"run_id,omitempty"`
 	Config Config    `json:"config"`
 	Jobs   JobTotals `json:"jobs"`
-	// E2EMS summarizes client-observed submit→terminal-event latency,
-	// including 429 backoff sleeps.
+	// E2EMS summarizes client-observed submit→terminal latency, including
+	// 429 backoff sleeps. Failed jobs contribute their elapsed time and a
+	// timeout charges at least the full JobTimeout, so these quantiles cover
+	// the same sample population the SLO verdicts are evaluated over.
 	E2EMS LatencyStats `json:"e2e_ms"`
 	// QueueWaitMS summarizes the server-reported queue waits carried on the
 	// terminal events.
@@ -388,16 +391,22 @@ func runOneJob(ctx context.Context, client *http.Client, w *watcher, cfg Config,
 		return out
 	}
 
+	// Every outcome past this point carries a latency sample — failures
+	// included — so score() can pair each job's failed flag with its own
+	// latency when evaluating objectives.
 	start := time.Now()
+	elapsedMS := func() float64 { return float64(time.Since(start)) / float64(time.Millisecond) }
 	var jobID string
 	for attempt := 0; ; attempt++ {
 		if attempt >= maxSubmitAttempts || ctx.Err() != nil {
 			out.failed = true
+			out.e2eMS = elapsedMS()
 			return out
 		}
 		resp, err := client.Post(cfg.Addr+"/v1/jobs", "application/json", bytes.NewReader(body))
 		if err != nil {
 			out.failed = true
+			out.e2eMS = elapsedMS()
 			return out
 		}
 		rb, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
@@ -412,12 +421,14 @@ func runOneJob(ctx context.Context, client *http.Client, w *watcher, cfg Config,
 			case <-time.After(pause):
 			case <-ctx.Done():
 				out.failed = true
+				out.e2eMS = elapsedMS()
 				return out
 			}
 			continue
 		}
 		if resp.StatusCode != http.StatusAccepted {
 			out.failed = true
+			out.e2eMS = elapsedMS()
 			return out
 		}
 		var ack struct {
@@ -426,6 +437,7 @@ func runOneJob(ctx context.Context, client *http.Client, w *watcher, cfg Config,
 		}
 		if json.Unmarshal(rb, &ack) != nil || ack.ID == "" {
 			out.failed = true
+			out.e2eMS = elapsedMS()
 			return out
 		}
 		jobID = ack.ID
@@ -437,9 +449,12 @@ func runOneJob(ctx context.Context, client *http.Client, w *watcher, cfg Config,
 	if !ok {
 		out.failed = true
 		out.timedOut = true
+		// Charge at least the full timeout: the job cost the client this long
+		// even though no terminal event ever arrived.
+		out.e2eMS = math.Max(elapsedMS(), float64(cfg.JobTimeout)/float64(time.Millisecond))
 		return out
 	}
-	out.e2eMS = float64(time.Since(start)) / float64(time.Millisecond)
+	out.e2eMS = elapsedMS()
 	out.queueWaitMS = term.QueueWaitMS
 	out.failed = term.Type == event.Failed
 	return out
@@ -507,26 +522,24 @@ func score(cfg Config, outcomes []jobOutcome, runID string) *Verdict {
 		if out.coalesced {
 			v.Jobs.Coalesced++
 		}
+		// e2e and failed stay index-aligned — slo.Evaluate pairs them — so
+		// every outcome contributes exactly one (latency, failed) pair.
+		// Timed-out jobs carry at least the full JobTimeout (runOneJob), which
+		// is what lets trailing timeouts count against both the error-rate and
+		// the latency objectives instead of silently dropping off the end.
+		e2e = append(e2e, out.e2eMS)
+		failed = append(failed, out.failed)
+		perTenantE2E[out.tenant] = append(perTenantE2E[out.tenant], out.e2eMS)
 		if out.failed {
 			v.Jobs.Failed++
 			tt.Failed++
 			if out.timedOut {
 				v.Jobs.TimedOut++
 			}
-			failed = append(failed, true)
-			// Timed-out/unsubmitted jobs have no latency sample; completed-
-			// but-failed jobs do.
-			if out.e2eMS > 0 {
-				e2e = append(e2e, out.e2eMS)
-				perTenantE2E[out.tenant] = append(perTenantE2E[out.tenant], out.e2eMS)
-			}
 		} else {
 			v.Jobs.Completed++
 			tt.Completed++
-			failed = append(failed, false)
-			e2e = append(e2e, out.e2eMS)
 			waits = append(waits, out.queueWaitMS)
-			perTenantE2E[out.tenant] = append(perTenantE2E[out.tenant], out.e2eMS)
 		}
 		v.PerTenant[out.tenant] = tt
 	}

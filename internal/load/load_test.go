@@ -168,6 +168,78 @@ func TestRunCountsFailedJobs(t *testing.T) {
 	}
 }
 
+// TestScoreCountsTrailingTimeouts pins the sample-alignment contract between
+// score and slo.Evaluate: the latency and failed slices are index-aligned with
+// one entry per job, so timed-out jobs at the END of the outcome list — which
+// used to fall off the short latency slice and score as healthy — burn both
+// the error-rate and the latency objectives.
+func TestScoreCountsTrailingTimeouts(t *testing.T) {
+	cfg := baseConfig("http://unused")
+	cfg.Tenants, cfg.Concurrency, cfg.Jobs = 1, 1, 10
+	cfg.MaxErrorPct = 10
+	cfg.P95MaxMS = 60_000
+	cfg.JobTimeout = 2 * time.Second
+	var outcomes []jobOutcome
+	for i := 0; i < 7; i++ {
+		outcomes = append(outcomes, jobOutcome{tenant: "tenant-00", e2eMS: 50, queueWaitMS: 5})
+	}
+	for i := 0; i < 3; i++ {
+		outcomes = append(outcomes, jobOutcome{tenant: "tenant-00", failed: true, timedOut: true, e2eMS: 2000})
+	}
+	v := score(cfg, outcomes, "r1")
+	if v.Jobs.Completed != 7 || v.Jobs.Failed != 3 || v.Jobs.TimedOut != 3 {
+		t.Fatalf("jobs = %+v, want 7 completed, 3 timed out", v.Jobs)
+	}
+	var errRate *float64
+	for _, st := range v.SLO {
+		if st.Name == "load_error_rate" {
+			if st.OK {
+				t.Fatalf("30%% error rate passed a 10%% budget: %+v", st)
+			}
+			errRate = &st.Value
+		}
+	}
+	if errRate == nil || *errRate != 30 {
+		t.Fatalf("error-rate objective = %+v, want value 30", v.SLO)
+	}
+	if !v.Breached {
+		t.Fatal("trailing timeouts did not breach the error-rate SLO")
+	}
+	// The timeouts also land in the latency summary (same population).
+	if v.E2EMS.Count != 10 || v.E2EMS.Max < 2000 {
+		t.Fatalf("e2e stats = %+v, want all 10 samples with the timeout charge", v.E2EMS)
+	}
+}
+
+// TestRunChargesTimeoutsAsFailedSamples drives the timeout path end to end: a
+// job whose terminal event never arrives inside JobTimeout must come back as
+// a failed sample carrying at least the full timeout.
+func TestRunChargesTimeoutsAsFailedSamples(t *testing.T) {
+	cfg := stubRunner(1500*time.Millisecond, nil)
+	cfg.MaxInflight = 2
+	s := service.NewServer(cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	lc := baseConfig(ts.URL)
+	lc.Tenants, lc.Concurrency, lc.Jobs = 1, 1, 1
+	lc.JobTimeout = 200 * time.Millisecond
+	lc.MaxErrorPct = 50
+	v, err := Run(context.Background(), lc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Jobs.TimedOut != 1 || v.Jobs.Failed != 1 || v.Jobs.Completed != 0 {
+		t.Fatalf("jobs = %+v, want the single job to time out", v.Jobs)
+	}
+	if v.E2EMS.Count != 1 || v.E2EMS.Max < 200 {
+		t.Fatalf("e2e stats = %+v, want one sample charged >= 200ms", v.E2EMS)
+	}
+	if !v.Breached {
+		t.Fatalf("100%% timeouts under a 50%% error budget did not breach: %+v", v.SLO)
+	}
+}
+
 func TestRunRejectsBadConfig(t *testing.T) {
 	bad := []Config{
 		{},

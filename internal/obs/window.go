@@ -50,6 +50,19 @@ func NewWindow(name string, capacity int) *Window {
 	return w
 }
 
+// NewLocalWindow returns an unregistered window: the same estimator, but
+// owned by its creator instead of the process-global registry, so it never
+// appears on /metrics and two instances can never share samples. Embedders
+// that run several job servers in one process give each its own local windows
+// for instance-scoped views (stats documents, Retry-After derivation) while
+// registered windows keep aggregating for exposition. Panics on capacity < 1.
+func NewLocalWindow(capacity int) *Window {
+	if capacity < 1 {
+		panic("obs: NewLocalWindow needs capacity >= 1")
+	}
+	return &Window{buf: make([]float64, capacity)}
+}
+
 // Observe records one sample, evicting the oldest when the window is full.
 // A no-op when recording is disabled or the receiver is nil.
 func (w *Window) Observe(v float64) {

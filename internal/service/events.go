@@ -19,7 +19,8 @@ const StatsSchemaVersion = "cirstag.stats/v1"
 
 // maxJobEvents bounds the per-job event log (lifecycle + two events per
 // pipeline phase; sequence jobs emit two per step). Beyond the cap the log
-// stops growing — the global bus still carries the events live.
+// stops growing — except the job's terminal event, which overwrites the last
+// slot — the global bus still carries the events live.
 const maxJobEvents = 4096
 
 // sseBuffer is the per-subscriber channel capacity for SSE streams. A reader
@@ -77,6 +78,12 @@ func (s *Server) publishJobLocked(j *Job, ev event.Event) {
 	}
 	if len(j.events) < maxJobEvents {
 		j.events = append(j.events, stamped)
+	} else if event.Terminal(stamped.Type) {
+		// A full log must still record how the job ended: replay-then-follow
+		// streams close on a replayed terminal event, and without one a GET on
+		// an already-finished job would wait forever for a terminal the live
+		// bus will never re-emit. Sacrifice the newest retained event instead.
+		j.events[len(j.events)-1] = stamped
 	}
 }
 

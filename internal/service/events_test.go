@@ -421,6 +421,94 @@ func TestStatsDocAndParse(t *testing.T) {
 	}
 }
 
+// TestTerminalEventRecordedWhenLogFull pins the capacity contract of the
+// per-job replay log: even when a job emitted more than maxJobEvents before
+// finishing, its terminal event must land in the log (overwriting the newest
+// retained event), so a later GET on the finished job replays a transcript
+// that ends terminally and the stream closes instead of following the live
+// bus forever.
+func TestTerminalEventRecordedWhenLogFull(t *testing.T) {
+	enableObs(t)
+	release := make(chan struct{})
+	s := NewServer(Config{Runner: blockingRunner(release)})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	j, _, err := s.Submit(benchRequest("acme", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, j, StateRunning)
+	// Pad the log to capacity while the job runs, simulating a long sequence
+	// job that emitted its way past the cap before finishing.
+	s.mu.Lock()
+	filler := j.events[len(j.events)-1]
+	for len(j.events) < maxJobEvents {
+		j.events = append(j.events, filler)
+	}
+	s.mu.Unlock()
+	close(release)
+	waitDone(t, j)
+
+	log := s.JobEvents(j)
+	if len(log) != maxJobEvents {
+		t.Fatalf("log length = %d, want capped at %d", len(log), maxJobEvents)
+	}
+	if last := log[len(log)-1]; last.Type != event.Done {
+		t.Fatalf("last retained event = %+v, want the terminal done event", last)
+	}
+	// The replay stream for the finished job ends on its own: the replayed
+	// terminal event closes it without touching the live bus.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/jobs/"+j.ID+"/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	events := scanAll(t, resp.Body)
+	if ctx.Err() != nil {
+		t.Fatal("replay of a finished job with a full log did not close")
+	}
+	if len(events) == 0 || events[len(events)-1].Type != event.Done {
+		t.Fatalf("replayed stream ends with %v, want done", eventTypes(events))
+	}
+}
+
+// TestServersDoNotShareLatencyWindows pins the instance-locality of the
+// stats/Retry-After windows: two servers embedded in one process must not see
+// each other's latency samples (the registered /metrics windows still
+// aggregate process-wide, by design).
+func TestServersDoNotShareLatencyWindows(t *testing.T) {
+	enableObs(t)
+	s1 := NewServer(Config{Runner: quickRunner()})
+	s2 := NewServer(Config{Runner: quickRunner(), RetryAfter: time.Second})
+
+	j, _, err := s1.Submit(benchRequest("acme", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	// Pile synthetic pressure onto s1's queue-wait window.
+	for i := 0; i < 8; i++ {
+		s1.queueWaitWin.Observe(9000)
+	}
+
+	if doc := s2.StatsDoc(); doc.E2EMS.Count != 0 || doc.QueueWaitMS.Count != 0 {
+		t.Fatalf("idle server's windows = e2e %+v queue %+v, want empty", doc.E2EMS, doc.QueueWaitMS)
+	}
+	if got := s2.retryAfterSeconds(); got != 1 {
+		t.Fatalf("idle server Retry-After = %ds, contaminated by the loaded server (want floor 1s)", got)
+	}
+	if doc := s1.StatsDoc(); doc.E2EMS.Count != 1 {
+		t.Fatalf("loaded server e2e window = %+v, want its own single sample", doc.E2EMS)
+	}
+	if got := s1.retryAfterSeconds(); got != 9 {
+		t.Fatalf("loaded server Retry-After = %ds, want 9s from its queue-wait p50", got)
+	}
+}
+
 func TestFailedJobEventAndTenantStats(t *testing.T) {
 	enableObs(t)
 	boom := errors.New("boom")

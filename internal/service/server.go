@@ -47,6 +47,13 @@ var (
 	queueDepthGauge  = obs.NewGauge("service.queue_depth")
 	runningGauge     = obs.NewGauge("service.jobs_running")
 	queueWaitHist    = obs.NewHistogram("service.queue_wait_ms", obs.ExpBuckets(1, 4, 10)...)
+	// The registered windows back the /metrics quantile gauges
+	// (cirstag_service_*_p50/p95/p99). Like every registered metric they are
+	// process-global; each Server additionally keeps its own local windows
+	// (NewServer) so per-instance views — /v1/stats, the SLO document,
+	// Retry-After derivation — never mix samples across embedded servers.
+	queueWaitWinAll = obs.NewWindow("service.queue_wait_ms", 1024)
+	e2eWinAll       = obs.NewWindow("service.e2e_ms", 1024)
 )
 
 // Config sizes and wires a Server.
@@ -145,8 +152,8 @@ type Server struct {
 
 	bus          *event.Bus   // lifecycle event bus behind the SSE endpoints
 	slo          *slo.Tracker // nil when no objectives declared
-	queueWaitWin *obs.Window  // rolling queue-wait quantiles (Retry-After, stats)
-	e2eWin       *obs.Window  // rolling submit→done quantiles (stats, SLO view)
+	queueWaitWin *obs.Window  // instance-local queue-wait quantiles (Retry-After, stats)
+	e2eWin       *obs.Window  // instance-local submit→done quantiles (stats, SLO view)
 
 	mu         sync.Mutex
 	jobs       map[string]*Job // by content-addressed ID
@@ -179,8 +186,8 @@ func NewServer(cfg Config) *Server {
 		running:      map[string]int{},
 		tenantDone:   map[string]*tenantTotals{},
 		bus:          event.NewBus(cfg.EventRing),
-		queueWaitWin: obs.NewWindow("service.queue_wait_ms", 1024),
-		e2eWin:       obs.NewWindow("service.e2e_ms", 1024),
+		queueWaitWin: obs.NewLocalWindow(1024),
+		e2eWin:       obs.NewLocalWindow(1024),
 	}
 	if len(cfg.SLOs) > 0 {
 		s.slo = slo.NewTracker(cfg.SLOs)
@@ -297,6 +304,7 @@ func (s *Server) dispatchLocked() {
 			wait := float64(j.started.Sub(j.submitted)) / float64(time.Millisecond)
 			queueWaitHist.Observe(wait)
 			s.queueWaitWin.Observe(wait)
+			queueWaitWinAll.Observe(wait)
 			s.wg.Add(1)
 			go s.execute(j)
 		} else {
@@ -381,6 +389,7 @@ func (s *Server) execute(j *Job) {
 	e2e := float64(j.finished.Sub(j.submitted)) / float64(time.Millisecond)
 	wait := float64(j.started.Sub(j.submitted)) / float64(time.Millisecond)
 	s.e2eWin.Observe(e2e)
+	e2eWinAll.Observe(e2e)
 	totals := s.tenantDone[j.Tenant]
 	if totals == nil {
 		totals = &tenantTotals{}

@@ -57,11 +57,12 @@ func waitDone(t *testing.T, j *Job) {
 
 // settleAfter drains s once the test finishes. Tests that deliberately leave
 // a job in flight (saturation, backpressure, drain-timeout scenarios) must
-// register this: the obs windows a finishing job observes into are shared
-// process-wide by name, so a straggling finish would otherwise land samples
-// in whatever test runs next. Cleanups run after the test's defers, so a
-// deferred close(release) has already unblocked the runner by the time the
-// drain waits.
+// register this: a straggling finish would otherwise race the test harness —
+// its samples still land in the process-global /metrics windows and counters
+// (each server's stats windows are instance-local, so those are immune), and
+// its goroutine would outlive the test. Cleanups run after the test's defers,
+// so a deferred close(release) has already unblocked the runner by the time
+// the drain waits.
 func settleAfter(t *testing.T, s *Server) {
 	t.Helper()
 	t.Cleanup(func() {
